@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunCheapExperiments(t *testing.T) {
+	for _, args := range [][]string{
+		{"summary"},
+		{"fig9"},
+		{"model", "-procs", "4"},
+		{"fig13", "-procs", "4"},
+		{"fig12", "-procs", "4"},
+		{"timego", "-procs", "4"},
+		{"numa", "-procs", "4"},
+		{"gantt", "-procs", "4"},
+		{"chunks", "-procs", "4"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tables are slow in -short mode")
+	}
+	for _, args := range [][]string{
+		{"table2", "-procs", "8"},
+		{"table3", "-procs", "8"},
+		{"table4", "-procs", "8"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("accepted empty args")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("accepted unknown experiment")
+	}
+	if err := run([]string{"table1", "-bogus"}); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}

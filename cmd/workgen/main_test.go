@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doconsider/internal/sparse"
+)
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "20-3-2", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"workload 20-3-2", "indices        400", "wavefronts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "10-2-2", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := sparse.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 100 {
+		t.Errorf("matrix order %d, want 100", a.N)
+	}
+}
+
+func TestRunSpy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "12-3-2", "-stats=false", "-spy"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "144 x 144") {
+		t.Errorf("spy header missing:\n%s", buf.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "nonsense"}, &buf); err == nil {
+		t.Error("accepted bad workload name")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}

@@ -1,0 +1,13 @@
+// Package doconsider is a Go reproduction of "Run-Time Parallelization and
+// Scheduling of Loops" (Saltz, Mirchandaney, Baxter; ICASE Report 88-70 /
+// SPAA 1989): the doconsider construct and its inspector/executor runtime,
+// with global/local wavefront scheduling, pre-scheduled and self-executing
+// executors, the PCGPAK-style preconditioned Krylov substrate, the
+// Section 4 analytic model, and a cost-model multiprocessor simulator that
+// stands in for the paper's Encore Multimax/320.
+//
+// The implementation lives under internal/; see README.md for the package
+// map, DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
+// directory regenerates every table and figure as Go benchmarks.
+package doconsider

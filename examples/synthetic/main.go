@@ -1,0 +1,68 @@
+// Synthetic explores the paper's parameterized workload generator
+// (Section 4.1): 2-D meshes with Poisson out-degree and geometric link
+// distance. It sweeps the two parameters, reports the dependence structure
+// each produces (wavefront counts, widths), and shows how the executor
+// tradeoff moves with workload shape using the cost-model simulator.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"doconsider/internal/machine"
+	"doconsider/internal/schedule"
+	"doconsider/internal/synthetic"
+	"doconsider/internal/wavefront"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthetic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const procs = 16
+	costs := machine.MultimaxCosts()
+	fmt.Printf("%-12s %8s %8s %10s %10s %10s %10s\n",
+		"Workload", "Links", "Phases", "MaxWidth", "SelfTime", "PreTime", "Pre/Self")
+	for _, cfg := range []synthetic.Config{
+		{Mesh: 65, Degree: 4, Distance: 1.5, Seed: 1989},
+		{Mesh: 65, Degree: 4, Distance: 3, Seed: 1989},
+		{Mesh: 65, Degree: 2, Distance: 3, Seed: 1989},
+		{Mesh: 65, Degree: 8, Distance: 3, Seed: 1989},
+		{Mesh: 65, Degree: 4, Distance: 8, Seed: 1989},
+	} {
+		a := synthetic.Generate(cfg)
+		stats := synthetic.Summarize(a)
+		deps := wavefront.FromLower(a)
+		wf, err := wavefront.Compute(deps)
+		if err != nil {
+			return err
+		}
+		hist := wavefront.Histogram(wf)
+		maxw := 0
+		for _, h := range hist {
+			if h > maxw {
+				maxw = h
+			}
+		}
+		work := make([]float64, a.N)
+		for i := range work {
+			work[i] = float64(a.RowNNZ(i))
+		}
+		s := schedule.Local(wf, procs, schedule.Striped)
+		self, err := machine.SimulateSelfExecuting(s, deps, work, costs)
+		if err != nil {
+			return err
+		}
+		pre := machine.SimulatePreScheduled(s, work, costs)
+		fmt.Printf("%-12s %8d %8d %10d %10.0f %10.0f %10.2f\n",
+			cfg.Name(), stats.Links, len(hist), maxw,
+			self.Makespan, pre.Makespan, pre.Makespan/self.Makespan)
+	}
+	fmt.Println("\nDenser and longer-range workloads deepen the dependence DAG")
+	fmt.Println("(more phases), widening the self-executing advantage.")
+	return nil
+}

@@ -1,0 +1,37 @@
+package barrier
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// benchBarrier measures rounds/sec of repeated barrier crossings — the
+// paper's Tsynch, and the ablation between spin and blocking barriers.
+func benchBarrier(b *testing.B, mk func(n int) Barrier) {
+	parties := runtime.GOMAXPROCS(0)
+	if parties < 2 {
+		parties = 2
+	}
+	bar := mk(parties)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				bar.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkSenseReversing(b *testing.B) {
+	benchBarrier(b, func(n int) Barrier { return NewSenseReversing(n) })
+}
+
+func BenchmarkCond(b *testing.B) {
+	benchBarrier(b, func(n int) Barrier { return NewCond(n) })
+}

@@ -1,0 +1,172 @@
+// Package core is the library entry point: the run-time system behind the
+// paper's doconsider construct. Given the dependence structure a compiler
+// (or the transform package) extracts from a loop, core runs the inspector
+// (wavefront analysis), builds a schedule (global or local), and executes
+// the loop body with the chosen executor (pre-scheduled, self-executing or
+// doacross).
+//
+// Typical use:
+//
+//	deps := wavefront.FromIndirection(ia)
+//	rt, err := core.New(deps, core.WithProcs(8), core.WithExecutor(executor.SelfExecuting))
+//	...
+//	rt.Run(func(i int32) { x[i] = x[i] + b[i]*x[ia[i]] })
+//
+// The inspector cost is paid once in New; Run may be invoked many times,
+// which is where the approach pays off (paper §5.1.1: scheduling "was
+// amortized over a substantial number of iterations").
+package core
+
+import (
+	"fmt"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// Scheduler selects the index-set scheduling strategy.
+type Scheduler int
+
+const (
+	// GlobalScheduler sorts the whole index set by wavefront and deals the
+	// sorted list to processors in a wrapped manner.
+	GlobalScheduler Scheduler = iota
+	// LocalScheduler keeps a fixed partition and reorders locally.
+	LocalScheduler
+	// NaturalScheduler keeps the original index order (doacross-style).
+	NaturalScheduler
+)
+
+// String returns the scheduler name.
+func (s Scheduler) String() string {
+	switch s {
+	case GlobalScheduler:
+		return "global"
+	case LocalScheduler:
+		return "local"
+	case NaturalScheduler:
+		return "natural"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Config collects the runtime options.
+type Config struct {
+	Procs             int                // simulated processors (goroutines); default 1
+	Executor          executor.Kind      // default SelfExecuting
+	Scheduler         Scheduler          // default GlobalScheduler
+	Partition         schedule.Partition // initial partition for local scheduling
+	ParallelInspector bool               // run the wavefront sweep in parallel (§2.3)
+	WorkWeights       []float64          // optional per-index costs for work-balanced global dealing
+	MergePhases       bool               // coalesce barrier phases when safe (ref [13])
+}
+
+// Option mutates a Config.
+type Option func(*Config)
+
+// WithProcs sets the number of processors.
+func WithProcs(p int) Option { return func(c *Config) { c.Procs = p } }
+
+// WithExecutor sets the executor kind.
+func WithExecutor(k executor.Kind) Option { return func(c *Config) { c.Executor = k } }
+
+// WithScheduler sets the scheduling strategy.
+func WithScheduler(s Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
+
+// WithPartition sets the initial partition used by local scheduling.
+func WithPartition(p schedule.Partition) Option { return func(c *Config) { c.Partition = p } }
+
+// WithParallelInspector runs the topological sort striped across the
+// processors with busy-wait synchronization.
+func WithParallelInspector() Option { return func(c *Config) { c.ParallelInspector = true } }
+
+// WithWorkWeights supplies per-index costs; the global scheduler then
+// balances summed cost per wavefront rather than index counts.
+func WithWorkWeights(w []float64) Option { return func(c *Config) { c.WorkWeights = w } }
+
+// WithMergedPhases coalesces consecutive barrier phases whenever no
+// dependence inside the merged window crosses processors, reducing the
+// global synchronization count of the pre-scheduled executor (the
+// rearrangement idea of the paper's reference [13]). It has no effect on
+// the self-executing executor, which has no barriers to merge.
+func WithMergedPhases() Option { return func(c *Config) { c.MergePhases = true } }
+
+// Runtime is a prepared loop: inspector output plus an executor schedule.
+type Runtime struct {
+	cfg   Config
+	deps  *wavefront.Deps
+	wf    []int32
+	sched *schedule.Schedule
+}
+
+// New runs the inspector on the dependence structure and builds the
+// schedule. It returns an error if the dependences are not executable
+// (cycle, out-of-range edge) rather than letting an executor deadlock.
+func New(deps *wavefront.Deps, opts ...Option) (*Runtime, error) {
+	cfg := Config{Procs: 1, Executor: executor.SelfExecuting, Scheduler: GlobalScheduler}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	var wf []int32
+	var err error
+	if deps.CheckBackward() == nil {
+		if cfg.ParallelInspector {
+			wf, err = wavefront.ComputeParallel(deps, cfg.Procs)
+		} else {
+			wf, err = wavefront.Compute(deps)
+		}
+	} else {
+		// General DAG: fall back to Kahn's algorithm, which also rejects
+		// cyclic inputs with a useful error.
+		wf, err = wavefront.ComputeDAG(deps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var s *schedule.Schedule
+	switch cfg.Scheduler {
+	case GlobalScheduler:
+		if cfg.WorkWeights != nil {
+			s = schedule.GlobalByWork(wf, cfg.WorkWeights, cfg.Procs)
+		} else {
+			s = schedule.Global(wf, cfg.Procs)
+		}
+	case LocalScheduler:
+		s = schedule.Local(wf, cfg.Procs, cfg.Partition)
+	case NaturalScheduler:
+		s = schedule.Natural(deps.N, cfg.Procs, cfg.Partition)
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler %v", cfg.Scheduler)
+	}
+	if cfg.MergePhases {
+		s = schedule.MergePhases(s, deps)
+	}
+	return &Runtime{cfg: cfg, deps: deps, wf: wf, sched: s}, nil
+}
+
+// Run executes the loop body under the configured executor. It may be
+// called repeatedly; the schedule is reused.
+func (r *Runtime) Run(body executor.Body) executor.Metrics {
+	return executor.Run(r.cfg.Executor, r.sched, r.deps, body)
+}
+
+// NumWavefronts returns the number of wavefronts found by the inspector.
+func (r *Runtime) NumWavefronts() int { return wavefront.NumWavefronts(r.wf) }
+
+// Wavefronts returns the per-index wavefront numbers. The slice aliases
+// runtime state and must not be modified.
+func (r *Runtime) Wavefronts() []int32 { return r.wf }
+
+// Schedule exposes the built schedule (read-only).
+func (r *Runtime) Schedule() *schedule.Schedule { return r.sched }
+
+// Deps exposes the dependence structure the runtime was built from.
+func (r *Runtime) Deps() *wavefront.Deps { return r.deps }
+
+// Config returns the effective configuration.
+func (r *Runtime) Config() Config { return r.cfg }

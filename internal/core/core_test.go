@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/schedule"
+	"doconsider/internal/vec"
+	"doconsider/internal/wavefront"
+)
+
+func TestNewRejectsCycles(t *testing.T) {
+	deps := wavefront.FromAdjacency([][]int32{{1}, {0}})
+	if _, err := New(deps); err == nil {
+		t.Error("New accepted a cyclic dependence structure")
+	}
+}
+
+func TestNewGeneralDAGForwardEdges(t *testing.T) {
+	// Forward edge: iteration 0 depends on 2. Compute would reject it, but
+	// the runtime must fall back to Kahn's algorithm and succeed.
+	deps := wavefront.FromAdjacency([][]int32{{2}, {}, {1}})
+	rt, err := New(deps, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	rt.Run(func(i int32) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("executed %d, want 3", count.Load())
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}, {1}})
+	rt, err := New(deps, WithProcs(3), WithExecutor(executor.PreScheduled),
+		WithScheduler(LocalScheduler), WithPartition(schedule.Blocked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumWavefronts() != 3 {
+		t.Errorf("wavefronts = %d", rt.NumWavefronts())
+	}
+	if len(rt.Wavefronts()) != 3 || rt.Schedule() == nil || rt.Deps() != deps {
+		t.Error("accessors broken")
+	}
+	cfg := rt.Config()
+	if cfg.Procs != 3 || cfg.Executor != executor.PreScheduled || cfg.Scheduler != LocalScheduler {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if GlobalScheduler.String() != "global" || LocalScheduler.String() != "local" ||
+		NaturalScheduler.String() != "natural" {
+		t.Error("scheduler names wrong")
+	}
+	if Scheduler(9).String() == "" {
+		t.Error("unknown scheduler should format")
+	}
+}
+
+func TestParallelInspectorAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		for k := 0; k < rng.Intn(3); k++ {
+			adj[i] = append(adj[i], int32(rng.Intn(i)))
+		}
+	}
+	deps := wavefront.FromAdjacency(adj)
+	seq, err := New(deps, WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(deps, WithProcs(4), WithParallelInspector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if seq.Wavefronts()[i] != par.Wavefronts()[i] {
+			t.Fatalf("inspector disagreement at %d", i)
+		}
+	}
+}
+
+func TestWorkWeightedScheduling(t *testing.T) {
+	n := 30
+	deps := wavefront.FromAdjacency(make([][]int32, n)) // fully parallel
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 100
+	rt, err := New(deps, WithProcs(3), WithWorkWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy index should be alone on its processor under LPT dealing.
+	s := rt.Schedule()
+	for p := 0; p < s.P; p++ {
+		for _, idx := range s.Indices[p] {
+			if idx == 0 && len(s.Indices[p]) != 1 {
+				t.Errorf("heavy index shares processor with %d others", len(s.Indices[p])-1)
+			}
+		}
+	}
+}
+
+func TestSimpleLoopMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 600
+	ia := make([]int32, n)
+	for i := range ia {
+		ia[i] = int32(rng.Intn(n))
+	}
+	b := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 0.5
+		x0[i] = rng.NormFloat64()
+	}
+	for _, kind := range []executor.Kind{executor.PreScheduled, executor.SelfExecuting, executor.DoAcross} {
+		for _, sched := range []Scheduler{GlobalScheduler, LocalScheduler} {
+			loop, err := NewSimpleLoop(ia, WithProcs(6), WithExecutor(kind), WithScheduler(sched))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]float64(nil), x0...)
+			loop.RunSequential(want, b)
+			got := append([]float64(nil), x0...)
+			loop.Run(got, b)
+			if d := vec.MaxAbsDiff(got, want); d != 0 {
+				t.Errorf("kind=%v sched=%v: diff %v", kind, sched, d)
+			}
+		}
+	}
+}
+
+func TestSimpleLoopRepeatedSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	ia := make([]int32, n)
+	for i := range ia {
+		ia[i] = int32(rng.Intn(n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 0.1
+	}
+	loop, err := NewSimpleLoop(ia, WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPar := make([]float64, n)
+	xSeq := make([]float64, n)
+	for i := range xPar {
+		xPar[i] = 1
+		xSeq[i] = 1
+	}
+	for sweep := 0; sweep < 5; sweep++ {
+		loop.Run(xPar, b)
+		loop.RunSequential(xSeq, b)
+	}
+	if d := vec.MaxAbsDiff(xPar, xSeq); d != 0 {
+		t.Errorf("after 5 sweeps diff %v", d)
+	}
+}
+
+func TestSimpleLoopRejectsBadIndirection(t *testing.T) {
+	if _, err := NewSimpleLoop([]int32{0, 5}); err == nil {
+		t.Error("accepted out-of-range ia")
+	}
+	if _, err := NewSimpleLoop([]int32{-1}); err == nil {
+		t.Error("accepted negative ia")
+	}
+}
+
+func TestSimpleLoopRuntime(t *testing.T) {
+	loop, err := NewSimpleLoop([]int32{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Runtime() == nil || loop.Runtime().NumWavefronts() != 3 {
+		t.Error("runtime accessor broken")
+	}
+}
+
+func TestRuntimePropertyAllExecuted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(150)
+		adj := make([][]int32, n)
+		for i := 1; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				adj[i] = append(adj[i], int32(rng.Intn(i)))
+			}
+		}
+		deps := wavefront.FromAdjacency(adj)
+		kinds := []executor.Kind{executor.Sequential, executor.PreScheduled,
+			executor.SelfExecuting, executor.DoAcross}
+		rt, err := New(deps,
+			WithProcs(1+rng.Intn(6)),
+			WithExecutor(kinds[rng.Intn(len(kinds))]),
+			WithScheduler([]Scheduler{GlobalScheduler, LocalScheduler}[rng.Intn(2)]))
+		if err != nil {
+			return false
+		}
+		var count atomic.Int64
+		rt.Run(func(i int32) { count.Add(1) })
+		return count.Load() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/schedule"
+	"doconsider/internal/vec"
+	"doconsider/internal/wavefront"
+)
+
+// TestMergedPhasesCorrectness runs the pre-scheduled executor on merged
+// schedules and verifies results stay bit-identical to sequential
+// execution — the safety property behind the reference-[13] barrier
+// reduction.
+func TestMergedPhasesCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 200 + rng.Intn(200)
+		ia := make([]int32, n)
+		for i := range ia {
+			ia[i] = int32(rng.Intn(n))
+		}
+		b := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 0.4
+			x0[i] = rng.NormFloat64()
+		}
+		loopPlain, err := NewSimpleLoop(ia, WithProcs(5), WithExecutor(executor.PreScheduled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loopMerged, err := NewSimpleLoop(ia, WithProcs(5), WithExecutor(executor.PreScheduled),
+			WithMergedPhases())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loopMerged.Runtime().Schedule().NumPhases > loopPlain.Runtime().Schedule().NumPhases {
+			t.Fatal("merging increased phase count")
+		}
+		want := append([]float64(nil), x0...)
+		loopPlain.RunSequential(want, b)
+		got := append([]float64(nil), x0...)
+		loopMerged.Run(got, b)
+		if d := vec.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("trial %d: merged-phase execution differs by %v", trial, d)
+		}
+	}
+}
+
+func TestMergedPhasesReduceBarriers(t *testing.T) {
+	// A dependence structure with long same-processor runs: blocked
+	// partition keeps chains local, so merging should collapse phases.
+	n := 64
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		if i%8 != 0 { // chains of 8 within each block
+			adj[i] = []int32{int32(i - 1)}
+		}
+	}
+	deps := wavefront.FromAdjacency(adj)
+	unmerged, err := New(deps, WithProcs(8), WithScheduler(LocalScheduler),
+		WithExecutor(executor.PreScheduled), WithPartition(schedule.Blocked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unmerged.Schedule().NumPhases; got != 8 {
+		t.Fatalf("unmerged phases = %d, want 8 (chain length)", got)
+	}
+	// With a blocked partition each chain of 8 lives on one processor, so
+	// every phase boundary is safe to remove.
+	merged, err := New(deps, WithProcs(8), WithScheduler(LocalScheduler),
+		WithExecutor(executor.PreScheduled), WithMergedPhases(),
+		WithPartition(schedule.Blocked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Schedule().NumPhases; got != 1 {
+		t.Errorf("blocked chains should merge to 1 phase, got %d", got)
+	}
+}

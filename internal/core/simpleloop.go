@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/wavefront"
+)
+
+// SimpleLoop is a prepared instance of the paper's motivating loop
+// (Figures 2–4):
+//
+//	do i = 1, n
+//	    x(i) = x(i) + b(i)*x(ia(i))
+//	end do
+//
+// Iterations with ia(i) >= i read the value of x from before the loop
+// (xold), so only backward references ia(i) < i order the iterations —
+// exactly the transformed executor of Figure 4.
+type SimpleLoop struct {
+	rt   *Runtime
+	ia   []int32
+	xold []float64
+}
+
+// NewSimpleLoop inspects the indirection array and prepares the runtime.
+func NewSimpleLoop(ia []int32, opts ...Option) (*SimpleLoop, error) {
+	n := len(ia)
+	for i, t := range ia {
+		if t < 0 || int(t) >= n {
+			return nil, fmt.Errorf("core: ia[%d] = %d out of range [0,%d)", i, t, n)
+		}
+	}
+	deps := wavefront.FromIndirection(ia)
+	rt, err := New(deps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SimpleLoop{rt: rt, ia: ia, xold: make([]float64, n)}, nil
+}
+
+// Run executes one sweep of the loop over x with coefficients b, updating
+// x in place. It may be called repeatedly (the paper's loops "may be
+// executed many times during the running of a given program").
+func (l *SimpleLoop) Run(x, b []float64) executor.Metrics {
+	copy(l.xold, x)
+	ia, xold := l.ia, l.xold
+	return l.rt.Run(func(i int32) {
+		needed := ia[i]
+		if needed >= i {
+			x[i] = xold[i] + b[i]*xold[needed]
+		} else {
+			x[i] = xold[i] + b[i]*x[needed]
+		}
+	})
+}
+
+// RunSequential executes the reference sequential semantics of the
+// original loop, for verification: iterations in order, reads of x(ia(i))
+// see the most recent value when ia(i) < i and the pre-loop value
+// otherwise (matching Figure 4's xold convention).
+func (l *SimpleLoop) RunSequential(x, b []float64) {
+	copy(l.xold, x)
+	for i := 0; i < len(l.ia); i++ {
+		needed := l.ia[i]
+		if int(needed) >= i {
+			x[i] = l.xold[i] + b[i]*l.xold[needed]
+		} else {
+			x[i] = l.xold[i] + b[i]*x[needed]
+		}
+	}
+}
+
+// Runtime exposes the underlying prepared runtime.
+func (l *SimpleLoop) Runtime() *Runtime { return l.rt }

@@ -1,0 +1,72 @@
+package executor
+
+import (
+	"runtime"
+	"testing"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func benchSetup(b *testing.B) (*wavefront.Deps, []int32) {
+	b.Helper()
+	a := stencil.Laplace2D(120, 120)
+	d := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, wf
+}
+
+func BenchmarkExecutors(b *testing.B) {
+	d, wf := benchSetup(b)
+	procs := runtime.GOMAXPROCS(0)
+	work := func(i int32) {} // pure synchronization cost
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunSequential(d.N, work)
+		}
+	})
+	b.Run("prescheduled", func(b *testing.B) {
+		s := schedule.Global(wf, procs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunPreScheduled(s, work)
+		}
+	})
+	b.Run("selfexecuting", func(b *testing.B) {
+		s := schedule.Global(wf, procs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunSelfExecuting(s, d, work)
+		}
+	})
+	b.Run("doacross", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunDoAcross(d.N, procs, d, work)
+		}
+	})
+	b.Run("selfscheduled-chunk16", func(b *testing.B) {
+		order := SortedOrder(wf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunSelfScheduled(order, d, procs, 16, work)
+		}
+	})
+	b.Run("guided", func(b *testing.B) {
+		order := SortedOrder(wf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunGuidedSelfScheduled(order, d, procs, 4, work)
+		}
+	})
+	b.Run("onthefly", func(b *testing.B) {
+		depsOf := func(i int32) []int32 { return d.On(int(i)) }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunOnTheFly(d.N, procs, depsOf, work)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Package executor implements the paper's transformed loop structures: the
+// pre-scheduled executor, which separates consecutive wavefronts with
+// global synchronizations (Figure 5), and the self-executing executor,
+// which replaces barriers with busy waits on a shared ready array
+// (Figure 4). A doacross baseline — the self-executing mechanism over the
+// original, unsorted index order — and a sequential reference are also
+// provided.
+//
+// An executor runs a user loop body once per loop index. The body receives
+// the index to execute; any data (solution vectors, matrices, indirection
+// arrays) is captured in the closure. Bodies for distinct indices in the
+// same wavefront run concurrently, so they must only write state owned by
+// their own index.
+package executor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"doconsider/internal/barrier"
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// Body is a loop body: it performs the work of loop index i.
+type Body func(i int32)
+
+// Kind names an execution strategy.
+type Kind int
+
+const (
+	// Sequential executes indices 0..n-1 in order on one processor.
+	Sequential Kind = iota
+	// PreScheduled executes wavefront phases separated by barriers.
+	PreScheduled
+	// SelfExecuting busy-waits on a shared ready array instead of barriers.
+	SelfExecuting
+	// DoAcross is SelfExecuting over the natural (unsorted) index order.
+	DoAcross
+)
+
+// String returns the executor name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case PreScheduled:
+		return "pre-scheduled"
+	case SelfExecuting:
+		return "self-executing"
+	case DoAcross:
+		return "doacross"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Metrics reports per-run execution accounting, the experimental raw
+// material of §5.1.2 ("Where Does the Time Go").
+type Metrics struct {
+	P          int   // processors
+	Phases     int   // barrier phases executed (pre-scheduled only)
+	Executed   int64 // loop bodies run
+	SpinChecks int64 // shared-array reads while busy-waiting (self-exec)
+	SpinWaits  int64 // dependences that were not ready on first check
+}
+
+// RunSequential executes body for i = 0..n-1 in order.
+func RunSequential(n int, body Body) Metrics {
+	for i := int32(0); int(i) < n; i++ {
+		body(i)
+	}
+	return Metrics{P: 1, Executed: int64(n)}
+}
+
+// RunPreScheduled executes the schedule with one goroutine per processor
+// and a global synchronization between consecutive phases (paper Figure 5:
+// the NEWPHASE flag becomes a phase loop around a reusable barrier).
+func RunPreScheduled(s *schedule.Schedule, body Body) Metrics {
+	if s.P == 1 {
+		for _, i := range s.Indices[0] {
+			body(i)
+		}
+		return Metrics{P: 1, Phases: s.NumPhases, Executed: int64(s.N)}
+	}
+	bar := barrier.NewSenseReversing(s.P)
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < s.NumPhases; k++ {
+				for _, i := range s.Phase(p, k) {
+					body(i)
+				}
+				bar.Wait()
+			}
+		}(p)
+	}
+	wg.Wait()
+	return Metrics{P: s.P, Phases: s.NumPhases, Executed: int64(s.N)}
+}
+
+// RunSelfExecuting executes the schedule with one goroutine per processor.
+// A shared ready array indicates whether each index has been computed;
+// before running index i the executor busy-waits until every dependence of
+// i is marked complete (paper Figure 4, lines 3a-3c).
+//
+// The schedule may be any of global, local or natural order; deps must be
+// acyclic (for backward-only dependences this is automatic). Progress is
+// guaranteed for any schedule in which each processor's list is ordered
+// consistently with some topological order of deps restricted to that
+// processor — wavefront-sorted and natural orders both qualify.
+func RunSelfExecuting(s *schedule.Schedule, deps *wavefront.Deps, body Body) Metrics {
+	ready := make([]int32, s.N)
+	if s.P == 1 {
+		// Degenerate case: the local order itself must be executable.
+		for _, i := range s.Indices[0] {
+			body(i)
+			ready[i] = 1
+		}
+		return Metrics{P: 1, Executed: int64(s.N)}
+	}
+	var spinChecks, spinWaits atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var checks, waits int64
+			for _, i := range s.Indices[p] {
+				for _, t := range deps.On(int(i)) {
+					checks++
+					if atomic.LoadInt32(&ready[t]) == 1 {
+						continue
+					}
+					waits++
+					for atomic.LoadInt32(&ready[t]) != 1 {
+						runtime.Gosched()
+					}
+				}
+				body(i)
+				atomic.StoreInt32(&ready[i], 1)
+			}
+			spinChecks.Add(checks)
+			spinWaits.Add(waits)
+		}(p)
+	}
+	wg.Wait()
+	return Metrics{
+		P:          s.P,
+		Executed:   int64(s.N),
+		SpinChecks: spinChecks.Load(),
+		SpinWaits:  spinWaits.Load(),
+	}
+}
+
+// RunDoAcross executes indices in their original order striped across
+// nproc processors with busy-wait synchronization — the paper's doacross
+// comparison loop (§5.1.2): "the self-executing loop is a doacross loop
+// with a reordered index set".
+func RunDoAcross(n, nproc int, deps *wavefront.Deps, body Body) Metrics {
+	s := schedule.Natural(n, nproc, schedule.Striped)
+	return RunSelfExecuting(s, deps, body)
+}
+
+// Run dispatches on kind. For Sequential and DoAcross the schedule supplies
+// only N and P.
+func Run(kind Kind, s *schedule.Schedule, deps *wavefront.Deps, body Body) Metrics {
+	switch kind {
+	case Sequential:
+		return RunSequential(s.N, body)
+	case PreScheduled:
+		return RunPreScheduled(s, body)
+	case SelfExecuting:
+		return RunSelfExecuting(s, deps, body)
+	case DoAcross:
+		return RunDoAcross(s.N, s.P, deps, body)
+	default:
+		panic("executor: unknown kind")
+	}
+}

@@ -1,0 +1,58 @@
+package executor
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"doconsider/internal/wavefront"
+)
+
+func TestRunGuidedSelfScheduledRespectsDeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		deps := randomDAG(rng, 300, 3)
+		wf, err := wavefront.Compute(deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := SortedOrder(wf)
+		for _, p := range []int{1, 2, 4, 8} {
+			for _, minChunk := range []int{1, 8} {
+				body, check := depChecker(t, deps)
+				m := RunGuidedSelfScheduled(order, deps, p, minChunk, body)
+				check()
+				if m.Executed != 300 {
+					t.Errorf("executed %d", m.Executed)
+				}
+			}
+		}
+	}
+}
+
+func TestRunGuidedChunksShrink(t *testing.T) {
+	// With one worker, the first claim is the whole remainder: every index
+	// executes; with many workers the claims interleave but coverage must
+	// be exact (no index executed twice).
+	n := 1000
+	deps := wavefront.FromAdjacency(make([][]int32, n))
+	wf, _ := wavefront.Compute(deps)
+	order := SortedOrder(wf)
+	counts := make([]atomic.Int32, n)
+	RunGuidedSelfScheduled(order, deps, 6, 1, func(i int32) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestRunGuidedDegenerate(t *testing.T) {
+	deps := wavefront.FromAdjacency(make([][]int32, 5))
+	wf, _ := wavefront.Compute(deps)
+	var count atomic.Int32
+	m := RunGuidedSelfScheduled(SortedOrder(wf), deps, 0, 0, func(int32) { count.Add(1) })
+	if m.Executed != 5 || count.Load() != 5 {
+		t.Error("degenerate params misbehaved")
+	}
+}

@@ -1,0 +1,62 @@
+package executor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunOnTheFly executes a loop whose dependences cannot be inspected before
+// execution begins — the "not start-time schedulable" class the paper
+// defers to its dodynamic companion work (reference [11]). Iterations are
+// claimed in natural order from a shared counter; each iteration's
+// dependences are discovered by calling depsOf(i) at execution time, and
+// busy waits ensure producers complete first.
+//
+// depsOf must return iteration numbers strictly smaller than i (backward
+// dependences), which guarantees progress under the natural claim order.
+// The returned slice is only read and may alias storage reused across
+// calls on the same processor.
+func RunOnTheFly(n, nproc int, depsOf func(i int32) []int32, body Body) Metrics {
+	if nproc < 1 {
+		nproc = 1
+	}
+	ready := make([]int32, n)
+	var cursor atomic.Int64
+	var spinChecks, spinWaits atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < nproc; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var checks, waits int64
+			for {
+				i := int32(cursor.Add(1)) - 1
+				if int(i) >= n {
+					break
+				}
+				for _, t := range depsOf(i) {
+					checks++
+					if atomic.LoadInt32(&ready[t]) == 1 {
+						continue
+					}
+					waits++
+					for atomic.LoadInt32(&ready[t]) != 1 {
+						runtime.Gosched()
+					}
+				}
+				body(i)
+				atomic.StoreInt32(&ready[i], 1)
+			}
+			spinChecks.Add(checks)
+			spinWaits.Add(waits)
+		}()
+	}
+	wg.Wait()
+	return Metrics{
+		P:          nproc,
+		Executed:   int64(n),
+		SpinChecks: spinChecks.Load(),
+		SpinWaits:  spinWaits.Load(),
+	}
+}

@@ -1,0 +1,154 @@
+package executor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// RunSelfScheduled executes the wavefront-sorted index list with dynamic
+// self-scheduling: instead of a static index-to-processor assignment,
+// workers claim chunks of the sorted list from a shared counter, in the
+// style of the guided self-scheduling work the paper compares against
+// (Polychronopoulos & Kuck; Tang & Yew). Dependences are still enforced
+// with the self-executing busy-wait mechanism, so the executor is correct
+// for any chunk size; chunk >= 1.
+//
+// This is an extension beyond the paper's executors, included as the
+// natural hybrid of its two synchronization mechanisms with the related
+// work's dynamic load balancing; see the ablation benchmarks.
+func RunSelfScheduled(order []int32, deps *wavefront.Deps, nproc, chunk int, body Body) Metrics {
+	n := len(order)
+	if nproc < 1 {
+		nproc = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	ready := make([]int32, deps.N)
+	var cursor atomic.Int64
+	var spinChecks, spinWaits atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < nproc; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var checks, waits int64
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for _, i := range order[lo:hi] {
+					for _, t := range deps.On(int(i)) {
+						checks++
+						if atomic.LoadInt32(&ready[t]) == 1 {
+							continue
+						}
+						waits++
+						for atomic.LoadInt32(&ready[t]) != 1 {
+							runtime.Gosched()
+						}
+					}
+					body(i)
+					atomic.StoreInt32(&ready[i], 1)
+				}
+			}
+			spinChecks.Add(checks)
+			spinWaits.Add(waits)
+		}()
+	}
+	wg.Wait()
+	return Metrics{
+		P:          nproc,
+		Executed:   int64(n),
+		SpinChecks: spinChecks.Load(),
+		SpinWaits:  spinWaits.Load(),
+	}
+}
+
+// SortedOrder returns the wavefront-sorted index list of a schedule built
+// on one processor — the canonical claim order for RunSelfScheduled.
+func SortedOrder(wf []int32) []int32 {
+	s := schedule.Global(wf, 1)
+	return s.Indices[0]
+}
+
+// RunGuidedSelfScheduled executes the sorted index list with guided
+// self-scheduling (Polychronopoulos & Kuck, the paper's reference [16]):
+// each free worker claims ceil(remaining/P) indices, so chunks shrink as
+// the loop drains — large chunks amortize claiming overhead early, small
+// chunks balance the tail. Dependences are enforced with busy waits as in
+// RunSelfScheduled; minChunk bounds the final chunk size (>= 1).
+func RunGuidedSelfScheduled(order []int32, deps *wavefront.Deps, nproc, minChunk int, body Body) Metrics {
+	n := len(order)
+	if nproc < 1 {
+		nproc = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	ready := make([]int32, deps.N)
+	var cursor atomic.Int64
+	var spinChecks, spinWaits atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < nproc; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var checks, waits int64
+			for {
+				// Claim ceil(remaining/P) with a CAS loop.
+				var lo, hi int
+				for {
+					cur := cursor.Load()
+					if int(cur) >= n {
+						spinChecks.Add(checks)
+						spinWaits.Add(waits)
+						return
+					}
+					chunk := (n - int(cur) + nproc - 1) / nproc
+					if chunk < minChunk {
+						chunk = minChunk
+					}
+					lo = int(cur)
+					hi = lo + chunk
+					if hi > n {
+						hi = n
+					}
+					if cursor.CompareAndSwap(cur, int64(hi)) {
+						break
+					}
+				}
+				for _, i := range order[lo:hi] {
+					for _, t := range deps.On(int(i)) {
+						checks++
+						if atomic.LoadInt32(&ready[t]) == 1 {
+							continue
+						}
+						waits++
+						for atomic.LoadInt32(&ready[t]) != 1 {
+							runtime.Gosched()
+						}
+					}
+					body(i)
+					atomic.StoreInt32(&ready[i], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Metrics{
+		P:          nproc,
+		Executed:   int64(n),
+		SpinChecks: spinChecks.Load(),
+		SpinWaits:  spinWaits.Load(),
+	}
+}

@@ -1,0 +1,128 @@
+package executor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doconsider/internal/barrier"
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// TimeBreakdown reports where the wall-clock time of a real (goroutine)
+// parallel execution went, per simulated processor — the host-machine
+// counterpart of the paper's §5.1.2 accounting.
+type TimeBreakdown struct {
+	P       int
+	Total   time.Duration   // wall time of the whole run
+	Busy    []time.Duration // per-processor time inside loop bodies
+	Waiting []time.Duration // per-processor time spinning (deps) or in barriers
+}
+
+// RunSelfExecutingTimed is RunSelfExecuting with per-processor busy/wait
+// wall-time accounting. The instrumentation adds two clock reads per index
+// plus one per stalled dependence, so absolute numbers carry measurement
+// overhead; use them for proportions, as the paper does.
+func RunSelfExecutingTimed(s *schedule.Schedule, deps *wavefront.Deps, body Body) (Metrics, TimeBreakdown) {
+	bd := TimeBreakdown{
+		P:       s.P,
+		Busy:    make([]time.Duration, s.P),
+		Waiting: make([]time.Duration, s.P),
+	}
+	ready := make([]int32, s.N)
+	var spinChecks, spinWaits atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var busy, waiting time.Duration
+			var checks, waits int64
+			for _, i := range s.Indices[p] {
+				for _, t := range deps.On(int(i)) {
+					checks++
+					if atomic.LoadInt32(&ready[t]) == 1 {
+						continue
+					}
+					waits++
+					w0 := time.Now()
+					for atomic.LoadInt32(&ready[t]) != 1 {
+						runtime.Gosched()
+					}
+					waiting += time.Since(w0)
+				}
+				b0 := time.Now()
+				body(i)
+				busy += time.Since(b0)
+				atomic.StoreInt32(&ready[i], 1)
+			}
+			bd.Busy[p] = busy
+			bd.Waiting[p] = waiting
+			spinChecks.Add(checks)
+			spinWaits.Add(waits)
+		}(p)
+	}
+	wg.Wait()
+	bd.Total = time.Since(start)
+	m := Metrics{
+		P:          s.P,
+		Executed:   int64(s.N),
+		SpinChecks: spinChecks.Load(),
+		SpinWaits:  spinWaits.Load(),
+	}
+	return m, bd
+}
+
+// RunPreScheduledTimed is RunPreScheduled with per-processor busy/barrier
+// wall-time accounting.
+func RunPreScheduledTimed(s *schedule.Schedule, body Body) (Metrics, TimeBreakdown) {
+	bd := TimeBreakdown{
+		P:       s.P,
+		Busy:    make([]time.Duration, s.P),
+		Waiting: make([]time.Duration, s.P),
+	}
+	bar := barrier.NewSenseReversing(s.P)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var busy, waiting time.Duration
+			for k := 0; k < s.NumPhases; k++ {
+				b0 := time.Now()
+				for _, i := range s.Phase(p, k) {
+					body(i)
+				}
+				busy += time.Since(b0)
+				w0 := time.Now()
+				bar.Wait()
+				waiting += time.Since(w0)
+			}
+			bd.Busy[p] = busy
+			bd.Waiting[p] = waiting
+		}(p)
+	}
+	wg.Wait()
+	bd.Total = time.Since(start)
+	return Metrics{P: s.P, Phases: s.NumPhases, Executed: int64(s.N)}, bd
+}
+
+// MaxWaiting returns the largest per-processor waiting share (waiting /
+// (busy+waiting)), a load-imbalance indicator.
+func (bd TimeBreakdown) MaxWaiting() float64 {
+	worst := 0.0
+	for p := 0; p < bd.P; p++ {
+		tot := bd.Busy[p] + bd.Waiting[p]
+		if tot == 0 {
+			continue
+		}
+		if share := float64(bd.Waiting[p]) / float64(tot); share > worst {
+			worst = share
+		}
+	}
+	return worst
+}

@@ -1,0 +1,61 @@
+package ilu
+
+import (
+	"runtime"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+)
+
+func BenchmarkSymbolicSequential(b *testing.B) {
+	a := stencil.FivePoint(80)
+	for i := 0; i < b.N; i++ {
+		if _, err := Symbolic(a, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymbolicParallel(b *testing.B) {
+	a := stencil.FivePoint(80)
+	procs := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := SymbolicParallel(a, 1, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNumeric(b *testing.B) {
+	a := stencil.FivePoint(80)
+	pat, err := Symbolic(a, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NumericSeq(a, pat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("selfexecuting", func(b *testing.B) {
+		procs := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := NumericParallel(a, pat, procs,
+				executor.SelfExecuting, GlobalSchedule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prescheduled", func(b *testing.B) {
+		procs := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := NumericParallel(a, pat, procs,
+				executor.PreScheduled, GlobalSchedule); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

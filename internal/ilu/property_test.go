@@ -1,0 +1,97 @@
+package ilu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/synthetic"
+)
+
+// patternContains reports whether every entry of inner appears in outer.
+func patternContains(outer, inner *Pattern) bool {
+	for i := 0; i < inner.N; i++ {
+		oRow := outer.Row(i)
+		set := make(map[int32]bool, len(oRow))
+		for _, c := range oRow {
+			set[c] = true
+		}
+		for _, c := range inner.Row(i) {
+			if !set[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFillMonotoneInLevel: ILU(k) pattern is contained in ILU(k+1) pattern.
+func TestFillMonotoneInLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mesh := 6 + rng.Intn(8)
+		a := synthetic.Generate(synthetic.Config{
+			Mesh: mesh, Degree: 3, Distance: 2, Seed: seed,
+		})
+		// Symmetrize the structure a bit by adding the transpose pattern so
+		// elimination generates upper fill too.
+		at := a.Transpose()
+		ts := []sparse.Triplet{}
+		for i := 0; i < a.N; i++ {
+			cols, vals := a.Row(i)
+			for k, c := range cols {
+				ts = append(ts, sparse.Triplet{Row: i, Col: int(c), Val: vals[k]})
+			}
+			tcols, tvals := at.Row(i)
+			for k, c := range tcols {
+				ts = append(ts, sparse.Triplet{Row: i, Col: int(c), Val: 0.5 * tvals[k]})
+			}
+		}
+		full := sparse.MustAssemble(a.N, a.N, ts)
+		prev, err := Symbolic(full, 0)
+		if err != nil {
+			return false
+		}
+		for lvl := 1; lvl <= 2; lvl++ {
+			next, err := Symbolic(full, lvl)
+			if err != nil {
+				return false
+			}
+			if !patternContains(next, prev) {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLevelsBoundedByMaxLevel: every retained entry's level is within the
+// requested bound.
+func TestLevelsBoundedByMaxLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mesh := 5 + rng.Intn(6)
+		a := synthetic.Generate(synthetic.Config{
+			Mesh: mesh, Degree: 4, Distance: 2, Seed: seed + 1,
+		})
+		lvl := rng.Intn(3)
+		pat, err := Symbolic(a, lvl)
+		if err != nil {
+			return false
+		}
+		for _, l := range pat.Level {
+			if int(l) > lvl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

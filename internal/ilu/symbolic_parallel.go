@@ -1,0 +1,158 @@
+package ilu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"doconsider/internal/sparse"
+)
+
+// SymbolicParallel computes the same level-based fill pattern as Symbolic
+// using the paper's Appendix II §2.3 strategy for the symbolic
+// factorization: "we distribute the rows of the matrix over processors in
+// a wrapped manner and execute in a self-scheduled fashion."
+//
+// The dependence structure of the symbolic factorization is not known in
+// advance (it is exactly what is being computed), so no inspector can run
+// first; instead each worker processes its wrapped rows in increasing
+// order and busy-waits on a shared done array before merging with a pivot
+// row whose final structure another worker is still building. Progress is
+// guaranteed because a row only ever waits on strictly smaller rows.
+func SymbolicParallel(a *sparse.CSR, maxLevel, nproc int) (*Pattern, error) {
+	if a.N != a.M {
+		return nil, fmt.Errorf("ilu: matrix is %dx%d, want square", a.N, a.M)
+	}
+	n := a.N
+	if nproc < 1 {
+		nproc = 1
+	}
+	if nproc > n {
+		nproc = n
+	}
+	// Published per-row results. uRow/uLev are written by a row's owner
+	// before its done flag is set (release) and read by consumers after
+	// observing the flag (acquire), so the accesses are ordered.
+	rowCols := make([][]int32, n)
+	rowLevs := make([][]int32, n)
+	uRow := make([][]int32, n)
+	uLev := make([][]int32, n)
+	diagOff := make([]int32, n)
+	done := make([]int32, n)
+	errs := make([]error, nproc)
+
+	var wg sync.WaitGroup
+	for p := 0; p < nproc; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			const unset = -1
+			next := make([]int32, n+1)
+			lev := make([]int32, n)
+			for c := range next {
+				next[c] = unset
+			}
+			for i := p; i < n; i += nproc {
+				head := int32(n)
+				seed := func(c int32, l int32) {
+					if next[c] != unset {
+						if l < lev[c] {
+							lev[c] = l
+						}
+						return
+					}
+					if head == int32(n) || c < head {
+						next[c] = head
+						head = c
+					} else {
+						q := head
+						for next[q] != int32(n) && next[q] < c {
+							q = next[q]
+						}
+						next[c] = next[q]
+						next[q] = c
+					}
+					lev[c] = l
+				}
+				cols, _ := a.Row(i)
+				for _, c := range cols {
+					seed(c, 0)
+				}
+				seed(int32(i), 0)
+				for k := head; k < int32(i); k = next[k] {
+					fillBase := lev[k] + 1
+					if int(fillBase) > maxLevel {
+						continue
+					}
+					// Busy-wait for row k's final structure (self-scheduling).
+					for atomic.LoadInt32(&done[k]) == 0 {
+						runtime.Gosched()
+					}
+					ur := uRow[k]
+					ul := uLev[k]
+					for q, j := range ur {
+						newLev := fillBase + ul[q]
+						if int(newLev) <= maxLevel {
+							seed(j, newLev)
+						}
+					}
+				}
+				// Harvest and publish.
+				var cs, ls, uc, ul []int32
+				diag := int32(-1)
+				for c := head; c != int32(n); {
+					if int(c) == i {
+						diag = int32(len(cs))
+					}
+					if int(c) > i {
+						uc = append(uc, c)
+						ul = append(ul, lev[c])
+					}
+					cs = append(cs, c)
+					ls = append(ls, lev[c])
+					nc := next[c]
+					next[c] = unset
+					c = nc
+				}
+				if diag < 0 && errs[p] == nil {
+					// Unreachable while seed() inserts the diagonal, but if it
+					// ever fires we record the error and keep publishing rows
+					// so no other worker can hang waiting on this stripe.
+					errs[p] = fmt.Errorf("ilu: row %d lost its diagonal", i)
+				}
+				rowCols[i] = cs
+				rowLevs[i] = ls
+				uRow[i] = uc
+				uLev[i] = ul
+				diagOff[i] = diag
+				atomic.StoreInt32(&done[i], 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Assemble the Pattern from the per-row results.
+	pt := &Pattern{
+		N:       n,
+		RowPtr:  make([]int32, n+1),
+		DiagPos: make([]int32, n),
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(rowCols[i])
+	}
+	pt.ColIdx = make([]int32, 0, total)
+	pt.Level = make([]int32, 0, total)
+	for i := 0; i < n; i++ {
+		pt.DiagPos[i] = int32(len(pt.ColIdx)) + diagOff[i]
+		pt.ColIdx = append(pt.ColIdx, rowCols[i]...)
+		pt.Level = append(pt.Level, rowLevs[i]...)
+		pt.RowPtr[i+1] = int32(len(pt.ColIdx))
+	}
+	return pt, nil
+}

@@ -1,0 +1,64 @@
+package krylov
+
+import (
+	"runtime"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+	"doconsider/internal/trisolve"
+	"doconsider/internal/vec"
+)
+
+func benchSystem(b *testing.B) ([]float64, *ILUPrec, int) {
+	b.Helper()
+	a := stencil.SPE4()
+	ones := make([]float64, a.N)
+	vec.Fill(ones, 1)
+	rhs := make([]float64, a.N)
+	if err := a.MatVec(rhs, ones); err != nil {
+		b.Fatal(err)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	prec, err := NewILUPrec(a, ILUPrecOptions{
+		Level: 0, Procs: procs, Kind: executor.SelfExecuting,
+		Scheduler: trisolve.GlobalSched,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rhs, prec, procs
+}
+
+func BenchmarkPreconditionerApply(b *testing.B) {
+	rhs, prec, _ := benchSystem(b)
+	z := make([]float64, len(rhs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prec.Apply(z, rhs)
+	}
+}
+
+func BenchmarkGMRESSolve(b *testing.B) {
+	a := stencil.SPE4()
+	rhs, prec, procs := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.N)
+		if _, err := GMRES(a, x, rhs, prec, Options{
+			Tol: 1e-8, MaxIter: 200, Restart: 30, Procs: procs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILUPrecSetup(b *testing.B) {
+	a := stencil.SPE4()
+	procs := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: procs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/vec"
+)
+
+// BiCGSTAB solves A x = b with the stabilized bi-conjugate gradient
+// method, right-preconditioned with M (z = M^{-1} v applied through the
+// run-time-parallelized triangular solves). PCGPAK shipped several Krylov
+// accelerators besides GMRES; BiCGSTAB provides a short-recurrence
+// nonsymmetric alternative with constant memory, unlike restarted GMRES.
+// x holds the initial guess on entry and the solution on exit.
+func BiCGSTAB(a *sparse.CSR, x, b []float64, m Preconditioner, o Options) (Result, error) {
+	n := a.N
+	o.defaults(n)
+
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	if err := a.MatVecParallel(r, x, o.Procs); err != nil {
+		return Result{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	copy(rhat, r)
+	bnorm := vec.Norm2Parallel(b, o.Procs)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	res := Result{Residual: vec.Norm2Parallel(r, o.Procs) / bnorm}
+	if res.Residual <= o.Tol {
+		res.Converged = true
+		return res, nil
+	}
+	var rho, alpha, omega float64 = 1, 1, 1
+	for k := 0; k < o.MaxIter; k++ {
+		rhoNew := vec.DotParallel(rhat, r, o.Procs)
+		if rhoNew == 0 {
+			return res, fmt.Errorf("krylov: BiCGSTAB breakdown, rho = 0 at iteration %d", k)
+		}
+		if k == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		m.Apply(phat, p)
+		if err := a.MatVecParallel(v, phat, o.Procs); err != nil {
+			return res, err
+		}
+		denom := vec.DotParallel(rhat, v, o.Procs)
+		if denom == 0 {
+			return res, fmt.Errorf("krylov: BiCGSTAB breakdown, rhat'v = 0 at iteration %d", k)
+		}
+		alpha = rho / denom
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		res.Iterations = k + 1
+		if sn := vec.Norm2Parallel(s, o.Procs) / bnorm; sn <= o.Tol {
+			vec.AxpyParallel(alpha, phat, x, o.Procs)
+			res.Residual = sn
+			res.Converged = true
+			return res, nil
+		}
+		m.Apply(shat, s)
+		if err := a.MatVecParallel(t, shat, o.Procs); err != nil {
+			return res, err
+		}
+		tt := vec.DotParallel(t, t, o.Procs)
+		if tt == 0 {
+			return res, fmt.Errorf("krylov: BiCGSTAB breakdown, t = 0 at iteration %d", k)
+		}
+		omega = vec.DotParallel(t, s, o.Procs) / tt
+		if omega == 0 {
+			return res, fmt.Errorf("krylov: BiCGSTAB breakdown, omega = 0 at iteration %d", k)
+		}
+		vec.AxpyParallel(alpha, phat, x, o.Procs)
+		vec.AxpyParallel(omega, shat, x, o.Procs)
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		res.Residual = vec.Norm2Parallel(r, o.Procs) / bnorm
+		o.record(res.Residual)
+		if res.Residual <= o.Tol || math.IsNaN(res.Residual) {
+			res.Converged = res.Residual <= o.Tol
+			if res.Converged {
+				return res, nil
+			}
+			return res, fmt.Errorf("krylov: BiCGSTAB diverged (NaN residual) at iteration %d", k)
+		}
+	}
+	return res, ErrNoConvergence
+}

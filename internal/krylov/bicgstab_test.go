@@ -1,0 +1,101 @@
+package krylov
+
+import (
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+	"doconsider/internal/vec"
+)
+
+func TestBiCGSTABFivePoint(t *testing.T) {
+	a := stencil.FivePoint(15)
+	b := rhsForOnes(a)
+	prec, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	res, err := BiCGSTAB(a, x, b, prec, Options{Tol: 1e-10, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("BiCGSTAB did not converge: %+v", res)
+	}
+	for i := range x {
+		if d := x[i] - 1; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("x[%d] = %v, want 1", i, x[i])
+		}
+	}
+}
+
+func TestBiCGSTABMatchesGMRESSolution(t *testing.T) {
+	a := stencil.SPE4()
+	b := rhsForOnes(a)
+	prec, err := NewILUPrec(a, ILUPrecOptions{
+		Level: 0, Procs: 4, Kind: executor.SelfExecuting,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xB := make([]float64, a.N)
+	resB, err := BiCGSTAB(a, xB, b, prec, Options{Tol: 1e-10, MaxIter: 400, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xG := make([]float64, a.N)
+	resG, err := GMRES(a, xG, b, prec, Options{Tol: 1e-10, MaxIter: 400, Restart: 40, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Converged || !resG.Converged {
+		t.Fatalf("convergence: bicgstab=%v gmres=%v", resB.Converged, resG.Converged)
+	}
+	if d := vec.MaxAbsDiff(xB, xG); d > 1e-5 {
+		t.Errorf("solutions differ by %v", d)
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	a := stencil.Laplace2D(6, 6)
+	x := make([]float64, a.N)
+	res, err := BiCGSTAB(a, x, make([]float64, a.N), IdentityPrec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+}
+
+func TestBiCGSTABIterationLimit(t *testing.T) {
+	a := stencil.FivePoint(12)
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	if _, err := BiCGSTAB(a, x, b, IdentityPrec{}, Options{Tol: 1e-14, MaxIter: 2}); err != ErrNoConvergence {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSolveBiCGSTABPath(t *testing.T) {
+	a := stencil.SPE1()
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	out, err := Solve(a, x, b, SolverConfig{
+		Method: MethodBiCGSTAB,
+		Procs:  4,
+		Kind:   executor.SelfExecuting,
+		Opts:   Options{Tol: 1e-9, MaxIter: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Converged {
+		t.Fatal("Solve/BiCGSTAB did not converge")
+	}
+	rn := residualNorm(a, x, b)
+	if rn > 1e-5*vec.Norm2(b) {
+		t.Errorf("residual %v", rn)
+	}
+}

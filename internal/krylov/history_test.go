@@ -1,0 +1,76 @@
+package krylov
+
+import (
+	"testing"
+
+	"doconsider/internal/stencil"
+)
+
+func TestResidualHistoryRecorded(t *testing.T) {
+	a := stencil.Laplace2D(12, 12)
+	b := rhsForOnes(a)
+	var hist []float64
+	x := make([]float64, a.N)
+	res, err := CG(a, x, b, IdentityPrec{}, Options{
+		Tol: 1e-10, MaxIter: 1000, History: &hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != res.Iterations {
+		t.Errorf("history length %d, iterations %d", len(hist), res.Iterations)
+	}
+	if hist[len(hist)-1] > 1e-10 {
+		t.Errorf("final recorded residual %v", hist[len(hist)-1])
+	}
+	// GMRES records a monotone nonincreasing least-squares residual within
+	// each cycle; check overall decrease from first to last.
+	var gh []float64
+	x2 := make([]float64, a.N)
+	if _, err := GMRES(a, x2, b, IdentityPrec{}, Options{
+		Tol: 1e-10, MaxIter: 1000, Restart: 30, History: &gh,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gh) == 0 || gh[len(gh)-1] >= gh[0] {
+		t.Errorf("GMRES history not decreasing: first %v last %v (n=%d)",
+			gh[0], gh[len(gh)-1], len(gh))
+	}
+	// BiCGSTAB history.
+	var bh []float64
+	x3 := make([]float64, a.N)
+	if _, err := BiCGSTAB(a, x3, b, IdentityPrec{}, Options{
+		Tol: 1e-10, MaxIter: 1000, History: &bh,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(bh) == 0 {
+		t.Error("BiCGSTAB recorded no history")
+	}
+}
+
+func TestPreconditionerShortensHistory(t *testing.T) {
+	a := stencil.FivePoint(20)
+	b := rhsForOnes(a)
+	prec, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, preconditioned []float64
+	x := make([]float64, a.N)
+	if _, err := GMRES(a, x, b, IdentityPrec{}, Options{
+		Tol: 1e-8, MaxIter: 500, Restart: 50, History: &plain,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x2 := make([]float64, a.N)
+	if _, err := GMRES(a, x2, b, prec, Options{
+		Tol: 1e-8, MaxIter: 500, Restart: 50, History: &preconditioned,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(preconditioned) >= len(plain) {
+		t.Errorf("ILU(0) history %d not shorter than unpreconditioned %d",
+			len(preconditioned), len(plain))
+	}
+}

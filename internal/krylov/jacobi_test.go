@@ -1,0 +1,61 @@
+package krylov
+
+import (
+	"testing"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+)
+
+func TestJacobiPrecBasics(t *testing.T) {
+	a := stencil.Laplace2D(4, 4)
+	p, err := NewJacobiPrec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, a.N)
+	z := make([]float64, a.N)
+	for i := range r {
+		r[i] = 8
+	}
+	p.Apply(z, r)
+	for i := range z {
+		if z[i] != 2 { // diagonal of the Laplacian is 4
+			t.Fatalf("z[%d] = %v, want 2", i, z[i])
+		}
+	}
+}
+
+func TestJacobiPrecZeroDiagonal(t *testing.T) {
+	a := sparse.MustAssemble(2, 2, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewJacobiPrec(a); err == nil {
+		t.Error("accepted zero diagonal")
+	}
+}
+
+func TestILUBeatsJacobi(t *testing.T) {
+	a := stencil.FivePoint(20)
+	b := rhsForOnes(a)
+	jac, err := NewJacobiPrec(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iluPrec, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xJ := make([]float64, a.N)
+	resJ, err := GMRES(a, xJ, b, jac, Options{Tol: 1e-8, MaxIter: 500, Restart: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xI := make([]float64, a.N)
+	resI, err := GMRES(a, xI, b, iluPrec, Options{Tol: 1e-8, MaxIter: 500, Restart: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Iterations >= resJ.Iterations {
+		t.Errorf("ILU(0) took %d iterations, Jacobi %d — ILU should win",
+			resI.Iterations, resJ.Iterations)
+	}
+}

@@ -1,0 +1,227 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+	"doconsider/internal/trisolve"
+	"doconsider/internal/vec"
+)
+
+func residualNorm(a *sparse.CSR, x, b []float64) float64 {
+	r := make([]float64, a.N)
+	if err := a.MatVec(r, x); err != nil {
+		panic(err)
+	}
+	vec.Sub(r, b, r)
+	return vec.Norm2(r)
+}
+
+func rhsForOnes(a *sparse.CSR) []float64 {
+	ones := make([]float64, a.N)
+	vec.Fill(ones, 1)
+	b := make([]float64, a.N)
+	if err := a.MatVec(b, ones); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCGLaplace(t *testing.T) {
+	a := stencil.Laplace2D(20, 20)
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	res, err := CG(a, x, b, IdentityPrec{}, Options{Tol: 1e-10, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("CG did not converge")
+	}
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want 1", i, x[i])
+		}
+	}
+}
+
+func TestCGWithILUPreconditioner(t *testing.T) {
+	a := stencil.Laplace2D(25, 25)
+	b := rhsForOnes(a)
+	prec, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	res, err := CG(a, x, b, prec, Options{Tol: 1e-10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPlain := make([]float64, a.N)
+	resPlain, err := CG(a, xPlain, b, IdentityPrec{}, Options{Tol: 1e-10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= resPlain.Iterations {
+		t.Errorf("ILU(0) CG took %d iters, unpreconditioned %d — preconditioner should help",
+			res.Iterations, resPlain.Iterations)
+	}
+}
+
+func TestGMRESFivePoint(t *testing.T) {
+	a := stencil.FivePoint(15) // nonsymmetric (convection)
+	b := rhsForOnes(a)
+	prec, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.N)
+	res, err := GMRES(a, x, b, prec, Options{Tol: 1e-9, MaxIter: 300, Restart: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %+v", res)
+	}
+	rn := residualNorm(a, x, b)
+	if rn > 1e-5*vec.Norm2(b) {
+		t.Errorf("true residual %v too large", rn)
+	}
+}
+
+func TestGMRESMatchesSolutionParallel(t *testing.T) {
+	a := stencil.SPE4()
+	b := rhsForOnes(a)
+	for _, p := range []int{1, 4} {
+		for _, kind := range []executor.Kind{executor.PreScheduled, executor.SelfExecuting} {
+			prec, err := NewILUPrec(a, ILUPrecOptions{
+				Level: 0, Procs: p, Kind: kind, Scheduler: trisolve.GlobalSched,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, a.N)
+			res, err := GMRES(a, x, b, prec, Options{Tol: 1e-9, MaxIter: 400, Restart: 40, Procs: p})
+			if err != nil {
+				t.Fatalf("p=%d kind=%v: %v", p, kind, err)
+			}
+			if !res.Converged {
+				t.Fatalf("p=%d kind=%v: no convergence", p, kind)
+			}
+			rn := residualNorm(a, x, b)
+			if rn > 1e-5*vec.Norm2(b) {
+				t.Errorf("p=%d kind=%v: residual %v", p, kind, rn)
+			}
+		}
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := stencil.Laplace2D(5, 5)
+	x := make([]float64, a.N)
+	res, err := GMRES(a, x, make([]float64, a.N), IdentityPrec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero RHS should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("zero RHS should leave x at zero")
+		}
+	}
+}
+
+func TestGMRESIterationLimit(t *testing.T) {
+	a := stencil.FivePoint(12)
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	_, err := GMRES(a, x, b, IdentityPrec{}, Options{Tol: 1e-14, MaxIter: 3, Restart: 3})
+	if err != ErrNoConvergence {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestCGIterationLimit(t *testing.T) {
+	a := stencil.Laplace2D(30, 30)
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	_, err := CG(a, x, b, IdentityPrec{}, Options{Tol: 1e-14, MaxIter: 2})
+	if err != ErrNoConvergence {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	a := stencil.SPE1()
+	b := rhsForOnes(a)
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	for _, kind := range []executor.Kind{executor.PreScheduled, executor.SelfExecuting} {
+		x := make([]float64, a.N)
+		out, err := Solve(a, x, b, SolverConfig{
+			Method:    MethodGMRES,
+			Level:     0,
+			Procs:     4,
+			Kind:      kind,
+			Scheduler: trisolve.GlobalSched,
+			Opts:      Options{Tol: 1e-9, MaxIter: 300, Restart: 30},
+		})
+		if err != nil {
+			t.Fatalf("kind=%v: %v", kind, err)
+		}
+		if !out.Result.Converged {
+			t.Fatalf("kind=%v: did not converge", kind)
+		}
+		if out.Phases <= 1 {
+			t.Errorf("kind=%v: phases = %d, expected many", kind, out.Phases)
+		}
+		if out.Timings.Total <= 0 {
+			t.Error("total time not recorded")
+		}
+		rn := residualNorm(a, x, b)
+		if rn > 1e-5*vec.Norm2(b) {
+			t.Errorf("kind=%v: residual %v", kind, rn)
+		}
+	}
+}
+
+func TestSolveCGPath(t *testing.T) {
+	a := stencil.Laplace2D(15, 15)
+	b := rhsForOnes(a)
+	x := make([]float64, a.N)
+	out, err := Solve(a, x, b, SolverConfig{
+		Method: MethodCG,
+		Procs:  2,
+		Kind:   executor.SelfExecuting,
+		Opts:   Options{Tol: 1e-10, MaxIter: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Converged {
+		t.Fatal("CG path did not converge")
+	}
+}
+
+func TestILUPrecFactorParallel(t *testing.T) {
+	a := stencil.SPE4()
+	seq, err := NewILUPrec(a, ILUPrecOptions{Level: 0, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewILUPrec(a, ILUPrecOptions{
+		Level: 0, Procs: 4, Kind: executor.SelfExecuting, FactorParallel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MaxAbsDiff(seq.Fact.LU.Val, par.Fact.LU.Val); d > 1e-12 {
+		t.Errorf("parallel factorization differs from sequential by %v", d)
+	}
+}

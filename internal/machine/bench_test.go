@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"testing"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func benchSim(b *testing.B) (*schedule.Schedule, *wavefront.Deps, []float64) {
+	b.Helper()
+	a := stencil.Laplace2D(100, 100)
+	d := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := make([]float64, d.N)
+	for i := range work {
+		work[i] = 1
+	}
+	return schedule.Global(wf, 16), d, work
+}
+
+func BenchmarkSimulatePreScheduled(b *testing.B) {
+	s, _, work := benchSim(b)
+	c := MultimaxCosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulatePreScheduled(s, work, c)
+	}
+}
+
+func BenchmarkSimulateSelfExecuting(b *testing.B) {
+	s, d, work := benchSim(b)
+	c := MultimaxCosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateSelfExecuting(s, d, work, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

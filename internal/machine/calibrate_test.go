@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"testing"
+
+	"doconsider/internal/schedule"
+)
+
+func TestCalibrateSanity(t *testing.T) {
+	c := Calibrate(4)
+	if c.Tflop != 1 {
+		t.Errorf("Tflop = %v, want 1 (normalized)", c.Tflop)
+	}
+	if c.Tsynch <= 0 || c.Tcheck <= 0 || c.Tinc <= 0 {
+		t.Errorf("nonpositive calibrated costs: %+v", c)
+	}
+	// A 4-party barrier must cost more than a single atomic load.
+	if c.Tsynch < c.Tcheck {
+		t.Errorf("Tsynch %v < Tcheck %v", c.Tsynch, c.Tcheck)
+	}
+}
+
+func TestCalibrateUsableInSimulation(t *testing.T) {
+	d, wf, work := meshProblem(8, 8)
+	c := Calibrate(4)
+	// Simulating with host-calibrated costs must work end to end.
+	r, err := SimulateSelfExecuting(schedule.Global(wf, 4), d, work, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= 0 || r.Efficiency <= 0 || r.Efficiency > 1 {
+		t.Errorf("implausible calibrated simulation: %+v", r)
+	}
+}

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"fmt"
+
+	"doconsider/internal/wavefront"
+)
+
+// ChunkPolicy determines the number of indices a worker claims, given the
+// number of unclaimed indices and the processor count.
+type ChunkPolicy func(remaining, nproc int) int
+
+// FixedChunk returns a policy claiming exactly k indices (k >= 1).
+func FixedChunk(k int) ChunkPolicy {
+	if k < 1 {
+		k = 1
+	}
+	return func(remaining, nproc int) int { return k }
+}
+
+// GuidedChunk returns the guided self-scheduling policy of the paper's
+// reference [16]: claim ceil(remaining/P), bounded below by minChunk.
+func GuidedChunk(minChunk int) ChunkPolicy {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	return func(remaining, nproc int) int {
+		c := (remaining + nproc - 1) / nproc
+		if c < minChunk {
+			c = minChunk
+		}
+		return c
+	}
+}
+
+// SimulateSelfScheduled simulates dynamic self-scheduling over a sorted
+// (topological) index list in the cost model: a free worker claims the
+// next chunk of the list at the instant it finishes its previous chunk,
+// then executes the chunk's indices in order with busy-wait dependence
+// stalls. Each claim costs claimCost (the shared-counter fetch-and-add the
+// paper notes is missing on the Multimax, §2.3). Determinism: simultaneous
+// claims are ordered by worker id.
+//
+// This lets chunk-size and guided-scheduling studies run at any simulated
+// processor count, independent of host CPUs.
+func SimulateSelfScheduled(order []int32, deps *wavefront.Deps, work []float64, nproc int, policy ChunkPolicy, claimCost float64, c Costs) (Result, error) {
+	n := len(order)
+	if nproc < 1 {
+		nproc = 1
+	}
+	res := Result{
+		Busy: make([]float64, nproc),
+		Idle: make([]float64, nproc),
+	}
+	done := make([]float64, deps.N)
+	computed := make([]bool, deps.N)
+	clock := make([]float64, nproc)
+	// Per-worker current chunk [lo,hi) and position.
+	lo := make([]int, nproc)
+	hi := make([]int, nproc)
+	pos := make([]int, nproc)
+	cursor := 0
+	remaining := n
+
+	claim := func(w int) {
+		if cursor >= n {
+			lo[w], hi[w], pos[w] = n, n, n
+			return
+		}
+		k := policy(n-cursor, nproc)
+		if k < 1 {
+			k = 1
+		}
+		lo[w] = cursor
+		hi[w] = cursor + k
+		if hi[w] > n {
+			hi[w] = n
+		}
+		pos[w] = lo[w]
+		cursor = hi[w]
+		clock[w] += claimCost
+		res.Busy[w] += claimCost
+	}
+
+	// Initial claims in worker order (all clocks zero).
+	for w := 0; w < nproc; w++ {
+		claim(w)
+	}
+	for remaining > 0 {
+		progressed := false
+		for w := 0; w < nproc; w++ {
+			for {
+				if pos[w] >= hi[w] {
+					if cursor >= n {
+						break
+					}
+					// Worker finished its chunk: claim the next one. Claim
+					// ordering among workers follows the outer sweep, which
+					// revisits workers until quiescent; because execution
+					// times only ever increase clocks, the fixed ordering
+					// keeps the simulation deterministic.
+					claim(w)
+					progressed = true
+					continue
+				}
+				i := order[pos[w]]
+				start := clock[w]
+				ok := true
+				for _, t := range deps.On(int(i)) {
+					if !computed[t] {
+						ok = false
+						break
+					}
+					if done[t] > start {
+						start = done[t]
+					}
+				}
+				if !ok {
+					break
+				}
+				exec := float64(deps.Count(int(i)))*c.Tcheck + work[i]*c.Tflop + c.Tinc + c.Overhead
+				res.Idle[w] += start - clock[w]
+				res.Busy[w] += exec
+				done[i] = start + exec
+				computed[i] = true
+				clock[w] = done[i]
+				pos[w]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && remaining > 0 {
+			return res, fmt.Errorf("%w: dynamic schedule stalled with %d indices left", ErrStuck, remaining)
+		}
+	}
+	for w := 0; w < nproc; w++ {
+		if clock[w] > res.Makespan {
+			res.Makespan = clock[w]
+		}
+	}
+	for w := 0; w < nproc; w++ {
+		res.Idle[w] += res.Makespan - clock[w]
+	}
+	res.SeqTime = seqTime(work, c)
+	if res.Makespan > 0 {
+		res.Efficiency = res.SeqTime / (float64(nproc) * res.Makespan)
+	}
+	return res, nil
+}

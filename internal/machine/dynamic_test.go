@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+func sortedOrder(wf []int32) []int32 {
+	return schedule.Global(wf, 1).Indices[0]
+}
+
+func TestSimulateSelfScheduledBasics(t *testing.T) {
+	d, wf, work := meshProblem(10, 10)
+	order := sortedOrder(wf)
+	for _, pol := range []ChunkPolicy{FixedChunk(1), FixedChunk(8), GuidedChunk(1)} {
+		r, err := SimulateSelfScheduled(order, d, work, 4, pol, 0.5, FlopOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Makespan <= 0 {
+			t.Fatal("no makespan")
+		}
+		// Lower bound: total work / P.
+		if r.Makespan < r.SeqTime/4 {
+			t.Errorf("makespan %v below work bound %v", r.Makespan, r.SeqTime/4)
+		}
+		// Busy + idle accounting.
+		for w := 0; w < 4; w++ {
+			if got := r.Busy[w] + r.Idle[w]; got < r.Makespan-1e-9 || got > r.Makespan+1e-9 {
+				t.Errorf("worker %d busy+idle = %v, makespan %v", w, got, r.Makespan)
+			}
+		}
+	}
+}
+
+func TestSimulateSelfScheduledRespectsCriticalPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 50 + rng.Intn(150)
+		adj := make([][]int32, n)
+		for i := 1; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				adj[i] = append(adj[i], int32(rng.Intn(i)))
+			}
+		}
+		d := wavefront.FromAdjacency(adj)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := make([]float64, n)
+		for i := range work {
+			work[i] = 0.5 + rng.Float64()
+		}
+		cp, err := wavefront.CriticalPathWork(d, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := SimulateSelfScheduled(sortedOrder(wf), d, work, 1+rng.Intn(6),
+			GuidedChunk(1), 0.2, FlopOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Makespan < cp-1e-9 {
+			t.Fatalf("trial %d: makespan %v below critical path %v", trial, r.Makespan, cp)
+		}
+	}
+}
+
+func TestSimulateSelfScheduledClaimCost(t *testing.T) {
+	// Smaller chunks mean more claims; with a nonzero claim cost the
+	// makespan must not improve when chunk size shrinks to 1 on an
+	// embarrassingly parallel workload.
+	n := 256
+	d := wavefront.FromAdjacency(make([][]int32, n))
+	wf, _ := wavefront.Compute(d)
+	work := make([]float64, n)
+	for i := range work {
+		work[i] = 1
+	}
+	order := sortedOrder(wf)
+	fine, err := SimulateSelfScheduled(order, d, work, 8, FixedChunk(1), 2.0, FlopOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := SimulateSelfScheduled(order, d, work, 8, FixedChunk(32), 2.0, FlopOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Makespan <= coarse.Makespan {
+		t.Errorf("chunk=1 makespan %v should exceed chunk=32 %v under claim cost",
+			fine.Makespan, coarse.Makespan)
+	}
+}
+
+func TestSimulateSelfScheduledDeterministic(t *testing.T) {
+	d, wf, work := meshProblem(12, 12)
+	order := sortedOrder(wf)
+	first, err := SimulateSelfScheduled(order, d, work, 5, GuidedChunk(2), 0.3, MultimaxCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		again, err := SimulateSelfScheduled(order, d, work, 5, GuidedChunk(2), 0.3, MultimaxCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Makespan != first.Makespan {
+			t.Fatal("dynamic simulation not deterministic")
+		}
+	}
+}
+
+func TestChunkPolicies(t *testing.T) {
+	if FixedChunk(0)(100, 4) != 1 {
+		t.Error("FixedChunk(0) should clamp to 1")
+	}
+	if got := GuidedChunk(1)(100, 4); got != 25 {
+		t.Errorf("GuidedChunk = %d, want 25", got)
+	}
+	if got := GuidedChunk(10)(8, 4); got != 10 {
+		t.Errorf("GuidedChunk floor = %d, want 10", got)
+	}
+}

@@ -1,0 +1,260 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func meshProblem(m, n int) (*wavefront.Deps, []int32, []float64) {
+	a := stencil.Laplace2D(m, n)
+	d := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		panic(err)
+	}
+	work := make([]float64, d.N)
+	for i := range work {
+		work[i] = 1
+	}
+	return d, wf, work
+}
+
+func uniformWork(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestPreScheduledSingleProcessor(t *testing.T) {
+	d, wf, work := meshProblem(4, 4)
+	s := schedule.Global(wf, 1)
+	c := Costs{Tflop: 1}
+	r := SimulatePreScheduled(s, work, c)
+	if r.Makespan != 16 {
+		t.Errorf("makespan = %v, want 16", r.Makespan)
+	}
+	if math.Abs(r.Efficiency-1) > 1e-12 {
+		t.Errorf("efficiency = %v, want 1", r.Efficiency)
+	}
+	_ = d
+}
+
+func TestPreScheduledBarrierCost(t *testing.T) {
+	_, wf, work := meshProblem(4, 4)
+	s := schedule.Global(wf, 2)
+	noSync := SimulatePreScheduled(s, work, Costs{Tflop: 1})
+	withSync := SimulatePreScheduled(s, work, Costs{Tflop: 1, Tsynch: 5})
+	wantDelta := 5.0 * float64(s.NumPhases)
+	if math.Abs((withSync.Makespan-noSync.Makespan)-wantDelta) > 1e-9 {
+		t.Errorf("barrier cost delta = %v, want %v", withSync.Makespan-noSync.Makespan, wantDelta)
+	}
+}
+
+func TestSelfExecutingRespectsDependences(t *testing.T) {
+	// Chain of 5: makespan must be the full chain regardless of P.
+	adj := make([][]int32, 5)
+	for i := 1; i < 5; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	d := wavefront.FromAdjacency(adj)
+	wf, _ := wavefront.Compute(d)
+	s := schedule.Global(wf, 4)
+	r, err := SimulateSelfExecuting(s, d, uniformWork(5), Costs{Tflop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 5 {
+		t.Errorf("chain makespan = %v, want 5", r.Makespan)
+	}
+}
+
+func TestSelfExecutingPipelinesAcrossPhases(t *testing.T) {
+	// The model problem pipelines under self-execution: with p processors
+	// the self-executing makespan must beat the pre-scheduled one on a
+	// narrow mesh (m=p+1), paper §4.2.
+	p := 4
+	d, wf, work := meshProblem(p+1, 60)
+	s := schedule.Global(wf, p)
+	pre := SimulatePreScheduled(s, work, FlopOnly())
+	self, err := SimulateSelfExecuting(s, d, work, FlopOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Makespan >= pre.Makespan {
+		t.Errorf("self-executing (%v) should beat pre-scheduled (%v) on narrow mesh",
+			self.Makespan, pre.Makespan)
+	}
+	if self.Efficiency < 0.9 {
+		t.Errorf("self-executing efficiency %v unexpectedly low", self.Efficiency)
+	}
+}
+
+func TestSelfExecutingDeadlockDetection(t *testing.T) {
+	// Schedule proc 0's list in anti-topological order: index 0 depends on 1
+	// is impossible (backward deps), so build a malformed schedule by hand:
+	// both indices on one proc, consumer first.
+	adj := [][]int32{{}, {0}}
+	d := wavefront.FromAdjacency(adj)
+	s := &schedule.Schedule{
+		P: 2, N: 2, NumPhases: 1,
+		Wf:       []int32{0, 0},
+		Indices:  [][]int32{{1}, {0}},
+		PhasePtr: [][]int32{{0, 1}, {0, 1}},
+	}
+	// Proc 0 waits for index 0 which proc 1 will run: fine, no deadlock.
+	if _, err := SimulateSelfExecuting(s, d, uniformWork(2), FlopOnly()); err != nil {
+		t.Errorf("valid cross-processor wait flagged as deadlock: %v", err)
+	}
+	// Now both on the same processor in the wrong order: true deadlock.
+	s2 := &schedule.Schedule{
+		P: 1, N: 2, NumPhases: 1,
+		Wf:       []int32{0, 0},
+		Indices:  [][]int32{{1, 0}},
+		PhasePtr: [][]int32{{0, 2}},
+	}
+	if _, err := SimulateSelfExecuting(s2, d, uniformWork(2), FlopOnly()); err == nil {
+		t.Error("deadlocked schedule not detected")
+	}
+}
+
+func TestSymbolicEfficiencyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		adj := make([][]int32, n)
+		for i := 1; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				adj[i] = append(adj[i], int32(rng.Intn(i)))
+			}
+		}
+		d := wavefront.FromAdjacency(adj)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			return false
+		}
+		p := 1 + rng.Intn(8)
+		s := schedule.Global(wf, p)
+		work := make([]float64, n)
+		for i := range work {
+			work[i] = 0.5 + rng.Float64()
+		}
+		effPre, err := SymbolicEfficiency(PreScheduledSim, s, d, work)
+		if err != nil {
+			return false
+		}
+		effSelf, err := SymbolicEfficiency(SelfExecutingSim, s, d, work)
+		if err != nil {
+			return false
+		}
+		// Efficiencies are in (0, 1]; self-executing at least as parallel as
+		// pre-scheduled on the same schedule (barriers only remove overlap).
+		return effPre > 0 && effPre <= 1+1e-12 &&
+			effSelf > 0 && effSelf <= 1+1e-12 &&
+			effSelf >= effPre-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfExecutingMakespanNoLessThanCriticalPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		adj := make([][]int32, n)
+		for i := 1; i < n; i++ {
+			for k := 0; k < rng.Intn(3); k++ {
+				adj[i] = append(adj[i], int32(rng.Intn(i)))
+			}
+		}
+		d := wavefront.FromAdjacency(adj)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			return false
+		}
+		work := make([]float64, n)
+		for i := range work {
+			work[i] = 0.5 + rng.Float64()
+		}
+		cp, err := wavefront.CriticalPathWork(d, work)
+		if err != nil {
+			return false
+		}
+		s := schedule.Global(wf, 1+rng.Intn(6))
+		r, err := SimulateSelfExecuting(s, d, work, FlopOnly())
+		if err != nil {
+			return false
+		}
+		return r.Makespan >= cp-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatingEstimate(t *testing.T) {
+	d, wf, work := meshProblem(5, 5)
+	s := schedule.Global(wf, 4)
+	c := Costs{Tflop: 1, Tsynch: 10, Tcheck: 0.5, Tinc: 0.5, Overhead: 0.1}
+	pre := RotatingEstimate(PreScheduledSim, s, d, work, c)
+	self := RotatingEstimate(SelfExecutingSim, s, d, work, c)
+	// Pre-scheduled pays barriers; self-executing pays checks/incs.
+	wantPre := (25.0+25*0.1)/4.0 + float64(s.NumPhases)*10
+	if math.Abs(pre-wantPre) > 1e-9 {
+		t.Errorf("rotating pre = %v, want %v", pre, wantPre)
+	}
+	nchecks := float64(d.Edges())
+	wantSelf := (25.0 + 25*0.1 + nchecks*0.5 + 25*0.5) / 4.0
+	if math.Abs(self-wantSelf) > 1e-9 {
+		t.Errorf("rotating self = %v, want %v", self, wantSelf)
+	}
+}
+
+func TestOneProcessorParallelTime(t *testing.T) {
+	d, _, work := meshProblem(4, 4)
+	c := Costs{Tflop: 1, Tcheck: 0.5, Tinc: 0.25, Overhead: 0.5}
+	pre := OneProcessorParallelTime(PreScheduledSim, d, work, c)
+	self := OneProcessorParallelTime(SelfExecutingSim, d, work, c)
+	if pre != 16+16*0.5 {
+		t.Errorf("pre 1PE = %v", pre)
+	}
+	wantSelf := pre + float64(d.Edges())*0.5 + 16*0.25
+	if math.Abs(self-wantSelf) > 1e-9 {
+		t.Errorf("self 1PE = %v, want %v", self, wantSelf)
+	}
+}
+
+func TestBusyIdleAccounting(t *testing.T) {
+	d, wf, work := meshProblem(6, 6)
+	s := schedule.Global(wf, 3)
+	r, err := SimulateSelfExecuting(s, d, work, MultimaxCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if got := r.Busy[p] + r.Idle[p]; math.Abs(got-r.Makespan) > 1e-9 {
+			t.Errorf("proc %d busy+idle = %v, want makespan %v", p, got, r.Makespan)
+		}
+	}
+	rp := SimulatePreScheduled(s, work, MultimaxCosts())
+	if rp.Makespan <= 0 || rp.Efficiency <= 0 || rp.Efficiency > 1 {
+		t.Errorf("pre-scheduled result out of range: %+v", rp)
+	}
+}
+
+func TestExecutorString(t *testing.T) {
+	if PreScheduledSim.String() != "pre-scheduled" || SelfExecutingSim.String() != "self-executing" {
+		t.Error("executor names wrong")
+	}
+	if Executor(7).String() == "" {
+		t.Error("unknown executor should format")
+	}
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"doconsider/internal/schedule"
+)
+
+func TestNUMARemoteChecksCostMore(t *testing.T) {
+	d, wf, work := meshProblem(8, 30)
+	c := DefaultNUMACosts()
+	// Striped local schedule: mesh west-neighbour deps are same-wavefront-
+	// offset and mostly cross processors; blocked keeps columns local.
+	striped := schedule.Local(wf, 4, schedule.Striped)
+	blocked := schedule.Local(wf, 4, schedule.Blocked)
+	fStriped := RemoteFraction(striped, d)
+	fBlocked := RemoteFraction(blocked, d)
+	if fBlocked >= fStriped {
+		t.Fatalf("blocked remote fraction %v should be below striped %v", fBlocked, fStriped)
+	}
+	rStriped, err := SimulateSelfExecutingNUMA(striped, d, work, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBlocked, err := SimulateSelfExecutingNUMA(blocked, d, work, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More remote checks must increase the busy (communication) volume.
+	busyStriped, busyBlocked := 0.0, 0.0
+	for p := range rStriped.Busy {
+		busyStriped += rStriped.Busy[p]
+		busyBlocked += rBlocked.Busy[p]
+	}
+	if busyStriped <= busyBlocked {
+		t.Errorf("striped busy %v should exceed blocked %v (remote check cost)",
+			busyStriped, busyBlocked)
+	}
+}
+
+func TestNUMAReducesToUniformWhenCostsEqual(t *testing.T) {
+	d, wf, work := meshProblem(6, 6)
+	s := schedule.Global(wf, 3)
+	uniform := Costs{Tflop: 1, Tcheck: 0.4, Tinc: 0.3, Overhead: 0.2}
+	numa := NUMACosts{Tflop: 1, TcheckLocal: 0.4, TcheckRemote: 0.4, Tinc: 0.3, Overhead: 0.2}
+	want, err := SimulateSelfExecuting(s, d, work, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateSelfExecutingNUMA(s, d, work, numa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want.Makespan-got.Makespan) > 1e-9 {
+		t.Errorf("NUMA with equal costs gives %v, uniform gives %v", got.Makespan, want.Makespan)
+	}
+}
+
+func TestNUMABarrierScalesLogarithmically(t *testing.T) {
+	c := DefaultNUMACosts()
+	if c.barrierCost(2) >= c.barrierCost(16) {
+		t.Error("barrier cost should grow with P")
+	}
+	if got := c.barrierCost(16); got != 4*c.TsynchBase {
+		t.Errorf("barrier(16) = %v, want %v", got, 4*c.TsynchBase)
+	}
+	if got := c.barrierCost(1); got != c.TsynchBase {
+		t.Errorf("barrier(1) = %v, want one stage", got)
+	}
+}
+
+func TestSimulatePreScheduledNUMA(t *testing.T) {
+	_, wf, work := meshProblem(6, 6)
+	s := schedule.Global(wf, 4)
+	r := SimulatePreScheduledNUMA(s, work, DefaultNUMACosts())
+	if r.Makespan <= 0 || r.Efficiency <= 0 || r.Efficiency > 1 {
+		t.Errorf("implausible NUMA pre-scheduled result: %+v", r)
+	}
+}
+
+func TestRemoteFractionBounds(t *testing.T) {
+	d, wf, _ := meshProblem(5, 5)
+	one := schedule.Global(wf, 1)
+	if f := RemoteFraction(one, d); f != 0 {
+		t.Errorf("single processor remote fraction = %v, want 0", f)
+	}
+	many := schedule.Global(wf, 8)
+	if f := RemoteFraction(many, d); f < 0 || f > 1 {
+		t.Errorf("remote fraction out of range: %v", f)
+	}
+}

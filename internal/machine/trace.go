@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// Span records the simulated execution of one loop index.
+type Span struct {
+	Index  int32
+	Proc   int32
+	Start  float64
+	Finish float64
+}
+
+// Trace is the full simulated timeline of a run.
+type Trace struct {
+	P        int
+	Makespan float64
+	Spans    []Span // sorted by start time
+}
+
+// TraceSelfExecuting runs the self-executing simulation and records every
+// index's (processor, start, finish) span — the raw material for Gantt
+// inspection of pipelining behaviour.
+func TraceSelfExecuting(s *schedule.Schedule, deps *wavefront.Deps, work []float64, c Costs) (*Trace, error) {
+	tr := &Trace{P: s.P, Spans: make([]Span, 0, s.N)}
+	done := make([]float64, s.N)
+	computed := make([]bool, s.N)
+	pos := make([]int, s.P)
+	clock := make([]float64, s.P)
+	remaining := s.N
+	for remaining > 0 {
+		progressed := false
+		for p := 0; p < s.P; p++ {
+			for pos[p] < len(s.Indices[p]) {
+				i := s.Indices[p][pos[p]]
+				start := clock[p]
+				ok := true
+				for _, t := range deps.On(int(i)) {
+					if !computed[t] {
+						ok = false
+						break
+					}
+					if done[t] > start {
+						start = done[t]
+					}
+				}
+				if !ok {
+					break
+				}
+				exec := float64(deps.Count(int(i)))*c.Tcheck + work[i]*c.Tflop + c.Tinc + c.Overhead
+				done[i] = start + exec
+				computed[i] = true
+				clock[p] = done[i]
+				tr.Spans = append(tr.Spans, Span{Index: i, Proc: int32(p), Start: start, Finish: done[i]})
+				pos[p]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && remaining > 0 {
+			return nil, ErrStuck
+		}
+	}
+	for p := 0; p < s.P; p++ {
+		if clock[p] > tr.Makespan {
+			tr.Makespan = clock[p]
+		}
+	}
+	sort.Slice(tr.Spans, func(a, b int) bool { return tr.Spans[a].Start < tr.Spans[b].Start })
+	return tr, nil
+}
+
+// TracePreScheduled records the timeline of the pre-scheduled executor:
+// within each phase a processor runs its indices back to back, then stalls
+// at the barrier until the slowest processor (plus Tsynch) releases it.
+func TracePreScheduled(s *schedule.Schedule, work []float64, c Costs) *Trace {
+	tr := &Trace{P: s.P, Spans: make([]Span, 0, s.N)}
+	clock := make([]float64, s.P)
+	t := 0.0
+	for k := 0; k < s.NumPhases; k++ {
+		phaseEnd := t
+		for p := 0; p < s.P; p++ {
+			clock[p] = t
+			for _, i := range s.Phase(p, k) {
+				exec := work[i]*c.Tflop + c.Overhead
+				tr.Spans = append(tr.Spans, Span{
+					Index: i, Proc: int32(p), Start: clock[p], Finish: clock[p] + exec,
+				})
+				clock[p] += exec
+			}
+			if clock[p] > phaseEnd {
+				phaseEnd = clock[p]
+			}
+		}
+		t = phaseEnd + c.Tsynch
+	}
+	tr.Makespan = t
+	sort.Slice(tr.Spans, func(a, b int) bool { return tr.Spans[a].Start < tr.Spans[b].Start })
+	return tr
+}
+
+// WriteCSV emits the trace as "index,proc,start,finish" rows.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "index,proc,start,finish"); err != nil {
+		return err
+	}
+	for _, sp := range tr.Spans {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.6g,%.6g\n", sp.Index, sp.Proc, sp.Start, sp.Finish); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders an ASCII timeline, one row per processor, width columns
+// wide. Busy cells show '#', idle '.', so the pre-scheduled end-of-phase
+// stalls and the self-executing pipeline are visible at a glance.
+func (tr *Trace) Gantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if tr.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	rows := make([][]byte, tr.P)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / tr.Makespan
+	for _, sp := range tr.Spans {
+		lo := int(sp.Start * scale)
+		hi := int(sp.Finish * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			rows[sp.Proc][c] = '#'
+		}
+	}
+	for p, row := range rows {
+		if _, err := fmt.Fprintf(w, "P%02d |%s|\n", p, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      0%*s%.0f (work units)\n", width-len(fmt.Sprintf("%.0f", tr.Makespan)), "", tr.Makespan)
+	return err
+}
+
+// Utilization returns the busy fraction of each processor in the trace.
+func (tr *Trace) Utilization() []float64 {
+	busy := make([]float64, tr.P)
+	for _, sp := range tr.Spans {
+		busy[sp.Proc] += sp.Finish - sp.Start
+	}
+	if tr.Makespan > 0 {
+		for p := range busy {
+			busy[p] /= tr.Makespan
+		}
+	}
+	return busy
+}

@@ -1,0 +1,213 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"doconsider/internal/machine"
+	"doconsider/internal/schedule"
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func TestPhaseWidth(t *testing.T) {
+	// 5×7 mesh (paper Figure 9): widths 1,2,3,4,5,5,5,4,3,2,1.
+	want := []int{1, 2, 3, 4, 5, 5, 5, 5, 4, 3, 2, 1}
+	// j runs 1..11; min(m,n)=5; widths ramp 1..5, hold, ramp down.
+	total := 0
+	for j := 1; j <= 11; j++ {
+		w := PhaseWidth(5, 7, j)
+		total += w
+		if w < 1 || w > 5 {
+			t.Errorf("width(%d) = %d out of range", j, w)
+		}
+	}
+	if total != 35 {
+		t.Errorf("widths sum to %d, want 35", total)
+	}
+	if PhaseWidth(5, 7, 0) != 0 || PhaseWidth(5, 7, 12) != 0 {
+		t.Error("out-of-range phases should have width 0")
+	}
+	_ = want
+}
+
+func TestPhaseWidthMatchesWavefrontHistogram(t *testing.T) {
+	for _, mn := range [][2]int{{5, 7}, {8, 8}, {3, 12}, {1, 6}} {
+		m, n := mn[0], mn[1]
+		a := stencil.Laplace2D(m, n)
+		d := wavefront.FromLower(a)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := wavefront.Histogram(wf)
+		if len(h) != m+n-1 {
+			t.Fatalf("%dx%d: %d wavefronts, want %d", m, n, len(h), m+n-1)
+		}
+		for j := 1; j <= m+n-1; j++ {
+			if h[j-1] != PhaseWidth(m, n, j) {
+				t.Errorf("%dx%d phase %d: histogram %d, model %d",
+					m, n, j, h[j-1], PhaseWidth(m, n, j))
+			}
+		}
+	}
+}
+
+func TestEoptPreScheduledMatchesSimulator(t *testing.T) {
+	// Equation 3 must agree exactly with the cost-model simulator on the
+	// model problem with uniform work and wrapped global scheduling.
+	for _, c := range []struct{ m, n, p int }{
+		{5, 7, 2}, {5, 7, 4}, {8, 8, 3}, {16, 16, 4}, {6, 20, 5},
+	} {
+		a := stencil.Laplace2D(c.m, c.n)
+		d := wavefront.FromLower(a)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := make([]float64, d.N)
+		for i := range work {
+			work[i] = 1
+		}
+		s := schedule.Global(wf, c.p)
+		sim := machine.SimulatePreScheduled(s, work, machine.FlopOnly())
+		want := EoptPreScheduled(c.m, c.n, c.p)
+		if math.Abs(sim.Efficiency-want) > 1e-12 {
+			t.Errorf("m=%d n=%d p=%d: simulator %v, model %v",
+				c.m, c.n, c.p, sim.Efficiency, want)
+		}
+	}
+}
+
+func TestEoptSelfExecutingCloseToSimulator(t *testing.T) {
+	// Equation 5 is derived for the pipelined steady state; the simulator
+	// should agree within a few percent on reasonably large meshes.
+	for _, c := range []struct{ m, n, p int }{
+		{16, 16, 4}, {12, 30, 4}, {9, 40, 8},
+	} {
+		a := stencil.Laplace2D(c.m, c.n)
+		d := wavefront.FromLower(a)
+		wf, err := wavefront.Compute(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := make([]float64, d.N)
+		for i := range work {
+			work[i] = 1
+		}
+		s := schedule.Global(wf, c.p)
+		sim, err := machine.SimulateSelfExecuting(s, d, work, machine.FlopOnly())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := EoptSelfExecuting(c.m, c.n, c.p)
+		if math.Abs(sim.Efficiency-want) > 0.06 {
+			t.Errorf("m=%d n=%d p=%d: simulator %v, model %v",
+				c.m, c.n, c.p, sim.Efficiency, want)
+		}
+	}
+}
+
+func TestEoptApproxTracksExact(t *testing.T) {
+	for _, c := range []struct{ m, n, p int }{
+		{16, 16, 4}, {17, 23, 4}, {32, 32, 8}, {9, 33, 3},
+	} {
+		exact := EoptPreScheduled(c.m, c.n, c.p)
+		approx := EoptPreScheduledApprox(c.m, c.n, c.p)
+		if math.Abs(exact-approx) > 0.08 {
+			t.Errorf("m=%d n=%d p=%d: exact %v approx %v", c.m, c.n, c.p, exact, approx)
+		}
+	}
+}
+
+func TestEoptMonotoneInProblemSize(t *testing.T) {
+	// Efficiency improves as the square domain grows (end effects shrink).
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		e := EoptPreScheduled(n, n, 4)
+		if e <= prev {
+			t.Errorf("Eopt not increasing at n=%d: %v <= %v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSelfExecutingBeatsPreScheduledNarrow(t *testing.T) {
+	// m = p+1 (paper's narrow-domain limit): self-executing Eopt near 1,
+	// pre-scheduled near (p+1)/(2p).
+	p := 8
+	m, n := p+1, 2000
+	ePre := EoptPreScheduled(m, n, p)
+	eSelf := EoptSelfExecuting(m, n, p)
+	if eSelf < 0.99 {
+		t.Errorf("self-executing Eopt = %v, want ~1", eSelf)
+	}
+	wantPre := float64(p+1) / float64(2*p)
+	if math.Abs(ePre-wantPre) > 0.02 {
+		t.Errorf("pre-scheduled Eopt = %v, want ~%v", ePre, wantPre)
+	}
+}
+
+func TestTimeRatioLimits(t *testing.T) {
+	r := Ratios{Rsynch: 20, Rinc: 0.2, Rcheck: 0.1}
+	// Narrow-domain elapsed-time limit: TimeRatio approaches it for large n.
+	p := 7
+	lim := TimeRatioLimitNarrowElapsed(p, r)
+	got := TimeRatio(p+1, 4000, p, r)
+	if math.Abs(got-lim) > 0.05*lim {
+		t.Errorf("narrow ratio %v, limit %v", got, lim)
+	}
+	// Both conventions agree self-execution wins on narrow domains.
+	if lim <= 1 || TimeRatioLimitNarrow(p, r) <= 1 {
+		t.Errorf("narrow limits should exceed 1 (self-exec wins): %v, %v",
+			lim, TimeRatioLimitNarrow(p, r))
+	}
+	// Paper's eq. 6 equals the elapsed-time limit under Rsynch -> Rsynch*p.
+	scaled := Ratios{Rsynch: r.Rsynch * float64(p), Rinc: r.Rinc, Rcheck: r.Rcheck}
+	if math.Abs(TimeRatioLimitNarrow(p, scaled)-lim) > 1e-12 {
+		t.Errorf("convention bridge broken: %v vs %v", TimeRatioLimitNarrow(p, scaled), lim)
+	}
+	// Square-domain limit (eq. 7): ratio below 1 (pre-scheduling wins) and
+	// TimeRatio approaches it as n grows (synch cost vanishes relative to
+	// the O(n^2) work).
+	sq := TimeRatioLimitSquare(r)
+	if sq >= 1 {
+		t.Errorf("square limit %v should be below 1", sq)
+	}
+	got2 := TimeRatio(40000, 40000, p, r)
+	if math.Abs(got2-sq) > 0.02 {
+		t.Errorf("square ratio %v, limit %v", got2, sq)
+	}
+}
+
+func TestDenseTriangular(t *testing.T) {
+	self, pre := DenseTriangular(100)
+	// Self-executing: n/(2(n-1)) ≈ 0.505; pre-scheduled: 1/(n-1).
+	if math.Abs(self-100.0/198.0) > 1e-12 {
+		t.Errorf("dense self Eopt = %v", self)
+	}
+	if math.Abs(pre-1.0/99.0) > 1e-12 {
+		t.Errorf("dense pre Eopt = %v", pre)
+	}
+}
+
+func TestProjectEfficiency(t *testing.T) {
+	if got := ProjectEfficiency(0.8, 0.5); got != 0.4 {
+		t.Errorf("ProjectEfficiency = %v", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.04, 0.05) || ApproxEqual(1.0, 1.1, 0.05) {
+		t.Error("ApproxEqual misbehaves")
+	}
+}
+
+func TestMCWrappedCeiling(t *testing.T) {
+	if MC(5, 7, 2, 5) != 3 { // width 5 over 2 procs -> ceil(5/2)=3
+		t.Errorf("MC = %d, want 3", MC(5, 7, 2, 5))
+	}
+	if MC(5, 7, 5, 5) != 1 {
+		t.Errorf("MC = %d, want 1", MC(5, 7, 5, 5))
+	}
+}

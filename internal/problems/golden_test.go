@@ -1,0 +1,40 @@
+package problems
+
+import "testing"
+
+// TestGoldenStructure pins the exact structural fingerprints of the
+// generated test problems: any change to the generators, the zero-fill
+// factorization or the wavefront computation that alters these numbers
+// would silently change every experiment, so it must fail loudly here.
+func TestGoldenStructure(t *testing.T) {
+	golden := []struct {
+		name   string
+		n      int
+		nnzA   int
+		nnzL   int
+		phases int
+	}{
+		{"SPE1", 1000, 6400, 3700, 28},
+		{"SPE2", 1080, 38448, 19764, 90},
+		{"SPE4", 1104, 6758, 3931, 40},
+		{"SPE5", 3312, 60822, 32067, 120},
+		{"5-PT", 3969, 19593, 11781, 125},
+		{"9-PT", 3969, 34969, 19469, 187},
+		{"65mesh", 4225, 20865, 12545, 129},
+	}
+	for _, g := range golden {
+		p := MustGet(g.name)
+		if p.A.N != g.n {
+			t.Errorf("%s: n = %d, want %d", g.name, p.A.N, g.n)
+		}
+		if p.A.NNZ() != g.nnzA {
+			t.Errorf("%s: nnz(A) = %d, want %d", g.name, p.A.NNZ(), g.nnzA)
+		}
+		if p.L.NNZ() != g.nnzL {
+			t.Errorf("%s: nnz(L) = %d, want %d", g.name, p.L.NNZ(), g.nnzL)
+		}
+		if p.Phases() != g.phases {
+			t.Errorf("%s: phases = %d, want %d", g.name, p.Phases(), g.phases)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package problems binds the paper's test-problem names (Appendix I and
+// the synthetic workloads of Section 5) to generated matrices, and derives
+// the artifacts the experiments consume: the ILU(0) lower factor, its
+// dependence structure and the per-row floating-point work vector.
+package problems
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"doconsider/internal/ilu"
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+	"doconsider/internal/synthetic"
+	"doconsider/internal/wavefront"
+)
+
+// Problem is a named test matrix plus the derived triangular-solve
+// workload used throughout the evaluation.
+type Problem struct {
+	Name string
+	A    *sparse.CSR // the full system matrix
+	L    *sparse.CSR // unit lower factor from zero-fill factorization
+	Deps *wavefront.Deps
+	Wf   []int32
+	Work []float64 // per-row flop work: one multiply-add per off-diagonal, one divide
+}
+
+// Names lists the full-size problems of Table 1 in paper order.
+func Names() []string {
+	return []string{"SPE1", "SPE2", "SPE3", "SPE4", "SPE5", "5-PT", "9-PT", "7-PT"}
+}
+
+// LargeNames lists the enlarged variants reported alongside Table 1.
+func LargeNames() []string { return []string{"L5-PT", "L9-PT", "L7-PT"} }
+
+// TriSolveNames lists the problems used in the triangular-solve
+// decomposition studies (Tables 2-4).
+func TriSolveNames() []string { return []string{"SPE2", "SPE5", "5-PT", "9-PT", "7-PT"} }
+
+// SyntheticNames lists the Table 5 synthetic workloads.
+func SyntheticNames() []string { return []string{"65-4-1.5", "65-4-3", "65mesh"} }
+
+var (
+	mu    sync.Mutex
+	cache = map[string]*Problem{}
+)
+
+// Get returns the named problem, generating and caching it on first use.
+// Recognized names are those of Names, LargeNames, SyntheticNames, plus
+// any "mesh-degree-distance" synthetic label.
+func Get(name string) (*Problem, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := cache[name]; ok {
+		return p, nil
+	}
+	a, err := matrix(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := build(name, a)
+	if err != nil {
+		return nil, err
+	}
+	cache[name] = p
+	return p, nil
+}
+
+// MustGet is Get but panics on error; for benchmarks and examples over the
+// fixed problem names.
+func MustGet(name string) *Problem {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func matrix(name string) (*sparse.CSR, error) {
+	switch name {
+	case "SPE1":
+		return stencil.SPE1(), nil
+	case "SPE2":
+		return stencil.SPE2(), nil
+	case "SPE3":
+		return stencil.SPE3(), nil
+	case "SPE4":
+		return stencil.SPE4(), nil
+	case "SPE5":
+		return stencil.SPE5(), nil
+	case "5-PT":
+		return stencil.FivePoint(63), nil
+	case "L5-PT":
+		return stencil.FivePoint(200), nil
+	case "9-PT":
+		return stencil.NinePoint(63), nil
+	case "L9-PT":
+		return stencil.NinePoint(127), nil
+	case "7-PT":
+		return stencil.SevenPoint(20), nil
+	case "L7-PT":
+		return stencil.SevenPoint(30), nil
+	case "65mesh":
+		return stencil.Laplace2D(65, 65), nil
+	}
+	if cfg, err := synthetic.Parse(name, 1989); err == nil {
+		return synthetic.Generate(cfg), nil
+	}
+	return nil, fmt.Errorf("problems: unknown problem %q", name)
+}
+
+func build(name string, a *sparse.CSR) (*Problem, error) {
+	pat, err := ilu.Symbolic(a, 0)
+	if err != nil {
+		return nil, err
+	}
+	fact, err := ilu.NumericSeq(a, pat)
+	if err != nil {
+		return nil, err
+	}
+	l := fact.L()
+	deps := wavefront.FromLower(l)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		return nil, err
+	}
+	work := RowWork(l)
+	return &Problem{Name: name, A: a, L: l, Deps: deps, Wf: wf, Work: work}, nil
+}
+
+// RowWork returns the per-row floating point work of a triangular solve on
+// t: one multiply-add pair per off-diagonal entry plus one for the
+// diagonal scaling, in units of multiply-add pairs.
+func RowWork(t *sparse.CSR) []float64 {
+	w := make([]float64, t.N)
+	for i := 0; i < t.N; i++ {
+		w[i] = float64(t.RowNNZ(i)) // off-diagonals + diagonal op
+	}
+	return w
+}
+
+// TotalWork sums a work vector.
+func TotalWork(w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+// Phases returns the number of wavefronts of the problem's lower factor.
+func (p *Problem) Phases() int { return wavefront.NumWavefronts(p.Wf) }
+
+// Describe returns a one-line structural summary.
+func (p *Problem) Describe() string {
+	return fmt.Sprintf("%s: n=%d nnz(A)=%d nnz(L)=%d phases=%d",
+		p.Name, p.A.N, p.A.NNZ(), p.L.NNZ(), p.Phases())
+}
+
+// AllNames returns every built-in problem name, sorted.
+func AllNames() []string {
+	names := append(append(append([]string{}, Names()...), LargeNames()...), SyntheticNames()...)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,113 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+
+	"doconsider/internal/wavefront"
+)
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-problem"); err == nil {
+		t.Error("Get accepted unknown name")
+	}
+}
+
+func TestGetCaches(t *testing.T) {
+	a, err := Get("SPE4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get("SPE4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Get did not cache")
+	}
+}
+
+func TestProblemInvariants(t *testing.T) {
+	// Spot-check a cheap subset; full Table 1 set is exercised by the
+	// experiment drivers.
+	for _, name := range []string{"SPE1", "SPE4", "5-PT", "65-4-1.5", "65mesh"} {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.A.N != p.L.N || len(p.Wf) != p.L.N || len(p.Work) != p.L.N {
+			t.Fatalf("%s: inconsistent sizes", name)
+		}
+		if err := p.L.CheckWellFormed(); err != nil {
+			t.Fatalf("%s: L malformed: %v", name, err)
+		}
+		// L unit lower triangular.
+		for i := 0; i < p.L.N; i++ {
+			cols, _ := p.L.Row(i)
+			for _, c := range cols {
+				if int(c) > i {
+					t.Fatalf("%s: L has upper entry", name)
+				}
+			}
+			if p.L.At(i, i) != 1 {
+				t.Fatalf("%s: L diagonal not unit", name)
+			}
+		}
+		if err := wavefront.Validate(p.Wf, p.Deps); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Phases() < 2 {
+			t.Fatalf("%s: only %d phases", name, p.Phases())
+		}
+		if !strings.Contains(p.Describe(), name) {
+			t.Errorf("%s: Describe missing name", name)
+		}
+	}
+}
+
+func TestRowWork(t *testing.T) {
+	p := MustGet("SPE4")
+	for i := 0; i < p.L.N; i++ {
+		if p.Work[i] != float64(p.L.RowNNZ(i)) {
+			t.Fatalf("work[%d] = %v, want %v", i, p.Work[i], float64(p.L.RowNNZ(i)))
+		}
+	}
+	if TotalWork(p.Work) <= float64(p.L.N) {
+		t.Error("total work should exceed n (off-diagonals exist)")
+	}
+}
+
+func TestNameLists(t *testing.T) {
+	if len(Names()) != 8 {
+		t.Errorf("Names = %v", Names())
+	}
+	if len(TriSolveNames()) != 5 {
+		t.Errorf("TriSolveNames = %v", TriSolveNames())
+	}
+	if len(SyntheticNames()) != 3 {
+		t.Errorf("SyntheticNames = %v", SyntheticNames())
+	}
+	all := AllNames()
+	if len(all) != 8+3+3 {
+		t.Errorf("AllNames = %v", all)
+	}
+}
+
+func TestSyntheticProblemParsesAnyLabel(t *testing.T) {
+	p, err := Get("20-3-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.A.N != 400 {
+		t.Errorf("N = %d, want 400", p.A.N)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic on unknown name")
+		}
+	}()
+	MustGet("bogus")
+}

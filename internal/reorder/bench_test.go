@@ -1,0 +1,48 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func BenchmarkRCM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := stencil.Laplace2D(60, 60)
+	perm := make([]int32, a.N)
+	for i, v := range rng.Perm(a.N) {
+		perm[i] = int32(v)
+	}
+	p, err := NewPermutation(perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shuffled, err := p.Apply(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RCM(shuffled); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyPermutation(b *testing.B) {
+	a := stencil.Laplace2D(80, 80)
+	deps := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ByWavefront(wf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Apply(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package schedule
+
+import (
+	"testing"
+
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func benchWf(b *testing.B) ([]int32, *wavefront.Deps) {
+	b.Helper()
+	a := stencil.Laplace2D(150, 150)
+	d := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wf, d
+}
+
+func BenchmarkGlobal(b *testing.B) {
+	wf, _ := benchWf(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Global(wf, 16)
+	}
+}
+
+func BenchmarkLocalStriped(b *testing.B) {
+	wf, _ := benchWf(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Local(wf, 16, Striped)
+	}
+}
+
+func BenchmarkGlobalByWork(b *testing.B) {
+	wf, _ := benchWf(b)
+	cost := make([]float64, len(wf))
+	for i := range cost {
+		cost[i] = 1 + float64(i%5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GlobalByWork(wf, cost, 16)
+	}
+}
+
+func BenchmarkMergePhases(b *testing.B) {
+	wf, d := benchWf(b)
+	s := Local(wf, 16, Blocked)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergePhases(s, d)
+	}
+}

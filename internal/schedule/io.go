@@ -1,0 +1,101 @@
+package schedule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Write serializes the schedule in a line-oriented text format, so an
+// inspector-built schedule can be saved and reused across program runs —
+// the amortization pattern the paper's successors (PARTI/CHAOS) made
+// standard practice. Format:
+//
+//	schedule <P> <N> <NumPhases>
+//	wf <N ints>
+//	proc <p> <count> <indices...>   (P lines)
+func (s *Schedule) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "schedule %d %d %d\n", s.P, s.N, s.NumPhases); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(bw, "wf"); err != nil {
+		return err
+	}
+	for _, v := range s.Wf {
+		if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	for p := 0; p < s.P; p++ {
+		if _, err := fmt.Fprintf(bw, "proc %d %d", p, len(s.Indices[p])); err != nil {
+			return err
+		}
+		for _, idx := range s.Indices[p] {
+			if _, err := fmt.Fprintf(bw, " %d", idx); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write, rebuilds the phase pointers
+// and validates the result.
+func Read(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReader(r)
+	var tag string
+	var p, n, phases int
+	if _, err := fmt.Fscan(br, &tag, &p, &n, &phases); err != nil {
+		return nil, fmt.Errorf("schedule: reading header: %w", err)
+	}
+	if tag != "schedule" {
+		return nil, fmt.Errorf("schedule: bad header tag %q", tag)
+	}
+	if p < 1 || n < 0 || phases < 0 {
+		return nil, fmt.Errorf("schedule: implausible header %d/%d/%d", p, n, phases)
+	}
+	s := &Schedule{
+		P: p, N: n, NumPhases: phases,
+		Wf:       make([]int32, n),
+		Indices:  make([][]int32, p),
+		PhasePtr: make([][]int32, p),
+	}
+	if _, err := fmt.Fscan(br, &tag); err != nil || tag != "wf" {
+		return nil, fmt.Errorf("schedule: expected wf section (err %v)", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fscan(br, &s.Wf[i]); err != nil {
+			return nil, fmt.Errorf("schedule: reading wf[%d]: %w", i, err)
+		}
+	}
+	for q := 0; q < p; q++ {
+		var id, count int
+		if _, err := fmt.Fscan(br, &tag, &id, &count); err != nil || tag != "proc" {
+			return nil, fmt.Errorf("schedule: expected proc section %d (err %v)", q, err)
+		}
+		if id != q {
+			return nil, fmt.Errorf("schedule: proc sections out of order: got %d, want %d", id, q)
+		}
+		if count < 0 || count > n {
+			return nil, fmt.Errorf("schedule: proc %d count %d out of range", q, count)
+		}
+		s.Indices[q] = make([]int32, count)
+		for k := 0; k < count; k++ {
+			if _, err := fmt.Fscan(br, &s.Indices[q][k]); err != nil {
+				return nil, fmt.Errorf("schedule: reading proc %d index %d: %w", q, k, err)
+			}
+		}
+	}
+	s.buildPhasePtrs()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: deserialized schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		wf := randomWavefronts(rng, n, 1+rng.Intn(8))
+		p := 1 + rng.Intn(6)
+		var s *Schedule
+		switch rng.Intn(3) {
+		case 0:
+			s = Global(wf, p)
+		case 1:
+			s = Local(wf, p, Striped)
+		default:
+			s = Local(wf, p, Blocked)
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.P != s.P || got.N != s.N || got.NumPhases != s.NumPhases {
+			return false
+		}
+		if !reflect.DeepEqual(got.Wf, s.Wf) {
+			return false
+		}
+		for q := 0; q < p; q++ {
+			if !reflect.DeepEqual(got.Indices[q], s.Indices[q]) {
+				return false
+			}
+			if !reflect.DeepEqual(got.PhasePtr[q], s.PhasePtr[q]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 1 2 3",
+		"schedule -1 5 2",
+		"schedule 2 3 1\nwf 0 0 0\nproc 1 0\nproc 0 3 0 1 2", // out of order
+		"schedule 1 2 1\nwf 0 0\nproc 0 5 0 1",               // count too large
+		"schedule 1 2 1\nwf 0 0\nproc 0 2 0",                 // truncated indices
+		"schedule 1 2 1\nwf 0 0\nproc 0 2 0 0",               // repeated index -> invalid
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read accepted %q", src)
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	wf := []int32{0, 0, 1}
+	s := Global(wf, 2)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "schedule 2 3 2\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "wf 0 0 1") {
+		t.Errorf("wf section wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package schedule
+
+import (
+	"doconsider/internal/wavefront"
+)
+
+// MergePhases reduces the number of global synchronizations of a schedule
+// by greedily coalescing consecutive wavefront phases whenever doing so is
+// safe: a window of phases may share one barrier if every dependence whose
+// producer and consumer both fall inside the window stays on a single
+// processor (each processor's list is wavefront-ordered, so same-processor
+// dependences inside a window are satisfied by program order alone).
+//
+// This implements the spirit of the paper's reference [13] (Nicol & Saltz,
+// "Optimal Pre-Scheduling of Problem Remappings"): rearranging the global
+// synchronizations to trade between load balance and synchronization
+// cost. The returned schedule has the same per-processor index orders but
+// fewer, coarser phases; executing it with the pre-scheduled executor is
+// equivalent to the original.
+func MergePhases(s *Schedule, deps *wavefront.Deps) *Schedule {
+	owner := make([]int32, s.N)
+	for p := 0; p < s.P; p++ {
+		for _, idx := range s.Indices[p] {
+			owner[idx] = int32(p)
+		}
+	}
+	// phaseMembers[k] lists the indices of wavefront k.
+	phaseMembers := make([][]int32, s.NumPhases)
+	for idx := int32(0); int(idx) < s.N; idx++ {
+		w := s.Wf[idx]
+		phaseMembers[w] = append(phaseMembers[w], idx)
+	}
+	// Greedy window extension: superWf[idx] = merged phase number.
+	superWf := make([]int32, s.N)
+	super := int32(0)
+	windowStart := 0 // first original phase of the current window
+	assign := func(k int, sp int32) {
+		for _, idx := range phaseMembers[k] {
+			superWf[idx] = sp
+		}
+	}
+	if s.NumPhases > 0 {
+		assign(0, 0)
+	}
+	for k := 1; k < s.NumPhases; k++ {
+		safe := true
+	check:
+		for _, idx := range phaseMembers[k] {
+			for _, t := range deps.On(int(idx)) {
+				if int(s.Wf[t]) >= windowStart && owner[t] != owner[idx] {
+					safe = false
+					break check
+				}
+			}
+		}
+		if !safe {
+			super++
+			windowStart = k
+		}
+		assign(k, super)
+	}
+	merged := &Schedule{
+		P:         s.P,
+		N:         s.N,
+		NumPhases: int(super) + 1,
+		Wf:        superWf,
+		Indices:   make([][]int32, s.P),
+		PhasePtr:  make([][]int32, s.P),
+	}
+	if s.NumPhases == 0 {
+		merged.NumPhases = 0
+	}
+	for p := 0; p < s.P; p++ {
+		merged.Indices[p] = append([]int32(nil), s.Indices[p]...)
+	}
+	merged.buildPhasePtrs()
+	return merged
+}

@@ -1,0 +1,143 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doconsider/internal/wavefront"
+)
+
+func randomBackwardDeps(rng *rand.Rand, n, maxDeg int) *wavefront.Deps {
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		for k := 0; k < rng.Intn(maxDeg+1); k++ {
+			adj[i] = append(adj[i], int32(rng.Intn(i)))
+		}
+	}
+	return wavefront.FromAdjacency(adj)
+}
+
+func TestMergePhasesChainOnOneProcessor(t *testing.T) {
+	// A pure chain on 1 processor: every dependence is same-processor, so
+	// all phases merge into one.
+	n := 20
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	deps := wavefront.FromAdjacency(adj)
+	wf, _ := wavefront.Compute(deps)
+	s := Global(wf, 1)
+	m := MergePhases(s, deps)
+	if m.NumPhases != 1 {
+		t.Errorf("merged phases = %d, want 1", m.NumPhases)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePhasesChainWrapped(t *testing.T) {
+	// The same chain wrapped over 2 processors alternates owners, so no
+	// merging is safe: every consecutive pair crosses processors.
+	n := 10
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	deps := wavefront.FromAdjacency(adj)
+	wf, _ := wavefront.Compute(deps)
+	s := Global(wf, 2) // index i -> proc i%2 (each wavefront has one index)
+	m := MergePhases(s, deps)
+	if m.NumPhases != n {
+		t.Errorf("merged phases = %d, want %d", m.NumPhases, n)
+	}
+}
+
+func TestMergePhasesNeverIncreassesPhases(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		deps := randomBackwardDeps(rng, n, 3)
+		wf, err := wavefront.Compute(deps)
+		if err != nil {
+			return false
+		}
+		p := 1 + rng.Intn(6)
+		for _, s := range []*Schedule{Global(wf, p), Local(wf, p, Striped)} {
+			m := MergePhases(s, deps)
+			if m.NumPhases > s.NumPhases {
+				return false
+			}
+			if err := m.Validate(); err != nil {
+				return false
+			}
+			// Same per-processor orders.
+			for q := 0; q < p; q++ {
+				if len(m.Indices[q]) != len(s.Indices[q]) {
+					return false
+				}
+				for k := range m.Indices[q] {
+					if m.Indices[q][k] != s.Indices[q][k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergePhasesSafety verifies the merge invariant directly: within any
+// merged phase, every dependence between two indices of that phase stays
+// on one processor and respects the per-processor order.
+func TestMergePhasesSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		deps := randomBackwardDeps(rng, n, 3)
+		wf, err := wavefront.Compute(deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1 + rng.Intn(5)
+		s := Global(wf, p)
+		m := MergePhases(s, deps)
+		owner := make([]int, n)
+		pos := make([]int, n)
+		for q := 0; q < m.P; q++ {
+			for k, idx := range m.Indices[q] {
+				owner[idx] = q
+				pos[idx] = k
+			}
+		}
+		for i := 0; i < n; i++ {
+			for _, d := range deps.On(i) {
+				if m.Wf[i] == m.Wf[d] {
+					if owner[i] != owner[d] {
+						t.Fatalf("trial %d: merged phase has cross-processor dep %d->%d", trial, i, d)
+					}
+					if pos[d] >= pos[i] {
+						t.Fatalf("trial %d: same-proc dep %d->%d out of order", trial, i, d)
+					}
+				}
+				if m.Wf[i] < m.Wf[d] {
+					t.Fatalf("trial %d: consumer phase before producer", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestMergePhasesEmptySchedule(t *testing.T) {
+	deps := wavefront.FromAdjacency(nil)
+	s := Natural(0, 2, Striped)
+	m := MergePhases(s, deps)
+	if m.N != 0 {
+		t.Error("empty merge broken")
+	}
+}

@@ -1,0 +1,266 @@
+// Package schedule turns a wavefront assignment into per-processor
+// execution schedules — the "scheduling procedures that reorder and
+// repartition index sets of loops" of paper Section 1.
+//
+// Two families are implemented, matching Section 2.3:
+//
+//   - Global scheduling sorts the whole index set by wavefront number and
+//     deals the sorted list to processors in a wrapped manner, evenly
+//     partitioning the work in each wavefront.
+//   - Local scheduling starts from a fixed assignment of indices to
+//     processors (striped or blocked) and merely reorders each processor's
+//     indices by increasing wavefront number.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"doconsider/internal/wavefront"
+)
+
+// Partition names the initial index→processor assignment used by local
+// scheduling (and by the executors' default data distribution).
+type Partition int
+
+const (
+	// Striped assigns index i to processor i mod P (the paper's "striped
+	// manner", §5.1.4).
+	Striped Partition = iota
+	// Blocked assigns contiguous slabs of roughly n/P indices per processor
+	// (the Appendix II distribution for SAXPY/dot/matvec).
+	Blocked
+)
+
+// String returns the partition name.
+func (p Partition) String() string {
+	switch p {
+	case Striped:
+		return "striped"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Schedule is a complete executor plan: for each of P processors, the
+// ordered list of loop indices it executes, partitioned into phases of
+// equal wavefront number.
+type Schedule struct {
+	P         int       // number of processors
+	N         int       // number of loop indices
+	NumPhases int       // number of wavefronts
+	Wf        []int32   // wavefront number per index
+	Indices   [][]int32 // Indices[p] = execution order for processor p
+	PhasePtr  [][]int32 // PhasePtr[p][k]..PhasePtr[p][k+1] bounds phase k on p
+}
+
+// Phase returns the indices processor p executes during phase k. The slice
+// aliases the schedule and must not be modified.
+func (s *Schedule) Phase(p, k int) []int32 {
+	return s.Indices[p][s.PhasePtr[p][k]:s.PhasePtr[p][k+1]]
+}
+
+// Global builds a global schedule on nproc processors: indices are sorted
+// by (wavefront, index) — for a naturally ordered mesh this reproduces the
+// anti-diagonal list of paper Figure 9 — and dealt to processors in a
+// wrapped manner (Figure 10).
+func Global(wf []int32, nproc int) *Schedule {
+	n := len(wf)
+	order := sortedByWavefront(wf)
+	s := newSchedule(wf, nproc, n)
+	for k, idx := range order {
+		p := k % s.P
+		s.Indices[p] = append(s.Indices[p], idx)
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
+// GlobalByWork is the work-weighted variant of Global: within each
+// wavefront, indices are dealt greedily to the least-loaded processor
+// (longest-processing-time order), balancing cost rather than cardinality.
+// cost[i] is the execution cost of index i.
+func GlobalByWork(wf []int32, cost []float64, nproc int) *Schedule {
+	n := len(wf)
+	order := sortedByWavefront(wf)
+	s := newSchedule(wf, nproc, n)
+	load := make([]float64, s.P)
+	// Process one wavefront at a time.
+	for lo := 0; lo < n; {
+		hi := lo
+		w := wf[order[lo]]
+		for hi < n && wf[order[hi]] == w {
+			hi++
+		}
+		members := append([]int32(nil), order[lo:hi]...)
+		sort.SliceStable(members, func(a, b int) bool {
+			return cost[members[a]] > cost[members[b]]
+		})
+		for _, idx := range members {
+			p := argmin(load)
+			s.Indices[p] = append(s.Indices[p], idx)
+			load[p] += cost[idx]
+		}
+		lo = hi
+	}
+	// Keep each phase internally ordered by index for determinism.
+	for p := 0; p < s.P; p++ {
+		idxs := s.Indices[p]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			if wf[idxs[a]] != wf[idxs[b]] {
+				return wf[idxs[a]] < wf[idxs[b]]
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
+// Local builds a local schedule: the initial partition fixes which
+// processor owns each index, and each processor's list is then stably
+// sorted by wavefront number, preserving the original relative order of
+// equal-wavefront indices.
+func Local(wf []int32, nproc int, part Partition) *Schedule {
+	n := len(wf)
+	s := newSchedule(wf, nproc, n)
+	switch part {
+	case Striped:
+		for i := 0; i < n; i++ {
+			s.Indices[i%s.P] = append(s.Indices[i%s.P], int32(i))
+		}
+	case Blocked:
+		for p := 0; p < s.P; p++ {
+			lo, hi := n*p/s.P, n*(p+1)/s.P
+			for i := lo; i < hi; i++ {
+				s.Indices[p] = append(s.Indices[p], int32(i))
+			}
+		}
+	default:
+		panic("schedule: unknown partition")
+	}
+	// Stable counting sort of each processor's list by wavefront number:
+	// the local sort must stay cheap relative to a sequential iteration
+	// (the whole point of local scheduling, §5.1.5).
+	nw := s.NumPhases
+	counts := make([]int32, nw+1)
+	for p := 0; p < s.P; p++ {
+		idxs := s.Indices[p]
+		for k := range counts {
+			counts[k] = 0
+		}
+		for _, idx := range idxs {
+			counts[wf[idx]+1]++
+		}
+		for k := 0; k < nw; k++ {
+			counts[k+1] += counts[k]
+		}
+		sorted := make([]int32, len(idxs))
+		for _, idx := range idxs {
+			sorted[counts[wf[idx]]] = idx
+			counts[wf[idx]]++
+		}
+		s.Indices[p] = sorted
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
+// Natural builds the degenerate schedule that keeps the original index
+// order under the given partition with no wavefront reordering; with the
+// self-executing synchronization this is exactly a classic doacross loop
+// (§5.1.2). Phases are not meaningful for a Natural schedule; each
+// processor's whole list forms a single phase.
+func Natural(n, nproc int, part Partition) *Schedule {
+	wf := make([]int32, n) // all zero: one phase
+	s := newSchedule(wf, nproc, n)
+	switch part {
+	case Striped:
+		for i := 0; i < n; i++ {
+			s.Indices[i%s.P] = append(s.Indices[i%s.P], int32(i))
+		}
+	case Blocked:
+		for p := 0; p < s.P; p++ {
+			lo, hi := n*p/s.P, n*(p+1)/s.P
+			for i := lo; i < hi; i++ {
+				s.Indices[p] = append(s.Indices[p], int32(i))
+			}
+		}
+	default:
+		panic("schedule: unknown partition")
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
+func newSchedule(wf []int32, nproc, n int) *Schedule {
+	if nproc < 1 {
+		nproc = 1
+	}
+	s := &Schedule{
+		P:         nproc,
+		N:         n,
+		NumPhases: wavefront.NumWavefronts(wf),
+		Wf:        wf,
+		Indices:   make([][]int32, nproc),
+		PhasePtr:  make([][]int32, nproc),
+	}
+	for p := range s.Indices {
+		s.Indices[p] = make([]int32, 0, n/nproc+1)
+	}
+	return s
+}
+
+// buildPhasePtrs scans each processor's (wavefront-sorted) index list and
+// records phase boundaries for all NumPhases phases, including empty ones —
+// the pre-scheduled executor must still participate in the barrier for a
+// phase in which it has no work (paper Figure 5).
+func (s *Schedule) buildPhasePtrs() {
+	for p := 0; p < s.P; p++ {
+		ptr := make([]int32, s.NumPhases+1)
+		idxs := s.Indices[p]
+		pos := 0
+		for k := 0; k < s.NumPhases; k++ {
+			ptr[k] = int32(pos)
+			for pos < len(idxs) && s.Wf[idxs[pos]] == int32(k) {
+				pos++
+			}
+		}
+		ptr[s.NumPhases] = int32(pos)
+		s.PhasePtr[p] = ptr
+	}
+}
+
+// sortedByWavefront returns all indices sorted by (wavefront, index).
+// Counting sort keeps this O(n + #wavefronts), cheaper than the sequential
+// solve it is amortized against (paper §2.3).
+func sortedByWavefront(wf []int32) []int32 {
+	n := len(wf)
+	nw := wavefront.NumWavefronts(wf)
+	counts := make([]int32, nw+1)
+	for _, w := range wf {
+		counts[w+1]++
+	}
+	for k := 0; k < nw; k++ {
+		counts[k+1] += counts[k]
+	}
+	order := make([]int32, n)
+	next := counts
+	for i := 0; i < n; i++ {
+		order[next[wf[i]]] = int32(i)
+		next[wf[i]]++
+	}
+	return order
+}
+
+func argmin(x []float64) int {
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[best] {
+			best = i
+		}
+	}
+	return best
+}

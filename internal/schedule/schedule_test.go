@@ -1,0 +1,252 @@
+package schedule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"doconsider/internal/stencil"
+	"doconsider/internal/wavefront"
+)
+
+func meshWavefronts(m, n int) []int32 {
+	a := stencil.Laplace2D(m, n)
+	d := wavefront.FromLower(a)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		panic(err)
+	}
+	return wf
+}
+
+func randomWavefronts(rng *rand.Rand, n, maxWf int) []int32 {
+	wf := make([]int32, n)
+	// Ensure wavefront numbers are achievable: nondecreasing then shuffled
+	// is unnecessary; any assignment is a valid "wavefront vector" for
+	// scheduling purposes as long as wavefront 0..max are all present.
+	for i := range wf {
+		wf[i] = int32(rng.Intn(maxWf))
+	}
+	wf[0] = 0
+	for k := 0; k < maxWf; k++ {
+		wf[rng.Intn(n)] = int32(k)
+	}
+	return wf
+}
+
+func TestGlobalWrappedDealing(t *testing.T) {
+	// Paper Figures 9-10: 5×7 mesh, sorted list dealt wrapped over p procs.
+	wf := meshWavefronts(5, 7)
+	s := Global(wf, 4)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases != 11 {
+		t.Errorf("phases = %d, want 11", s.NumPhases)
+	}
+	// Wrapped dealing: processor index counts differ by at most 1.
+	st := ComputeStats(s)
+	if st.MaxIndices-st.MinIndices > 1 {
+		t.Errorf("wrapped dealing imbalance: max=%d min=%d", st.MaxIndices, st.MinIndices)
+	}
+	// Within each phase counts differ by at most 1.
+	if st.PhaseImbalance > 1 {
+		t.Errorf("phase imbalance %v > 1", st.PhaseImbalance)
+	}
+}
+
+func TestGlobalSortedListOrder(t *testing.T) {
+	// With one processor the global schedule is exactly the wavefront-sorted
+	// index list; on the 5×7 mesh that is the anti-diagonal traversal of
+	// paper Figure 9.
+	wf := meshWavefronts(5, 7)
+	s := Global(wf, 1)
+	g := stencil.Grid2D{NX: 5, NY: 7}
+	// Expected: for each wavefront w, points with i+j == w in increasing
+	// index order.
+	var want []int32
+	for w := 0; w <= 10; w++ {
+		for k := 0; k < g.N(); k++ {
+			i, j := g.Coords(k)
+			if i+j == w {
+				want = append(want, int32(k))
+			}
+		}
+	}
+	if !reflect.DeepEqual(s.Indices[0], want) {
+		t.Errorf("sorted list mismatch:\n got %v\nwant %v", s.Indices[0], want)
+	}
+}
+
+func TestLocalPreservesPartition(t *testing.T) {
+	wf := meshWavefronts(6, 6)
+	s := Local(wf, 3, Striped)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		for _, idx := range s.Indices[p] {
+			if int(idx)%3 != p {
+				t.Fatalf("striped local schedule moved index %d to proc %d", idx, p)
+			}
+		}
+	}
+	sb := Local(wf, 3, Blocked)
+	if err := sb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(wf)
+	for p := 0; p < 3; p++ {
+		lo, hi := n*p/3, n*(p+1)/3
+		for _, idx := range sb.Indices[p] {
+			if int(idx) < lo || int(idx) >= hi {
+				t.Fatalf("blocked local schedule moved index %d to proc %d", idx, p)
+			}
+		}
+	}
+}
+
+func TestLocalStableWithinWavefront(t *testing.T) {
+	wf := []int32{0, 1, 0, 1, 0, 1}
+	s := Local(wf, 1, Striped)
+	want := []int32{0, 2, 4, 1, 3, 5}
+	if !reflect.DeepEqual(s.Indices[0], want) {
+		t.Errorf("local order = %v, want %v", s.Indices[0], want)
+	}
+}
+
+func TestNaturalKeepsOrder(t *testing.T) {
+	s := Natural(10, 3, Striped)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPhases != 1 {
+		t.Errorf("natural phases = %d, want 1", s.NumPhases)
+	}
+	want := []int32{0, 3, 6, 9}
+	if !reflect.DeepEqual(s.Indices[0], want) {
+		t.Errorf("proc 0 = %v, want %v", s.Indices[0], want)
+	}
+	sb := Natural(10, 3, Blocked)
+	if got := sb.Indices[0]; !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("blocked proc 0 = %v", got)
+	}
+}
+
+func TestGlobalByWorkBalances(t *testing.T) {
+	// One wavefront, wildly uneven costs: work-weighted dealing should beat
+	// cardinality dealing.
+	n := 40
+	wf := make([]int32, n)
+	cost := make([]float64, n)
+	for i := range cost {
+		cost[i] = 1
+	}
+	cost[0] = 50 // one huge index
+	p := 4
+	byWork := GlobalByWork(wf, cost, p)
+	if err := byWork.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, p)
+	for q := 0; q < p; q++ {
+		for _, idx := range byWork.Indices[q] {
+			loads[q] += cost[idx]
+		}
+	}
+	max, min := loads[0], loads[0]
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	// LPT puts the huge index alone-ish: max load should be near 50, and the
+	// others near (39)/3 = 13; cardinality dealing would give ~50+9.
+	if max > 51 {
+		t.Errorf("work-balanced max load %v too high", max)
+	}
+}
+
+func TestScheduleValidatePermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		wf := randomWavefronts(rng, n, 1+rng.Intn(10))
+		p := 1 + rng.Intn(9)
+		for _, s := range []*Schedule{
+			Global(wf, p),
+			Local(wf, p, Striped),
+			Local(wf, p, Blocked),
+			Natural(n, p, Striped),
+		} {
+			if err := s.Validate(); err != nil {
+				return false
+			}
+		}
+		cost := make([]float64, n)
+		for i := range cost {
+			cost[i] = 1 + rng.Float64()
+		}
+		return GlobalByWork(wf, cost, p).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatOrderRespectsPhases(t *testing.T) {
+	wf := meshWavefronts(4, 4)
+	s := Global(wf, 3)
+	flat := s.FlatOrder()
+	if len(flat) != 16 {
+		t.Fatalf("flat order length %d", len(flat))
+	}
+	for k := 1; k < len(flat); k++ {
+		if wf[flat[k-1]] > wf[flat[k]] {
+			t.Fatalf("flat order decreases wavefront at %d", k)
+		}
+	}
+}
+
+func TestComputeStatsSeqPhases(t *testing.T) {
+	// Wavefronts striped so that every index of each phase lands on one
+	// processor: wf[i] = i means phase i has exactly one index.
+	n := 12
+	wf := make([]int32, n)
+	for i := range wf {
+		wf[i] = int32(i)
+	}
+	s := Local(wf, 4, Striped)
+	st := ComputeStats(s)
+	if st.SeqPhases != n {
+		t.Errorf("SeqPhases = %d, want %d", st.SeqPhases, n)
+	}
+}
+
+func TestPartitionString(t *testing.T) {
+	if Striped.String() != "striped" || Blocked.String() != "blocked" {
+		t.Error("partition names wrong")
+	}
+	if Partition(9).String() == "" {
+		t.Error("unknown partition should still format")
+	}
+}
+
+func TestMoreProcsThanIndices(t *testing.T) {
+	wf := []int32{0, 1}
+	s := Global(wf, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := range s.Indices {
+		total += len(s.Indices[p])
+	}
+	if total != 2 {
+		t.Errorf("scheduled %d indices, want 2", total)
+	}
+}

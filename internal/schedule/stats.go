@@ -1,0 +1,117 @@
+package schedule
+
+import (
+	"fmt"
+)
+
+// Stats summarizes the load-balance quality of a schedule.
+type Stats struct {
+	P              int     // processors
+	N              int     // indices
+	NumPhases      int     // wavefronts
+	MaxIndices     int     // largest per-processor index count
+	MinIndices     int     // smallest per-processor index count
+	PhaseImbalance float64 // mean over phases of (max-min) per-processor count
+	SeqPhases      int     // phases whose work lands entirely on one processor
+}
+
+// ComputeStats derives load-balance statistics from a schedule.
+func ComputeStats(s *Schedule) Stats {
+	st := Stats{P: s.P, N: s.N, NumPhases: s.NumPhases, MinIndices: s.N + 1}
+	for p := 0; p < s.P; p++ {
+		c := len(s.Indices[p])
+		if c > st.MaxIndices {
+			st.MaxIndices = c
+		}
+		if c < st.MinIndices {
+			st.MinIndices = c
+		}
+	}
+	if s.NumPhases == 0 {
+		st.MinIndices = 0
+		return st
+	}
+	var imbal float64
+	for k := 0; k < s.NumPhases; k++ {
+		max, min, nonzero := 0, s.N+1, 0
+		for p := 0; p < s.P; p++ {
+			c := len(s.Phase(p, k))
+			if c > max {
+				max = c
+			}
+			if c < min {
+				min = c
+			}
+			if c > 0 {
+				nonzero++
+			}
+		}
+		imbal += float64(max - min)
+		if nonzero <= 1 && max > 0 {
+			st.SeqPhases++
+		}
+	}
+	st.PhaseImbalance = imbal / float64(s.NumPhases)
+	return st
+}
+
+// Validate checks the structural invariants of a schedule: the union of the
+// per-processor lists is a permutation of 0..N-1, wavefront numbers are
+// nondecreasing along every processor's list, and phase pointers bound
+// exactly the indices whose wavefront equals the phase number.
+func (s *Schedule) Validate() error {
+	seen := make([]bool, s.N)
+	total := 0
+	for p := 0; p < s.P; p++ {
+		idxs := s.Indices[p]
+		for k, idx := range idxs {
+			if idx < 0 || int(idx) >= s.N {
+				return fmt.Errorf("schedule: proc %d has out-of-range index %d", p, idx)
+			}
+			if seen[idx] {
+				return fmt.Errorf("schedule: index %d scheduled twice", idx)
+			}
+			seen[idx] = true
+			if k > 0 && s.Wf[idxs[k-1]] > s.Wf[idx] {
+				return fmt.Errorf("schedule: proc %d wavefronts decrease at position %d", p, k)
+			}
+		}
+		total += len(idxs)
+		ptr := s.PhasePtr[p]
+		if len(ptr) != s.NumPhases+1 {
+			return fmt.Errorf("schedule: proc %d has %d phase pointers, want %d",
+				p, len(ptr), s.NumPhases+1)
+		}
+		if ptr[0] != 0 || int(ptr[s.NumPhases]) != len(idxs) {
+			return fmt.Errorf("schedule: proc %d phase pointers do not span the index list", p)
+		}
+		for k := 0; k < s.NumPhases; k++ {
+			if ptr[k] > ptr[k+1] {
+				return fmt.Errorf("schedule: proc %d phase pointers not monotone at %d", p, k)
+			}
+			for _, idx := range idxs[ptr[k]:ptr[k+1]] {
+				if s.Wf[idx] != int32(k) {
+					return fmt.Errorf("schedule: proc %d phase %d contains index %d with wavefront %d",
+						p, k, idx, s.Wf[idx])
+				}
+			}
+		}
+	}
+	if total != s.N {
+		return fmt.Errorf("schedule: %d indices scheduled, want %d", total, s.N)
+	}
+	return nil
+}
+
+// FlatOrder returns the concatenation of per-processor schedules
+// interleaved phase by phase — the global execution order a pre-scheduled
+// run would observe with instantaneous barriers. Useful in tests.
+func (s *Schedule) FlatOrder() []int32 {
+	out := make([]int32, 0, s.N)
+	for k := 0; k < s.NumPhases; k++ {
+		for p := 0; p < s.P; p++ {
+			out = append(out, s.Phase(p, k)...)
+		}
+	}
+	return out
+}

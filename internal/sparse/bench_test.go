@@ -1,0 +1,67 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n, nnzPerRow int) *CSR {
+	rng := rand.New(rand.NewSource(1))
+	ts := make([]Triplet, 0, n*nnzPerRow)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{Row: i, Col: i, Val: 4})
+		for k := 1; k < nnzPerRow; k++ {
+			ts = append(ts, Triplet{Row: i, Col: rng.Intn(n), Val: -1})
+		}
+	}
+	a, err := Assemble(n, n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ts := make([]Triplet, 50000)
+	for k := range ts {
+		ts[k] = Triplet{Row: rng.Intn(10000), Col: rng.Intn(10000), Val: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(10000, 10000, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatVecCSR(b *testing.B) {
+	a := benchMatrix(20000, 5)
+	x := make([]float64, a.M)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.MatVec(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchMatrix(10000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Transpose()
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	a := benchMatrix(5000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.At(i%a.N, (i*7)%a.M)
+	}
+}

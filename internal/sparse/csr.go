@@ -1,0 +1,323 @@
+// Package sparse provides compressed sparse row (CSR) matrices and the
+// small set of sparse kernels the run-time loop parallelization system is
+// built on: triplet assembly, matrix-vector products, triangular splits and
+// structural queries.
+//
+// The package is deliberately minimal: it implements exactly the matrix
+// substrate used by the paper's evaluation (sparse triangular systems from
+// incomplete factorizations, and the synthetic dependence matrices from the
+// workload generator), with both sequential and parallel kernels.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i occupies ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]].
+// Column indices within a row are kept sorted in increasing order; Assemble
+// and all constructors in this package establish that invariant.
+type CSR struct {
+	N      int       // number of rows
+	M      int       // number of columns
+	RowPtr []int32   // length N+1
+	ColIdx []int32   // length nnz
+	Val    []float64 // length nnz
+}
+
+// Triplet is a single (row, col, value) entry used during assembly.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// ErrShape reports a dimension mismatch between a matrix and an operand.
+var ErrShape = errors.New("sparse: dimension mismatch")
+
+// New returns an empty N×M matrix with capacity reserved for nnz entries.
+func New(n, m, nnz int) *CSR {
+	return &CSR{
+		N:      n,
+		M:      m,
+		RowPtr: make([]int32, n+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+}
+
+// Assemble builds a CSR matrix from triplets. Duplicate (row, col) entries
+// are summed, matching the usual finite-difference assembly convention.
+// Entries outside the n×m bounds yield an error.
+func Assemble(n, m int, ts []Triplet) (*CSR, error) {
+	counts := make([]int32, n+1)
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= m {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) outside %dx%d", t.Row, t.Col, n, m)
+		}
+		counts[t.Row+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int32, len(ts))
+	val := make([]float64, len(ts))
+	next := make([]int32, n)
+	copy(next, counts[:n])
+	for _, t := range ts {
+		p := next[t.Row]
+		colIdx[p] = int32(t.Col)
+		val[p] = t.Val
+		next[t.Row]++
+	}
+	a := &CSR{N: n, M: m, RowPtr: counts, ColIdx: colIdx, Val: val}
+	a.sortRows()
+	a.sumDuplicates()
+	return a, nil
+}
+
+// MustAssemble is Assemble but panics on error; it is intended for
+// generators whose triplets are in-bounds by construction.
+func MustAssemble(n, m int, ts []Triplet) *CSR {
+	a, err := Assemble(n, m, ts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// sortRows sorts the column indices (and values) within each row.
+func (a *CSR) sortRows() {
+	for i := 0; i < a.N; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		row := rowView{cols: a.ColIdx[lo:hi], vals: a.Val[lo:hi]}
+		sort.Sort(row)
+	}
+}
+
+type rowView struct {
+	cols []int32
+	vals []float64
+}
+
+func (r rowView) Len() int           { return len(r.cols) }
+func (r rowView) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowView) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// sumDuplicates merges equal-column entries within each (sorted) row.
+func (a *CSR) sumDuplicates() {
+	out := int32(0)
+	newPtr := make([]int32, a.N+1)
+	for i := 0; i < a.N; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		newPtr[i] = out
+		for p := lo; p < hi; {
+			c := a.ColIdx[p]
+			v := a.Val[p]
+			p++
+			for p < hi && a.ColIdx[p] == c {
+				v += a.Val[p]
+				p++
+			}
+			a.ColIdx[out] = c
+			a.Val[out] = v
+			out++
+		}
+	}
+	newPtr[a.N] = out
+	a.RowPtr = newPtr
+	a.ColIdx = a.ColIdx[:out]
+	a.Val = a.Val[:out]
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColIdx) }
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return int(a.RowPtr[i+1] - a.RowPtr[i]) }
+
+// Row returns views of the column indices and values of row i.
+// The views alias the matrix storage and must not be modified.
+func (a *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 if no entry is stored there.
+// It performs a binary search within row i.
+func (a *CSR) At(i, j int) float64 {
+	cols, vals := a.Row(i)
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(cols[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && int(cols[lo]) == j {
+		return vals[lo]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the matrix.
+func (a *CSR) Clone() *CSR {
+	b := &CSR{
+		N:      a.N,
+		M:      a.M,
+		RowPtr: append([]int32(nil), a.RowPtr...),
+		ColIdx: append([]int32(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// Dense expands the matrix to a dense row-major representation.
+// Intended for tests on small matrices.
+func (a *CSR) Dense() [][]float64 {
+	d := make([][]float64, a.N)
+	for i := range d {
+		d[i] = make([]float64, a.M)
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			d[i][c] += vals[k]
+		}
+	}
+	return d
+}
+
+// Transpose returns the transpose in CSR form.
+func (a *CSR) Transpose() *CSR {
+	counts := make([]int32, a.M+1)
+	for _, c := range a.ColIdx {
+		counts[c+1]++
+	}
+	for j := 0; j < a.M; j++ {
+		counts[j+1] += counts[j]
+	}
+	t := &CSR{
+		N:      a.M,
+		M:      a.N,
+		RowPtr: counts,
+		ColIdx: make([]int32, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	next := make([]int32, a.M)
+	copy(next, counts[:a.M])
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			p := next[c]
+			t.ColIdx[p] = int32(i)
+			t.Val[p] = vals[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// StrictLower returns the strictly lower triangular part of a square matrix.
+func (a *CSR) StrictLower() *CSR { return a.triangle(func(i, j int) bool { return j < i }) }
+
+// StrictUpper returns the strictly upper triangular part of a square matrix.
+func (a *CSR) StrictUpper() *CSR { return a.triangle(func(i, j int) bool { return j > i }) }
+
+// LowerWithDiag returns the lower triangle including the diagonal.
+func (a *CSR) LowerWithDiag() *CSR { return a.triangle(func(i, j int) bool { return j <= i }) }
+
+// UpperWithDiag returns the upper triangle including the diagonal.
+func (a *CSR) UpperWithDiag() *CSR { return a.triangle(func(i, j int) bool { return j >= i }) }
+
+func (a *CSR) triangle(keep func(i, j int) bool) *CSR {
+	t := New(a.N, a.M, a.NNZ())
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if keep(i, int(c)) {
+				t.ColIdx = append(t.ColIdx, c)
+				t.Val = append(t.Val, vals[k])
+			}
+		}
+		t.RowPtr[i+1] = int32(len(t.ColIdx))
+	}
+	return t
+}
+
+// Diag returns a copy of the diagonal of a square matrix; absent diagonal
+// entries are reported as zero.
+func (a *CSR) Diag() []float64 {
+	d := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// HasFullDiag reports whether every diagonal entry is stored and non-zero.
+func (a *CSR) HasFullDiag() bool {
+	for i := 0; i < a.N; i++ {
+		if a.At(i, i) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two matrices have identical structure and values.
+func Equal(a, b *CSR) bool {
+	if a.N != b.N || a.M != b.M || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckWellFormed validates the CSR invariants: monotone row pointers,
+// in-range sorted column indices. It returns a descriptive error on the
+// first violation found.
+func (a *CSR) CheckWellFormed() error {
+	if len(a.RowPtr) != a.N+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(a.RowPtr), a.N+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	if int(a.RowPtr[a.N]) != len(a.ColIdx) || len(a.ColIdx) != len(a.Val) {
+		return fmt.Errorf("sparse: inconsistent nnz: RowPtr[N]=%d ColIdx=%d Val=%d",
+			a.RowPtr[a.N], len(a.ColIdx), len(a.Val))
+	}
+	for i := 0; i < a.N; i++ {
+		if a.RowPtr[i] > a.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
+		}
+		if a.RowPtr[i] < 0 || int(a.RowPtr[i+1]) > len(a.ColIdx) {
+			return fmt.Errorf("sparse: RowPtr out of range at row %d", i)
+		}
+		cols, _ := a.Row(i)
+		for k, c := range cols {
+			if c < 0 || int(c) >= a.M {
+				return fmt.Errorf("sparse: row %d has out-of-range column %d", i, c)
+			}
+			if k > 0 && cols[k-1] >= c {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, k)
+			}
+		}
+	}
+	return nil
+}

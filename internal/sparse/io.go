@@ -1,0 +1,44 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteText writes the matrix in a simple triplet text format:
+// a header line "n m nnz" followed by one "row col value" line per entry.
+// Rows and columns are written 0-based.
+func (a *CSR) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.N, a.M, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i, c, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText.
+func ReadText(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var n, m, nnz int
+	if _, err := fmt.Fscan(br, &n, &m, &nnz); err != nil {
+		return nil, fmt.Errorf("sparse: reading header: %w", err)
+	}
+	ts := make([]Triplet, 0, nnz)
+	for k := 0; k < nnz; k++ {
+		var t Triplet
+		if _, err := fmt.Fscan(br, &t.Row, &t.Col, &t.Val); err != nil {
+			return nil, fmt.Errorf("sparse: reading entry %d: %w", k, err)
+		}
+		ts = append(ts, t)
+	}
+	return Assemble(n, m, ts)
+}

@@ -1,0 +1,73 @@
+package sparse
+
+import "sync"
+
+// MatVec computes y = A*x sequentially. y and x must not alias.
+func (a *CSR) MatVec(y, x []float64) error {
+	if len(x) != a.M || len(y) != a.N {
+		return ErrShape
+	}
+	for i := 0; i < a.N; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		s := 0.0
+		for p := lo; p < hi; p++ {
+			s += a.Val[p] * x[a.ColIdx[p]]
+		}
+		y[i] = s
+	}
+	return nil
+}
+
+// MatVecParallel computes y = A*x with the rows divided into nproc
+// contiguous blocks of roughly equal size, one goroutine per block.
+// This mirrors the paper's Appendix II parallelization of the sparse
+// matrix-vector product: "the indices from 1 to n are divided into p
+// contiguous groups of roughly equal size".
+func (a *CSR) MatVecParallel(y, x []float64, nproc int) error {
+	if len(x) != a.M || len(y) != a.N {
+		return ErrShape
+	}
+	if nproc < 1 {
+		nproc = 1
+	}
+	if nproc > a.N {
+		nproc = a.N
+	}
+	if nproc <= 1 {
+		return a.MatVec(y, x)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < nproc; p++ {
+		lo := a.N * p / nproc
+		hi := a.N * (p + 1) / nproc
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s := 0.0
+				for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+					s += a.Val[q] * x[a.ColIdx[q]]
+				}
+				y[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// MatVecAdd computes y += A*x sequentially.
+func (a *CSR) MatVecAdd(y, x []float64) error {
+	if len(x) != a.M || len(y) != a.N {
+		return ErrShape
+	}
+	for i := 0; i < a.N; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		s := 0.0
+		for p := lo; p < hi; p++ {
+			s += a.Val[p] * x[a.ColIdx[p]]
+		}
+		y[i] += s
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package sparse
+
+import (
+	"fmt"
+	"io"
+)
+
+// Spy writes an ASCII density plot of the matrix, at most maxDim
+// characters wide/tall; each cell aggregates a block of the matrix and
+// prints a darkness ramp by stored-entry density. Handy for inspecting
+// the structure the workload generator and reorderings produce.
+func (a *CSR) Spy(w io.Writer, maxDim int) error {
+	if maxDim < 1 {
+		maxDim = 1
+	}
+	rows, cols := a.N, a.M
+	rdim, cdim := rows, cols
+	if rdim > maxDim {
+		rdim = maxDim
+	}
+	if cdim > maxDim {
+		cdim = maxDim
+	}
+	if rdim == 0 || cdim == 0 {
+		_, err := fmt.Fprintln(w, "(empty matrix)")
+		return err
+	}
+	counts := make([][]int, rdim)
+	for i := range counts {
+		counts[i] = make([]int, cdim)
+	}
+	for i := 0; i < rows; i++ {
+		cs, _ := a.Row(i)
+		bi := i * rdim / rows
+		for _, c := range cs {
+			counts[bi][int(c)*cdim/cols]++
+		}
+	}
+	// Block area for density normalization.
+	blockArea := float64(rows) / float64(rdim) * float64(cols) / float64(cdim)
+	ramp := []byte(" .:+*#@")
+	if _, err := fmt.Fprintf(w, "%d x %d, %d entries\n", rows, cols, a.NNZ()); err != nil {
+		return err
+	}
+	line := make([]byte, cdim)
+	for i := 0; i < rdim; i++ {
+		for j := 0; j < cdim; j++ {
+			d := float64(counts[i][j]) / blockArea
+			k := int(d * float64(len(ramp)-1) * 4) // saturate early: sparse blocks visible
+			if counts[i][j] > 0 && k == 0 {
+				k = 1
+			}
+			if k >= len(ramp) {
+				k = len(ramp) - 1
+			}
+			line[j] = ramp[k]
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpySmall(t *testing.T) {
+	a := mustAssembleT(t, 3, 3, []Triplet{
+		{0, 0, 1}, {1, 1, 1}, {2, 2, 1}, {2, 0, 1},
+	})
+	var buf bytes.Buffer
+	if err := a.Spy(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 x 3, 4 entries") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Diagonal cells must be non-blank, (0,2) blank.
+	if lines[1][1] == ' ' || lines[2][2] == ' ' || lines[3][3] == ' ' {
+		t.Errorf("diagonal not marked:\n%s", out)
+	}
+	if lines[1][3] != ' ' {
+		t.Errorf("(0,2) should be blank:\n%s", out)
+	}
+}
+
+func TestSpyDownsamples(t *testing.T) {
+	n := 100
+	ts := make([]Triplet, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{Row: i, Col: i, Val: 1})
+	}
+	a := mustAssembleT(t, n, n, ts)
+	var buf bytes.Buffer
+	if err := a.Spy(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 21 {
+		t.Errorf("expected 20 plot rows + header, got %d lines", len(lines))
+	}
+}
+
+func TestSpyDegenerate(t *testing.T) {
+	a := New(0, 0, 0)
+	var buf bytes.Buffer
+	if err := a.Spy(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty matrix not reported")
+	}
+	b := mustAssembleT(t, 2, 2, []Triplet{{0, 0, 1}})
+	if err := b.Spy(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}

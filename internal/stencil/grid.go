@@ -1,0 +1,53 @@
+// Package stencil generates the paper's evaluation matrices: variable
+// coefficient 5-point, 9-point box and 7-point finite-difference operators
+// on 2-D and 3-D grids, and the block seven-point reservoir-simulation
+// operators standing in for the proprietary SPE test problems.
+//
+// The matrices are assembled with natural (lexicographic) ordering of grid
+// points, which is what gives the lower triangular factors their
+// anti-diagonal wavefront structure analyzed in Section 4 of the paper.
+package stencil
+
+// Grid2D describes an nx-by-ny rectangular grid with natural ordering:
+// point (i, j) has index j*nx + i, i varying fastest.
+type Grid2D struct {
+	NX, NY int
+}
+
+// N returns the number of grid points.
+func (g Grid2D) N() int { return g.NX * g.NY }
+
+// Index returns the natural-order index of point (i, j).
+func (g Grid2D) Index(i, j int) int { return j*g.NX + i }
+
+// Coords returns the (i, j) coordinates of index k.
+func (g Grid2D) Coords(k int) (i, j int) { return k % g.NX, k / g.NX }
+
+// In reports whether (i, j) is inside the grid.
+func (g Grid2D) In(i, j int) bool { return i >= 0 && i < g.NX && j >= 0 && j < g.NY }
+
+// Grid3D describes an nx-by-ny-by-nz grid with natural ordering:
+// point (i, j, k) has index (k*ny+j)*nx + i.
+type Grid3D struct {
+	NX, NY, NZ int
+}
+
+// N returns the number of grid points.
+func (g Grid3D) N() int { return g.NX * g.NY * g.NZ }
+
+// Index returns the natural-order index of point (i, j, k).
+func (g Grid3D) Index(i, j, k int) int { return (k*g.NY+j)*g.NX + i }
+
+// Coords returns the (i, j, k) coordinates of index m.
+func (g Grid3D) Coords(m int) (i, j, k int) {
+	i = m % g.NX
+	m /= g.NX
+	j = m % g.NY
+	k = m / g.NY
+	return
+}
+
+// In reports whether (i, j, k) is inside the grid.
+func (g Grid3D) In(i, j, k int) bool {
+	return i >= 0 && i < g.NX && j >= 0 && j < g.NY && k >= 0 && k < g.NZ
+}

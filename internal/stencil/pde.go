@@ -1,0 +1,155 @@
+package stencil
+
+import (
+	"math"
+
+	"doconsider/internal/sparse"
+)
+
+// FivePoint returns the five-point central difference discretization of the
+// paper's Problem 6 on an n-by-n interior grid of the unit square:
+//
+//	-(e^{xy} u_x)_x - (e^{-xy} u_y)_y + 2(x+y)(u_x + u_y) + u/(1+x+y) = f
+//
+// with Dirichlet boundary conditions. The 63×63 grid yields the paper's
+// 5-PT problem (3969 unknowns); 200×200 yields L5-PT.
+func FivePoint(n int) *sparse.CSR {
+	g := Grid2D{NX: n, NY: n}
+	h := 1.0 / float64(n+1)
+	ts := make([]sparse.Triplet, 0, 5*g.N())
+	ax := func(x, y float64) float64 { return math.Exp(x * y) }
+	ay := func(x, y float64) float64 { return math.Exp(-x * y) }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			x := float64(i+1) * h
+			y := float64(j+1) * h
+			row := g.Index(i, j)
+			// Diffusion: harmonic-midpoint coefficients.
+			aw := ax(x-h/2, y) / (h * h)
+			ae := ax(x+h/2, y) / (h * h)
+			as := ay(x, y-h/2) / (h * h)
+			an := ay(x, y+h/2) / (h * h)
+			// Convection (central): 2(x+y) u_x -> ±(x+y)/h off-diagonals.
+			c := (x + y) / h
+			center := aw + ae + as + an + 1.0/(1.0+x+y)
+			add := func(ii, jj int, v float64) {
+				if g.In(ii, jj) {
+					ts = append(ts, sparse.Triplet{Row: row, Col: g.Index(ii, jj), Val: v})
+				}
+			}
+			add(i-1, j, -aw-c)
+			add(i+1, j, -ae+c)
+			add(i, j-1, -as-c)
+			add(i, j+1, -an+c)
+			ts = append(ts, sparse.Triplet{Row: row, Col: row, Val: center})
+		}
+	}
+	return sparse.MustAssemble(g.N(), g.N(), ts)
+}
+
+// NinePoint returns a nine-point box scheme discretization of the paper's
+// Problem 7 on an n-by-n interior grid of the unit square:
+//
+//	-(u_xx + u_yy) + 2 u_x + 2 u_y = f
+//
+// The box scheme couples each point to all eight neighbours. The 63×63 grid
+// yields the paper's 9-PT problem; 127×127 yields L9-PT.
+func NinePoint(n int) *sparse.CSR {
+	g := Grid2D{NX: n, NY: n}
+	h := 1.0 / float64(n+1)
+	ts := make([]sparse.Triplet, 0, 9*g.N())
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			row := g.Index(i, j)
+			// Nine-point Laplacian (Mehrstellen weights 4/1 over 6h^2)
+			// plus central convection on the axial neighbours.
+			c := 2.0 * h / 2.0 // = h; scaled below with 1/h^2 factors
+			add := func(ii, jj int, v float64) {
+				if g.In(ii, jj) {
+					ts = append(ts, sparse.Triplet{Row: row, Col: g.Index(ii, jj), Val: v})
+				}
+			}
+			inv6h2 := 1.0 / (6 * h * h)
+			add(i-1, j, (-4-6*c)*inv6h2)
+			add(i+1, j, (-4+6*c)*inv6h2)
+			add(i, j-1, (-4-6*c)*inv6h2)
+			add(i, j+1, (-4+6*c)*inv6h2)
+			add(i-1, j-1, -1*inv6h2)
+			add(i+1, j-1, -1*inv6h2)
+			add(i-1, j+1, -1*inv6h2)
+			add(i+1, j+1, -1*inv6h2)
+			ts = append(ts, sparse.Triplet{Row: row, Col: row, Val: 20 * inv6h2})
+		}
+	}
+	return sparse.MustAssemble(g.N(), g.N(), ts)
+}
+
+// SevenPoint returns the seven-point central difference discretization of
+// the paper's Problem 8 on an n³ interior grid of the unit cube:
+//
+//	-(e^{xy} u_x)_x - (e^{xy} u_y)_y - (e^{xy} u_z)_z
+//	  + 80(x+y+z) u_x + (40 + 1/(1+x+y+z)) u = f
+//
+// The 20×20×20 grid yields the paper's 7-PT problem (8000 unknowns);
+// 30×30×30 yields L7-PT.
+func SevenPoint(n int) *sparse.CSR {
+	g := Grid3D{NX: n, NY: n, NZ: n}
+	h := 1.0 / float64(n+1)
+	ts := make([]sparse.Triplet, 0, 7*g.N())
+	a := func(x, y float64) float64 { return math.Exp(x * y) }
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x := float64(i+1) * h
+				y := float64(j+1) * h
+				z := float64(k+1) * h
+				row := g.Index(i, j, k)
+				aw := a(x-h/2, y) / (h * h)
+				ae := a(x+h/2, y) / (h * h)
+				as := a(x, y-h/2) / (h * h)
+				an := a(x, y+h/2) / (h * h)
+				ad := a(x, y) / (h * h) // z-direction midpoints share e^{xy}
+				au := a(x, y) / (h * h)
+				c := 40 * (x + y + z) / h // 80(x+y+z)/(2h)
+				center := aw + ae + as + an + ad + au + 40 + 1/(1+x+y+z)
+				add := func(ii, jj, kk int, v float64) {
+					if g.In(ii, jj, kk) {
+						ts = append(ts, sparse.Triplet{Row: row, Col: g.Index(ii, jj, kk), Val: v})
+					}
+				}
+				add(i-1, j, k, -aw-c)
+				add(i+1, j, k, -ae+c)
+				add(i, j-1, k, -as)
+				add(i, j+1, k, -an)
+				add(i, j, k-1, -ad)
+				add(i, j, k+1, -au)
+				ts = append(ts, sparse.Triplet{Row: row, Col: row, Val: center})
+			}
+		}
+	}
+	return sparse.MustAssemble(g.N(), g.N(), ts)
+}
+
+// Laplace2D returns the constant-coefficient five-point Laplacian on an
+// m-by-n grid (natural ordering). This is the Section 4 model problem
+// operator and the "65mesh" workload of Table 5.
+func Laplace2D(m, n int) *sparse.CSR {
+	g := Grid2D{NX: m, NY: n}
+	ts := make([]sparse.Triplet, 0, 5*g.N())
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			row := g.Index(i, j)
+			add := func(ii, jj int, v float64) {
+				if g.In(ii, jj) {
+					ts = append(ts, sparse.Triplet{Row: row, Col: g.Index(ii, jj), Val: v})
+				}
+			}
+			add(i-1, j, -1)
+			add(i+1, j, -1)
+			add(i, j-1, -1)
+			add(i, j+1, -1)
+			ts = append(ts, sparse.Triplet{Row: row, Col: row, Val: 4})
+		}
+	}
+	return sparse.MustAssemble(g.N(), g.N(), ts)
+}

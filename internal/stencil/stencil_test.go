@@ -1,0 +1,231 @@
+package stencil
+
+import (
+	"testing"
+)
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D{NX: 5, NY: 7}
+	if g.N() != 35 {
+		t.Fatalf("N = %d, want 35", g.N())
+	}
+	for k := 0; k < g.N(); k++ {
+		i, j := g.Coords(k)
+		if g.Index(i, j) != k {
+			t.Fatalf("round trip failed at %d", k)
+		}
+		if !g.In(i, j) {
+			t.Fatalf("In(%d,%d) false", i, j)
+		}
+	}
+	if g.In(-1, 0) || g.In(5, 0) || g.In(0, 7) {
+		t.Error("In accepts out-of-grid points")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D{NX: 3, NY: 4, NZ: 5}
+	if g.N() != 60 {
+		t.Fatalf("N = %d, want 60", g.N())
+	}
+	for m := 0; m < g.N(); m++ {
+		i, j, k := g.Coords(m)
+		if g.Index(i, j, k) != m {
+			t.Fatalf("round trip failed at %d", m)
+		}
+	}
+	if g.In(3, 0, 0) || g.In(0, 0, -1) {
+		t.Error("In accepts out-of-grid points")
+	}
+}
+
+func TestFivePointStructure(t *testing.T) {
+	a := FivePoint(4)
+	if a.N != 16 {
+		t.Fatalf("N = %d, want 16", a.N)
+	}
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior point (1,1) = index 5 has 5 entries; corner (0,0) has 3.
+	if got := a.RowNNZ(5); got != 5 {
+		t.Errorf("interior row nnz = %d, want 5", got)
+	}
+	if got := a.RowNNZ(0); got != 3 {
+		t.Errorf("corner row nnz = %d, want 3", got)
+	}
+	// Paper sizes: 63x63 -> 3969 unknowns.
+	if FivePoint(63).N != 3969 {
+		t.Error("5-PT should have 3969 unknowns")
+	}
+}
+
+func TestFivePointDiagonalDominanceish(t *testing.T) {
+	a := FivePoint(8)
+	for i := 0; i < a.N; i++ {
+		if a.At(i, i) <= 0 {
+			t.Fatalf("non-positive diagonal at %d", i)
+		}
+	}
+}
+
+func TestNinePointStructure(t *testing.T) {
+	a := NinePoint(4)
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RowNNZ(5); got != 9 { // interior point has all 8 neighbours
+		t.Errorf("interior row nnz = %d, want 9", got)
+	}
+	if got := a.RowNNZ(0); got != 4 { // corner: self + E + N + NE
+		t.Errorf("corner row nnz = %d, want 4", got)
+	}
+	if NinePoint(63).N != 3969 {
+		t.Error("9-PT should have 3969 unknowns")
+	}
+}
+
+func TestSevenPointStructure(t *testing.T) {
+	a := SevenPoint(4)
+	if a.N != 64 {
+		t.Fatalf("N = %d, want 64", a.N)
+	}
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	g := Grid3D{4, 4, 4}
+	interior := g.Index(1, 1, 1)
+	if got := a.RowNNZ(interior); got != 7 {
+		t.Errorf("interior row nnz = %d, want 7", got)
+	}
+	if got := a.RowNNZ(0); got != 4 {
+		t.Errorf("corner row nnz = %d, want 4", got)
+	}
+}
+
+func TestSevenPointPaperSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large grid in -short mode")
+	}
+	if SevenPoint(20).N != 8000 {
+		t.Error("7-PT should have 8000 unknowns")
+	}
+}
+
+func TestLaplace2D(t *testing.T) {
+	a := Laplace2D(3, 3)
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(4, 4) != 4 {
+		t.Errorf("center diagonal = %v, want 4", a.At(4, 4))
+	}
+	if a.At(4, 1) != -1 || a.At(4, 3) != -1 || a.At(4, 5) != -1 || a.At(4, 7) != -1 {
+		t.Error("center neighbours wrong")
+	}
+	// Symmetric.
+	tr := a.Transpose()
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != tr.At(i, j) {
+				t.Fatalf("Laplace2D not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSPESizes(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		a    func() int
+	}{
+		{"SPE1", 1000, func() int { return SPE1().N }},
+		{"SPE2", 1080, func() int { return SPE2().N }},
+		{"SPE4", 1104, func() int { return SPE4().N }},
+		{"SPE5", 3312, func() int { return SPE5().N }},
+	}
+	for _, c := range cases {
+		if got := c.a(); got != c.n {
+			t.Errorf("%s: N = %d, want %d", c.name, got, c.n)
+		}
+	}
+}
+
+func TestSPE3Size(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large grid in -short mode")
+	}
+	if SPE3().N != 5005 {
+		t.Error("SPE3 should have 5005 unknowns")
+	}
+}
+
+func TestBlockSevenPointDeterministic(t *testing.T) {
+	a := BlockSevenPoint(Grid3D{3, 3, 2}, 2, 5)
+	b := BlockSevenPoint(Grid3D{3, 3, 2}, 2, 5)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different structure")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("same seed produced different values")
+		}
+	}
+	c := BlockSevenPoint(Grid3D{3, 3, 2}, 2, 6)
+	same := a.NNZ() == c.NNZ()
+	if same {
+		for k := range a.Val {
+			if a.Val[k] != c.Val[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestBlockSevenPointDiagonallyDominant(t *testing.T) {
+	a := BlockSevenPoint(Grid3D{4, 3, 2}, 3, 11)
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		var off, diag float64
+		for k, c := range cols {
+			if int(c) == i {
+				diag = vals[k]
+			} else if vals[k] < 0 {
+				off -= vals[k]
+			} else {
+				off += vals[k]
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: diag=%v off=%v", i, diag, off)
+		}
+	}
+}
+
+func TestBlockSevenPointBlockStructure(t *testing.T) {
+	g := Grid3D{2, 2, 1}
+	b := 2
+	a := BlockSevenPoint(g, b, 3)
+	if a.N != g.N()*b {
+		t.Fatalf("N = %d, want %d", a.N, g.N()*b)
+	}
+	// Point 0 couples to points 1 (x+1) and 2 (y+1): rows 0..1 touch
+	// columns in blocks {0,1,2} only.
+	for r := 0; r < b; r++ {
+		cols, _ := a.Row(r)
+		for _, c := range cols {
+			blk := int(c) / b
+			if blk != 0 && blk != 1 && blk != 2 {
+				t.Errorf("row %d couples to unexpected block %d", r, blk)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package synthetic implements the paper's parameterized workload generator
+// (Section 4.1): dependence matrices over a 2-D mesh whose out-degree
+// follows a Poisson distribution and whose link distances follow a
+// geometric distribution under the Manhattan metric.
+//
+// A workload named "65-4-3" is a 65×65 mesh with an average of 4 dependency
+// links per index (Poisson) at an average link distance of 3 (geometric),
+// matching the naming used in Section 5.
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson samples a Poisson random variable with mean lambda using Knuth's
+// product-of-uniforms method, which is exact and fast for the small means
+// used by the workload generator.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric samples a geometric random variable on {1, 2, ...} with the
+// given mean (mean must be >= 1). The paper assigns link distances from
+// this distribution: Pr[X = i] = (1-p) p^(i-1) with mean 1/(1-p).
+func Geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 - 1/mean // success parameter; Pr[X=i] = (1-p)p^{i-1}
+	u := rng.Float64()
+	// Inversion: smallest i with 1 - p^i >= u.
+	d := 1 + int(math.Floor(math.Log(1-u)/math.Log(p)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

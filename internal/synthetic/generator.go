@@ -1,0 +1,169 @@
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+)
+
+// Config parameterizes the workload generator.
+type Config struct {
+	Mesh     int     // the mesh is Mesh×Mesh points, naturally ordered
+	Degree   float64 // mean number of dependency links per index (Poisson)
+	Distance float64 // mean Manhattan link distance (geometric)
+	Seed     int64   // RNG seed; equal seeds give identical workloads
+}
+
+// Name returns the paper's "mesh-degree-distance" label, e.g. "65-4-3".
+func (c Config) Name() string {
+	deg := strconv.FormatFloat(c.Degree, 'g', -1, 64)
+	dist := strconv.FormatFloat(c.Distance, 'g', -1, 64)
+	return fmt.Sprintf("%d-%s-%s", c.Mesh, deg, dist)
+}
+
+// Parse decodes a "mesh-degree-distance" label into a Config with the given
+// seed, e.g. Parse("65-4-1.5", 7).
+func Parse(name string, seed int64) (Config, error) {
+	parts := strings.Split(name, "-")
+	if len(parts) != 3 {
+		return Config{}, fmt.Errorf("synthetic: bad workload name %q", name)
+	}
+	mesh, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return Config{}, fmt.Errorf("synthetic: bad mesh in %q: %w", name, err)
+	}
+	deg, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return Config{}, fmt.Errorf("synthetic: bad degree in %q: %w", name, err)
+	}
+	dist, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return Config{}, fmt.Errorf("synthetic: bad distance in %q: %w", name, err)
+	}
+	return Config{Mesh: mesh, Degree: deg, Distance: dist, Seed: seed}, nil
+}
+
+// Generate produces the dependence matrix of the synthetic workload: a unit
+// lower triangular matrix whose off-diagonal entries encode the dependency
+// links. For each mesh point, the number of links is Poisson(Degree) and
+// each link connects the point to a uniformly chosen partner at geometric
+// Manhattan distance; the link is oriented so that the higher index depends
+// on the lower, which makes the matrix a valid triangular-solve workload.
+func Generate(c Config) *sparse.CSR {
+	rng := rand.New(rand.NewSource(c.Seed))
+	g := stencil.Grid2D{NX: c.Mesh, NY: c.Mesh}
+	n := g.N()
+	ts := make([]sparse.Triplet, 0, n*(1+int(c.Degree)))
+	// candidate buffer for ring enumeration
+	var ring [][2]int
+	for k := 0; k < n; k++ {
+		ki, kj := g.Coords(k)
+		links := Poisson(rng, c.Degree)
+		for l := 0; l < links; l++ {
+			d := Geometric(rng, c.Distance)
+			ring = ring[:0]
+			// All in-grid points at Manhattan distance exactly d from (ki,kj).
+			for a := 0; a <= d; a++ {
+				b := d - a
+				var cand [][2]int
+				switch {
+				case a == 0:
+					cand = [][2]int{{ki, kj + b}, {ki, kj - b}}
+				case b == 0:
+					cand = [][2]int{{ki + a, kj}, {ki - a, kj}}
+				default:
+					cand = [][2]int{
+						{ki + a, kj + b}, {ki + a, kj - b},
+						{ki - a, kj + b}, {ki - a, kj - b},
+					}
+				}
+				for _, p := range cand {
+					if g.In(p[0], p[1]) {
+						ring = append(ring, p)
+					}
+				}
+			}
+			if len(ring) == 0 {
+				continue
+			}
+			p := ring[rng.Intn(len(ring))]
+			q := g.Index(p[0], p[1])
+			if q == k {
+				continue
+			}
+			row, col := k, q
+			if row < col {
+				row, col = col, row
+			}
+			ts = append(ts, sparse.Triplet{Row: row, Col: col, Val: -(0.1 + 0.4*rng.Float64())})
+		}
+	}
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: 1})
+	}
+	a := sparse.MustAssemble(n, n, ts)
+	// Duplicate links were summed by Assemble; renormalize the diagonal so
+	// the system stays comfortably nonsingular for solve-based tests.
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		var off float64
+		diag := -1
+		for k, c := range cols {
+			if int(c) == i {
+				diag = k
+			} else {
+				if vals[k] < 0 {
+					off -= vals[k]
+				} else {
+					off += vals[k]
+				}
+			}
+		}
+		vals[diag] = 1 + off
+	}
+	return a
+}
+
+// Stats summarizes the structure of a generated workload.
+type Stats struct {
+	N          int     // number of indices
+	Links      int     // number of distinct dependence links (off-diagonals)
+	AvgDegree  float64 // mean off-diagonal count per row
+	MaxRowNNZ  int     // densest row (including diagonal)
+	EmptyRows  int     // rows with no dependences (wavefront 0 members)
+	AvgRowBand float64 // mean distance between row index and its farthest dependence
+}
+
+// Summarize computes structural statistics for a workload matrix.
+func Summarize(a *sparse.CSR) Stats {
+	s := Stats{N: a.N}
+	var bandSum float64
+	for i := 0; i < a.N; i++ {
+		cols, _ := a.Row(i)
+		off := 0
+		far := 0
+		for _, c := range cols {
+			if int(c) != i {
+				off++
+				if d := i - int(c); d > far {
+					far = d
+				}
+			}
+		}
+		s.Links += off
+		if off == 0 {
+			s.EmptyRows++
+		}
+		if len(cols) > s.MaxRowNNZ {
+			s.MaxRowNNZ = len(cols)
+		}
+		bandSum += float64(far)
+	}
+	s.AvgDegree = float64(s.Links) / float64(a.N)
+	s.AvgRowBand = bandSum / float64(a.N)
+	return s
+}

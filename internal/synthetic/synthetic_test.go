@@ -1,0 +1,161 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 2, 4, 8} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += Poisson(rng, lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 0.15*lambda+0.05 {
+			t.Errorf("Poisson(%v) sample mean %v", lambda, mean)
+		}
+	}
+	if Poisson(rng, 0) != 0 || Poisson(rng, -1) != 0 {
+		t.Error("Poisson with nonpositive mean should be 0")
+	}
+}
+
+func TestGeometricMeanAndSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, mean := range []float64{1.5, 3, 6} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			d := Geometric(rng, mean)
+			if d < 1 {
+				t.Fatalf("Geometric returned %d < 1", d)
+			}
+			sum += d
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.1*mean {
+			t.Errorf("Geometric(%v) sample mean %v", mean, got)
+		}
+	}
+	if Geometric(rng, 1) != 1 || Geometric(rng, 0.5) != 1 {
+		t.Error("Geometric with mean <= 1 should return 1")
+	}
+}
+
+func TestConfigNameRoundTrip(t *testing.T) {
+	c := Config{Mesh: 65, Degree: 4, Distance: 1.5}
+	if got := c.Name(); got != "65-4-1.5" {
+		t.Fatalf("Name = %q, want 65-4-1.5", got)
+	}
+	parsed, err := Parse("65-4-1.5", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Mesh != 65 || parsed.Degree != 4 || parsed.Distance != 1.5 || parsed.Seed != 9 {
+		t.Errorf("Parse = %+v", parsed)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"65-4", "x-4-3", "65-y-3", "65-4-z", ""} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	c := Config{Mesh: 20, Degree: 4, Distance: 3, Seed: 7}
+	a := Generate(c)
+	if a.N != 400 {
+		t.Fatalf("N = %d, want 400", a.N)
+	}
+	if err := a.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	// Strictly lower triangular off-diagonals with a full diagonal.
+	for i := 0; i < a.N; i++ {
+		cols, _ := a.Row(i)
+		hasDiag := false
+		for _, col := range cols {
+			if int(col) > i {
+				t.Fatalf("row %d has upper entry %d", i, col)
+			}
+			if int(col) == i {
+				hasDiag = true
+			}
+		}
+		if !hasDiag {
+			t.Fatalf("row %d missing diagonal", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Config{Mesh: 15, Degree: 3, Distance: 2, Seed: 5}
+	a := Generate(c)
+	b := Generate(c)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same config produced different structure")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("same config produced different values")
+		}
+	}
+}
+
+func TestGenerateDegreeScales(t *testing.T) {
+	lo := Summarize(Generate(Config{Mesh: 30, Degree: 2, Distance: 2, Seed: 1}))
+	hi := Summarize(Generate(Config{Mesh: 30, Degree: 6, Distance: 2, Seed: 1}))
+	if hi.AvgDegree <= lo.AvgDegree {
+		t.Errorf("degree did not scale: lo=%v hi=%v", lo.AvgDegree, hi.AvgDegree)
+	}
+}
+
+func TestGenerateDistanceScalesBand(t *testing.T) {
+	near := Summarize(Generate(Config{Mesh: 30, Degree: 4, Distance: 1.2, Seed: 2}))
+	far := Summarize(Generate(Config{Mesh: 30, Degree: 4, Distance: 6, Seed: 2}))
+	if far.AvgRowBand <= near.AvgRowBand {
+		t.Errorf("distance did not widen band: near=%v far=%v", near.AvgRowBand, far.AvgRowBand)
+	}
+}
+
+func TestGenerateDiagonallyDominant(t *testing.T) {
+	a := Generate(Config{Mesh: 12, Degree: 5, Distance: 2, Seed: 3})
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		var off, diag float64
+		for k, c := range cols {
+			if int(c) == i {
+				diag = vals[k]
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag < off+0.5 {
+			t.Fatalf("row %d weakly dominant: diag=%v off=%v", i, diag, off)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := Generate(Config{Mesh: 10, Degree: 3, Distance: 2, Seed: 4})
+	s := Summarize(a)
+	if s.N != 100 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.Links != a.NNZ()-a.N {
+		t.Errorf("Links = %d, want %d", s.Links, a.NNZ()-a.N)
+	}
+	if s.EmptyRows < 1 {
+		t.Error("expected at least the first row to be dependence-free")
+	}
+	if s.MaxRowNNZ < 1 || s.AvgDegree < 0 {
+		t.Error("nonsensical stats")
+	}
+}

@@ -1,0 +1,79 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"doconsider/internal/machine"
+	"doconsider/internal/problems"
+	"doconsider/internal/schedule"
+)
+
+// Table4Row projects parallel efficiencies to larger machines, as the paper
+// does from its 16-processor measurements: non-load-balance losses (the
+// "Best" efficiency) are assumed to stay constant, while the symbolically
+// estimated (load balance) efficiency is recomputed per processor count.
+type Table4Row struct {
+	Problem  string
+	BestSelf float64   // efficiency with perfect balance, self-executing overheads
+	BestPre  float64   // efficiency with perfect balance, pre-scheduled overheads
+	SelfEff  []float64 // projected self-executing efficiency per processor count
+	PreEff   []float64 // projected pre-scheduled efficiency per processor count
+}
+
+// Table4 computes projections for the given processor counts (the paper
+// uses 16, 32, 64).
+func Table4(names []string, procCounts []int) ([]Table4Row, error) {
+	costs := machine.MultimaxCosts()
+	rows := make([]Table4Row, 0, len(names))
+	for _, name := range names {
+		p, err := problems.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		seq := problems.TotalWork(p.Work) * costs.Tflop
+		row := Table4Row{Problem: name}
+		for k, nproc := range procCounts {
+			gs := schedule.Global(p.Wf, nproc)
+			symSelf, err := machine.SymbolicEfficiency(machine.SelfExecutingSim, gs, p.Deps, p.Work)
+			if err != nil {
+				return nil, err
+			}
+			symPre, err := machine.SymbolicEfficiency(machine.PreScheduledSim, gs, p.Deps, p.Work)
+			if err != nil {
+				return nil, err
+			}
+			// Best: perfect balance, only per-operation overheads (and
+			// barriers for pre-scheduling) remain.
+			rotSelf := machine.RotatingEstimate(machine.SelfExecutingSim, gs, p.Deps, p.Work, costs)
+			rotPre := machine.RotatingEstimate(machine.PreScheduledSim, gs, p.Deps, p.Work, costs)
+			bestSelf := seq / (float64(nproc) * rotSelf)
+			bestPre := seq / (float64(nproc) * rotPre)
+			if k == 0 {
+				row.BestSelf = bestSelf
+				row.BestPre = bestPre
+			}
+			row.SelfEff = append(row.SelfEff, bestSelf*symSelf)
+			row.PreEff = append(row.PreEff, bestPre*symPre)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintTable4 renders Table 4 rows.
+func FprintTable4(w io.Writer, rows []Table4Row, procCounts []int) {
+	fmt.Fprintf(w, "Table 4: Projected efficiencies (Best at %d processors)\n", procCounts[0])
+	fmt.Fprintf(w, "%-9s %10s %10s", "Problem", "BestS.E.", "BestP.S.")
+	for _, p := range procCounts {
+		fmt.Fprintf(w, " %7s %7s", fmt.Sprintf("SE@%d", p), fmt.Sprintf("PS@%d", p))
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %10.2f %10.2f", r.Problem, r.BestSelf, r.BestPre)
+		for k := range r.SelfEff {
+			fmt.Fprintf(w, " %7.2f %7.2f", r.SelfEff[k], r.PreEff[k])
+		}
+		fmt.Fprintln(w)
+	}
+}

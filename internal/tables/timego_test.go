@@ -1,0 +1,43 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWhereDoesTheTimeGo(t *testing.T) {
+	rows, err := WhereDoesTheTimeGo("SPE4", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimBusyFrac <= 0 || r.SimBusyFrac > 1 {
+			t.Errorf("%s: busy frac %v", r.Executor, r.SimBusyFrac)
+		}
+		if r.SimBusyFrac+r.SimIdleFrac > 1.001 {
+			t.Errorf("%s: busy+idle = %v > 1", r.Executor, r.SimBusyFrac+r.SimIdleFrac)
+		}
+		if r.SimMakespan <= 0 || r.HostTotal <= 0 {
+			t.Errorf("%s: missing times: %+v", r.Executor, r)
+		}
+	}
+	// Self-executing busy fraction should beat pre-scheduled (less idling).
+	if rows[0].SimBusyFrac < rows[1].SimBusyFrac {
+		t.Errorf("self busy %v < pre busy %v", rows[0].SimBusyFrac, rows[1].SimBusyFrac)
+	}
+	var buf bytes.Buffer
+	FprintTimeGo(&buf, "SPE4", 8, rows)
+	if !strings.Contains(buf.String(), "Where does the time go") {
+		t.Error("formatting broken")
+	}
+}
+
+func TestWhereDoesTheTimeGoUnknown(t *testing.T) {
+	if _, err := WhereDoesTheTimeGo("nope", 4); err == nil {
+		t.Error("accepted unknown problem")
+	}
+}

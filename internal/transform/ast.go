@@ -1,0 +1,107 @@
+// Package transform implements the paper's Section 2.2: the rules by which
+// an automated symbolic manipulator performs source-to-source
+// transformation of a sequential loop annotated with doconsider into its
+// run-time parallelized form.
+//
+// The input language is a small Fortran-flavoured loop DSL:
+//
+//	doconsider i = 0, n-1
+//	  x(i) = x(i) + b(i)*x(ia(i))
+//	enddo
+//
+// or, with an inner loop over a sparse-row pointer structure (the paper's
+// Figure 6 / Figure 8 triangular solve):
+//
+//	doconsider i = 0, n-1
+//	  y(i) = rhs(i)
+//	  do j = ija(i), ija(i+1)-1
+//	    y(i) = y(i) - a(j)*y(ija(j))
+//	  enddo
+//	enddo
+//
+// From the parsed loop the package derives an inspector (which enumerates,
+// for each outer iteration, the iterations it depends on, by evaluating the
+// subscript expressions of reads of the written array against the run-time
+// data), an executor body (a tree-walking evaluator safe for concurrent
+// iterations), and generated Go source with the structure of the paper's
+// Figures 4, 5 and 7.
+package transform
+
+import "fmt"
+
+// Expr is an expression node.
+type Expr interface{ exprString() string }
+
+// Num is a numeric literal (integer-valued; the DSL's subscript arithmetic
+// is integral and its data arithmetic promotes to float64).
+type Num struct{ Val float64 }
+
+// Ident is a scalar variable reference (loop variables and locals).
+type Ident struct{ Name string }
+
+// Ref is an array reference name(sub).
+type Ref struct {
+	Name string
+	Sub  Expr
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+func (n Num) exprString() string   { return fmt.Sprintf("%g", n.Val) }
+func (i Ident) exprString() string { return i.Name }
+func (r Ref) exprString() string   { return r.Name + "(" + r.Sub.exprString() + ")" }
+func (b Bin) exprString() string {
+	return "(" + b.L.exprString() + string(b.Op) + b.R.exprString() + ")"
+}
+func (n Neg) exprString() string { return "(-" + n.X.exprString() + ")" }
+
+// String renders an expression.
+func ExprString(e Expr) string { return e.exprString() }
+
+// Stmt is a statement in the loop body.
+type Stmt interface{ stmtString() string }
+
+// Assign is "target = expr" where target is an array ref or a scalar.
+type Assign struct {
+	Array  string // empty for scalar assignment
+	Sub    Expr   // nil for scalar assignment
+	Scalar string // set for scalar assignment
+	RHS    Expr
+}
+
+func (a Assign) stmtString() string {
+	if a.Array != "" {
+		return a.Array + "(" + a.Sub.exprString() + ") = " + a.RHS.exprString()
+	}
+	return a.Scalar + " = " + a.RHS.exprString()
+}
+
+// InnerLoop is a nested sequential "do" loop with inclusive bounds.
+type InnerLoop struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}
+
+func (l InnerLoop) stmtString() string {
+	return "do " + l.Var + " = " + l.Lo.exprString() + ", " + l.Hi.exprString()
+}
+
+// Loop is a parsed doconsider loop with inclusive bounds.
+type Loop struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}
+
+// String renders the loop header.
+func (l *Loop) String() string {
+	return "doconsider " + l.Var + " = " + l.Lo.exprString() + ", " + l.Hi.exprString()
+}

@@ -1,0 +1,49 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneratePreScheduledGo(t *testing.T) {
+	loop, err := Parse(simpleLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GeneratePreScheduledGo(a, "RunPre")
+	for _, want := range []string{
+		"func RunPre(x []float64, b []float64, ia []int32, nproc int) error {",
+		"executor.PreScheduled",
+		"Figure 5",
+		"xold := append([]float64(nil), x...)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenerateInspectorGo(t *testing.T) {
+	loop, err := Parse(trisolveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GenerateInspectorGo(a, "Wavefronts")
+	for _, want := range []string{
+		"func Wavefronts(n int, ija []int32, ja []int32) []int32 {",
+		"maxwf := make([]int32, n)",
+		"maxwf[i] = mywf + 1",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated inspector missing %q:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package transform
+
+import "testing"
+
+func TestForconsiderAlias(t *testing.T) {
+	src := `
+forconsider i = 0, n-1
+  x(i) = x(i) + b(i)*x(ia(i))
+enddo
+`
+	loop, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Written != "x" || a.IndirectReads != 1 {
+		t.Errorf("forconsider analysis wrong: %+v", a)
+	}
+}
+
+func TestRejectsPlainDoAtTopLevel(t *testing.T) {
+	if _, err := Parse("do i = 0, n-1\n x(i) = 1\nenddo"); err == nil {
+		t.Error("plain do accepted as doconsider loop")
+	}
+}

@@ -1,0 +1,334 @@
+package transform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokOp     // + - * /
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokAssign // =
+	tokNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src), line: 1} }
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.pos++
+			lx.line++
+			return token{tokNewline, "\n", lx.line - 1}, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '!': // comment to end of line
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := lx.pos
+			for lx.pos < len(lx.src) && (unicode.IsLetter(lx.src[lx.pos]) ||
+				unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+				lx.pos++
+			}
+			return token{tokIdent, strings.ToLower(string(lx.src[start:lx.pos])), lx.line}, nil
+		case unicode.IsDigit(c):
+			start := lx.pos
+			for lx.pos < len(lx.src) && (unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.') {
+				lx.pos++
+			}
+			return token{tokNum, string(lx.src[start:lx.pos]), lx.line}, nil
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			lx.pos++
+			return token{tokOp, string(c), lx.line}, nil
+		case c == '(':
+			lx.pos++
+			return token{tokLParen, "(", lx.line}, nil
+		case c == ')':
+			lx.pos++
+			return token{tokRParen, ")", lx.line}, nil
+		case c == ',':
+			lx.pos++
+			return token{tokComma, ",", lx.line}, nil
+		case c == '=':
+			lx.pos++
+			return token{tokAssign, "=", lx.line}, nil
+		default:
+			return token{}, fmt.Errorf("transform: line %d: unexpected character %q", lx.line, c)
+		}
+	}
+	return token{tokEOF, "", lx.line}, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a doconsider loop from source text.
+func Parse(src string) (*Loop, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	p.skipNewlines()
+	loop, err := p.parseDoconsider()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("transform: line %d: trailing input %q", p.peek().line, p.peek().text)
+	}
+	return loop, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.advance()
+	}
+}
+
+func (p *parser) expectIdent(name string) error {
+	t := p.advance()
+	if t.kind != tokIdent || t.text != name {
+		return fmt.Errorf("transform: line %d: expected %q, got %q", t.line, name, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseDoconsider() (*Loop, error) {
+	// The paper proposes both doconsider and forconsider annotations,
+	// "depending upon the language being extended" (§2.2); accept either.
+	t := p.advance()
+	if t.kind != tokIdent || (t.text != "doconsider" && t.text != "forconsider") {
+		return nil, fmt.Errorf("transform: line %d: expected doconsider/forconsider, got %q",
+			t.line, t.text)
+	}
+	v, lo, hi, err := p.parseLoopHead()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{Var: v, Lo: lo, Hi: hi, Body: body}, nil
+}
+
+func (p *parser) parseLoopHead() (string, Expr, Expr, error) {
+	vt := p.advance()
+	if vt.kind != tokIdent {
+		return "", nil, nil, fmt.Errorf("transform: line %d: expected loop variable", vt.line)
+	}
+	if t := p.advance(); t.kind != tokAssign {
+		return "", nil, nil, fmt.Errorf("transform: line %d: expected '=' in loop header", t.line)
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if t := p.advance(); t.kind != tokComma {
+		return "", nil, nil, fmt.Errorf("transform: line %d: expected ',' in loop header", t.line)
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if t := p.advance(); t.kind != tokNewline && t.kind != tokEOF {
+		return "", nil, nil, fmt.Errorf("transform: line %d: junk after loop header: %q", t.line, t.text)
+	}
+	return vt.text, lo, hi, nil
+}
+
+// parseBody parses statements until the matching enddo.
+func (p *parser) parseBody() ([]Stmt, error) {
+	var body []Stmt
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("transform: line %d: missing enddo", t.line)
+		case t.kind == tokIdent && (t.text == "enddo" || t.text == "end"):
+			p.advance()
+			if t.text == "end" { // allow "end do"
+				if n := p.peek(); n.kind == tokIdent && n.text == "do" {
+					p.advance()
+				}
+			}
+			return body, nil
+		case t.kind == tokIdent && t.text == "do":
+			p.advance()
+			v, lo, hi, err := p.parseLoopHead()
+			if err != nil {
+				return nil, err
+			}
+			inner, err := p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, InnerLoop{Var: v, Lo: lo, Hi: hi, Body: inner})
+		default:
+			st, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, st)
+		}
+	}
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("transform: line %d: expected assignment, got %q", t.line, t.text)
+	}
+	name := t.text
+	var sub Expr
+	if p.peek().kind == tokLParen {
+		p.advance()
+		var err error
+		sub, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if q := p.advance(); q.kind != tokRParen {
+			return nil, fmt.Errorf("transform: line %d: expected ')'", q.line)
+		}
+	}
+	if q := p.advance(); q.kind != tokAssign {
+		return nil, fmt.Errorf("transform: line %d: expected '=' in assignment", q.line)
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if q := p.advance(); q.kind != tokNewline && q.kind != tokEOF {
+		return nil, fmt.Errorf("transform: line %d: junk after statement: %q", q.line, q.text)
+	}
+	if sub != nil {
+		return Assign{Array: name, Sub: sub, RHS: rhs}, nil
+	}
+	return Assign{Scalar: name, RHS: rhs}, nil
+}
+
+// Expression grammar: expr := term (('+'|'-') term)*; term := factor
+// (('*'|'/') factor)*; factor := num | ident | ref | '(' expr ')' | '-' factor.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.advance().text[0]
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.advance().text[0]
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNum:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("transform: line %d: bad number %q", t.line, t.text)
+		}
+		return Num{Val: v}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.advance()
+			sub, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if q := p.advance(); q.kind != tokRParen {
+				return nil, fmt.Errorf("transform: line %d: expected ')'", q.line)
+			}
+			return Ref{Name: t.text, Sub: sub}, nil
+		}
+		return Ident{Name: t.text}, nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if q := p.advance(); q.kind != tokRParen {
+			return nil, fmt.Errorf("transform: line %d: expected ')'", q.line)
+		}
+		return e, nil
+	case tokOp:
+		if t.text == "-" {
+			x, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			return Neg{X: x}, nil
+		}
+	}
+	return nil, fmt.Errorf("transform: line %d: unexpected token %q", t.line, t.text)
+}

@@ -1,0 +1,73 @@
+package transform
+
+import "fmt"
+
+// Program is a sequence of annotated loops, the shape of a realistic
+// compiler input: a user code with several doconsider/forconsider loops,
+// each transformed independently (the paper's automated system "can and
+// will" handle codes "much more complex in structure" than one loop).
+type Program struct {
+	Loops []*Loop
+}
+
+// ParseProgram parses any number of consecutive doconsider/forconsider
+// loops from source text.
+func ParseProgram(src string) (*Program, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			break
+		}
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			break
+		}
+		loop, err := p.parseDoconsider()
+		if err != nil {
+			return nil, fmt.Errorf("loop %d: %w", len(prog.Loops)+1, err)
+		}
+		prog.Loops = append(prog.Loops, loop)
+	}
+	if len(prog.Loops) == 0 {
+		return nil, fmt.Errorf("transform: program contains no loops")
+	}
+	return prog, nil
+}
+
+// AnalyzeAll analyzes every loop of the program.
+func (p *Program) AnalyzeAll() ([]*Analysis, error) {
+	out := make([]*Analysis, 0, len(p.Loops))
+	for i, loop := range p.Loops {
+		a, err := Analyze(loop)
+		if err != nil {
+			return nil, fmt.Errorf("loop %d: %w", i+1, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunSequentialAll interprets the loops of the program in order against a
+// shared environment — the reference semantics for the whole user code.
+func (p *Program) RunSequentialAll(env *Env) error {
+	analyses, err := p.AnalyzeAll()
+	if err != nil {
+		return err
+	}
+	for i, a := range analyses {
+		if err := a.RunSequential(env); err != nil {
+			return fmt.Errorf("loop %d: %w", i+1, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package transform
+
+import (
+	"testing"
+
+	"doconsider/internal/core"
+	"doconsider/internal/executor"
+	"doconsider/internal/vec"
+)
+
+const twoLoopProgram = `
+doconsider i = 0, n-1
+  x(i) = x(i) + b(i)*x(ia(i))
+enddo
+
+forconsider i = 0, n-1
+  y(i) = y(i) + x(i)*y(ib(i))
+enddo
+`
+
+func TestParseProgram(t *testing.T) {
+	prog, err := ParseProgram(twoLoopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(prog.Loops))
+	}
+	analyses, err := prog.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analyses[0].Written != "x" || analyses[1].Written != "y" {
+		t.Errorf("written arrays: %q %q", analyses[0].Written, analyses[1].Written)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	if _, err := ParseProgram(""); err == nil {
+		t.Error("accepted empty program")
+	}
+	if _, err := ParseProgram("doconsider i = 0, n\n x(i) = 1\nenddo\ngarbage"); err == nil {
+		t.Error("accepted trailing garbage")
+	}
+}
+
+// TestProgramParallelMatchesSequential transforms and runs both loops of a
+// program, each with its own inspector and runtime, against the shared
+// sequential interpretation.
+func TestProgramParallelMatchesSequential(t *testing.T) {
+	prog, err := ParseProgram(twoLoopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 300
+	mkEnv := func() *Env {
+		env := buildSimpleEnv(n, 9)
+		// Second loop's arrays.
+		y := make([]float64, n)
+		ib := make([]int32, n)
+		for i := 0; i < n; i++ {
+			y[i] = float64(i%7) - 3
+			ib[i] = int32((i * 13) % n)
+		}
+		env.Float["y"] = y
+		env.Int["ib"] = ib
+		return env
+	}
+	seq := mkEnv()
+	if err := prog.RunSequentialAll(seq); err != nil {
+		t.Fatal(err)
+	}
+	par := mkEnv()
+	analyses, err := prog.AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range analyses {
+		deps, err := a.Inspect(par)
+		if err != nil {
+			t.Fatalf("loop %d: %v", i+1, err)
+		}
+		rt, err := core.New(deps, core.WithProcs(5), core.WithExecutor(executor.SelfExecuting))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := a.ExecutorBody(par, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Run(body)
+	}
+	for _, name := range []string{"x", "y"} {
+		if d := vec.MaxAbsDiff(seq.Float[name], par.Float[name]); d != 0 {
+			t.Errorf("%s differs by %v", name, d)
+		}
+	}
+}

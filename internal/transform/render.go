@@ -1,0 +1,31 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render pretty-prints the whole loop back to DSL source — the annotated
+// user code of paper Figure 3. Parse(Render(loop)) reproduces the same
+// AST (modulo parenthesization), which the tests verify.
+func (l *Loop) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "doconsider %s = %s, %s\n", l.Var, ExprString(l.Lo), ExprString(l.Hi))
+	renderStmts(&b, l.Body, 1)
+	b.WriteString("enddo\n")
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case Assign:
+			fmt.Fprintf(b, "%s%s\n", ind, s.stmtString())
+		case InnerLoop:
+			fmt.Fprintf(b, "%sdo %s = %s, %s\n", ind, s.Var, ExprString(s.Lo), ExprString(s.Hi))
+			renderStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%senddo\n", ind)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package transform
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRenderRoundTrip(t *testing.T) {
+	for _, src := range []string{simpleLoopSrc, trisolveSrc} {
+		loop, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := loop.Render()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered source failed: %v\n%s", err, rendered)
+		}
+		// ASTs must match after one render/parse cycle (the second render
+		// normalizes parenthesization, so compare re-rendered forms).
+		if loop.Render() != again.Render() {
+			t.Errorf("render round trip unstable:\n%s\nvs\n%s", loop.Render(), again.Render())
+		}
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	loop, err := Parse(trisolveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := loop.Render()
+	for _, want := range []string{"doconsider i =", "do j =", "enddo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `
+doconsider i = 0, n-1
+  do j = 0, 2
+    do k = 0, 1
+      x(i) = x(i) + w(j)*v(k)
+    enddo
+  enddo
+enddo
+`
+	loop, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Written != "x" {
+		t.Errorf("written = %q", a.Written)
+	}
+	env := NewEnv()
+	n := 10
+	env.Float["x"] = make([]float64, n)
+	env.Float["w"] = []float64{1, 2, 3}
+	env.Float["v"] = []float64{4, 5}
+	env.Scalars["n"] = n
+	if err := a.RunSequential(env); err != nil {
+		t.Fatal(err)
+	}
+	// Each x(i) accumulates sum_j sum_k w(j)*v(k) = (1+2+3)*(4+5) = 54.
+	for i := 0; i < n; i++ {
+		if env.Float["x"][i] != 54 {
+			t.Fatalf("x[%d] = %v, want 54", i, env.Float["x"][i])
+		}
+	}
+	want := loop.Render()
+	again, err := Parse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loop.Var, again.Var) {
+		t.Error("deep nest round trip broke the loop variable")
+	}
+}
+
+func TestUnaryMinusAndDivision(t *testing.T) {
+	src := `
+doconsider i = 0, n-1
+  x(i) = -x(i)/2 + 1
+enddo
+`
+	loop, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	env.Float["x"] = []float64{2, 4, 6}
+	env.Scalars["n"] = 3
+	if err := a.RunSequential(env); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, -1, -2}
+	for i, v := range env.Float["x"] {
+		if v != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trisolve
+
+import (
+	"runtime"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+)
+
+func BenchmarkForward(b *testing.B) {
+	l := stencil.Laplace2D(150, 150).LowerWithDiag()
+	rhs := make([]float64, l.N)
+	x := make([]float64, l.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ForwardSeq(l, x, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	procs := runtime.GOMAXPROCS(0)
+	for _, c := range []struct {
+		name  string
+		kind  executor.Kind
+		sched SchedulerKind
+	}{
+		{"selfexec-global", executor.SelfExecuting, GlobalSched},
+		{"selfexec-local", executor.SelfExecuting, LocalSched},
+		{"presched-global", executor.PreScheduled, GlobalSched},
+		{"doacross", executor.SelfExecuting, NaturalSched},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			plan, err := NewPlan(l, true, WithProcs(procs), WithKind(c.kind), WithScheduler(c.sched))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Solve(x, rhs)
+			}
+		})
+	}
+}
+
+func BenchmarkInspector(b *testing.B) {
+	l := stencil.Laplace2D(150, 150).LowerWithDiag()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPlan(l, true, WithProcs(16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package trisolve implements sparse triangular solves — the paper's
+// central workload (Figure 8). The outer loop of row substitutions is the
+// loop being run-time parallelized; the package provides the sequential
+// reference and loop bodies for each executor.
+package trisolve
+
+import (
+	"fmt"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/schedule"
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+// ForwardSeq solves L*x = b sequentially where L is lower triangular with
+// nonzero diagonal entries stored in the matrix. x and b may alias.
+func ForwardSeq(l *sparse.CSR, x, b []float64) error {
+	if l.N != l.M || len(x) != l.N || len(b) != l.N {
+		return sparse.ErrShape
+	}
+	for i := 0; i < l.N; i++ {
+		cols, vals := l.Row(i)
+		s := b[i]
+		diag := 0.0
+		for k, c := range cols {
+			switch {
+			case int(c) < i:
+				s -= vals[k] * x[c]
+			case int(c) == i:
+				diag = vals[k]
+			default:
+				return fmt.Errorf("trisolve: row %d has upper entry %d in forward solve", i, c)
+			}
+		}
+		if diag == 0 {
+			return fmt.Errorf("trisolve: zero diagonal at row %d", i)
+		}
+		x[i] = s / diag
+	}
+	return nil
+}
+
+// BackwardSeq solves U*x = b sequentially where U is upper triangular with
+// nonzero diagonal entries. x and b may alias.
+func BackwardSeq(u *sparse.CSR, x, b []float64) error {
+	if u.N != u.M || len(x) != u.N || len(b) != u.N {
+		return sparse.ErrShape
+	}
+	for i := u.N - 1; i >= 0; i-- {
+		cols, vals := u.Row(i)
+		s := b[i]
+		diag := 0.0
+		for k, c := range cols {
+			switch {
+			case int(c) > i:
+				s -= vals[k] * x[c]
+			case int(c) == i:
+				diag = vals[k]
+			default:
+				return fmt.Errorf("trisolve: row %d has lower entry %d in backward solve", i, c)
+			}
+		}
+		if diag == 0 {
+			return fmt.Errorf("trisolve: zero diagonal at row %d", i)
+		}
+		x[i] = s / diag
+	}
+	return nil
+}
+
+// ForwardBody returns the executor loop body for a forward solve of
+// L*x = b: body(i) performs row substitution i. The body is safe for
+// concurrent execution of independent rows because row i writes only x[i].
+// Diagonal entries are pre-reciprocated for speed.
+func ForwardBody(l *sparse.CSR, x, b []float64) executor.Body {
+	invDiag := invDiagonal(l)
+	return func(i int32) {
+		cols, vals := l.Row(int(i))
+		s := b[i]
+		for k, c := range cols {
+			if c != i {
+				s -= vals[k] * x[c]
+			}
+		}
+		x[i] = s * invDiag[i]
+	}
+}
+
+// BackwardBody returns the executor loop body for a backward solve of
+// U*x = b using the reflected iteration numbering of wavefront.FromUpper:
+// iteration k performs row substitution n-1-k.
+func BackwardBody(u *sparse.CSR, x, b []float64) executor.Body {
+	invDiag := invDiagonal(u)
+	n := u.N
+	return func(k int32) {
+		i := n - 1 - int(k)
+		cols, vals := u.Row(i)
+		s := b[i]
+		for q, c := range cols {
+			if int(c) != i {
+				s -= vals[q] * x[c]
+			}
+		}
+		x[i] = s * invDiag[i]
+	}
+}
+
+func invDiagonal(a *sparse.CSR) []float64 {
+	inv := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		d := a.At(i, i)
+		if d != 0 {
+			inv[i] = 1 / d
+		}
+	}
+	return inv
+}
+
+// Plan bundles everything needed to repeatedly solve with one triangular
+// factor: the dependence structure, wavefront numbers and a schedule.
+// Building a Plan is the inspector step; Solve is the executor step.
+type Plan struct {
+	L     *sparse.CSR
+	Lower bool // forward (true) or backward (false) solve
+	Deps  *wavefront.Deps
+	Wf    []int32
+	Sched *schedule.Schedule
+	Kind  executor.Kind
+}
+
+// Option configures plan construction.
+type Option func(*planConfig)
+
+type planConfig struct {
+	nproc     int
+	kind      executor.Kind
+	scheduler SchedulerKind
+	part      schedule.Partition
+}
+
+// SchedulerKind selects global or local index-set scheduling.
+type SchedulerKind int
+
+const (
+	// GlobalSched sorts the whole index set by wavefront and deals wrapped.
+	GlobalSched SchedulerKind = iota
+	// LocalSched keeps the initial partition and sorts locally.
+	LocalSched
+	// NaturalSched keeps the original order (doacross baseline).
+	NaturalSched
+)
+
+// WithProcs sets the processor count (default 1).
+func WithProcs(p int) Option { return func(c *planConfig) { c.nproc = p } }
+
+// WithKind sets the executor kind (default SelfExecuting).
+func WithKind(k executor.Kind) Option { return func(c *planConfig) { c.kind = k } }
+
+// WithScheduler sets the scheduling method (default GlobalSched).
+func WithScheduler(s SchedulerKind) Option { return func(c *planConfig) { c.scheduler = s } }
+
+// WithPartition sets the local-scheduling partition (default Striped).
+func WithPartition(p schedule.Partition) Option { return func(c *planConfig) { c.part = p } }
+
+// NewPlan runs the inspector for a triangular factor: it extracts the
+// dependence sets, computes wavefronts and builds the requested schedule.
+func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
+	cfg := planConfig{nproc: 1, kind: executor.SelfExecuting, scheduler: GlobalSched, part: schedule.Striped}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var deps *wavefront.Deps
+	if lower {
+		deps = wavefront.FromLower(t)
+	} else {
+		deps = wavefront.FromUpper(t)
+	}
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		return nil, err
+	}
+	var s *schedule.Schedule
+	switch cfg.scheduler {
+	case GlobalSched:
+		s = schedule.Global(wf, cfg.nproc)
+	case LocalSched:
+		s = schedule.Local(wf, cfg.nproc, cfg.part)
+	case NaturalSched:
+		s = schedule.Natural(t.N, cfg.nproc, cfg.part)
+	default:
+		return nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
+	}
+	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: cfg.kind}, nil
+}
+
+// Solve executes the planned triangular solve, writing the solution to x.
+// x and b must not alias (the parallel executors read b while writing x).
+func (p *Plan) Solve(x, b []float64) executor.Metrics {
+	var body executor.Body
+	if p.Lower {
+		body = ForwardBody(p.L, x, b)
+	} else {
+		body = BackwardBody(p.L, x, b)
+	}
+	return executor.Run(p.Kind, p.Sched, p.Deps, body)
+}
+
+// Phases returns the number of wavefronts of the factor — the paper's
+// "Phases" column in Tables 2 and 3.
+func (p *Plan) Phases() int { return p.Sched.NumPhases }

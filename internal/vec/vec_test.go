@@ -1,0 +1,136 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, y)
+	want := []float64{3, 4, 5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAxpyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randVec(rng, 1001)
+	for _, p := range []int{1, 2, 4, 13, 1001, 5000} {
+		y1 := randVec(rng, 1001)
+		y2 := append([]float64(nil), y1...)
+		Axpy(0.7, x, y1)
+		AxpyParallel(0.7, x, y2, p)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("p=%d mismatch at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestDotParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 777)
+	y := randVec(rng, 777)
+	want := Dot(x, y)
+	for _, p := range []int{1, 2, 3, 8, 777} {
+		got := DotParallel(x, y, p)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("p=%d: dot = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestDotParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(rng, 500)
+	y := randVec(rng, 500)
+	first := DotParallel(x, y, 7)
+	for k := 0; k < 10; k++ {
+		if got := DotParallel(x, y, 7); got != first {
+			t.Fatalf("DotParallel not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2Parallel(x, 2); got != 5 {
+		t.Errorf("Norm2Parallel = %v, want 5", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestScaleFillSubCopy(t *testing.T) {
+	x := []float64{1, 2}
+	Scale(3, x)
+	if x[0] != 3 || x[1] != 6 {
+		t.Errorf("Scale: %v", x)
+	}
+	Fill(x, -1)
+	if x[0] != -1 || x[1] != -1 {
+		t.Errorf("Fill: %v", x)
+	}
+	z := make([]float64, 2)
+	Sub(z, []float64{5, 5}, []float64{2, 3})
+	if z[0] != 3 || z[1] != 2 {
+		t.Errorf("Sub: %v", z)
+	}
+	dst := make([]float64, 2)
+	Copy(dst, z)
+	if dst[0] != 3 || dst[1] != 2 {
+		t.Errorf("Copy: %v", dst)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 2.5, 3}); got != 0.5 {
+		t.Errorf("MaxAbsDiff = %v, want 0.5", got)
+	}
+	if got := MaxAbsDiff(nil, nil); got != 0 {
+		t.Errorf("MaxAbsDiff(nil) = %v, want 0", got)
+	}
+}
+
+func TestDotSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randVec(rng, 64)
+		y := randVec(rng, 64)
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm2CauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randVec(rng, 32)
+		y := randVec(rng, 32)
+		return math.Abs(Dot(x, y)) <= Norm2(x)*Norm2(y)*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
