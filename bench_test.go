@@ -452,6 +452,32 @@ func BenchmarkSimpleLoop(b *testing.B) {
 	})
 }
 
+// BenchmarkRuntimeRepeatedRun measures the full core.Runtime.Run wrapper
+// path (strategy dispatch + executor) under repeated invocation — the
+// acceptance experiment for the pooled executor: after warm-up, pooled
+// Runtime.Run must report 0 allocs/op and spawn no goroutines. Processor
+// count is fixed at 4 so the parallel paths run even on 1-CPU hosts.
+func BenchmarkRuntimeRepeatedRun(b *testing.B) {
+	a := stencil.Laplace2D(120, 120)
+	deps := wavefront.FromLower(a)
+	body := func(int32) {}
+	for _, kind := range []executor.Kind{executor.SelfExecuting, executor.Pooled} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt, err := core.New(deps, core.WithProcs(4), core.WithExecutor(kind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			rt.Run(body) // warm-up: pooled spawns its workers here
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Run(body)
+			}
+		})
+	}
+}
+
 func BenchmarkSyntheticGenerator(b *testing.B) {
 	cfg := synthetic.Config{Mesh: 65, Degree: 4, Distance: 3, Seed: 1}
 	for i := 0; i < b.N; i++ {

@@ -181,7 +181,7 @@ func chunks(procs int) error {
 		if err != nil {
 			return err
 		}
-		order := schedule.Global(p.Wf, 1).Indices[0]
+		order := schedule.Global(p.Wf, 1).Proc(0)
 		static, err := machine.SimulateSelfExecuting(schedule.Global(p.Wf, procs), p.Deps, p.Work, costs)
 		if err != nil {
 			return err

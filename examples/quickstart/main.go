@@ -71,5 +71,28 @@ func run() error {
 		return fmt.Errorf("parallel result differs from sequential by %g", d)
 	}
 	fmt.Println("parallel result matches sequential execution exactly")
+
+	// The pooled executor takes the amortization one step further: the
+	// workers themselves persist across sweeps (zero goroutine spawns and
+	// zero allocations per Run after warm-up).
+	pooled, err := core.NewSimpleLoop(ia,
+		core.WithProcs(procs),
+		core.WithExecutor(executor.Pooled),
+		core.WithScheduler(core.GlobalScheduler),
+	)
+	if err != nil {
+		return err
+	}
+	defer pooled.Runtime().Close()
+	xPool := append([]float64(nil), x0...)
+	xSeq = append(xSeq[:0], x0...)
+	for sweep := 0; sweep < 3; sweep++ {
+		pooled.Run(xPool, b)
+		pooled.RunSequential(xSeq, b)
+	}
+	if d := vec.MaxAbsDiff(xPool, xSeq); d != 0 {
+		return fmt.Errorf("pooled result differs from sequential by %g", d)
+	}
+	fmt.Println("pooled executor (persistent workers) matches as well")
 	return nil
 }

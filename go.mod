@@ -1,0 +1,3 @@
+module doconsider
+
+go 1.24

@@ -18,7 +18,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"doconsider/internal/executor"
 	"doconsider/internal/schedule"
@@ -56,6 +58,7 @@ func (s Scheduler) String() string {
 type Config struct {
 	Procs             int                // simulated processors (goroutines); default 1
 	Executor          executor.Kind      // default SelfExecuting
+	Strategy          executor.Strategy  // overrides Executor when non-nil (pluggable strategies)
 	Scheduler         Scheduler          // default GlobalScheduler
 	Partition         schedule.Partition // initial partition for local scheduling
 	ParallelInspector bool               // run the wavefront sweep in parallel (§2.3)
@@ -71,6 +74,13 @@ func WithProcs(p int) Option { return func(c *Config) { c.Procs = p } }
 
 // WithExecutor sets the executor kind.
 func WithExecutor(k executor.Kind) Option { return func(c *Config) { c.Executor = k } }
+
+// WithStrategy sets a custom execution strategy instance, bypassing the
+// Kind-named built-ins; use it to plug in strategies registered with
+// executor.Register (or constructed directly). The caller keeps ownership:
+// Runtime.Close does not close a supplied strategy, so one instance (e.g.
+// a shared PooledStrategy) may back several runtimes.
+func WithStrategy(s executor.Strategy) Option { return func(c *Config) { c.Strategy = s } }
 
 // WithScheduler sets the scheduling strategy.
 func WithScheduler(s Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
@@ -93,12 +103,17 @@ func WithWorkWeights(w []float64) Option { return func(c *Config) { c.WorkWeight
 // the self-executing executor, which has no barriers to merge.
 func WithMergedPhases() Option { return func(c *Config) { c.MergePhases = true } }
 
-// Runtime is a prepared loop: inspector output plus an executor schedule.
+// Runtime is a prepared loop: inspector output, an executor schedule, and
+// the execution strategy instance that runs it. Stateful strategies (the
+// pooled executor's worker pool) live as long as the Runtime; call Close
+// to release them.
 type Runtime struct {
-	cfg   Config
-	deps  *wavefront.Deps
-	wf    []int32
-	sched *schedule.Schedule
+	cfg       Config
+	deps      *wavefront.Deps
+	wf        []int32
+	sched     *schedule.Schedule
+	strat     executor.Strategy
+	ownsStrat bool // Close only closes strategies this runtime constructed
 }
 
 // New runs the inspector on the dependence structure and builds the
@@ -146,13 +161,48 @@ func New(deps *wavefront.Deps, opts ...Option) (*Runtime, error) {
 	if cfg.MergePhases {
 		s = schedule.MergePhases(s, deps)
 	}
-	return &Runtime{cfg: cfg, deps: deps, wf: wf, sched: s}, nil
+	strat, owns := cfg.Strategy, false
+	if strat == nil {
+		strat, err = cfg.Executor.NewStrategy()
+		if err != nil {
+			return nil, err
+		}
+		owns = true
+	}
+	return &Runtime{cfg: cfg, deps: deps, wf: wf, sched: s, strat: strat, ownsStrat: owns}, nil
 }
 
 // Run executes the loop body under the configured executor. It may be
-// called repeatedly; the schedule is reused.
+// called repeatedly; the schedule — and, for the pooled executor, the
+// worker pool — is reused across calls. A body panic propagates to the
+// caller; use RunCtx to receive it as an error instead.
 func (r *Runtime) Run(body executor.Body) executor.Metrics {
-	return executor.Run(r.cfg.Executor, r.sched, r.deps, body)
+	return executor.MustMetrics(r.strat.Execute(context.Background(), r.sched, r.deps, body))
+}
+
+// RunCtx executes the loop body with cancellation support: a cancelled
+// context releases every worker (including busy-waiting ones) and returns
+// ctx.Err(); a panicking body yields an *executor.PanicError.
+func (r *Runtime) RunCtx(ctx context.Context, body executor.Body) (executor.Metrics, error) {
+	return r.strat.Execute(ctx, r.sched, r.deps, body)
+}
+
+// Strategy exposes the execution strategy instance the runtime dispatches to.
+func (r *Runtime) Strategy() executor.Strategy { return r.strat }
+
+// Close releases resources held by stateful strategies (the pooled
+// executor's persistent workers). It is a no-op for stateless strategies
+// and for strategies supplied by the caller via WithStrategy — a shared
+// strategy instance stays usable by other runtimes, and its owner closes
+// it directly.
+func (r *Runtime) Close() error {
+	if !r.ownsStrat {
+		return nil
+	}
+	if c, ok := r.strat.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // NumWavefronts returns the number of wavefronts found by the inspector.

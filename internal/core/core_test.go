@@ -103,9 +103,9 @@ func TestWorkWeightedScheduling(t *testing.T) {
 	// The heavy index should be alone on its processor under LPT dealing.
 	s := rt.Schedule()
 	for p := 0; p < s.P; p++ {
-		for _, idx := range s.Indices[p] {
-			if idx == 0 && len(s.Indices[p]) != 1 {
-				t.Errorf("heavy index shares processor with %d others", len(s.Indices[p])-1)
+		for _, idx := range s.Proc(p) {
+			if idx == 0 && s.ProcLen(p) != 1 {
+				t.Errorf("heavy index shares processor with %d others", s.ProcLen(p)-1)
 			}
 		}
 	}

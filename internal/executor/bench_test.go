@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -67,6 +68,42 @@ func BenchmarkExecutors(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			RunOnTheFly(d.N, procs, depsOf, work)
+		}
+	})
+}
+
+// BenchmarkRepeatedRun is the amortization experiment behind the pooled
+// executor: the same prepared schedule is executed many times (the
+// paper's "executed many times during the running of a given program"),
+// comparing spawn-per-run self-execution against the persistent pool.
+// The pooled variant must report 0 allocs/op. The processor count is
+// fixed at 4 (not GOMAXPROCS) so the parallel paths are exercised even on
+// single-CPU hosts, where GOMAXPROCS(0) == 1 would collapse both sides to
+// the sequential fast path.
+func BenchmarkRepeatedRun(b *testing.B) {
+	d, wf := benchSetup(b)
+	const procs = 4
+	work := func(i int32) {}
+	s := schedule.Global(wf, procs)
+	b.Run("spawn-per-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RunSelfExecuting(s, d, work)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := NewPool(procs)
+		defer pool.Close()
+		ctx := context.Background()
+		if _, err := pool.Run(ctx, s, d, work); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Run(ctx, s, d, work); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

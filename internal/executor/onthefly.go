@@ -1,7 +1,7 @@
 package executor
 
 import (
-	"runtime"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -18,45 +18,72 @@ import (
 // The returned slice is only read and may alias storage reused across
 // calls on the same processor.
 func RunOnTheFly(n, nproc int, depsOf func(i int32) []int32, body Body) Metrics {
+	return MustMetrics(RunOnTheFlyCtx(context.Background(), n, nproc, depsOf, body))
+}
+
+// RunOnTheFlyCtx is RunOnTheFly with cancellation support and panic
+// capture: an abort releases every busy-waiting worker.
+func RunOnTheFlyCtx(ctx context.Context, n, nproc int, depsOf func(i int32) []int32, body Body) (Metrics, error) {
 	if nproc < 1 {
 		nproc = 1
 	}
+	var rc runControl
+	rc.reset(ctx)
 	ready := make([]int32, n)
 	var cursor atomic.Int64
-	var spinChecks, spinWaits atomic.Int64
+	var executed, spinChecks, spinWaits atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < nproc; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var checks, waits int64
-			for {
-				i := int32(cursor.Add(1)) - 1
-				if int(i) >= n {
-					break
-				}
-				for _, t := range depsOf(i) {
-					checks++
-					if atomic.LoadInt32(&ready[t]) == 1 {
-						continue
-					}
-					waits++
-					for atomic.LoadInt32(&ready[t]) != 1 {
-						runtime.Gosched()
-					}
-				}
-				body(i)
-				atomic.StoreInt32(&ready[i], 1)
-			}
+			check, disarm := exitGuard(&rc)
+			defer check()
+			ran, checks, waits := onTheFlyWorker(&rc, n, depsOf, ready, &cursor, body)
+			executed.Add(ran)
 			spinChecks.Add(checks)
 			spinWaits.Add(waits)
+			disarm()
 		}()
 	}
 	wg.Wait()
-	return Metrics{
+	m := Metrics{
 		P:          nproc,
-		Executed:   int64(n),
+		Executed:   executed.Load(),
 		SpinChecks: spinChecks.Load(),
 		SpinWaits:  spinWaits.Load(),
+	}
+	return m, rc.err(ctx)
+}
+
+// onTheFlyWorker claims iterations in natural order and discovers each
+// iteration's dependences at execution time.
+func onTheFlyWorker(rc *runControl, n int, depsOf func(i int32) []int32, ready []int32, cursor *atomic.Int64, body Body) (ran, checks, waits int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			rc.recordPanic(r)
+		}
+	}()
+	for {
+		if rc.stop() {
+			return
+		}
+		i := int32(cursor.Add(1)) - 1
+		if int(i) >= n {
+			return
+		}
+		for _, t := range depsOf(i) {
+			checks++
+			if atomic.LoadInt32(&ready[t]) == 1 {
+				continue
+			}
+			waits++
+			if !spinUntilReady(rc, &ready[t]) {
+				return
+			}
+		}
+		body(i)
+		ran++
+		atomic.StoreInt32(&ready[i], 1)
 	}
 }

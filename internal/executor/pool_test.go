@@ -1,0 +1,512 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+func TestPooledRespectsDeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		deps := randomDAG(rng, 400, 3)
+		wf, err := wavefront.Compute(deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 9} {
+			pool := NewPool(p)
+			for _, s := range []*schedule.Schedule{
+				schedule.Global(wf, p),
+				schedule.Local(wf, p, schedule.Striped),
+				schedule.Natural(deps.N, p, schedule.Striped),
+			} {
+				body, check := depChecker(t, deps)
+				m, err := pool.Run(context.Background(), s, deps, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check()
+				if m.Executed != 400 {
+					t.Errorf("executed %d", m.Executed)
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+func TestPooledComputesCorrectValuesAcrossRuns(t *testing.T) {
+	// The epoch-stamped ready array must not leak completions between
+	// runs: repeat the paper's simple loop many times on one pool and
+	// compare each sweep against the sequential reference.
+	rng := rand.New(rand.NewSource(12))
+	n := 300
+	ia := make([]int32, n)
+	for i := range ia {
+		ia[i] = int32(rng.Intn(n))
+	}
+	deps := wavefront.FromIndirection(ia)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	s := schedule.Global(wf, 4)
+	pool := NewPool(4)
+	defer pool.Close()
+	xSeq := make([]float64, n)
+	xPar := make([]float64, n)
+	xold := make([]float64, n)
+	for i := range xSeq {
+		xSeq[i] = rng.NormFloat64()
+		xPar[i] = xSeq[i]
+	}
+	mkBody := func(x, xold []float64) Body {
+		return func(i int32) {
+			needed := ia[i]
+			if needed >= i {
+				x[i] = xold[i] + b[i]*xold[needed]
+			} else {
+				x[i] = xold[i] + b[i]*x[needed]
+			}
+		}
+	}
+	for sweep := 0; sweep < 25; sweep++ {
+		copy(xold, xSeq)
+		RunSequential(n, mkBody(xSeq, xold))
+		copy(xold, xPar)
+		if _, err := pool.Run(context.Background(), s, deps, mkBody(xPar, xold)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range xPar {
+			if xPar[i] != xSeq[i] {
+				t.Fatalf("sweep %d: x[%d] = %v, want %v", sweep, i, xPar[i], xSeq[i])
+			}
+		}
+	}
+}
+
+func TestPoolSpawnsNoGoroutinesPerRun(t *testing.T) {
+	deps := randomDAG(rand.New(rand.NewSource(13)), 200, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 4)
+	pool := NewPool(4)
+	defer pool.Close()
+	body := func(int32) {}
+	if _, err := pool.Run(context.Background(), s, deps, body); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		if _, err := pool.Run(context.Background(), s, deps, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Errorf("goroutine count grew across pooled runs: %d -> %d", before, after)
+	}
+}
+
+func TestPoolZeroAllocsPerRun(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under -race")
+	}
+	deps := randomDAG(rand.New(rand.NewSource(14)), 256, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 4)
+	pool := NewPool(4)
+	defer pool.Close()
+	body := func(int32) {}
+	ctx := context.Background()
+	// Warm up: sizes the epoch array.
+	if _, err := pool.Run(ctx, s, deps, body); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := pool.Run(ctx, s, deps, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled Run allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestPoolCancellationReleasesSpinners(t *testing.T) {
+	// A two-index chain split across two workers: worker 1 busy-waits on
+	// index 0, whose body blocks until the test cancels the context. The
+	// spinner must be released by the cancellation, not by completion.
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	pool := NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var ranDependent atomic.Bool
+	body := func(i int32) {
+		if i == 0 {
+			close(started)
+			<-release
+			return
+		}
+		ranDependent.Store(true)
+	}
+	go func() {
+		<-started
+		cancel()
+		// Give the spinner time to observe the abort while index 0 is
+		// still blocked, then let index 0's body return.
+		time.Sleep(200 * time.Millisecond)
+		close(release)
+	}()
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = pool.Run(ctx, s, deps, body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled pooled run deadlocked")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", runErr)
+	}
+	if ranDependent.Load() {
+		t.Error("dependent index executed after cancellation")
+	}
+	// The pool must remain usable after a cancelled run.
+	if _, err := pool.Run(context.Background(), s, deps, func(int32) {}); err != nil {
+		t.Errorf("pool unusable after cancellation: %v", err)
+	}
+}
+
+func TestPoolBodyPanicReleasesPeers(t *testing.T) {
+	// Index 0 panics; the worker spinning on it must be released and the
+	// panic surfaced as a *PanicError.
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	pool := NewPool(2)
+	defer pool.Close()
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = pool.Run(context.Background(), s, deps, func(i int32) {
+			if i == 0 {
+				panic("boom")
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicking pooled run deadlocked")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) || pe.Value != "boom" {
+		t.Errorf("err = %v, want PanicError(boom)", runErr)
+	}
+	// The pool must remain usable after a panicking run.
+	if _, err := pool.Run(context.Background(), s, deps, func(int32) {}); err != nil {
+		t.Errorf("pool unusable after body panic: %v", err)
+	}
+}
+
+func TestPoolBodyGoexitDoesNotDeadlock(t *testing.T) {
+	// runtime.Goexit kills the worker without a recoverable panic (the
+	// t.FailNow failure mode): the run must abort with ErrWorkerExited and
+	// a replacement worker must keep the pool usable.
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	pool := NewPool(2)
+	defer pool.Close()
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = pool.Run(context.Background(), s, deps, func(i int32) {
+			if i == 0 {
+				runtime.Goexit()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Goexit in body deadlocked the pooled run")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) || pe.Value != ErrWorkerExited {
+		t.Errorf("err = %v, want PanicError(ErrWorkerExited)", runErr)
+	}
+	if _, err := pool.Run(context.Background(), s, deps, func(int32) {}); err != nil {
+		t.Errorf("pool unusable after body Goexit: %v", err)
+	}
+}
+
+func TestPreScheduledBodyGoexitDoesNotDeadlock(t *testing.T) {
+	// A Goexit mid-phase must not strand peers at the phase barrier.
+	deps := randomDAG(rand.New(rand.NewSource(17)), 100, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 4)
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(context.Background(), PreScheduled, s, deps, func(i int32) {
+			if i == 30 {
+				runtime.Goexit()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Goexit in body deadlocked the pre-scheduled run at a barrier")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) || pe.Value != ErrWorkerExited {
+		t.Errorf("err = %v, want PanicError(ErrWorkerExited)", runErr)
+	}
+}
+
+func TestSelfExecutingBodyGoexitDoesNotDeadlock(t *testing.T) {
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(context.Background(), SelfExecuting, s, deps, func(i int32) {
+			if i == 0 {
+				runtime.Goexit()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Goexit in body deadlocked the self-executing run")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) || pe.Value != ErrWorkerExited {
+		t.Errorf("err = %v, want PanicError(ErrWorkerExited)", runErr)
+	}
+}
+
+func TestPoolConcurrentRunsSerialize(t *testing.T) {
+	// Concurrent Run calls on one pool must serialize, not interleave:
+	// hammer the pool from several goroutines under the race detector.
+	deps := randomDAG(rand.New(rand.NewSource(15)), 200, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 3)
+	pool := NewPool(3)
+	defer pool.Close()
+	var inRun atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				count := atomic.Int64{}
+				m, err := pool.Run(context.Background(), s, deps, func(int32) {
+					// At most P bodies of ONE run may be in flight; if two
+					// runs interleaved, the count could exceed the pool size.
+					if v := inRun.Add(1); v > int32(s.P) {
+						t.Errorf("%d bodies in flight, pool has %d workers", v, s.P)
+					}
+					count.Add(1)
+					inRun.Add(-1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.Executed != int64(deps.N) || count.Load() != int64(deps.N) {
+					t.Errorf("run executed %d bodies, metrics say %d, want %d",
+						count.Load(), m.Executed, deps.N)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolRejectsMismatchedSchedule(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	s := schedule.Natural(10, 3, schedule.Striped)
+	if _, err := pool.Run(context.Background(), s, wavefront.FromAdjacency(make([][]int32, 10)), func(int32) {}); err == nil {
+		t.Error("pool accepted schedule with wrong processor count")
+	}
+}
+
+func TestPoolClosedRun(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // idempotent
+	s := schedule.Natural(4, 2, schedule.Striped)
+	deps := wavefront.FromAdjacency(make([][]int32, 4))
+	if _, err := pool.Run(context.Background(), s, deps, func(int32) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestSelfExecutingCancellationReleasesSpinners(t *testing.T) {
+	// Same regression as the pooled test, for the spawn-per-run
+	// self-executing executor.
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	started := make(chan struct{})
+	body := func(i int32) {
+		if i == 0 {
+			close(started)
+			<-release
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+		time.Sleep(200 * time.Millisecond)
+		close(release)
+	}()
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(ctx, SelfExecuting, s, deps, body)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled self-executing run deadlocked")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", runErr)
+	}
+}
+
+func TestSelfExecutingPanicReleasesPeers(t *testing.T) {
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 2)
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(context.Background(), SelfExecuting, s, deps, func(i int32) {
+			if i == 0 {
+				panic("chain head failed")
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicking self-executing run deadlocked")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) {
+		t.Errorf("err = %v, want *PanicError", runErr)
+	}
+}
+
+func TestPreScheduledPanicUnwindsBarriers(t *testing.T) {
+	// A panic in one phase must not strand peers at the phase barrier.
+	deps := randomDAG(rand.New(rand.NewSource(16)), 100, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.Global(wf, 4)
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = RunCtx(context.Background(), PreScheduled, s, deps, func(i int32) {
+			if i == 50 {
+				panic("mid-phase failure")
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("panicking pre-scheduled run deadlocked at a barrier")
+	}
+	var pe *PanicError
+	if !errors.As(runErr, &pe) {
+		t.Errorf("err = %v, want *PanicError", runErr)
+	}
+}
+
+func TestLegacyRunRethrowsBodyPanic(t *testing.T) {
+	deps := wavefront.FromAdjacency([][]int32{{}, {0}})
+	wf, _ := wavefront.Compute(deps)
+	s := schedule.Global(wf, 2)
+	defer func() {
+		if r := recover(); r != "legacy boom" {
+			t.Errorf("recovered %v, want legacy boom", r)
+		}
+	}()
+	RunSelfExecuting(s, deps, func(i int32) {
+		if i == 0 {
+			panic("legacy boom")
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package executor
+
+// raceEnabled reports whether the race detector is active; allocation
+// accounting tests are skipped under -race because the detector itself
+// allocates.
+const raceEnabled = true

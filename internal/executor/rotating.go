@@ -17,23 +17,37 @@ import (
 // on private data: mkBody is called once per processor to build that
 // processor's loop body (typically closing over a private copy of the
 // solution vector). No synchronization occurs between iterations; shared
-// ready-array traffic, if desired, must be simulated inside the body.
+// ready-array traffic, if desired, must be simulated inside the body. A
+// body (or mkBody) panic aborts the remaining rotations and re-raises on
+// the caller's goroutine.
 func RunRotating(s *schedule.Schedule, mkBody func(proc int) Body) Metrics {
+	var rc runControl
 	var wg sync.WaitGroup
 	for p := 0; p < s.P; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					rc.recordPanic(r)
+				}
+			}()
 			body := mkBody(p)
 			// Rotate through all processors' schedules, starting at own.
 			for r := 0; r < s.P; r++ {
 				q := (p + r) % s.P
-				for _, i := range s.Indices[q] {
+				for _, i := range s.Proc(q) {
+					if rc.isAborted() {
+						return
+					}
 					body(i)
 				}
 			}
 		}(p)
 	}
 	wg.Wait()
+	if rc.panicked.Load() != 0 {
+		panic(rc.panicVal)
+	}
 	return Metrics{P: s.P, Executed: int64(s.N) * int64(s.P)}
 }

@@ -1,7 +1,7 @@
 package executor
 
 import (
-	"runtime"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -21,56 +21,99 @@ import (
 // natural hybrid of its two synchronization mechanisms with the related
 // work's dynamic load balancing; see the ablation benchmarks.
 func RunSelfScheduled(order []int32, deps *wavefront.Deps, nproc, chunk int, body Body) Metrics {
-	n := len(order)
+	return MustMetrics(RunSelfScheduledCtx(context.Background(), order, deps, nproc, chunk, body))
+}
+
+// RunSelfScheduledCtx is RunSelfScheduled with cancellation support and
+// panic capture: an abort releases every busy-waiting worker.
+func RunSelfScheduledCtx(ctx context.Context, order []int32, deps *wavefront.Deps, nproc, chunk int, body Body) (Metrics, error) {
 	if nproc < 1 {
 		nproc = 1
 	}
 	if chunk < 1 {
 		chunk = 1
 	}
+	var rc runControl
+	rc.reset(ctx)
 	ready := make([]int32, deps.N)
 	var cursor atomic.Int64
-	var spinChecks, spinWaits atomic.Int64
+	n := len(order)
+	// Fixed chunks claim with a single wait-free fetch-add — the claim
+	// primitive itself is part of what the chunk-size ablations measure.
+	claim := func() (lo, hi int, ok bool) {
+		lo = int(cursor.Add(int64(chunk))) - chunk
+		if lo >= n {
+			return 0, 0, false
+		}
+		hi = min(lo+chunk, n)
+		return lo, hi, true
+	}
+	return runSelfScheduled(ctx, &rc, order, deps, ready, nproc, claim, body)
+}
+
+// runSelfScheduled fans out nproc workers that claim [lo, hi) slices of
+// the order list via claim and execute them under busy-wait dependence
+// synchronization.
+func runSelfScheduled(ctx context.Context, rc *runControl, order []int32, deps *wavefront.Deps, ready []int32, nproc int, claim func() (int, int, bool), body Body) (Metrics, error) {
+	var executed, spinChecks, spinWaits atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < nproc; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var checks, waits int64
-			for {
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					break
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for _, i := range order[lo:hi] {
-					for _, t := range deps.On(int(i)) {
-						checks++
-						if atomic.LoadInt32(&ready[t]) == 1 {
-							continue
-						}
-						waits++
-						for atomic.LoadInt32(&ready[t]) != 1 {
-							runtime.Gosched()
-						}
-					}
-					body(i)
-					atomic.StoreInt32(&ready[i], 1)
-				}
-			}
+			check, disarm := exitGuard(rc)
+			defer check()
+			ran, checks, waits := selfSchedWorker(rc, order, deps, ready, claim, body)
+			executed.Add(ran)
 			spinChecks.Add(checks)
 			spinWaits.Add(waits)
+			disarm()
 		}()
 	}
 	wg.Wait()
-	return Metrics{
+	m := Metrics{
 		P:          nproc,
-		Executed:   int64(n),
+		Executed:   executed.Load(),
 		SpinChecks: spinChecks.Load(),
 		SpinWaits:  spinWaits.Load(),
+	}
+	return m, rc.err(ctx)
+}
+
+// selfSchedWorker claims chunks of the order list via claim and executes
+// them under busy-wait dependence synchronization.
+func selfSchedWorker(rc *runControl, order []int32, deps *wavefront.Deps, ready []int32, claim func() (int, int, bool), body Body) (ran, checks, waits int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			rc.recordPanic(r)
+		}
+	}()
+	for {
+		if rc.stop() {
+			return
+		}
+		lo, hi, ok := claim()
+		if !ok {
+			return
+		}
+		for _, i := range order[lo:hi] {
+			if rc.stop() {
+				return
+			}
+			for _, t := range deps.On(int(i)) {
+				checks++
+				if atomic.LoadInt32(&ready[t]) == 1 {
+					continue
+				}
+				waits++
+				if !spinUntilReady(rc, &ready[t]) {
+					return
+				}
+			}
+			body(i)
+			ran++
+			atomic.StoreInt32(&ready[i], 1)
+		}
 	}
 }
 
@@ -78,7 +121,7 @@ func RunSelfScheduled(order []int32, deps *wavefront.Deps, nproc, chunk int, bod
 // on one processor — the canonical claim order for RunSelfScheduled.
 func SortedOrder(wf []int32) []int32 {
 	s := schedule.Global(wf, 1)
-	return s.Indices[0]
+	return s.Proc(0)
 }
 
 // RunGuidedSelfScheduled executes the sorted index list with guided
@@ -88,67 +131,44 @@ func SortedOrder(wf []int32) []int32 {
 // chunks balance the tail. Dependences are enforced with busy waits as in
 // RunSelfScheduled; minChunk bounds the final chunk size (>= 1).
 func RunGuidedSelfScheduled(order []int32, deps *wavefront.Deps, nproc, minChunk int, body Body) Metrics {
-	n := len(order)
+	return MustMetrics(RunGuidedSelfScheduledCtx(context.Background(), order, deps, nproc, minChunk, body))
+}
+
+// RunGuidedSelfScheduledCtx is RunGuidedSelfScheduled with cancellation
+// support and panic capture.
+func RunGuidedSelfScheduledCtx(ctx context.Context, order []int32, deps *wavefront.Deps, nproc, minChunk int, body Body) (Metrics, error) {
 	if nproc < 1 {
 		nproc = 1
 	}
 	if minChunk < 1 {
 		minChunk = 1
 	}
+	var rc runControl
+	rc.reset(ctx)
 	ready := make([]int32, deps.N)
 	var cursor atomic.Int64
-	var spinChecks, spinWaits atomic.Int64
-	var wg sync.WaitGroup
-	for p := 0; p < nproc; p++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var checks, waits int64
-			for {
-				// Claim ceil(remaining/P) with a CAS loop.
-				var lo, hi int
-				for {
-					cur := cursor.Load()
-					if int(cur) >= n {
-						spinChecks.Add(checks)
-						spinWaits.Add(waits)
-						return
-					}
-					chunk := (n - int(cur) + nproc - 1) / nproc
-					if chunk < minChunk {
-						chunk = minChunk
-					}
-					lo = int(cur)
-					hi = lo + chunk
-					if hi > n {
-						hi = n
-					}
-					if cursor.CompareAndSwap(cur, int64(hi)) {
-						break
-					}
-				}
-				for _, i := range order[lo:hi] {
-					for _, t := range deps.On(int(i)) {
-						checks++
-						if atomic.LoadInt32(&ready[t]) == 1 {
-							continue
-						}
-						waits++
-						for atomic.LoadInt32(&ready[t]) != 1 {
-							runtime.Gosched()
-						}
-					}
-					body(i)
-					atomic.StoreInt32(&ready[i], 1)
-				}
+	n := len(order)
+	// Guided chunks depend on the remaining count, so claiming needs a CAS
+	// loop: ceil(remaining/P), floored at minChunk.
+	claim := func() (lo, hi int, ok bool) {
+		for {
+			cur := cursor.Load()
+			if int(cur) >= n {
+				return 0, 0, false
 			}
-		}()
+			chunk := (n - int(cur) + nproc - 1) / nproc
+			if chunk < minChunk {
+				chunk = minChunk
+			}
+			lo = int(cur)
+			hi = min(lo+chunk, n)
+			if cursor.CompareAndSwap(cur, int64(hi)) {
+				return lo, hi, true
+			}
+			if rc.stop() {
+				return 0, 0, false
+			}
+		}
 	}
-	wg.Wait()
-	return Metrics{
-		P:          nproc,
-		Executed:   int64(n),
-		SpinChecks: spinChecks.Load(),
-		SpinWaits:  spinWaits.Load(),
-	}
+	return runSelfScheduled(ctx, &rc, order, deps, ready, nproc, claim, body)
 }

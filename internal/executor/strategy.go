@@ -1,0 +1,251 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"doconsider/internal/barrier"
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+// Strategy is a pluggable execution strategy: given a prepared schedule and
+// the dependence structure, it runs the loop body once per index. New
+// strategies (chunked, guided, work-stealing, hardware-offloaded, ...) plug
+// in through Register without touching the dispatch in core.
+//
+// Execute returns ctx.Err() if the run was cancelled and a *PanicError if a
+// loop body panicked; in both cases every worker has been released (no
+// busy-waiting peer is left spinning) before Execute returns.
+type Strategy interface {
+	// Name returns the registry name of the strategy.
+	Name() string
+	// Execute runs body under the strategy. deps may be nil for strategies
+	// that do not synchronize on dependences (sequential, pre-scheduled).
+	Execute(ctx context.Context, s *schedule.Schedule, deps *wavefront.Deps, body Body) (Metrics, error)
+}
+
+// PanicError wraps a panic raised by a loop body during a parallel run. The
+// first panic wins; the run is aborted and all workers released.
+type PanicError struct{ Value any }
+
+// Error describes the wrapped panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("executor: loop body panicked: %v", e.Value) }
+
+// ErrWorkerExited reports that a loop body terminated its worker goroutine
+// outright (runtime.Goexit — e.g. t.FailNow inside a test body). The run
+// is aborted like a panic, surfacing as a *PanicError wrapping this value,
+// and no peer is left waiting on the vanished worker.
+var ErrWorkerExited = errors.New("executor: loop body terminated its worker goroutine (runtime.Goexit)")
+
+// exitGuard arms a worker against runtime.Goexit from a loop body: defer
+// check() before the work and call disarm() after it. Panics are recovered
+// inside the per-worker run functions, so if check fires without disarm the
+// goroutine is being killed by Goexit — the run aborts with ErrWorkerExited
+// so no peer spins forever on the vanished worker's unpublished indices.
+func exitGuard(rc *runControl) (check, disarm func()) {
+	completed := false
+	return func() {
+			if !completed {
+				rc.recordPanic(ErrWorkerExited)
+			}
+		}, func() {
+			completed = true
+		}
+}
+
+// barrierGuard is the pre-scheduled executors' exitGuard: a worker killed
+// by runtime.Goexit mid-phase must still arrive at every remaining phase
+// barrier, or its peers block there forever. The worker bumps attended
+// after each barrier it passes and sets completed before returning; the
+// deferred check attends the rest on its behalf.
+type barrierGuard struct {
+	rc        *runControl
+	bar       barrier.Barrier
+	phases    int
+	attended  int
+	completed bool
+}
+
+func (g *barrierGuard) check() {
+	if g.completed {
+		return
+	}
+	g.rc.recordPanic(ErrWorkerExited)
+	for ; g.attended < g.phases; g.attended++ {
+		g.bar.Wait()
+	}
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Strategy{}
+)
+
+// Register makes a strategy constructor available under name. Registering a
+// name twice panics; strategies are process-global, like database/sql
+// drivers.
+func Register(name string, factory func() Strategy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("executor: Register called twice for " + name)
+	}
+	if factory == nil {
+		panic("executor: Register with nil factory for " + name)
+	}
+	registry[name] = factory
+}
+
+// NewStrategy returns a fresh instance of the named strategy. Stateful
+// strategies (e.g. pooled) own per-instance resources, so each call returns
+// an independent instance.
+func NewStrategy(name string) (Strategy, error) {
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("executor: unknown strategy %q (have %v)", name, Strategies())
+	}
+	return factory(), nil
+}
+
+// Strategies returns the sorted names of all registered strategies.
+func Strategies() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(Sequential.String(), func() Strategy { return sequentialStrategy{} })
+	Register(PreScheduled.String(), func() Strategy { return preScheduledStrategy{} })
+	Register(SelfExecuting.String(), func() Strategy { return selfExecutingStrategy{} })
+	Register(DoAcross.String(), func() Strategy { return &doAcrossStrategy{} })
+	Register(Pooled.String(), func() Strategy { return &PooledStrategy{} })
+}
+
+// runControl coordinates abort across the workers of one run: a body panic
+// or a context cancellation raises the abort flag, which every spin loop
+// and per-index step observes, so no worker is left busy-waiting on a
+// producer that will never publish.
+type runControl struct {
+	done     <-chan struct{} // ctx.Done(); nil when the context cannot be cancelled
+	aborted  atomic.Uint32
+	panicked atomic.Uint32
+	panicVal any // written by the CAS winner in recordPanic, read after all workers exit
+}
+
+func (rc *runControl) reset(ctx context.Context) {
+	rc.done = ctx.Done()
+	rc.aborted.Store(0)
+	rc.panicked.Store(0)
+	rc.panicVal = nil
+}
+
+func (rc *runControl) isAborted() bool { return rc.aborted.Load() != 0 }
+
+// stop reports whether the run should terminate, promoting a context
+// cancellation into the shared abort flag so peers see it cheaply.
+func (rc *runControl) stop() bool {
+	if rc.aborted.Load() != 0 {
+		return true
+	}
+	if rc.done == nil {
+		return false
+	}
+	select {
+	case <-rc.done:
+		rc.aborted.Store(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (rc *runControl) recordPanic(v any) {
+	if rc.panicked.CompareAndSwap(0, 1) {
+		rc.panicVal = v
+	}
+	rc.aborted.Store(1)
+}
+
+// err resolves the run outcome after every worker has exited: a body panic
+// takes precedence over a cancellation.
+func (rc *runControl) err(ctx context.Context) error {
+	if rc.panicked.Load() != 0 {
+		return &PanicError{Value: rc.panicVal}
+	}
+	return ctx.Err()
+}
+
+// --- sequential -----------------------------------------------------------
+
+type sequentialStrategy struct{}
+
+func (sequentialStrategy) Name() string { return Sequential.String() }
+
+func (sequentialStrategy) Execute(ctx context.Context, s *schedule.Schedule, _ *wavefront.Deps, body Body) (Metrics, error) {
+	return runSequentialCtx(ctx, s.N, body)
+}
+
+func runSequentialCtx(ctx context.Context, n int, body Body) (Metrics, error) {
+	return runSeq(ctx, func(yield func(int32) bool) {
+		for i := int32(0); int(i) < n; i++ {
+			if !yield(i) {
+				return
+			}
+		}
+	}, body)
+}
+
+// --- pre-scheduled --------------------------------------------------------
+
+type preScheduledStrategy struct{}
+
+func (preScheduledStrategy) Name() string { return PreScheduled.String() }
+
+func (preScheduledStrategy) Execute(ctx context.Context, s *schedule.Schedule, _ *wavefront.Deps, body Body) (Metrics, error) {
+	return runPreScheduledCtx(ctx, s, body)
+}
+
+// --- self-executing -------------------------------------------------------
+
+type selfExecutingStrategy struct{}
+
+func (selfExecutingStrategy) Name() string { return SelfExecuting.String() }
+
+func (selfExecutingStrategy) Execute(ctx context.Context, s *schedule.Schedule, deps *wavefront.Deps, body Body) (Metrics, error) {
+	return runSelfExecutingCtx(ctx, s, deps, body)
+}
+
+// --- doacross -------------------------------------------------------------
+
+// doAcrossStrategy ignores the supplied schedule's order and executes the
+// natural (unsorted) index order. The natural schedule is cached across
+// Execute calls so a Runtime running many sweeps builds it once.
+type doAcrossStrategy struct {
+	mu  sync.Mutex
+	nat *schedule.Schedule
+}
+
+func (d *doAcrossStrategy) Name() string { return DoAcross.String() }
+
+func (d *doAcrossStrategy) Execute(ctx context.Context, s *schedule.Schedule, deps *wavefront.Deps, body Body) (Metrics, error) {
+	d.mu.Lock()
+	if d.nat == nil || d.nat.N != s.N || d.nat.P != s.P {
+		d.nat = schedule.Natural(s.N, s.P, schedule.Striped)
+	}
+	nat := d.nat
+	d.mu.Unlock()
+	return runSelfExecutingCtx(ctx, nat, deps, body)
+}

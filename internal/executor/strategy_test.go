@@ -1,0 +1,114 @@
+package executor
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/wavefront"
+)
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	names := Strategies()
+	want := map[string]bool{
+		"sequential": false, "pre-scheduled": false, "self-executing": false,
+		"doacross": false, "pooled": false,
+	}
+	for _, name := range names {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("built-in strategy %q not registered (have %v)", name, names)
+		}
+	}
+}
+
+func TestNewStrategyUnknown(t *testing.T) {
+	if _, err := NewStrategy("no-such-strategy"); err == nil {
+		t.Error("unknown strategy name did not error")
+	}
+}
+
+func TestKindNewStrategyRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Sequential, PreScheduled, SelfExecuting, DoAcross, Pooled} {
+		strat, err := k.NewStrategy()
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if strat.Name() != k.String() {
+			t.Errorf("strategy name %q != kind name %q", strat.Name(), k.String())
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Sequential.String(), func() Strategy { return sequentialStrategy{} })
+}
+
+// TestAllStrategiesRespectDeps executes every registered built-in through
+// the Strategy interface and checks dependence order.
+func TestAllStrategiesRespectDeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	deps := randomDAG(rng, 300, 3)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kind{Sequential, PreScheduled, SelfExecuting, DoAcross, Pooled} {
+		strat, err := k.NewStrategy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := schedule.Global(wf, 4)
+		body, check := depChecker(t, deps)
+		m, err := strat.Execute(context.Background(), s, deps, body)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		check()
+		if m.Executed != int64(deps.N) {
+			t.Errorf("%v executed %d of %d", k, m.Executed, deps.N)
+		}
+		if c, ok := strat.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				t.Errorf("%v close: %v", k, err)
+			}
+		}
+	}
+}
+
+// TestPooledStrategyReusesPool verifies the strategy keeps one pool across
+// Execute calls and rebuilds it when the processor count changes.
+func TestPooledStrategyReusesPool(t *testing.T) {
+	deps := randomDAG(rand.New(rand.NewSource(22)), 100, 2)
+	wf, err := wavefront.Compute(deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := &PooledStrategy{}
+	defer ps.Close()
+	for _, p := range []int{2, 2, 4, 2} {
+		s := schedule.Global(wf, p)
+		body, check := depChecker(t, deps)
+		if _, err := ps.Execute(context.Background(), s, deps, body); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+	// After Close the strategy must refuse to resurrect a pool.
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Execute(context.Background(), schedule.Global(wf, 2), deps, func(int32) {}); err != ErrPoolClosed {
+		t.Errorf("Execute after Close: err = %v, want ErrPoolClosed", err)
+	}
+}

@@ -1,7 +1,6 @@
 package executor
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,13 +23,16 @@ type TimeBreakdown struct {
 // RunSelfExecutingTimed is RunSelfExecuting with per-processor busy/wait
 // wall-time accounting. The instrumentation adds two clock reads per index
 // plus one per stalled dependence, so absolute numbers carry measurement
-// overhead; use them for proportions, as the paper does.
+// overhead; use them for proportions, as the paper does. A body panic
+// aborts the run (releasing all spinning peers) and re-raises on the
+// caller's goroutine.
 func RunSelfExecutingTimed(s *schedule.Schedule, deps *wavefront.Deps, body Body) (Metrics, TimeBreakdown) {
 	bd := TimeBreakdown{
 		P:       s.P,
 		Busy:    make([]time.Duration, s.P),
 		Waiting: make([]time.Duration, s.P),
 	}
+	var rc runControl
 	ready := make([]int32, s.N)
 	var spinChecks, spinWaits atomic.Int64
 	start := time.Now()
@@ -39,34 +41,21 @@ func RunSelfExecutingTimed(s *schedule.Schedule, deps *wavefront.Deps, body Body
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			var busy, waiting time.Duration
-			var checks, waits int64
-			for _, i := range s.Indices[p] {
-				for _, t := range deps.On(int(i)) {
-					checks++
-					if atomic.LoadInt32(&ready[t]) == 1 {
-						continue
-					}
-					waits++
-					w0 := time.Now()
-					for atomic.LoadInt32(&ready[t]) != 1 {
-						runtime.Gosched()
-					}
-					waiting += time.Since(w0)
-				}
-				b0 := time.Now()
-				body(i)
-				busy += time.Since(b0)
-				atomic.StoreInt32(&ready[i], 1)
-			}
+			check, disarm := exitGuard(&rc)
+			defer check()
+			busy, waiting, checks, waits := timedSelfProc(&rc, s.Proc(p), deps, ready, body)
 			bd.Busy[p] = busy
 			bd.Waiting[p] = waiting
 			spinChecks.Add(checks)
 			spinWaits.Add(waits)
+			disarm()
 		}(p)
 	}
 	wg.Wait()
 	bd.Total = time.Since(start)
+	if rc.panicked.Load() != 0 {
+		panic(rc.panicVal)
+	}
 	m := Metrics{
 		P:          s.P,
 		Executed:   int64(s.N),
@@ -76,14 +65,49 @@ func RunSelfExecutingTimed(s *schedule.Schedule, deps *wavefront.Deps, body Body
 	return m, bd
 }
 
+// timedSelfProc is runSelfProc with per-index busy/wait clock accounting.
+func timedSelfProc(rc *runControl, idxs []int32, deps *wavefront.Deps, ready []int32, body Body) (busy, waiting time.Duration, checks, waits int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			rc.recordPanic(r)
+		}
+	}()
+	for _, i := range idxs {
+		if rc.isAborted() {
+			return
+		}
+		for _, t := range deps.On(int(i)) {
+			checks++
+			if atomic.LoadInt32(&ready[t]) == 1 {
+				continue
+			}
+			waits++
+			w0 := time.Now()
+			if !spinUntilReady(rc, &ready[t]) {
+				waiting += time.Since(w0)
+				return
+			}
+			waiting += time.Since(w0)
+		}
+		b0 := time.Now()
+		body(i)
+		busy += time.Since(b0)
+		atomic.StoreInt32(&ready[i], 1)
+	}
+	return
+}
+
 // RunPreScheduledTimed is RunPreScheduled with per-processor busy/barrier
-// wall-time accounting.
+// wall-time accounting. A body panic aborts the run (remaining phases are
+// skipped, barriers still observed) and re-raises on the caller's
+// goroutine.
 func RunPreScheduledTimed(s *schedule.Schedule, body Body) (Metrics, TimeBreakdown) {
 	bd := TimeBreakdown{
 		P:       s.P,
 		Busy:    make([]time.Duration, s.P),
 		Waiting: make([]time.Duration, s.P),
 	}
+	var rc runControl
 	bar := barrier.NewSenseReversing(s.P)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -91,23 +115,30 @@ func RunPreScheduledTimed(s *schedule.Schedule, body Body) (Metrics, TimeBreakdo
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			g := barrierGuard{rc: &rc, bar: bar, phases: s.NumPhases}
+			defer g.check()
 			var busy, waiting time.Duration
 			for k := 0; k < s.NumPhases; k++ {
-				b0 := time.Now()
-				for _, i := range s.Phase(p, k) {
-					body(i)
+				if !rc.isAborted() {
+					b0 := time.Now()
+					runPhase(&rc, s.Phase(p, k), body)
+					busy += time.Since(b0)
 				}
-				busy += time.Since(b0)
 				w0 := time.Now()
 				bar.Wait()
 				waiting += time.Since(w0)
+				g.attended++
 			}
 			bd.Busy[p] = busy
 			bd.Waiting[p] = waiting
+			g.completed = true
 		}(p)
 	}
 	wg.Wait()
 	bd.Total = time.Since(start)
+	if rc.panicked.Load() != 0 {
+		panic(rc.panicVal)
+	}
 	return Metrics{P: s.P, Phases: s.NumPhases, Executed: int64(s.N)}, bd
 }
 

@@ -76,6 +76,16 @@ func (p *ILUPrec) Apply(z, r []float64) {
 	p.Back.Solve(z, p.tmp)
 }
 
+// Close releases the two solve plans' strategy resources (the pooled
+// executor's persistent workers); it is a no-op for stateless kinds.
+func (p *ILUPrec) Close() error {
+	err := p.Forward.Close()
+	if err2 := p.Back.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
 // JacobiPrec is the diagonal (point Jacobi) preconditioner z = D^{-1} r —
 // the trivially parallel baseline against which incomplete-factorization
 // preconditioning (and hence the whole run-time parallelization machinery)

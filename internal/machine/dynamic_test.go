@@ -9,7 +9,7 @@ import (
 )
 
 func sortedOrder(wf []int32) []int32 {
-	return schedule.Global(wf, 1).Indices[0]
+	return schedule.Global(wf, 1).Proc(0)
 }
 
 func TestSimulateSelfScheduledBasics(t *testing.T) {

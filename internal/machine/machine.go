@@ -134,8 +134,8 @@ func SimulateSelfExecuting(s *schedule.Schedule, deps *wavefront.Deps, work []fl
 	for remaining > 0 {
 		progressed := false
 		for p := 0; p < s.P; p++ {
-			for pos[p] < len(s.Indices[p]) {
-				i := s.Indices[p][pos[p]]
+			for pos[p] < s.ProcLen(p) {
+				i := s.Proc(p)[pos[p]]
 				startFloor := clock[p]
 				ok := true
 				for _, t := range deps.On(int(i)) {

@@ -106,8 +106,9 @@ func TestSelfExecutingDeadlockDetection(t *testing.T) {
 	s := &schedule.Schedule{
 		P: 2, N: 2, NumPhases: 1,
 		Wf:       []int32{0, 0},
-		Indices:  [][]int32{{1}, {0}},
-		PhasePtr: [][]int32{{0, 1}, {0, 1}},
+		Idx:      []int32{1, 0},
+		ProcPtr:  []int32{0, 1, 2},
+		PhasePtr: []int32{0, 1, 1, 2},
 	}
 	// Proc 0 waits for index 0 which proc 1 will run: fine, no deadlock.
 	if _, err := SimulateSelfExecuting(s, d, uniformWork(2), FlopOnly()); err != nil {
@@ -117,8 +118,9 @@ func TestSelfExecutingDeadlockDetection(t *testing.T) {
 	s2 := &schedule.Schedule{
 		P: 1, N: 2, NumPhases: 1,
 		Wf:       []int32{0, 0},
-		Indices:  [][]int32{{1, 0}},
-		PhasePtr: [][]int32{{0, 2}},
+		Idx:      []int32{1, 0},
+		ProcPtr:  []int32{0, 2},
+		PhasePtr: []int32{0, 2},
 	}
 	if _, err := SimulateSelfExecuting(s2, d, uniformWork(2), FlopOnly()); err == nil {
 		t.Error("deadlocked schedule not detected")

@@ -59,7 +59,7 @@ func (c NUMACosts) barrierCost(p int) float64 {
 func SimulateSelfExecutingNUMA(s *schedule.Schedule, deps *wavefront.Deps, work []float64, c NUMACosts) (Result, error) {
 	owner := make([]int32, s.N)
 	for p := 0; p < s.P; p++ {
-		for _, idx := range s.Indices[p] {
+		for _, idx := range s.Proc(p) {
 			owner[idx] = int32(p)
 		}
 	}
@@ -75,8 +75,8 @@ func SimulateSelfExecutingNUMA(s *schedule.Schedule, deps *wavefront.Deps, work 
 	for remaining > 0 {
 		progressed := false
 		for p := 0; p < s.P; p++ {
-			for pos[p] < len(s.Indices[p]) {
-				i := s.Indices[p][pos[p]]
+			for pos[p] < s.ProcLen(p) {
+				i := s.Proc(p)[pos[p]]
 				startFloor := clock[p]
 				ok := true
 				checkCost := 0.0
@@ -147,7 +147,7 @@ func SimulatePreScheduledNUMA(s *schedule.Schedule, work []float64, c NUMACosts)
 func RemoteFraction(s *schedule.Schedule, deps *wavefront.Deps) float64 {
 	owner := make([]int32, s.N)
 	for p := 0; p < s.P; p++ {
-		for _, idx := range s.Indices[p] {
+		for _, idx := range s.Proc(p) {
 			owner[idx] = int32(p)
 		}
 	}

@@ -31,10 +31,10 @@ func (s *Schedule) Write(w io.Writer) error {
 		return err
 	}
 	for p := 0; p < s.P; p++ {
-		if _, err := fmt.Fprintf(bw, "proc %d %d", p, len(s.Indices[p])); err != nil {
+		if _, err := fmt.Fprintf(bw, "proc %d %d", p, s.ProcLen(p)); err != nil {
 			return err
 		}
-		for _, idx := range s.Indices[p] {
+		for _, idx := range s.Proc(p) {
 			if _, err := fmt.Fprintf(bw, " %d", idx); err != nil {
 				return err
 			}
@@ -63,9 +63,9 @@ func Read(r io.Reader) (*Schedule, error) {
 	}
 	s := &Schedule{
 		P: p, N: n, NumPhases: phases,
-		Wf:       make([]int32, n),
-		Indices:  make([][]int32, p),
-		PhasePtr: make([][]int32, p),
+		Wf:      make([]int32, n),
+		Idx:     make([]int32, 0, n),
+		ProcPtr: make([]int32, p+1),
 	}
 	if _, err := fmt.Fscan(br, &tag); err != nil || tag != "wf" {
 		return nil, fmt.Errorf("schedule: expected wf section (err %v)", err)
@@ -86,12 +86,14 @@ func Read(r io.Reader) (*Schedule, error) {
 		if count < 0 || count > n {
 			return nil, fmt.Errorf("schedule: proc %d count %d out of range", q, count)
 		}
-		s.Indices[q] = make([]int32, count)
 		for k := 0; k < count; k++ {
-			if _, err := fmt.Fscan(br, &s.Indices[q][k]); err != nil {
+			var idx int32
+			if _, err := fmt.Fscan(br, &idx); err != nil {
 				return nil, fmt.Errorf("schedule: reading proc %d index %d: %w", q, k, err)
 			}
+			s.Idx = append(s.Idx, idx)
 		}
+		s.ProcPtr[q+1] = int32(len(s.Idx))
 	}
 	s.buildPhasePtrs()
 	if err := s.Validate(); err != nil {

@@ -39,12 +39,12 @@ func TestScheduleRoundTrip(t *testing.T) {
 			return false
 		}
 		for q := 0; q < p; q++ {
-			if !reflect.DeepEqual(got.Indices[q], s.Indices[q]) {
+			if !reflect.DeepEqual(got.Proc(q), s.Proc(q)) {
 				return false
 			}
-			if !reflect.DeepEqual(got.PhasePtr[q], s.PhasePtr[q]) {
-				return false
-			}
+		}
+		if !reflect.DeepEqual(got.PhasePtr, s.PhasePtr) {
+			return false
 		}
 		return true
 	}

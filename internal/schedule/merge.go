@@ -20,7 +20,7 @@ import (
 func MergePhases(s *Schedule, deps *wavefront.Deps) *Schedule {
 	owner := make([]int32, s.N)
 	for p := 0; p < s.P; p++ {
-		for _, idx := range s.Indices[p] {
+		for _, idx := range s.Proc(p) {
 			owner[idx] = int32(p)
 		}
 	}
@@ -64,14 +64,11 @@ func MergePhases(s *Schedule, deps *wavefront.Deps) *Schedule {
 		N:         s.N,
 		NumPhases: int(super) + 1,
 		Wf:        superWf,
-		Indices:   make([][]int32, s.P),
-		PhasePtr:  make([][]int32, s.P),
+		Idx:       append([]int32(nil), s.Idx...),
+		ProcPtr:   append([]int32(nil), s.ProcPtr...),
 	}
 	if s.NumPhases == 0 {
 		merged.NumPhases = 0
-	}
-	for p := 0; p < s.P; p++ {
-		merged.Indices[p] = append([]int32(nil), s.Indices[p]...)
 	}
 	merged.buildPhasePtrs()
 	return merged

@@ -75,11 +75,11 @@ func TestMergePhasesNeverIncreassesPhases(t *testing.T) {
 			}
 			// Same per-processor orders.
 			for q := 0; q < p; q++ {
-				if len(m.Indices[q]) != len(s.Indices[q]) {
+				if len(m.Proc(q)) != len(s.Proc(q)) {
 					return false
 				}
-				for k := range m.Indices[q] {
-					if m.Indices[q][k] != s.Indices[q][k] {
+				for k := range m.Proc(q) {
+					if m.Proc(q)[k] != s.Proc(q)[k] {
 						return false
 					}
 				}
@@ -110,7 +110,7 @@ func TestMergePhasesSafety(t *testing.T) {
 		owner := make([]int, n)
 		pos := make([]int, n)
 		for q := 0; q < m.P; q++ {
-			for k, idx := range m.Indices[q] {
+			for k, idx := range m.Proc(q) {
 				owner[idx] = q
 				pos[idx] = k
 			}

@@ -10,6 +10,13 @@
 //   - Local scheduling starts from a fixed assignment of indices to
 //     processors (striped or blocked) and merely reorders each processor's
 //     indices by increasing wavefront number.
+//
+// Schedules are stored flat: one contiguous index buffer with CSR-style
+// per-processor and per-phase offset arrays. The flat layout costs one
+// allocation per schedule and keeps each processor's execution list
+// contiguous in memory, which matters because the executor walks it on
+// every Run while the builder runs only once (the paper's amortization
+// argument, §5.1.1, applied to the data layout).
 package schedule
 
 import (
@@ -47,19 +54,39 @@ func (p Partition) String() string {
 // Schedule is a complete executor plan: for each of P processors, the
 // ordered list of loop indices it executes, partitioned into phases of
 // equal wavefront number.
+//
+// The plan is stored in CSR form: Idx is a single contiguous buffer
+// holding every processor's execution list back to back; ProcPtr[p] ..
+// ProcPtr[p+1] bounds processor p's slice of it, and PhasePtr (stride
+// NumPhases+1 per processor, absolute offsets into Idx) bounds each
+// wavefront phase within that slice. Use Proc and Phase to view the
+// buffer; the returned slices alias it and must not be modified.
 type Schedule struct {
-	P         int       // number of processors
-	N         int       // number of loop indices
-	NumPhases int       // number of wavefronts
-	Wf        []int32   // wavefront number per index
-	Indices   [][]int32 // Indices[p] = execution order for processor p
-	PhasePtr  [][]int32 // PhasePtr[p][k]..PhasePtr[p][k+1] bounds phase k on p
+	P         int     // number of processors
+	N         int     // number of loop indices
+	NumPhases int     // number of wavefronts
+	Wf        []int32 // wavefront number per index
+	Idx       []int32 // flat execution lists, processor-major
+	ProcPtr   []int32 // len P+1: Idx[ProcPtr[p]:ProcPtr[p+1]] = processor p's list
+	PhasePtr  []int32 // len P*(NumPhases+1): absolute phase bounds per processor
+}
+
+// Proc returns the ordered execution list of processor p. The slice
+// aliases the schedule and must not be modified.
+func (s *Schedule) Proc(p int) []int32 {
+	return s.Idx[s.ProcPtr[p]:s.ProcPtr[p+1]]
+}
+
+// ProcLen returns the number of indices assigned to processor p.
+func (s *Schedule) ProcLen(p int) int {
+	return int(s.ProcPtr[p+1] - s.ProcPtr[p])
 }
 
 // Phase returns the indices processor p executes during phase k. The slice
 // aliases the schedule and must not be modified.
 func (s *Schedule) Phase(p, k int) []int32 {
-	return s.Indices[p][s.PhasePtr[p][k]:s.PhasePtr[p][k+1]]
+	base := p * (s.NumPhases + 1)
+	return s.Idx[s.PhasePtr[base+k]:s.PhasePtr[base+k+1]]
 }
 
 // Global builds a global schedule on nproc processors: indices are sorted
@@ -67,12 +94,17 @@ func (s *Schedule) Phase(p, k int) []int32 {
 // anti-diagonal list of paper Figure 9 — and dealt to processors in a
 // wrapped manner (Figure 10).
 func Global(wf []int32, nproc int) *Schedule {
-	n := len(wf)
 	order := sortedByWavefront(wf)
-	s := newSchedule(wf, nproc, n)
+	s := newSchedule(wf, nproc, len(order))
+	// Wrapped dealing: position k of the sorted list goes to processor
+	// k mod P, so the per-processor counts are exactly those of a striped
+	// partition (ceil((n-p)/P) for processor p).
+	partitionPtrs(s, Striped)
+	pos := fillStart(s)
 	for k, idx := range order {
 		p := k % s.P
-		s.Indices[p] = append(s.Indices[p], idx)
+		s.Idx[pos[p]] = idx
+		pos[p]++
 	}
 	s.buildPhasePtrs()
 	return s
@@ -87,7 +119,8 @@ func GlobalByWork(wf []int32, cost []float64, nproc int) *Schedule {
 	order := sortedByWavefront(wf)
 	s := newSchedule(wf, nproc, n)
 	load := make([]float64, s.P)
-	// Process one wavefront at a time.
+	owner := make([]int32, n)
+	// Process one wavefront at a time, assigning each index an owner.
 	for lo := 0; lo < n; {
 		hi := lo
 		w := wf[order[lo]]
@@ -100,69 +133,46 @@ func GlobalByWork(wf []int32, cost []float64, nproc int) *Schedule {
 		})
 		for _, idx := range members {
 			p := argmin(load)
-			s.Indices[p] = append(s.Indices[p], idx)
+			owner[idx] = int32(p)
+			s.ProcPtr[p+1]++
 			load[p] += cost[idx]
 		}
 		lo = hi
 	}
-	// Keep each phase internally ordered by index for determinism.
 	for p := 0; p < s.P; p++ {
-		idxs := s.Indices[p]
-		sort.SliceStable(idxs, func(a, b int) bool {
-			if wf[idxs[a]] != wf[idxs[b]] {
-				return wf[idxs[a]] < wf[idxs[b]]
-			}
-			return idxs[a] < idxs[b]
-		})
+		s.ProcPtr[p+1] += s.ProcPtr[p]
+	}
+	// Fill in global (wavefront, index) order so each processor's list is
+	// ordered by (wavefront, index) — deterministic regardless of the
+	// greedy dealing order within a wavefront.
+	pos := fillStart(s)
+	for _, idx := range order {
+		p := owner[idx]
+		s.Idx[pos[p]] = idx
+		pos[p]++
 	}
 	s.buildPhasePtrs()
 	return s
 }
 
 // Local builds a local schedule: the initial partition fixes which
-// processor owns each index, and each processor's list is then stably
-// sorted by wavefront number, preserving the original relative order of
-// equal-wavefront indices.
+// processor owns each index, and each processor's list is then ordered by
+// increasing wavefront number, preserving the original relative order of
+// equal-wavefront indices. The local sort is a stable counting sort, so it
+// stays cheap relative to a sequential iteration (the whole point of local
+// scheduling, §5.1.5).
 func Local(wf []int32, nproc int, part Partition) *Schedule {
 	n := len(wf)
 	s := newSchedule(wf, nproc, n)
-	switch part {
-	case Striped:
-		for i := 0; i < n; i++ {
-			s.Indices[i%s.P] = append(s.Indices[i%s.P], int32(i))
-		}
-	case Blocked:
-		for p := 0; p < s.P; p++ {
-			lo, hi := n*p/s.P, n*(p+1)/s.P
-			for i := lo; i < hi; i++ {
-				s.Indices[p] = append(s.Indices[p], int32(i))
-			}
-		}
-	default:
-		panic("schedule: unknown partition")
-	}
-	// Stable counting sort of each processor's list by wavefront number:
-	// the local sort must stay cheap relative to a sequential iteration
-	// (the whole point of local scheduling, §5.1.5).
-	nw := s.NumPhases
-	counts := make([]int32, nw+1)
-	for p := 0; p < s.P; p++ {
-		idxs := s.Indices[p]
-		for k := range counts {
-			counts[k] = 0
-		}
-		for _, idx := range idxs {
-			counts[wf[idx]+1]++
-		}
-		for k := 0; k < nw; k++ {
-			counts[k+1] += counts[k]
-		}
-		sorted := make([]int32, len(idxs))
-		for _, idx := range idxs {
-			sorted[counts[wf[idx]]] = idx
-			counts[wf[idx]]++
-		}
-		s.Indices[p] = sorted
+	partitionPtrs(s, part)
+	// The original per-processor order is increasing index for both
+	// partitions, so filling in global (wavefront, index) order yields each
+	// processor's list stably sorted by wavefront.
+	pos := fillStart(s)
+	for _, idx := range sortedByWavefront(wf) {
+		p := partOwner(int(idx), n, s.P, part)
+		s.Idx[pos[p]] = idx
+		pos[p]++
 	}
 	s.buildPhasePtrs()
 	return s
@@ -176,60 +186,100 @@ func Local(wf []int32, nproc int, part Partition) *Schedule {
 func Natural(n, nproc int, part Partition) *Schedule {
 	wf := make([]int32, n) // all zero: one phase
 	s := newSchedule(wf, nproc, n)
+	partitionPtrs(s, part)
+	pos := fillStart(s)
+	for i := 0; i < n; i++ {
+		p := partOwner(i, n, s.P, part)
+		s.Idx[pos[p]] = int32(i)
+		pos[p]++
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
+// partOwner returns the processor owning index i under the partition.
+func partOwner(i, n, nproc int, part Partition) int {
 	switch part {
 	case Striped:
-		for i := 0; i < n; i++ {
-			s.Indices[i%s.P] = append(s.Indices[i%s.P], int32(i))
+		return i % nproc
+	case Blocked:
+		// Inverse of the lo = n*p/nproc block bounds.
+		p := (i*nproc + nproc - 1) / n
+		for n*p/nproc > i {
+			p--
+		}
+		for n*(p+1)/nproc <= i {
+			p++
+		}
+		return p
+	default:
+		panic("schedule: unknown partition")
+	}
+}
+
+// partitionPtrs fills ProcPtr with the per-processor counts of the given
+// partition (striped: near-equal wrapped counts; blocked: slab bounds).
+func partitionPtrs(s *Schedule, part Partition) {
+	switch part {
+	case Striped:
+		for p := 0; p < s.P; p++ {
+			s.ProcPtr[p+1] = s.ProcPtr[p] + int32((s.N-p+s.P-1)/s.P)
 		}
 	case Blocked:
 		for p := 0; p < s.P; p++ {
-			lo, hi := n*p/s.P, n*(p+1)/s.P
-			for i := lo; i < hi; i++ {
-				s.Indices[p] = append(s.Indices[p], int32(i))
-			}
+			s.ProcPtr[p+1] = int32(s.N * (p + 1) / s.P)
 		}
 	default:
 		panic("schedule: unknown partition")
 	}
-	s.buildPhasePtrs()
-	return s
+}
+
+// fillStart returns a scratch copy of the processor start offsets, used as
+// running fill cursors during construction.
+func fillStart(s *Schedule) []int32 {
+	pos := make([]int32, s.P)
+	copy(pos, s.ProcPtr[:s.P])
+	return pos
 }
 
 func newSchedule(wf []int32, nproc, n int) *Schedule {
 	if nproc < 1 {
 		nproc = 1
 	}
-	s := &Schedule{
+	nw := wavefront.NumWavefronts(wf)
+	return &Schedule{
 		P:         nproc,
 		N:         n,
-		NumPhases: wavefront.NumWavefronts(wf),
+		NumPhases: nw,
 		Wf:        wf,
-		Indices:   make([][]int32, nproc),
-		PhasePtr:  make([][]int32, nproc),
+		Idx:       make([]int32, n),
+		ProcPtr:   make([]int32, nproc+1),
+		PhasePtr:  make([]int32, nproc*(nw+1)),
 	}
-	for p := range s.Indices {
-		s.Indices[p] = make([]int32, 0, n/nproc+1)
-	}
-	return s
 }
 
 // buildPhasePtrs scans each processor's (wavefront-sorted) index list and
 // records phase boundaries for all NumPhases phases, including empty ones —
 // the pre-scheduled executor must still participate in the barrier for a
-// phase in which it has no work (paper Figure 5).
+// phase in which it has no work (paper Figure 5). Offsets are absolute
+// positions in the flat Idx buffer.
 func (s *Schedule) buildPhasePtrs() {
+	stride := s.NumPhases + 1
+	if len(s.PhasePtr) != s.P*stride {
+		s.PhasePtr = make([]int32, s.P*stride)
+	}
 	for p := 0; p < s.P; p++ {
-		ptr := make([]int32, s.NumPhases+1)
-		idxs := s.Indices[p]
+		idxs := s.Proc(p)
+		base := p * stride
+		off := s.ProcPtr[p]
 		pos := 0
 		for k := 0; k < s.NumPhases; k++ {
-			ptr[k] = int32(pos)
+			s.PhasePtr[base+k] = off + int32(pos)
 			for pos < len(idxs) && s.Wf[idxs[pos]] == int32(k) {
 				pos++
 			}
 		}
-		ptr[s.NumPhases] = int32(pos)
-		s.PhasePtr[p] = ptr
+		s.PhasePtr[base+s.NumPhases] = off + int32(pos)
 	}
 }
 

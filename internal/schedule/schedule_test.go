@@ -74,8 +74,8 @@ func TestGlobalSortedListOrder(t *testing.T) {
 			}
 		}
 	}
-	if !reflect.DeepEqual(s.Indices[0], want) {
-		t.Errorf("sorted list mismatch:\n got %v\nwant %v", s.Indices[0], want)
+	if !reflect.DeepEqual(s.Proc(0), want) {
+		t.Errorf("sorted list mismatch:\n got %v\nwant %v", s.Proc(0), want)
 	}
 }
 
@@ -86,7 +86,7 @@ func TestLocalPreservesPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	for p := 0; p < 3; p++ {
-		for _, idx := range s.Indices[p] {
+		for _, idx := range s.Proc(p) {
 			if int(idx)%3 != p {
 				t.Fatalf("striped local schedule moved index %d to proc %d", idx, p)
 			}
@@ -99,7 +99,7 @@ func TestLocalPreservesPartition(t *testing.T) {
 	n := len(wf)
 	for p := 0; p < 3; p++ {
 		lo, hi := n*p/3, n*(p+1)/3
-		for _, idx := range sb.Indices[p] {
+		for _, idx := range sb.Proc(p) {
 			if int(idx) < lo || int(idx) >= hi {
 				t.Fatalf("blocked local schedule moved index %d to proc %d", idx, p)
 			}
@@ -111,8 +111,8 @@ func TestLocalStableWithinWavefront(t *testing.T) {
 	wf := []int32{0, 1, 0, 1, 0, 1}
 	s := Local(wf, 1, Striped)
 	want := []int32{0, 2, 4, 1, 3, 5}
-	if !reflect.DeepEqual(s.Indices[0], want) {
-		t.Errorf("local order = %v, want %v", s.Indices[0], want)
+	if !reflect.DeepEqual(s.Proc(0), want) {
+		t.Errorf("local order = %v, want %v", s.Proc(0), want)
 	}
 }
 
@@ -125,11 +125,11 @@ func TestNaturalKeepsOrder(t *testing.T) {
 		t.Errorf("natural phases = %d, want 1", s.NumPhases)
 	}
 	want := []int32{0, 3, 6, 9}
-	if !reflect.DeepEqual(s.Indices[0], want) {
-		t.Errorf("proc 0 = %v, want %v", s.Indices[0], want)
+	if !reflect.DeepEqual(s.Proc(0), want) {
+		t.Errorf("proc 0 = %v, want %v", s.Proc(0), want)
 	}
 	sb := Natural(10, 3, Blocked)
-	if got := sb.Indices[0]; !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+	if got := sb.Proc(0); !reflect.DeepEqual(got, []int32{0, 1, 2}) {
 		t.Errorf("blocked proc 0 = %v", got)
 	}
 }
@@ -151,7 +151,7 @@ func TestGlobalByWorkBalances(t *testing.T) {
 	}
 	loads := make([]float64, p)
 	for q := 0; q < p; q++ {
-		for _, idx := range byWork.Indices[q] {
+		for _, idx := range byWork.Proc(q) {
 			loads[q] += cost[idx]
 		}
 	}
@@ -243,8 +243,8 @@ func TestMoreProcsThanIndices(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := 0
-	for p := range s.Indices {
-		total += len(s.Indices[p])
+	for p := 0; p < s.P; p++ {
+		total += len(s.Proc(p))
 	}
 	if total != 2 {
 		t.Errorf("scheduled %d indices, want 2", total)

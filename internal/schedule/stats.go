@@ -19,7 +19,7 @@ type Stats struct {
 func ComputeStats(s *Schedule) Stats {
 	st := Stats{P: s.P, N: s.N, NumPhases: s.NumPhases, MinIndices: s.N + 1}
 	for p := 0; p < s.P; p++ {
-		c := len(s.Indices[p])
+		c := s.ProcLen(p)
 		if c > st.MaxIndices {
 			st.MaxIndices = c
 		}
@@ -55,15 +55,29 @@ func ComputeStats(s *Schedule) Stats {
 	return st
 }
 
-// Validate checks the structural invariants of a schedule: the union of the
-// per-processor lists is a permutation of 0..N-1, wavefront numbers are
-// nondecreasing along every processor's list, and phase pointers bound
+// Validate checks the structural invariants of a schedule: the processor
+// and phase offset arrays partition the flat index buffer, the union of
+// the per-processor lists is a permutation of 0..N-1, wavefront numbers
+// are nondecreasing along every processor's list, and phase pointers bound
 // exactly the indices whose wavefront equals the phase number.
 func (s *Schedule) Validate() error {
+	if len(s.ProcPtr) != s.P+1 {
+		return fmt.Errorf("schedule: %d proc pointers, want %d", len(s.ProcPtr), s.P+1)
+	}
+	if s.ProcPtr[0] != 0 || int(s.ProcPtr[s.P]) != len(s.Idx) {
+		return fmt.Errorf("schedule: proc pointers do not span the index buffer")
+	}
+	stride := s.NumPhases + 1
+	if len(s.PhasePtr) != s.P*stride {
+		return fmt.Errorf("schedule: %d phase pointers, want %d", len(s.PhasePtr), s.P*stride)
+	}
 	seen := make([]bool, s.N)
 	total := 0
 	for p := 0; p < s.P; p++ {
-		idxs := s.Indices[p]
+		if s.ProcPtr[p] > s.ProcPtr[p+1] {
+			return fmt.Errorf("schedule: proc pointers not monotone at %d", p)
+		}
+		idxs := s.Proc(p)
 		for k, idx := range idxs {
 			if idx < 0 || int(idx) >= s.N {
 				return fmt.Errorf("schedule: proc %d has out-of-range index %d", p, idx)
@@ -77,19 +91,15 @@ func (s *Schedule) Validate() error {
 			}
 		}
 		total += len(idxs)
-		ptr := s.PhasePtr[p]
-		if len(ptr) != s.NumPhases+1 {
-			return fmt.Errorf("schedule: proc %d has %d phase pointers, want %d",
-				p, len(ptr), s.NumPhases+1)
-		}
-		if ptr[0] != 0 || int(ptr[s.NumPhases]) != len(idxs) {
+		ptr := s.PhasePtr[p*stride : (p+1)*stride]
+		if ptr[0] != s.ProcPtr[p] || ptr[s.NumPhases] != s.ProcPtr[p+1] {
 			return fmt.Errorf("schedule: proc %d phase pointers do not span the index list", p)
 		}
 		for k := 0; k < s.NumPhases; k++ {
 			if ptr[k] > ptr[k+1] {
 				return fmt.Errorf("schedule: proc %d phase pointers not monotone at %d", p, k)
 			}
-			for _, idx := range idxs[ptr[k]:ptr[k+1]] {
+			for _, idx := range s.Idx[ptr[k]:ptr[k+1]] {
 				if s.Wf[idx] != int32(k) {
 					return fmt.Errorf("schedule: proc %d phase %d contains index %d with wavefront %d",
 						p, k, idx, s.Wf[idx])

@@ -130,7 +130,7 @@ func FprintFigure9(w io.Writer, m, n, nproc int) error {
 	gs := schedule.Global(wf, nproc)
 	owner := make([]int, len(wf))
 	for p := 0; p < gs.P; p++ {
-		for _, idx := range gs.Indices[p] {
+		for _, idx := range gs.Proc(p) {
 			owner[idx] = p
 		}
 	}

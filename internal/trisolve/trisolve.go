@@ -5,7 +5,9 @@
 package trisolve
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"doconsider/internal/executor"
 	"doconsider/internal/schedule"
@@ -118,8 +120,11 @@ func invDiagonal(a *sparse.CSR) []float64 {
 }
 
 // Plan bundles everything needed to repeatedly solve with one triangular
-// factor: the dependence structure, wavefront numbers and a schedule.
-// Building a Plan is the inspector step; Solve is the executor step.
+// factor: the dependence structure, wavefront numbers, a schedule and the
+// execution strategy instance. Building a Plan is the inspector step;
+// Solve is the executor step. With the Pooled kind the strategy keeps a
+// persistent worker pool across Solve calls; call Close when done with
+// such a plan to release the workers.
 type Plan struct {
 	L     *sparse.CSR
 	Lower bool // forward (true) or backward (false) solve
@@ -127,6 +132,7 @@ type Plan struct {
 	Wf    []int32
 	Sched *schedule.Schedule
 	Kind  executor.Kind
+	strat executor.Strategy
 }
 
 // Option configures plan construction.
@@ -191,19 +197,39 @@ func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
 	default:
 		return nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
 	}
-	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: cfg.kind}, nil
+	strat, err := cfg.kind.NewStrategy()
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: cfg.kind, strat: strat}, nil
 }
 
 // Solve executes the planned triangular solve, writing the solution to x.
 // x and b must not alias (the parallel executors read b while writing x).
 func (p *Plan) Solve(x, b []float64) executor.Metrics {
-	var body executor.Body
+	return executor.MustMetrics(p.strat.Execute(context.Background(), p.Sched, p.Deps, p.body(x, b)))
+}
+
+// SolveCtx is Solve with cancellation support: a cancelled context
+// releases every worker and returns ctx.Err().
+func (p *Plan) SolveCtx(ctx context.Context, x, b []float64) (executor.Metrics, error) {
+	return p.strat.Execute(ctx, p.Sched, p.Deps, p.body(x, b))
+}
+
+func (p *Plan) body(x, b []float64) executor.Body {
 	if p.Lower {
-		body = ForwardBody(p.L, x, b)
-	} else {
-		body = BackwardBody(p.L, x, b)
+		return ForwardBody(p.L, x, b)
 	}
-	return executor.Run(p.Kind, p.Sched, p.Deps, body)
+	return BackwardBody(p.L, x, b)
+}
+
+// Close releases resources held by stateful strategies (the pooled
+// executor's workers); it is a no-op otherwise.
+func (p *Plan) Close() error {
+	if c, ok := p.strat.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Phases returns the number of wavefronts of the factor — the paper's
