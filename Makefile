@@ -1,0 +1,42 @@
+# make verify mirrors the CI pipeline (lint gate, tier-1 tests, race,
+# bench smoke + regression gate) so a green local run means a green CI
+# run. Individual steps are also exposed as targets.
+
+GO ?= go
+
+.PHONY: verify fmt vet build test race bench-smoke bench bench-update clean
+
+verify: fmt vet build test race bench-smoke
+	@echo "verify: all checks passed"
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One repetition of the CI bench job: fast local check that the gate and
+# artifact plumbing still work.
+bench-smoke:
+	$(GO) run ./cmd/ci bench -count 1 -out BENCH_ci.json
+
+# The full CI bench job (5 repetitions, benchstat-comparable artifact).
+bench:
+	$(GO) run ./cmd/ci bench -count 5 -out BENCH_ci.json
+
+# Rewrite ci/bench_baseline.json from this machine's run.
+bench-update:
+	$(GO) run ./cmd/ci bench -count 5 -out BENCH_ci.json -update
+
+clean:
+	rm -f BENCH_ci.json

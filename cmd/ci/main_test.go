@@ -1,0 +1,138 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: doconsider
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRuntimeRepeatedRun/self-executing-4         	       1	    261000 ns/op	   66000 B/op	      14 allocs/op
+BenchmarkRuntimeRepeatedRun/self-executing-4         	       1	    259000 ns/op	   66000 B/op	      15 allocs/op
+BenchmarkRuntimeRepeatedRun/pooled-4                 	       1	    253000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRuntimeRepeatedRun/pooled-4                 	       1	    251000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationPartition/striped-4                 	       1	     90000 ns/op	     100 makespan
+PASS
+ok  	doconsider	1.0s
+`
+
+func TestParseBench(t *testing.T) {
+	records := parseBench(sampleOutput)
+	if len(records) != 5 {
+		t.Fatalf("parsed %d records, want 5", len(records))
+	}
+	first := records[0]
+	if first.Name != "BenchmarkRuntimeRepeatedRun/self-executing-4" || first.Iters != 1 {
+		t.Fatalf("first record = %+v", first)
+	}
+	if first.Metrics["allocs/op"] != 14 || first.Metrics["ns/op"] != 261000 {
+		t.Fatalf("first record metrics = %v", first.Metrics)
+	}
+	// Custom ReportMetric units parse too.
+	last := records[4]
+	if last.Metrics["makespan"] != 100 {
+		t.Fatalf("custom metric lost: %v", last.Metrics)
+	}
+}
+
+func TestMatchesName(t *testing.T) {
+	for _, c := range []struct {
+		printed, base string
+		want          bool
+	}{
+		{"BenchmarkRuntimeRepeatedRun/pooled-4", "BenchmarkRuntimeRepeatedRun/pooled", true},
+		{"BenchmarkRuntimeRepeatedRun/pooled-16", "BenchmarkRuntimeRepeatedRun/pooled", true},
+		// GOMAXPROCS=1 runners print no suffix.
+		{"BenchmarkRuntimeRepeatedRun/pooled", "BenchmarkRuntimeRepeatedRun/pooled", true},
+		// Digit-suffixed sub-benchmark names match on every machine.
+		{"BenchmarkSolveBatch/batch-8", "BenchmarkSolveBatch/batch-8", true},
+		{"BenchmarkSolveBatch/batch-8-4", "BenchmarkSolveBatch/batch-8", true},
+		// Inherent ambiguity in Go's format: "batch-8" could be
+		// sub-benchmark "batch" at GOMAXPROCS=8, so it matches base
+		// "batch" too (min across both is the conservative reading).
+		{"BenchmarkSolveBatch/batch-8", "BenchmarkSolveBatch/batch", true},
+		{"BenchmarkFoo/sub-case", "BenchmarkFoo/sub", false},
+		{"BenchmarkOther/pooled-4", "BenchmarkRuntimeRepeatedRun/pooled", false},
+	} {
+		if got := matchesName(c.printed, c.base); got != c.want {
+			t.Errorf("matchesName(%q, %q) = %v, want %v", c.printed, c.base, got, c.want)
+		}
+	}
+}
+
+func TestMinMetricUsesMinimumAcrossRuns(t *testing.T) {
+	records := parseBench(sampleOutput)
+	got, ok := minMetric(records, "BenchmarkRuntimeRepeatedRun/self-executing", "allocs/op")
+	if !ok || got != 14 {
+		t.Fatalf("min allocs = %v (ok=%v), want 14", got, ok)
+	}
+}
+
+func testBaseline() baseline {
+	return baseline{
+		Threshold: 0.30,
+		AllocsPerOp: map[string]float64{
+			"BenchmarkRuntimeRepeatedRun/self-executing": 14,
+			"BenchmarkRuntimeRepeatedRun/pooled":         0,
+		},
+	}
+}
+
+func TestGatePassesAtBaseline(t *testing.T) {
+	problems := gate(parseBench(sampleOutput), testBaseline())
+	if len(problems) != 0 {
+		t.Fatalf("gate failed on baseline-conformant run: %v", problems)
+	}
+}
+
+// TestGateFailsOnInjectedAllocRegression is the acceptance check for the
+// regression gate: the pooled hot path picking up a single allocation, or
+// the self-executing path regressing beyond 30%, must fail.
+func TestGateFailsOnInjectedAllocRegression(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput,
+		"253000 ns/op	       0 B/op	       0 allocs/op",
+		"253000 ns/op	      64 B/op	       2 allocs/op")
+	regressed = strings.ReplaceAll(regressed,
+		"251000 ns/op	       0 B/op	       0 allocs/op",
+		"251000 ns/op	      64 B/op	       2 allocs/op")
+	problems := gate(parseBench(regressed), testBaseline())
+	if len(problems) != 1 {
+		t.Fatalf("gate problems = %v, want exactly the pooled regression", problems)
+	}
+	if !strings.Contains(problems[0], "pooled") || !strings.Contains(problems[0], "regressed to 2") {
+		t.Fatalf("unexpected gate message: %s", problems[0])
+	}
+
+	// 14 -> 18 is within the 30% budget; 14 -> 19 is not.
+	within := strings.ReplaceAll(sampleOutput, "14 allocs/op", "18 allocs/op")
+	within = strings.ReplaceAll(within, "15 allocs/op", "18 allocs/op")
+	if problems := gate(parseBench(within), testBaseline()); len(problems) != 0 {
+		t.Fatalf("gate rejected a within-threshold drift: %v", problems)
+	}
+	beyond := strings.ReplaceAll(sampleOutput, "14 allocs/op", "19 allocs/op")
+	beyond = strings.ReplaceAll(beyond, "15 allocs/op", "19 allocs/op")
+	if problems := gate(parseBench(beyond), testBaseline()); len(problems) != 1 {
+		t.Fatalf("gate missed a beyond-threshold regression: %v", problems)
+	}
+}
+
+// TestGateFailsWhenGatedBenchmarkVanishes: deleting the benchmark must
+// not silently disable the gate.
+func TestGateFailsWhenGatedBenchmarkVanishes(t *testing.T) {
+	withoutPooled := strings.ReplaceAll(sampleOutput, "BenchmarkRuntimeRepeatedRun/pooled", "BenchmarkRenamed/pooled")
+	problems := gate(parseBench(withoutPooled), testBaseline())
+	if len(problems) != 1 || !strings.Contains(problems[0], "did not run") {
+		t.Fatalf("gate problems = %v, want a did-not-run failure", problems)
+	}
+}
+
+func TestRunRejectsUnknownSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("accepted empty args")
+	}
+	if err := run([]string{"deploy"}); err == nil {
+		t.Error("accepted unknown subcommand")
+	}
+}

@@ -7,7 +7,13 @@
 //	loops <experiment> [flags]
 //
 // Experiments: summary, fig9, table1, table2, table3, table4, table5,
-// fig12, fig13, model, timego, calibrate, numa, gantt, chunks, all.
+// fig12, fig13, model, timego, calibrate, numa, gantt, chunks, serve, all.
+//
+// The serve experiment is the repeated-workload (serving) mode: N client
+// goroutines issue batched triangular-solve requests over the problem
+// suite through a shared plan cache, demonstrating the paper's
+// amortization argument end to end (one inspector run per structure, one
+// scheduled pass per batch of right-hand sides).
 package main
 
 import (
@@ -34,6 +40,12 @@ func run(args []string) error {
 	procs := fs.Int("procs", tables.DefaultProcs, "simulated processor count")
 	iters := fs.Int("iters", 50, "Krylov iterations assumed for Table 1")
 	large := fs.Bool("large", false, "include the large problem variants (slow)")
+	clients := fs.Int("clients", 8, "serve: concurrent client goroutines")
+	requests := fs.Int("requests", 64, "serve: total solve requests")
+	batch := fs.Int("batch", 8, "serve: right-hand sides per request")
+	cacheCap := fs.Int("cache", 8, "serve: plan cache capacity")
+	kindName := fs.String("kind", "pooled", "serve: executor kind")
+	compare := fs.Bool("compare", true, "serve: also run the uncached, unbatched baseline")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -74,6 +86,28 @@ func run(args []string) error {
 		return gantt(*procs)
 	case "chunks":
 		return chunks(*procs)
+	case "serve":
+		kind, err := parseKind(*kindName)
+		if err != nil {
+			return err
+		}
+		solveProcs := *procs
+		procsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "procs" {
+				procsSet = true
+			}
+		})
+		if !procsSet && solveProcs > 4 {
+			// The -procs default of 16 suits the simulator tables; for
+			// real goroutine execution it oversubscribes, so cap the
+			// default (an explicit -procs is honored as given).
+			solveProcs = 4
+		}
+		return serve(os.Stdout, serveConfig{
+			procs: solveProcs, clients: *clients, requests: *requests,
+			batch: *batch, cacheCap: *cacheCap, compare: *compare, kind: kind,
+		})
 	case "all":
 		for _, e := range []string{"summary", "fig9", "table1", "table2", "table3",
 			"table4", "table5", "fig12", "fig13", "model", "timego", "numa"} {
@@ -90,7 +124,7 @@ func run(args []string) error {
 }
 
 func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|serve|all> [flags]")
 	fs.PrintDefaults()
 }
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/problems"
+	"doconsider/internal/trisolve"
+)
+
+// serveConfig parameterizes the repeated-workload (serving) mode: a pool
+// of client goroutines issues triangular-solve requests over the problem
+// suite, sharing one plan cache, each request solving a batch of
+// right-hand sides in one scheduled pass.
+type serveConfig struct {
+	procs    int  // processors per plan
+	clients  int  // concurrent client goroutines
+	requests int  // total solve requests across all clients
+	batch    int  // right-hand sides per request (SolveBatch width)
+	cacheCap int  // plan-cache capacity (skeletons)
+	compare  bool // also run the uncached/unbatched baseline
+	kind     executor.Kind
+}
+
+// serve is the `loops serve` experiment: it demonstrates the end-to-end
+// amortization story — N concurrent clients, structurally recurring
+// problems, one inspector run per structure, batched executor passes —
+// and prints cache hit rates, throughput and (optionally) the naive
+// baseline that re-inspects and solves RHS one by one.
+func serve(w io.Writer, cfg serveConfig) error {
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.batch < 1 {
+		return fmt.Errorf("serve: clients, requests and batch must be positive")
+	}
+	names := problems.TriSolveNames()
+	probs := make([]*problems.Problem, len(names))
+	for i, name := range names {
+		p, err := problems.Get(name)
+		if err != nil {
+			return err
+		}
+		probs[i] = p
+	}
+	fmt.Fprintf(w, "serve: %d clients, %d requests, batch %d, %d procs/plan, %s executor, cache %d\n",
+		cfg.clients, cfg.requests, cfg.batch, cfg.procs, cfg.kind, cfg.cacheCap)
+
+	cache := trisolve.NewPlanCache(cfg.cacheCap)
+	defer cache.Close()
+	cached, err := runServeWorkload(cfg, probs, func(p *problems.Problem) (*trisolve.Plan, error) {
+		return cache.Get(p.L, true, trisolve.WithProcs(cfg.procs), trisolve.WithKind(cfg.kind))
+	}, true)
+	if err != nil {
+		return err
+	}
+	s := cache.Stats()
+	fmt.Fprintf(w, "  cached+batched: %8.1f ms wall, %8.0f solves/s (%d requests x %d RHS)\n",
+		cached.Seconds()*1e3, float64(cfg.requests*cfg.batch)/cached.Seconds(), cfg.requests, cfg.batch)
+	fmt.Fprintf(w, "  plan cache:     %d hits, %d coalesced, %d misses, %d evictions (hit rate %.1f%%, %d resident)\n",
+		s.Hits, s.Coalesced, s.Misses, s.Evictions, 100*s.HitRate(), s.Resident)
+
+	if cfg.compare {
+		uncached, err := runServeWorkload(cfg, probs, func(p *problems.Problem) (*trisolve.Plan, error) {
+			return trisolve.NewPlan(p.L, true, trisolve.WithProcs(cfg.procs), trisolve.WithKind(cfg.kind))
+		}, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  naive baseline: %8.1f ms wall, %8.0f solves/s (fresh inspector per request, RHS solved one by one)\n",
+			uncached.Seconds()*1e3, float64(cfg.requests*cfg.batch)/uncached.Seconds())
+		fmt.Fprintf(w, "  speedup:        %.2fx\n", uncached.Seconds()/cached.Seconds())
+	}
+	return nil
+}
+
+// runServeWorkload drives the client pool over the problem sequence. When
+// batched is true each request is one SolveBatch pass; otherwise each of
+// the batch right-hand sides is solved with its own Solve call (the
+// baseline). getPlan supplies either a cache lease or a fresh plan; the
+// plan is Closed after the request either way.
+func runServeWorkload(cfg serveConfig, probs []*problems.Problem,
+	getPlan func(*problems.Problem) (*trisolve.Plan, error), batched bool) (time.Duration, error) {
+
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	reportErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(client)))
+			for {
+				req := int(next.Add(1)) - 1
+				if req >= cfg.requests {
+					return
+				}
+				p := probs[req%len(probs)]
+				plan, err := getPlan(p)
+				if err != nil {
+					reportErr(err)
+					return
+				}
+				n := p.L.N
+				xs := make([][]float64, cfg.batch)
+				bs := make([][]float64, cfg.batch)
+				for j := range xs {
+					xs[j] = make([]float64, n)
+					bs[j] = make([]float64, n)
+					for i := range bs[j] {
+						bs[j][i] = rng.Float64()
+					}
+				}
+				if batched {
+					_, err = plan.SolveBatch(xs, bs)
+				} else {
+					for j := range xs {
+						plan.Solve(xs[j], bs[j])
+					}
+				}
+				if err == nil {
+					err = plan.Close()
+				} else {
+					plan.Close()
+				}
+				if err != nil {
+					reportErr(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	errMu.Lock()
+	defer errMu.Unlock()
+	return elapsed, firstErr
+}
+
+// parseKind resolves an executor kind by its registry name.
+func parseKind(name string) (executor.Kind, error) {
+	for _, k := range []executor.Kind{
+		executor.Sequential, executor.PreScheduled, executor.SelfExecuting,
+		executor.DoAcross, executor.Pooled,
+	} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown executor kind %q", name)
+}

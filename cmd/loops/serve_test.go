@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"doconsider/internal/executor"
+)
+
+func TestServeSmoke(t *testing.T) {
+	var out strings.Builder
+	err := serve(&out, serveConfig{
+		procs: 2, clients: 4, requests: 12, batch: 3,
+		cacheCap: 4, compare: true, kind: executor.Pooled,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"plan cache:", "hit rate", "speedup:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestServeFlagPlumbing(t *testing.T) {
+	if err := run([]string{"serve", "-clients", "2", "-requests", "4", "-batch", "2",
+		"-cache", "2", "-kind", "self-executing", "-compare=false", "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"serve", "-kind", "bogus"}); err == nil {
+		t.Fatal("accepted unknown executor kind")
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	err := serve(&strings.Builder{}, serveConfig{procs: 1, clients: 0, requests: 1, batch: 1, kind: executor.Sequential})
+	if err == nil {
+		t.Fatal("accepted zero clients")
+	}
+}

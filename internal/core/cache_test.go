@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/wavefront"
+)
+
+func chainDeps(n int) *wavefront.Deps {
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	return wavefront.FromAdjacency(adj)
+}
+
+func TestCacheSharesRuntime(t *testing.T) {
+	c := NewCache(8)
+	defer c.Close()
+	deps := chainDeps(64)
+	l1, err := c.Get(deps, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Release()
+	l2, err := c.Get(deps, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Release()
+	if l1.Runtime() != l2.Runtime() {
+		t.Fatal("same deps and options produced different runtimes")
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+	// A different configuration must not share the plan.
+	l3, err := c.Get(deps, WithProcs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Release()
+	if l3.Runtime() == l1.Runtime() {
+		t.Fatal("different procs shared one runtime")
+	}
+	// A structurally different graph must not share the plan.
+	l4, err := c.Get(chainDeps(65), WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l4.Release()
+	if l4.Runtime() == l1.Runtime() {
+		t.Fatal("different structure shared one runtime")
+	}
+}
+
+func TestCacheRejectsCustomStrategy(t *testing.T) {
+	c := NewCache(2)
+	defer c.Close()
+	strat, err := executor.NewStrategy(executor.Sequential.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(chainDeps(8), WithStrategy(strat)); !errors.Is(err, ErrUncacheableStrategy) {
+		t.Fatalf("err = %v, want ErrUncacheableStrategy", err)
+	}
+}
+
+// TestCacheConcurrentPooledRuns exercises the advertised contract: many
+// goroutines lease one cached pooled Runtime and Run it concurrently.
+func TestCacheConcurrentPooledRuns(t *testing.T) {
+	c := NewCache(4)
+	defer c.Close()
+	const n = 256
+	deps := chainDeps(n)
+	const clients = 6
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lease, err := c.Get(deps, WithProcs(2), WithExecutor(executor.Pooled))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer lease.Release()
+			x := make([]int32, n)
+			m := lease.Runtime().Run(func(i int32) {
+				if i > 0 {
+					x[i] = x[i-1] + 1
+				}
+			})
+			if m.Executed != n {
+				t.Errorf("executed %d bodies, want %d", m.Executed, n)
+			}
+			if x[n-1] != n-1 {
+				t.Errorf("chain result %d, want %d", x[n-1], n-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (inspector must run once for %d clients)", s.Misses, clients)
+	}
+}

@@ -103,6 +103,19 @@ func WithWorkWeights(w []float64) Option { return func(c *Config) { c.WorkWeight
 // the self-executing executor, which has no barriers to merge.
 func WithMergedPhases() Option { return func(c *Config) { c.MergePhases = true } }
 
+// buildConfig resolves options against the defaults shared by New and the
+// plan cache's key computation.
+func buildConfig(opts []Option) Config {
+	cfg := Config{Procs: 1, Executor: executor.SelfExecuting, Scheduler: GlobalScheduler}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	return cfg
+}
+
 // Runtime is a prepared loop: inspector output, an executor schedule, and
 // the execution strategy instance that runs it. Stateful strategies (the
 // pooled executor's worker pool) live as long as the Runtime; call Close
@@ -120,13 +133,7 @@ type Runtime struct {
 // schedule. It returns an error if the dependences are not executable
 // (cycle, out-of-range edge) rather than letting an executor deadlock.
 func New(deps *wavefront.Deps, opts ...Option) (*Runtime, error) {
-	cfg := Config{Procs: 1, Executor: executor.SelfExecuting, Scheduler: GlobalScheduler}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.Procs < 1 {
-		cfg.Procs = 1
-	}
+	cfg := buildConfig(opts)
 	var wf []int32
 	var err error
 	if deps.CheckBackward() == nil {

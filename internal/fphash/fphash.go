@@ -1,0 +1,44 @@
+// Package fphash is the shared hash behind the structural fingerprints
+// that key plan caches (sparse.CSR.StructureFingerprint,
+// wavefront.Deps.Fingerprint, core's work-weight hashing): a word-wise
+// FNV-1a variant — one multiply per 64-bit word instead of per byte, so
+// cold fingerprints of large structures stay cheap — finished with a
+// splitmix64 avalanche. Every fingerprint in the module must use this one
+// implementation: cache keys from diverging hash copies would silently
+// stop (or wrongly start) sharing plans.
+package fphash
+
+const (
+	// Offset is the FNV-1a 64-bit offset basis; start accumulations here.
+	Offset = 0xcbf29ce484222325
+	prime  = 0x100000001b3
+)
+
+// Mix folds one 64-bit word into the hash state.
+func Mix(h, w uint64) uint64 { return (h ^ w) * prime }
+
+// Words folds a length-prefixed int32 slice into the hash state, packing
+// two elements per 64-bit mix; the length prefix disambiguates the
+// zero-padded odd tail.
+func Words(h uint64, xs []int32) uint64 {
+	h = Mix(h, uint64(len(xs)))
+	i := 0
+	for ; i+1 < len(xs); i += 2 {
+		h = Mix(h, uint64(uint32(xs[i]))|uint64(uint32(xs[i+1]))<<32)
+	}
+	if i < len(xs) {
+		h = Mix(h, uint64(uint32(xs[i])))
+	}
+	return h
+}
+
+// Final avalanches the accumulated state (splitmix64 finalizer) so that
+// inputs differing in few words still differ across the whole hash.
+func Final(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

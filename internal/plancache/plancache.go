@@ -1,0 +1,349 @@
+// Package plancache provides a concurrency-safe, reference-counted LRU
+// cache for prepared execution plans. The paper's economics rest on
+// amortizing the inspector over many executor runs (§5.1.1); this package
+// extends that amortization across callers: N concurrent clients solving
+// structurally identical problems share one inspector run — and, for the
+// pooled executor, one persistent worker pool — instead of paying N times.
+//
+// The cache is generic over the key (a fingerprint of the dependence
+// structure plus the plan configuration) and the value (anything with a
+// Close method: a core.Runtime, a trisolve plan, ...). Three properties
+// make it safe for the serving workloads the roadmap targets:
+//
+//   - Singleflight misses: concurrent Gets for the same absent key run the
+//     builder once; the losers block until the winner's plan is ready and
+//     then share it.
+//   - Reference counting: Get returns a Handle that pins the entry. An
+//     entry evicted by LRU pressure (or by Close) is only Closed after the
+//     last handle is released, so no caller ever runs a torn-down plan.
+//   - Close-on-evict: once the final reference to an evicted entry drops,
+//     its value's Close runs exactly once, releasing pooled workers.
+package plancache
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosed reports a Get on a cache whose Close has been called.
+var ErrClosed = errors.New("plancache: cache is closed")
+
+// ErrBuildPanicked is returned to callers coalesced onto a build whose
+// builder panicked (the panic itself propagates on the builder's
+// goroutine). The key is removed, so a later Get retries the build.
+var ErrBuildPanicked = errors.New("plancache: plan builder panicked")
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 // Gets served from a resident, built entry
+	Coalesced uint64 // Gets served by joining another caller's in-flight build
+	Misses    uint64 // Gets that ran the builder (successfully or not)
+	Evictions uint64 // entries displaced by LRU pressure or cache Close
+	Resident  int    // entries currently in the cache (built or building)
+}
+
+// HitRate returns the fraction of Gets served without running the builder.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Cache is a keyed plan cache with LRU eviction. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V io.Closer] struct {
+	mu       sync.Mutex
+	capacity int // <= 0 means unbounded
+	entries  map[K]*entry[K, V]
+	lru      lruList[K, V] // front = most recently used
+	stats    Stats
+	closed   bool
+}
+
+// entry is one cached plan. refs counts outstanding Handles plus, during
+// construction, the builder itself; evicted entries are out of the map and
+// are closed when refs reaches zero.
+type entry[K comparable, V io.Closer] struct {
+	key        K
+	val        V
+	err        error
+	ready      chan struct{} // closed when the builder finishes
+	refs       int           // guarded by Cache.mu
+	evicted    bool          // guarded by Cache.mu
+	built      bool          // val is valid and must eventually be Closed
+	prev, next *entry[K, V]  // LRU links, guarded by Cache.mu
+}
+
+// New returns a cache holding at most capacity plans; capacity <= 0 means
+// unbounded. Eviction is strict LRU over resident entries, but an entry
+// with outstanding handles is torn down only after its last Release.
+func New[K comparable, V io.Closer](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{capacity: capacity, entries: make(map[K]*entry[K, V])}
+}
+
+// Get returns a handle to the plan cached under key, building it with
+// build on a miss. Concurrent Gets for one absent key run build once and
+// share the result. The caller must Release the handle when done with the
+// plan; the value stays valid until then even if the entry is evicted. If
+// build fails, the error is returned to every waiting caller and nothing
+// is cached.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (*Handle[K, V], error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if e, ok := c.entries[key]; ok {
+		e.refs++
+		c.lru.moveToFront(e)
+		select {
+		case <-e.ready:
+			c.stats.Hits++
+		default:
+			c.stats.Coalesced++
+		}
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The builder already removed the failed entry from the map;
+			// drop the reference taken above and uncount this Get from
+			// Coalesced — it was not served a plan, and leaving it in
+			// would inflate HitRate whenever builds fail. (A waiter on a
+			// build that fails is always in the Coalesced bucket: the
+			// failure path removes the entry from the map before closing
+			// ready, so no Get can count a Hit against a failed entry.)
+			err := e.err
+			c.mu.Lock()
+			c.stats.Coalesced--
+			toClose := c.releaseLocked(e)
+			c.mu.Unlock()
+			closeIgnored(toClose)
+			return nil, err
+		}
+		return &Handle[K, V]{c: c, e: e}, nil
+	}
+	e := &entry[K, V]{key: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
+	c.lru.pushFront(e)
+	c.stats.Misses++
+	evict := c.evictExcessLocked()
+	c.mu.Unlock()
+	closeIgnored(evict)
+
+	v, err := c.runBuild(e, build)
+
+	c.mu.Lock()
+	e.val, e.err = v, err
+	e.built = err == nil
+	if err != nil && !e.evicted {
+		delete(c.entries, e.key)
+		c.lru.remove(e)
+		e.evicted = true
+	}
+	var toClose []V
+	if err != nil {
+		toClose = c.releaseLocked(e)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		closeIgnored(toClose)
+		return nil, err
+	}
+	return &Handle[K, V]{c: c, e: e}, nil
+}
+
+// runBuild invokes the builder, converting a panic (or runtime.Goexit)
+// into a failed entry first: the entry is removed and its ready channel
+// closed with ErrBuildPanicked, so coalesced and future Gets for the key
+// fail or retry instead of blocking forever on a channel nobody will
+// close. The panic itself still propagates to the building caller.
+func (c *Cache[K, V]) runBuild(e *entry[K, V], build func() (V, error)) (v V, err error) {
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		c.mu.Lock()
+		e.err = ErrBuildPanicked
+		if !e.evicted {
+			delete(c.entries, e.key)
+			c.lru.remove(e)
+			e.evicted = true
+		}
+		toClose := c.releaseLocked(e) // drop the builder's reference
+		c.mu.Unlock()
+		close(e.ready)
+		closeIgnored(toClose)
+	}()
+	v, err = build()
+	completed = true
+	return v, err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Resident = len(c.entries)
+	return s
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Evict removes the entry for key, if resident, returning whether it was.
+// The entry's value is closed once its outstanding handles are released.
+func (c *Cache[K, V]) Evict(key K) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	var toClose []V
+	if ok {
+		toClose = c.evictLocked(e)
+	}
+	c.mu.Unlock()
+	closeIgnored(toClose)
+	return ok
+}
+
+// Close evicts every entry and marks the cache closed; subsequent Gets
+// return ErrClosed. Entries with outstanding handles are closed when their
+// last handle is released. Close is idempotent.
+func (c *Cache[K, V]) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	var toClose []V
+	for c.lru.back != nil {
+		toClose = append(toClose, c.evictLocked(c.lru.back)...)
+	}
+	c.mu.Unlock()
+	return closeAll(toClose)
+}
+
+// evictExcessLocked applies the LRU bound, returning values to close.
+func (c *Cache[K, V]) evictExcessLocked() []V {
+	if c.capacity <= 0 {
+		return nil
+	}
+	var toClose []V
+	for len(c.entries) > c.capacity && c.lru.back != nil {
+		toClose = append(toClose, c.evictLocked(c.lru.back)...)
+	}
+	return toClose
+}
+
+// evictLocked unlinks e from the map and LRU list; if no handles remain it
+// returns the value for the caller to close outside the lock.
+func (c *Cache[K, V]) evictLocked(e *entry[K, V]) []V {
+	delete(c.entries, e.key)
+	c.lru.remove(e)
+	e.evicted = true
+	c.stats.Evictions++
+	if e.refs == 0 && e.built {
+		e.built = false
+		return []V{e.val}
+	}
+	return nil
+}
+
+// releaseLocked drops one reference, returning the value to close if e was
+// evicted and this was the final reference.
+func (c *Cache[K, V]) releaseLocked(e *entry[K, V]) []V {
+	e.refs--
+	if e.refs == 0 && e.evicted && e.built {
+		e.built = false
+		return []V{e.val}
+	}
+	return nil
+}
+
+// Handle pins one cached plan. Value stays usable until Release.
+type Handle[K comparable, V io.Closer] struct {
+	c        *Cache[K, V]
+	e        *entry[K, V]
+	released bool
+	mu       sync.Mutex
+}
+
+// Value returns the cached plan. It must not be used after Release.
+func (h *Handle[K, V]) Value() V { return h.e.val }
+
+// Release unpins the plan. If the entry was evicted and this was the last
+// handle, the plan's Close runs here and its error is returned. Release is
+// idempotent; extra calls return nil.
+func (h *Handle[K, V]) Release() error {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return nil
+	}
+	h.released = true
+	h.mu.Unlock()
+	h.c.mu.Lock()
+	toClose := h.c.releaseLocked(h.e)
+	h.c.mu.Unlock()
+	return closeAll(toClose)
+}
+
+func closeAll[V io.Closer](vs []V) error {
+	var first error
+	for _, v := range vs {
+		if err := v.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func closeIgnored[V io.Closer](vs []V) { _ = closeAll(vs) }
+
+// lruList is an intrusive doubly-linked list over entries; front is the
+// most recently used end.
+type lruList[K comparable, V io.Closer] struct {
+	front, back *entry[K, V]
+}
+
+func (l *lruList[K, V]) pushFront(e *entry[K, V]) {
+	e.prev, e.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+}
+
+func (l *lruList[K, V]) remove(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lruList[K, V]) moveToFront(e *entry[K, V]) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}

@@ -13,19 +13,25 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // CSR is a sparse matrix in compressed sparse row format.
 //
 // Row i occupies ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]].
 // Column indices within a row are kept sorted in increasing order; Assemble
-// and all constructors in this package establish that invariant.
+// and all constructors in this package establish that invariant. The
+// sparsity pattern (RowPtr, ColIdx) is treated as immutable once built —
+// StructureFingerprint memoizes a hash of it — while Val entries may be
+// updated in place.
 type CSR struct {
 	N      int       // number of rows
 	M      int       // number of columns
 	RowPtr []int32   // length N+1
 	ColIdx []int32   // length nnz
 	Val    []float64 // length nnz
+
+	structFp atomic.Uint64 // memoized StructureFingerprint; 0 = not yet computed
 }
 
 // Triplet is a single (row, col, value) entry used during assembly.

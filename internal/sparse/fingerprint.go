@@ -1,0 +1,31 @@
+package sparse
+
+import "doconsider/internal/fphash"
+
+// StructureFingerprint returns a 64-bit hash of the sparsity pattern:
+// dimensions, row pointers and column indices. Values are excluded
+// deliberately — inspector output (dependences, wavefronts, schedules)
+// depends only on where the nonzeros sit, so two matrices with equal
+// structure fingerprints can share one cached plan while supplying their
+// own values at solve time.
+//
+// The hash is memoized on first call: the sparsity pattern of a CSR is
+// immutable by this package's conventions (Val entries may change,
+// RowPtr/ColIdx must not). Callers that edit the pattern in place must
+// not use StructureFingerprint.
+func (a *CSR) StructureFingerprint() uint64 {
+	if fp := a.structFp.Load(); fp != 0 {
+		return fp
+	}
+	h := uint64(fphash.Offset)
+	h = fphash.Mix(h, uint64(a.N))
+	h = fphash.Mix(h, uint64(a.M))
+	h = fphash.Words(h, a.RowPtr)
+	h = fphash.Words(h, a.ColIdx)
+	h = fphash.Final(h)
+	if h == 0 {
+		h = 1 // reserve 0 as the "not yet computed" sentinel
+	}
+	a.structFp.Store(h)
+	return h
+}

@@ -1,0 +1,40 @@
+package sparse
+
+import "testing"
+
+func TestStructureFingerprint(t *testing.T) {
+	ts := []Triplet{{0, 0, 1}, {1, 0, 2}, {1, 1, 3}}
+	a1, err := Assemble(2, 2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Assemble(2, 2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.StructureFingerprint() != a2.StructureFingerprint() {
+		t.Fatal("identical patterns fingerprint differently")
+	}
+	// Values must not enter the hash — including after the memo is set.
+	for i := range a2.Val {
+		a2.Val[i] *= 7
+	}
+	a3, err := Assemble(2, 2, []Triplet{{0, 0, 9}, {1, 0, 9}, {1, 1, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.StructureFingerprint() != a1.StructureFingerprint() {
+		t.Fatal("value changes altered the structural fingerprint")
+	}
+	// A different pattern must differ.
+	a4, err := Assemble(2, 2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.StructureFingerprint() == a1.StructureFingerprint() {
+		t.Fatal("different patterns share a fingerprint")
+	}
+	if a1.StructureFingerprint() == 0 {
+		t.Fatal("fingerprint used the uncomputed sentinel")
+	}
+}

@@ -1,0 +1,118 @@
+package trisolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+)
+
+func randRHS(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+// TestSolveBatchK1BitIdentical is the acceptance test: a batch of one
+// right-hand side must produce bit-for-bit the result of Solve.
+func TestSolveBatchK1BitIdentical(t *testing.T) {
+	for _, lower := range []bool{true, false} {
+		var tri = stencil.Laplace2D(40, 40).LowerWithDiag()
+		if !lower {
+			tri = tri.Transpose()
+		}
+		for _, kind := range []executor.Kind{executor.Sequential, executor.SelfExecuting, executor.Pooled} {
+			plan, err := NewPlan(tri, lower, WithProcs(4), WithKind(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tri.N
+			b := randRHS(n, 11)
+			x1 := make([]float64, n)
+			plan.Solve(x1, b)
+			x2 := make([]float64, n)
+			if _, err := plan.SolveBatch([][]float64{x2}, [][]float64{b}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range x1 {
+				if x1[i] != x2[i] {
+					t.Fatalf("lower=%v kind=%v: SolveBatch(k=1) differs from Solve at %d: %x vs %x",
+						lower, kind, i, x1[i], x2[i])
+				}
+			}
+			plan.Close()
+		}
+	}
+}
+
+// TestSolveBatchMatchesSequentialSolves checks a k=5 batch against five
+// independent sequential reference solves, forward and backward.
+func TestSolveBatchMatchesSequentialSolves(t *testing.T) {
+	const k = 5
+	for _, lower := range []bool{true, false} {
+		tri := stencil.Laplace2D(30, 30).LowerWithDiag()
+		if !lower {
+			tri = tri.Transpose()
+		}
+		n := tri.N
+		plan, err := NewPlan(tri, lower, WithProcs(4), WithKind(executor.Pooled))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([][]float64, k)
+		bs := make([][]float64, k)
+		want := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			bs[j] = randRHS(n, int64(100+j))
+			xs[j] = make([]float64, n)
+			want[j] = make([]float64, n)
+			if lower {
+				err = ForwardSeq(tri, want[j], bs[j])
+			} else {
+				err = BackwardSeq(tri, want[j], bs[j])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := plan.SolveBatch(xs, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Executed != int64(n) {
+			t.Fatalf("lower=%v: batch executed %d indices, want %d (one pass for all RHS)", lower, m.Executed, n)
+		}
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				if xs[j][i] != want[j][i] {
+					t.Fatalf("lower=%v rhs %d index %d: got %v want %v", lower, j, i, xs[j][i], want[j][i])
+				}
+			}
+		}
+		plan.Close()
+	}
+}
+
+func TestSolveBatchShapeErrors(t *testing.T) {
+	tri := stencil.Laplace2D(10, 10).LowerWithDiag()
+	plan, err := NewPlan(tri, true, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	n := tri.N
+	good := make([]float64, n)
+	if _, err := plan.SolveBatch([][]float64{good}, nil); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	if _, err := plan.SolveBatch([][]float64{make([]float64, n-1)}, [][]float64{good}); err == nil {
+		t.Fatal("short solution vector accepted")
+	}
+	if m, err := plan.SolveBatch(nil, nil); err != nil || m.Executed != 0 {
+		t.Fatalf("empty batch: m=%+v err=%v, want no-op", m, err)
+	}
+}

@@ -54,3 +54,77 @@ func BenchmarkInspector(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSolveBatch is the acceptance experiment for multi-RHS
+// batching: one SolveBatch pass over k=8 right-hand sides against 8
+// sequential Solve calls on the same pooled plan. The batch reads each
+// row's nonzeros once for all RHS and pays one executor dispatch and one
+// set of dependence busy-waits instead of 8.
+func BenchmarkSolveBatch(b *testing.B) {
+	l := stencil.Laplace2D(120, 120).LowerWithDiag()
+	n := l.N
+	const k = 8
+	plan, err := NewPlan(l, true, WithProcs(4), WithKind(executor.Pooled))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plan.Close()
+	xs := make([][]float64, k)
+	bs := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		xs[j] = make([]float64, n)
+		bs[j] = make([]float64, n)
+		for i := range bs[j] {
+			bs[j][i] = float64(i%7) + 1
+		}
+	}
+	plan.Solve(xs[0], bs[0]) // warm up the pool
+	b.Run("sequential-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				plan.Solve(xs[j], bs[j])
+			}
+		}
+	})
+	b.Run("batch-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.SolveBatch(xs, bs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCacheGet measures a warm PlanCache Get (fingerprint + map
+// lookup + lease) against cold NewPlan inspector runs.
+func BenchmarkPlanCacheGet(b *testing.B) {
+	l := stencil.Laplace2D(120, 120).LowerWithDiag()
+	b.Run("cold-newplan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewPlan(l, true, WithProcs(4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		pc := NewPlanCache(8)
+		defer pc.Close()
+		warm, err := pc.Get(l, true, WithProcs(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer warm.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := pc.Get(l, true, WithProcs(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.Close()
+		}
+	})
+}

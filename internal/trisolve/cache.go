@@ -1,0 +1,116 @@
+package trisolve
+
+import (
+	"io"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/plancache"
+	"doconsider/internal/schedule"
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+// PlanCache shares the inspector output of structurally identical
+// triangular solves: plans are keyed by the sparsity fingerprint of the
+// factor plus the plan configuration, so N callers solving factors with
+// the same nonzero pattern — successive Newton steps, the same mesh with
+// updated coefficients, many concurrent requests over one model — run the
+// wavefront analysis and schedule construction once and, for the Pooled
+// kind, share one persistent worker pool.
+//
+// Get binds the caller's matrix values to the shared structural skeleton,
+// so matrices with equal structure but different values each solve with
+// their own numbers. Concurrent misses for one key are coalesced into a
+// single inspector run.
+type PlanCache struct {
+	c *plancache.Cache[planKey, *planSkeleton]
+}
+
+type planKey struct {
+	fp    uint64
+	lower bool
+	procs int
+	kind  int // executor.Kind
+	sched SchedulerKind
+	part  int // schedule.Partition
+}
+
+// planSkeleton is the cached, matrix-value-free part of a Plan: the
+// dependence structure, wavefronts, schedule and (possibly stateful)
+// execution strategy. All of it is a pure function of the sparsity
+// pattern and the plan configuration.
+type planSkeleton struct {
+	deps  *wavefront.Deps
+	wf    []int32
+	sched *schedule.Schedule
+	kind  executor.Kind
+	strat executor.Strategy
+}
+
+func (s *planSkeleton) Close() error {
+	if c, ok := s.strat.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// NewPlanCache returns a plan cache holding at most capacity skeletons;
+// capacity <= 0 means unbounded. Evicted skeletons close their strategy
+// (releasing pooled workers) after the last leased Plan is Closed.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: plancache.New[planKey, *planSkeleton](capacity)}
+}
+
+// Get returns a Plan for the factor t, sharing the inspector output and
+// execution strategy with every other plan whose factor has the same
+// sparsity pattern and whose options match. The returned Plan is leased:
+// Close it when done (the shared skeleton persists for other holders).
+// Concurrent Solve calls on plans sharing one skeleton are safe; the
+// pooled strategy serializes them on its worker pool.
+func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
+	cfg := buildPlanConfig(opts)
+	key := planKey{
+		fp:    t.StructureFingerprint(),
+		lower: lower,
+		procs: cfg.nproc,
+		kind:  int(cfg.kind),
+		sched: cfg.scheduler,
+		part:  int(cfg.part),
+	}
+	h, err := pc.c.Get(key, func() (*planSkeleton, error) {
+		deps, wf, s, err := inspect(t, lower, cfg)
+		if err != nil {
+			return nil, err
+		}
+		strat, err := cfg.kind.NewStrategy()
+		if err != nil {
+			return nil, err
+		}
+		return &planSkeleton{deps: deps, wf: wf, sched: s, kind: cfg.kind, strat: strat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sk := h.Value()
+	return &Plan{
+		L:       t,
+		Lower:   lower,
+		Deps:    sk.deps,
+		Wf:      sk.wf,
+		Sched:   sk.sched,
+		Kind:    sk.kind,
+		strat:   sk.strat,
+		leased:  true,
+		release: h.Release,
+	}, nil
+}
+
+// Stats returns the cache effectiveness counters.
+func (pc *PlanCache) Stats() plancache.Stats { return pc.c.Stats() }
+
+// Len returns the number of resident plan skeletons.
+func (pc *PlanCache) Len() int { return pc.c.Len() }
+
+// Close evicts every skeleton and closes the cache; skeletons still
+// leased are torn down when their last Plan is Closed.
+func (pc *PlanCache) Close() error { return pc.c.Close() }

@@ -133,6 +133,11 @@ type Plan struct {
 	Sched *schedule.Schedule
 	Kind  executor.Kind
 	strat executor.Strategy
+	// leased marks plans obtained from a PlanCache: the schedule and
+	// strategy are shared, so Close releases the lease (once) instead of
+	// closing the strategy.
+	leased  bool
+	release func() error
 }
 
 // Option configures plan construction.
@@ -169,13 +174,24 @@ func WithScheduler(s SchedulerKind) Option { return func(c *planConfig) { c.sche
 // WithPartition sets the local-scheduling partition (default Striped).
 func WithPartition(p schedule.Partition) Option { return func(c *planConfig) { c.part = p } }
 
-// NewPlan runs the inspector for a triangular factor: it extracts the
-// dependence sets, computes wavefronts and builds the requested schedule.
-func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
+// buildPlanConfig resolves options against the defaults shared by NewPlan
+// and the plan cache's key computation.
+func buildPlanConfig(opts []Option) planConfig {
 	cfg := planConfig{nproc: 1, kind: executor.SelfExecuting, scheduler: GlobalSched, part: schedule.Striped}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.nproc < 1 {
+		cfg.nproc = 1
+	}
+	return cfg
+}
+
+// inspect runs the inspector half of plan construction: dependence
+// extraction, wavefront computation and schedule construction. The output
+// depends only on the sparsity structure of t, never on its values —
+// which is what lets a PlanCache share it across matrices.
+func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int32, *schedule.Schedule, error) {
 	var deps *wavefront.Deps
 	if lower {
 		deps = wavefront.FromLower(t)
@@ -184,7 +200,7 @@ func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
 	}
 	wf, err := wavefront.Compute(deps)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	var s *schedule.Schedule
 	switch cfg.scheduler {
@@ -195,7 +211,18 @@ func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
 	case NaturalSched:
 		s = schedule.Natural(t.N, cfg.nproc, cfg.part)
 	default:
-		return nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
+		return nil, nil, nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
+	}
+	return deps, wf, s, nil
+}
+
+// NewPlan runs the inspector for a triangular factor: it extracts the
+// dependence sets, computes wavefronts and builds the requested schedule.
+func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
+	cfg := buildPlanConfig(opts)
+	deps, wf, s, err := inspect(t, lower, cfg)
+	if err != nil {
+		return nil, err
 	}
 	strat, err := cfg.kind.NewStrategy()
 	if err != nil {
@@ -223,9 +250,21 @@ func (p *Plan) body(x, b []float64) executor.Body {
 	return BackwardBody(p.L, x, b)
 }
 
-// Close releases resources held by stateful strategies (the pooled
-// executor's workers); it is a no-op otherwise.
+// Close releases the plan's resources. For a plan leased from a PlanCache
+// it releases the lease (the shared schedule and strategy stay available
+// to other lease holders); otherwise it closes stateful strategies (the
+// pooled executor's workers) and is a no-op for stateless ones. Close is
+// idempotent either way — a second Close on a leased plan must never
+// fall through to the shared strategy.
 func (p *Plan) Close() error {
+	if p.leased {
+		rel := p.release
+		p.release = nil
+		if rel == nil {
+			return nil
+		}
+		return rel()
+	}
 	if c, ok := p.strat.(io.Closer); ok {
 		return c.Close()
 	}

@@ -1,0 +1,26 @@
+package wavefront
+
+import "testing"
+
+func TestFingerprint(t *testing.T) {
+	d1 := FromAdjacency([][]int32{nil, {0}, {1}})
+	d2 := FromAdjacency([][]int32{nil, {0}, {1}})
+	if d1.Fingerprint() != d2.Fingerprint() {
+		t.Fatal("identical structures fingerprint differently")
+	}
+	if got := d1.Fingerprint(); got != d2.Fingerprint() {
+		t.Fatalf("memoized fingerprint changed: %x", got)
+	}
+	d3 := FromAdjacency([][]int32{nil, {0}, {0}})
+	if d3.Fingerprint() == d1.Fingerprint() {
+		t.Fatal("different structures share a fingerprint")
+	}
+	// Same edges, different iteration count.
+	d4 := FromAdjacency([][]int32{nil, {0}, {1}, nil})
+	if d4.Fingerprint() == d1.Fingerprint() {
+		t.Fatal("different N shares a fingerprint")
+	}
+	if d1.Fingerprint() == 0 {
+		t.Fatal("fingerprint used the uncomputed sentinel")
+	}
+}
