@@ -150,7 +150,7 @@ func benchMain(args []string) error {
 var benchInvocations = [][]string{
 	{"-bench", ".",
 		"./internal/executor", "./internal/schedule", "./internal/trisolve",
-		"./internal/core", "./internal/plancache"},
+		"./internal/core", "./internal/plancache", "./internal/server"},
 	{"-bench", "^BenchmarkRuntimeRepeatedRun$", "."},
 }
 

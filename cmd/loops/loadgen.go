@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doconsider/internal/problems"
+	"doconsider/internal/server"
+)
+
+// loadgenConfig parameterizes the concurrent load generator: a pool of
+// client goroutines posts triangular-solve requests to a running server
+// over the recurring problem suite and reports throughput, latency
+// percentiles and the server-side coalescing and cache rates.
+type loadgenConfig struct {
+	baseURL    string        // e.g. http://127.0.0.1:8080
+	clients    int           // concurrent client goroutines
+	requests   int           // total requests across all clients
+	batch      int           // right-hand sides per request
+	seed       int64         // base RNG seed; client i uses seed+i
+	timeout    time.Duration // per-request client timeout (0 = none)
+	problems   []string      // problem names; nil = the trisolve suite
+	fullMatrix bool          // ship the full CSR every request instead of by-fingerprint reuse
+	quiet      bool          // suppress the progress header
+}
+
+// loadgenReport aggregates one load-generation run.
+type loadgenReport struct {
+	elapsed        time.Duration
+	ok             int
+	refused        int    // 429 shed + 503 draining
+	failed         int    // transport errors and unexpected statuses
+	failMsg        string // sample failure, so "N failed" is debuggable
+	fused          int    // OK responses that shared an executor pass
+	latencies      []time.Duration
+	statsOK        bool
+	coalesceRate   float64
+	cacheHitRate   float64
+	passes, shed   uint64
+	serverRequests uint64
+}
+
+// throughput returns completed solves per second (requests x batch).
+func (r *loadgenReport) throughput(batch int) float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ok*batch) / r.elapsed.Seconds()
+}
+
+// percentile returns the q-quantile of the collected latencies.
+func (r *loadgenReport) percentile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(r.latencies))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+// solveTemplate is the per-problem constant part of a request. fp holds
+// the server-assigned content fingerprint once a full submission has
+// registered the factor; subsequent requests reference it instead of
+// re-shipping the matrix (shared across all clients — real tenants
+// recurring on one problem would do the same).
+type solveTemplate struct {
+	req server.SolveRequest
+	fp  atomic.Pointer[string]
+}
+
+func loadgenTemplates(names []string) ([]*solveTemplate, error) {
+	tmpl := make([]*solveTemplate, len(names))
+	lower := true
+	for i, name := range names {
+		p, err := problems.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tmpl[i] = &solveTemplate{req: server.SolveRequest{
+			N: p.L.N, RowPtr: p.L.RowPtr, ColIdx: p.L.ColIdx, Val: p.L.Val, Lower: &lower,
+		}}
+	}
+	return tmpl, nil
+}
+
+// fetchStats reads /v1/stats; failures are soft (the server may already
+// be draining when the run ends).
+func fetchStats(client *http.Client, baseURL string) (server.StatsResponse, bool) {
+	var st server.StatsResponse
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return st, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false
+	}
+	return st, true
+}
+
+// loadgen drives the server at cfg.baseURL and returns the aggregated
+// report. Requests shed (429) or refused while draining (503) are counted
+// but not retried, so a drain mid-run terminates cleanly.
+func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
+	if cfg.clients < 1 || cfg.requests < 1 || cfg.batch < 1 {
+		return nil, fmt.Errorf("loadgen: clients, requests and batch must be positive")
+	}
+	names := cfg.problems
+	if len(names) == 0 {
+		names = problems.TriSolveNames()
+	}
+	tmpl, err := loadgenTemplates(names)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.quiet {
+		fmt.Fprintf(w, "loadgen: %d clients, %d requests, batch %d over %d problems -> %s\n",
+			cfg.clients, cfg.requests, cfg.batch, len(tmpl), cfg.baseURL)
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+
+	// Warmup (untimed): register every factor with a full submission so
+	// the timed run measures the recurring steady state — by-fingerprint
+	// requests over warm plan and factor caches.
+	if !cfg.fullMatrix {
+		rng := rand.New(rand.NewSource(cfg.seed - 1))
+		for _, t := range tmpl {
+			req := t.req
+			req.B64 = randomBatch(rng, 1, req.N)
+			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: warmup: %w", err)
+			}
+			if status != http.StatusOK {
+				return nil, fmt.Errorf("loadgen: warmup got status %d: %s", status, msg)
+			}
+			fp := sr.Fp
+			t.fp.Store(&fp)
+		}
+	}
+	before, beforeOK := fetchStats(client, cfg.baseURL)
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	rep := &loadgenReport{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(clientID)))
+			for {
+				reqID := int(next.Add(1)) - 1
+				if reqID >= cfg.requests {
+					return
+				}
+				t := tmpl[rng.Intn(len(tmpl))]
+				b := randomBatch(rng, cfg.batch, t.req.N)
+				t0 := time.Now()
+				sr, status, msg, err := postTemplate(client, &cfg, t, b)
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.failed++
+					if rep.failMsg == "" {
+						rep.failMsg = err.Error()
+					}
+				case status == http.StatusOK:
+					if len(sr.X)+len(sr.X64) != cfg.batch {
+						rep.failed++
+						if rep.failMsg == "" {
+							rep.failMsg = fmt.Sprintf("200 with %d solutions, want %d", len(sr.X)+len(sr.X64), cfg.batch)
+						}
+					} else {
+						rep.ok++
+						rep.latencies = append(rep.latencies, lat)
+						if sr.Fused > 1 {
+							rep.fused++
+						}
+					}
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					rep.refused++
+				default:
+					rep.failed++
+					if rep.failMsg == "" {
+						rep.failMsg = fmt.Sprintf("status %d: %s", status, msg)
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+	sort.Slice(rep.latencies, func(i, j int) bool { return rep.latencies[i] < rep.latencies[j] })
+
+	if after, ok := fetchStats(client, cfg.baseURL); ok && beforeOK {
+		rep.statsOK = true
+		rep.cacheHitRate = after.CacheHitRate
+		rep.shed = after.Shed - before.Shed
+		rep.passes = after.Coalesce.Passes - before.Coalesce.Passes
+		rep.serverRequests = after.Coalesce.Requests - before.Coalesce.Requests
+		if rep.serverRequests > 0 {
+			rep.coalesceRate = float64(after.Coalesce.Fused-before.Coalesce.Fused) / float64(rep.serverRequests)
+		}
+	}
+	return rep, nil
+}
+
+// randomBatch draws k right-hand sides of length n, packed for the wire
+// (b_b64): recurring numeric traffic has no business re-parsing decimal
+// floats on every request.
+func randomBatch(rng *rand.Rand, k, n int) [][]byte {
+	bs := make([][]byte, k)
+	buf := make([]float64, n)
+	for j := range bs {
+		for i := range buf {
+			buf[i] = rng.Float64()
+		}
+		bs[j] = server.PackFloats(buf)
+	}
+	return bs
+}
+
+// postSolveRequest posts one request and decodes a 200 reply; non-200
+// statuses are returned with a nil response, the server's error message
+// and no error (transport problems are the error path).
+func postSolveRequest(client *http.Client, baseURL string, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	resp, err := client.Post(baseURL+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, e.Error, nil
+	}
+	var sr server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, resp.StatusCode, "", err
+	}
+	return &sr, resp.StatusCode, "", nil
+}
+
+// postTemplate issues one solve for t: by fingerprint when one is known
+// (falling back to a full submission if the server evicted the factor),
+// otherwise shipping the full matrix and remembering the fingerprint.
+func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]byte) (*server.SolveResponse, int, string, error) {
+	if !cfg.fullMatrix {
+		if fpp := t.fp.Load(); fpp != nil {
+			req := server.SolveRequest{Fp: *fpp, Lower: t.req.Lower, B64: b}
+			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+			if err != nil || status != http.StatusNotFound {
+				return sr, status, msg, err
+			}
+		}
+	}
+	req := t.req
+	req.B64 = b
+	sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+	if err == nil && status == http.StatusOK && !cfg.fullMatrix && sr.Fp != "" {
+		fp := sr.Fp
+		t.fp.Store(&fp)
+	}
+	return sr, status, msg, err
+}
+
+// printLoadgenReport renders the report in the serve/loadgen output style.
+func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
+	fmt.Fprintf(w, "  wall %8.1f ms, %8.0f solves/s (%d ok of which %d fused, %d refused, %d failed)\n",
+		rep.elapsed.Seconds()*1e3, rep.throughput(batch), rep.ok, rep.fused, rep.refused, rep.failed)
+	if len(rep.latencies) > 0 {
+		fmt.Fprintf(w, "  latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			rep.percentile(0.50).Round(time.Microsecond),
+			rep.percentile(0.90).Round(time.Microsecond),
+			rep.percentile(0.99).Round(time.Microsecond),
+			rep.latencies[len(rep.latencies)-1].Round(time.Microsecond))
+	}
+	if rep.statsOK {
+		fmt.Fprintf(w, "  server: coalescing rate %.1f%% (%d requests fused into %d passes), cache hit rate %.1f%%, %d shed\n",
+			100*rep.coalesceRate, rep.serverRequests, rep.passes, 100*rep.cacheHitRate, rep.shed)
+	}
+}

@@ -7,19 +7,27 @@
 //	loops <experiment> [flags]
 //
 // Experiments: summary, fig9, table1, table2, table3, table4, table5,
-// fig12, fig13, model, timego, calibrate, numa, gantt, chunks, serve, all.
+// fig12, fig13, model, timego, calibrate, numa, gantt, chunks, serve,
+// server, loadgen, all.
 //
-// The serve experiment is the repeated-workload (serving) mode: N client
-// goroutines issue batched triangular-solve requests over the problem
-// suite through a shared plan cache, demonstrating the paper's
-// amortization argument end to end (one inspector run per structure, one
-// scheduled pass per batch of right-hand sides).
+// The serving trio exercises the paper's amortization argument under
+// multi-tenant load:
+//
+//   - server: serve the trisolve HTTP API (internal/server) on a network
+//     address, with request coalescing, admission control and /metrics.
+//   - loadgen: drive a running server with concurrent clients over the
+//     recurring problem suite; report throughput, latency percentiles
+//     and the server's coalescing and cache-hit rates.
+//   - serve: the in-process demo — the same server package on a loopback
+//     port, driven by the same loadgen, with a -compare baseline that
+//     disables coalescing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"doconsider/internal/machine"
 	"doconsider/internal/model"
@@ -40,12 +48,19 @@ func run(args []string) error {
 	procs := fs.Int("procs", tables.DefaultProcs, "simulated processor count")
 	iters := fs.Int("iters", 50, "Krylov iterations assumed for Table 1")
 	large := fs.Bool("large", false, "include the large problem variants (slow)")
-	clients := fs.Int("clients", 8, "serve: concurrent client goroutines")
-	requests := fs.Int("requests", 64, "serve: total solve requests")
-	batch := fs.Int("batch", 8, "serve: right-hand sides per request")
-	cacheCap := fs.Int("cache", 8, "serve: plan cache capacity")
-	kindName := fs.String("kind", "pooled", "serve: executor kind")
-	compare := fs.Bool("compare", true, "serve: also run the uncached, unbatched baseline")
+	clients := fs.Int("clients", 8, "serve/loadgen: concurrent client goroutines")
+	requests := fs.Int("requests", 64, "serve/loadgen: total solve requests")
+	batch := fs.Int("batch", 8, "serve/loadgen: right-hand sides per request")
+	cacheCap := fs.Int("cache", 8, "serve/server: plan cache capacity")
+	kindName := fs.String("kind", "pooled", "serve/server: executor kind")
+	compare := fs.Bool("compare", true, "serve: also run with coalescing disabled")
+	seed := fs.Int64("seed", 1989, "serve/loadgen: base RNG seed (client i uses seed+i)")
+	window := fs.Duration("coalesce-window", 2*time.Millisecond, "serve/server: coalescing window (0 disables)")
+	width := fs.Int("coalesce-width", 64, "serve/server: max right-hand sides per fused pass")
+	addr := fs.String("addr", ":8080", "server: listen address; loadgen: target host:port")
+	maxInFlight := fs.Int("max-inflight", 64, "server: admission-control bound on concurrent solves")
+	maxBatch := fs.Int("max-batch", 64, "serve/server: max right-hand sides accepted per request")
+	reqTimeout := fs.Duration("timeout", 30*time.Second, "server: default per-request deadline; loadgen: client timeout")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -91,23 +106,38 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		solveProcs := *procs
-		procsSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "procs" {
-				procsSet = true
-			}
-		})
-		if !procsSet && solveProcs > 4 {
-			// The -procs default of 16 suits the simulator tables; for
-			// real goroutine execution it oversubscribes, so cap the
-			// default (an explicit -procs is honored as given).
-			solveProcs = 4
-		}
 		return serve(os.Stdout, serveConfig{
-			procs: solveProcs, clients: *clients, requests: *requests,
+			procs: serveProcs(fs, *procs), clients: *clients, requests: *requests,
 			batch: *batch, cacheCap: *cacheCap, compare: *compare, kind: kind,
+			window: *window, width: *width, seed: *seed, maxBatch: *maxBatch,
 		})
+	case "server":
+		kind, err := parseKind(*kindName)
+		if err != nil {
+			return err
+		}
+		return runServer(os.Stdout, serverConfig{
+			addr: *addr, procs: serveProcs(fs, *procs), kind: kind, cacheCap: *cacheCap,
+			window: *window, width: *width, maxInFlight: *maxInFlight, maxBatch: *maxBatch,
+			timeout: *reqTimeout, drainWait: 30 * time.Second,
+		}, nil)
+	case "loadgen":
+		target := *addr
+		if target != "" && target[0] == ':' {
+			target = "127.0.0.1" + target
+		}
+		rep, err := loadgen(os.Stdout, loadgenConfig{
+			baseURL: "http://" + target, clients: *clients, requests: *requests,
+			batch: *batch, seed: *seed, timeout: *reqTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		printLoadgenReport(os.Stdout, rep, *batch)
+		if rep.failed > 0 {
+			return fmt.Errorf("loadgen: %d requests failed (e.g. %s)", rep.failed, rep.failMsg)
+		}
+		return nil
 	case "all":
 		for _, e := range []string{"summary", "fig9", "table1", "table2", "table3",
 			"table4", "table5", "fig12", "fig13", "model", "timego", "numa"} {
@@ -124,8 +154,24 @@ func run(args []string) error {
 }
 
 func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|serve|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|serve|server|loadgen|all> [flags]")
 	fs.PrintDefaults()
+}
+
+// serveProcs caps the -procs default for real goroutine execution: the
+// default of 16 suits the simulator tables but oversubscribes actual
+// workers, so cap it at 4 (an explicit -procs is honored as given).
+func serveProcs(fs *flag.FlagSet, procs int) int {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "procs" {
+			set = true
+		}
+	})
+	if !set && procs > 4 {
+		return 4
+	}
+	return procs
 }
 
 func table1(procs, iters int, large bool) error {

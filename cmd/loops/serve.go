@@ -1,162 +1,114 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"doconsider/internal/executor"
-	"doconsider/internal/problems"
-	"doconsider/internal/trisolve"
+	"doconsider/internal/server"
 )
 
-// serveConfig parameterizes the repeated-workload (serving) mode: a pool
-// of client goroutines issues triangular-solve requests over the problem
-// suite, sharing one plan cache, each request solving a batch of
-// right-hand sides in one scheduled pass.
+// serveConfig parameterizes the repeated-workload (serving) demo: it
+// stands up the real network server (internal/server) on a loopback
+// port, drives it with the in-process load generator, and reports the
+// end-to-end amortization — shared inspector runs via the plan cache and
+// shared executor passes via the request coalescer.
 type serveConfig struct {
-	procs    int  // processors per plan
-	clients  int  // concurrent client goroutines
-	requests int  // total solve requests across all clients
-	batch    int  // right-hand sides per request (SolveBatch width)
-	cacheCap int  // plan-cache capacity (skeletons)
-	compare  bool // also run the uncached/unbatched baseline
+	procs    int           // processors per plan
+	clients  int           // concurrent loadgen clients
+	requests int           // total solve requests across all clients
+	batch    int           // right-hand sides per request
+	cacheCap int           // plan-cache capacity (skeletons)
+	window   time.Duration // coalescing window
+	width    int           // max RHS per fused pass
+	seed     int64         // loadgen RNG base seed (reproducible runs)
+	maxBatch int           // server-side cap on RHS per request
+	compare  bool          // also run with coalescing disabled
 	kind     executor.Kind
 }
 
-// serve is the `loops serve` experiment: it demonstrates the end-to-end
-// amortization story — N concurrent clients, structurally recurring
-// problems, one inspector run per structure, batched executor passes —
-// and prints cache hit rates, throughput and (optionally) the naive
-// baseline that re-inspects and solves RHS one by one.
+// serve is the `loops serve` experiment, demoted to a thin driver over
+// the serving subsystem: the same server package that backs `loops
+// server` runs in-process on 127.0.0.1:0 and the same loadgen that backs
+// `loops loadgen` drives it. With -compare it repeats the run with the
+// coalescer disabled (-coalesce-window 0) and reports the speedup.
 func serve(w io.Writer, cfg serveConfig) error {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.batch < 1 {
 		return fmt.Errorf("serve: clients, requests and batch must be positive")
 	}
-	names := problems.TriSolveNames()
-	probs := make([]*problems.Problem, len(names))
-	for i, name := range names {
-		p, err := problems.Get(name)
-		if err != nil {
-			return err
-		}
-		probs[i] = p
-	}
-	fmt.Fprintf(w, "serve: %d clients, %d requests, batch %d, %d procs/plan, %s executor, cache %d\n",
-		cfg.clients, cfg.requests, cfg.batch, cfg.procs, cfg.kind, cfg.cacheCap)
+	fmt.Fprintf(w, "serve: %d clients, %d requests, batch %d, %d procs/plan, %s executor, cache %d, window %s, seed %d\n",
+		cfg.clients, cfg.requests, cfg.batch, cfg.procs, cfg.kind, cfg.cacheCap, cfg.window, cfg.seed)
 
-	cache := trisolve.NewPlanCache(cfg.cacheCap)
-	defer cache.Close()
-	cached, err := runServeWorkload(cfg, probs, func(p *problems.Problem) (*trisolve.Plan, error) {
-		return cache.Get(p.L, true, trisolve.WithProcs(cfg.procs), trisolve.WithKind(cfg.kind))
-	}, true)
+	rep, stats, err := runServePass(w, cfg, cfg.window)
 	if err != nil {
 		return err
 	}
-	s := cache.Stats()
-	fmt.Fprintf(w, "  cached+batched: %8.1f ms wall, %8.0f solves/s (%d requests x %d RHS)\n",
-		cached.Seconds()*1e3, float64(cfg.requests*cfg.batch)/cached.Seconds(), cfg.requests, cfg.batch)
+	fmt.Fprintf(w, "  coalesced:      %8.1f ms wall, %8.0f solves/s (%d requests x %d RHS)\n",
+		rep.elapsed.Seconds()*1e3, rep.throughput(cfg.batch), cfg.requests, cfg.batch)
+	printLoadgenReport(w, rep, cfg.batch)
+	pc := stats.PlanCache
 	fmt.Fprintf(w, "  plan cache:     %d hits, %d coalesced, %d misses, %d evictions (hit rate %.1f%%, %d resident)\n",
-		s.Hits, s.Coalesced, s.Misses, s.Evictions, 100*s.HitRate(), s.Resident)
+		pc.Hits, pc.Coalesced, pc.Misses, pc.Evictions, 100*pc.HitRate(), pc.Resident)
+	fmt.Fprintf(w, "  exec coalescer: %d passes for %d requests (%d fused, rate %.1f%%, widest %d)\n",
+		stats.Coalesce.Passes, stats.Coalesce.Requests, stats.Coalesce.Fused,
+		100*stats.Coalesce.Rate, stats.Coalesce.MaxFused)
 
 	if cfg.compare {
-		uncached, err := runServeWorkload(cfg, probs, func(p *problems.Problem) (*trisolve.Plan, error) {
-			return trisolve.NewPlan(p.L, true, trisolve.WithProcs(cfg.procs), trisolve.WithKind(cfg.kind))
-		}, false)
+		base, _, err := runServePass(w, cfg, 0)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "  naive baseline: %8.1f ms wall, %8.0f solves/s (fresh inspector per request, RHS solved one by one)\n",
-			uncached.Seconds()*1e3, float64(cfg.requests*cfg.batch)/uncached.Seconds())
-		fmt.Fprintf(w, "  speedup:        %.2fx\n", uncached.Seconds()/cached.Seconds())
+		fmt.Fprintf(w, "  uncoalesced:    %8.1f ms wall, %8.0f solves/s (-coalesce-window 0 baseline)\n",
+			base.elapsed.Seconds()*1e3, base.throughput(cfg.batch))
+		if rep.elapsed > 0 {
+			fmt.Fprintf(w, "  speedup:        %.2fx\n", base.elapsed.Seconds()/rep.elapsed.Seconds())
+		}
 	}
 	return nil
 }
 
-// runServeWorkload drives the client pool over the problem sequence. When
-// batched is true each request is one SolveBatch pass; otherwise each of
-// the batch right-hand sides is solved with its own Solve call (the
-// baseline). getPlan supplies either a cache lease or a fresh plan; the
-// plan is Closed after the request either way.
-func runServeWorkload(cfg serveConfig, probs []*problems.Problem,
-	getPlan func(*problems.Problem) (*trisolve.Plan, error), batched bool) (time.Duration, error) {
-
-	var next atomic.Int64
-	var errMu sync.Mutex
-	var firstErr error
-	reportErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
+// runServePass stands up one in-process server with the given coalescing
+// window, drives it with loadgen, drains it, and returns the loadgen
+// report plus the server's final stats snapshot.
+func runServePass(w io.Writer, cfg serveConfig, window time.Duration) (*loadgenReport, server.StatsResponse, error) {
+	s, err := server.New(server.Config{
+		Procs:          cfg.procs,
+		Kind:           cfg.kind.String(),
+		CacheCap:       cfg.cacheCap,
+		CoalesceWindow: window,
+		CoalesceWidth:  cfg.width,
+		MaxBatch:       cfg.maxBatch,
+	})
+	if err != nil {
+		return nil, server.StatsResponse{}, err
 	}
-	var wg sync.WaitGroup
-	start := time.Now()
-	for c := 0; c < cfg.clients; c++ {
-		wg.Add(1)
-		go func(client int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(client)))
-			for {
-				req := int(next.Add(1)) - 1
-				if req >= cfg.requests {
-					return
-				}
-				p := probs[req%len(probs)]
-				plan, err := getPlan(p)
-				if err != nil {
-					reportErr(err)
-					return
-				}
-				n := p.L.N
-				xs := make([][]float64, cfg.batch)
-				bs := make([][]float64, cfg.batch)
-				for j := range xs {
-					xs[j] = make([]float64, n)
-					bs[j] = make([]float64, n)
-					for i := range bs[j] {
-						bs[j][i] = rng.Float64()
-					}
-				}
-				if batched {
-					_, err = plan.SolveBatch(xs, bs)
-				} else {
-					for j := range xs {
-						plan.Solve(xs[j], bs[j])
-					}
-				}
-				if err == nil {
-					err = plan.Close()
-				} else {
-					plan.Close()
-				}
-				if err != nil {
-					reportErr(err)
-					return
-				}
-			}
-		}(c)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return nil, server.StatsResponse{}, err
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	errMu.Lock()
-	defer errMu.Unlock()
-	return elapsed, firstErr
+	rep, err := loadgen(w, loadgenConfig{
+		baseURL:  "http://" + s.Addr(),
+		clients:  cfg.clients,
+		requests: cfg.requests,
+		batch:    cfg.batch,
+		seed:     cfg.seed,
+		quiet:    true,
+	})
+	stats := s.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if serr := s.Shutdown(ctx); err == nil && serr != nil {
+		err = fmt.Errorf("serve: drain: %w", serr)
+	}
+	if err != nil {
+		return nil, server.StatsResponse{}, err
+	}
+	if rep.failed > 0 {
+		return nil, server.StatsResponse{}, fmt.Errorf("serve: %d requests failed (e.g. %s)", rep.failed, rep.failMsg)
+	}
+	return rep, stats, nil
 }
 
 // parseKind resolves an executor kind by its registry name.
-func parseKind(name string) (executor.Kind, error) {
-	for _, k := range []executor.Kind{
-		executor.Sequential, executor.PreScheduled, executor.SelfExecuting,
-		executor.DoAcross, executor.Pooled,
-	} {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("serve: unknown executor kind %q", name)
-}
+func parseKind(name string) (executor.Kind, error) { return executor.KindByName(name) }

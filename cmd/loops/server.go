@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/server"
+)
+
+// serverConfig parameterizes the `loops server` network mode.
+type serverConfig struct {
+	addr        string
+	procs       int
+	kind        executor.Kind
+	cacheCap    int
+	window      time.Duration
+	width       int
+	maxInFlight int
+	maxBatch    int
+	timeout     time.Duration
+	drainWait   time.Duration
+}
+
+func (c serverConfig) serverOptions() server.Config {
+	return server.Config{
+		Procs:          c.procs,
+		Kind:           c.kind.String(),
+		CacheCap:       c.cacheCap,
+		CoalesceWindow: c.window,
+		CoalesceWidth:  c.width,
+		MaxInFlight:    c.maxInFlight,
+		MaxBatch:       c.maxBatch,
+		DefaultTimeout: c.timeout,
+	}
+}
+
+// runServer is the `loops server` experiment: serve the trisolve API on a
+// network address until interrupted, then drain gracefully (accepted
+// requests finish, new ones are refused). stop, when non-nil, substitutes
+// for SIGINT/SIGTERM in tests.
+func runServer(w io.Writer, cfg serverConfig, stop <-chan struct{}) error {
+	s, err := server.New(cfg.serverOptions())
+	if err != nil {
+		return err
+	}
+	if err := s.Start(cfg.addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "server: listening on %s (%d procs/plan, %s executor, window %s, width %d, max in-flight %d)\n",
+		s.Addr(), cfg.procs, cfg.kind, cfg.window, cfg.width, cfg.maxInFlight)
+	fmt.Fprintf(w, "server: POST /v1/trisolve, GET /v1/stats /healthz /metrics\n")
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		<-sig
+	} else {
+		<-stop
+	}
+
+	fmt.Fprintf(w, "server: draining (up to %s)...\n", cfg.drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	st := s.Stats()
+	fmt.Fprintf(w, "server: drained; served %d requests (%d shed), coalescing rate %.1f%%, cache hit rate %.1f%%\n",
+		st.Accepted, st.Shed, 100*st.Coalesce.Rate, 100*st.CacheHitRate)
+	return nil
+}

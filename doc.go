@@ -3,8 +3,12 @@
 // SPAA 1989): the doconsider construct and its inspector/executor runtime,
 // with global/local wavefront scheduling, pre-scheduled and self-executing
 // executors, the PCGPAK-style preconditioned Krylov substrate, the
-// Section 4 analytic model, and a cost-model multiprocessor simulator that
-// stands in for the paper's Encore Multimax/320.
+// Section 4 analytic model, a cost-model multiprocessor simulator that
+// stands in for the paper's Encore Multimax/320, and a network serving
+// subsystem (internal/server, `loops server`) that exercises the
+// inspector/executor amortization under real multi-tenant load: shared
+// plan cache, cross-request batch coalescing, admission control, live
+// Prometheus metrics and graceful drain.
 //
 // The implementation lives under internal/; see README.md for the package
 // map, DESIGN.md for the system inventory and per-experiment index, and

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/plancache"
 	"doconsider/internal/wavefront"
 )
 
@@ -107,5 +108,48 @@ func TestCacheConcurrentPooledRuns(t *testing.T) {
 	s := c.Stats()
 	if s.Misses != 1 {
 		t.Fatalf("misses = %d, want 1 (inspector must run once for %d clients)", s.Misses, clients)
+	}
+}
+
+// TestCacheCloseIdempotent pins the Close contract: a second Close (even
+// racing the first) returns nil, Gets after Close fail with ErrClosed,
+// and a Runtime leased across the Close stays usable until released.
+func TestCacheCloseIdempotent(t *testing.T) {
+	c := NewCache(4)
+	deps := chainDeps(64)
+	lease, err := c.Get(deps, WithProcs(2), WithExecutor(executor.Pooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Close(); err != nil {
+				t.Errorf("concurrent Close returned %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after Close returned %v, want nil", err)
+	}
+
+	if _, err := c.Get(deps, WithProcs(2)); !errors.Is(err, plancache.ErrClosed) {
+		t.Fatalf("Get after Close returned %v, want plancache.ErrClosed", err)
+	}
+
+	// The outstanding lease survives the Close; teardown happens at the
+	// final Release, which must also be idempotent.
+	if m := lease.Runtime().Run(func(int32) {}); m.Executed != 64 {
+		t.Fatalf("leased runtime executed %d bodies after cache Close, want 64", m.Executed)
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatalf("second Release returned %v, want nil", err)
 	}
 }

@@ -80,6 +80,18 @@ func (k Kind) String() string {
 // NewStrategy returns a fresh instance of the strategy this kind names.
 func (k Kind) NewStrategy() (Strategy, error) { return NewStrategy(k.String()) }
 
+// KindByName resolves a built-in kind from its registry name — the
+// inverse of Kind.String for the five built-ins. (Strategies registered
+// by callers have no Kind; instantiate those with NewStrategy.)
+func KindByName(name string) (Kind, error) {
+	for _, k := range []Kind{Sequential, PreScheduled, SelfExecuting, DoAcross, Pooled} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("executor: unknown kind %q", name)
+}
+
 // Metrics reports per-run execution accounting, the experimental raw
 // material of §5.1.2 ("Where Does the Time Go").
 type Metrics struct {

@@ -1,0 +1,451 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/sparse"
+	"doconsider/internal/trisolve"
+)
+
+// The coalescer is the cross-request analogue of PR 2's per-request
+// batching: requests whose factors share a structural fingerprint and
+// arrive within a configurable window (or until a width cap fills) are
+// fused into one trisolve.SolveGroup pass, so concurrent clients share
+// both the inspector run (via the plan cache) and the executor pass.
+// This is where the paper's amortization argument meets multi-tenant
+// load — the more clients recur on one structure, the closer the
+// per-request cost gets to pure arithmetic.
+
+// coalesceKey groups requests that can share an executor pass: same
+// sparsity fingerprint, same dimension, same solve direction. (The plan
+// configuration — procs, executor kind — is server-global.)
+type coalesceKey struct {
+	fp    uint64
+	n     int
+	lower bool
+}
+
+// SolveInfo describes how one request was executed.
+type SolveInfo struct {
+	Fused   int // requests that shared the executor pass (>= 1)
+	Width   int // total right-hand sides in the pass
+	Metrics executor.Metrics
+}
+
+// coReq is one request waiting in (or executed by) the coalescer.
+type coReq struct {
+	l        *sparse.CSR
+	xs, bs   [][]float64
+	deadline time.Time // caller ctx deadline; zero = none
+	group    *coGroup  // the pending group this request joined, if any
+	done     chan struct{}
+	err      error
+	info     SolveInfo
+}
+
+// coGroup is a window of requests accumulating toward one fused pass.
+type coGroup struct {
+	key     coalesceKey
+	members []*coReq
+	width   int // total RHS across members
+	timer   *time.Timer
+	sealed  bool // removed from pending; execution is scheduled
+}
+
+// CoalesceStats is a point-in-time snapshot of coalescer effectiveness.
+type CoalesceStats struct {
+	Requests uint64  `json:"requests"`  // requests submitted
+	Passes   uint64  `json:"passes"`    // executor passes run
+	Fused    uint64  `json:"fused"`     // requests that shared a pass with another
+	Solo     uint64  `json:"solo"`      // requests that ran alone
+	Rate     float64 `json:"rate"`      // Fused / Requests
+	MaxFused uint64  `json:"max_fused"` // largest request count in one pass
+}
+
+// Coalescer fuses structurally identical solve requests into shared
+// executor passes. A window of zero disables fusion: every request runs
+// solo, synchronously, under its own context.
+//
+// The window is an upper bound, not a tax: when an inflight hook is
+// installed (see NewCoalescer) and every admitted request is already
+// parked in a window or blocked on a sealed pass, no request remains
+// that could still join — so all pending windows seal immediately
+// instead of stalling closed-loop clients for the full window.
+type Coalescer struct {
+	window   time.Duration
+	maxWidth int // cap on total RHS per fused pass
+	procs    int
+	kind     executor.Kind
+	cache    *trisolve.PlanCache
+	baseCtx  context.Context // bounds fused passes; solo passes use the request context
+	inflight func() int64    // admitted solve requests (nil disables early sealing)
+
+	mu       sync.Mutex
+	pending  map[coalesceKey]*coGroup
+	running  map[coalesceKey]int // executor passes in flight, by key
+	parked   int                 // requests waiting in unsealed windows
+	blocked  int                 // requests waiting on sealed passes
+	draining bool
+	wg       sync.WaitGroup // outstanding fused-pass goroutines
+
+	requests *Counter
+	passes   *Counter
+	fusedC   *Counter
+	soloC    *Counter
+	widthH   *Histogram
+	maxFused *Gauge
+}
+
+// NewCoalescer returns a coalescer executing over cache with the given
+// plan shape. Metrics are registered on reg under the loops_coalesce_*
+// families; reg may not be nil. inflight, when non-nil, reports the
+// solve requests currently admitted by the caller and enables
+// quiescence-based early sealing.
+func NewCoalescer(baseCtx context.Context, cache *trisolve.PlanCache, reg *Registry,
+	window time.Duration, maxWidth, procs int, kind executor.Kind, inflight func() int64) *Coalescer {
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	return &Coalescer{
+		window:   window,
+		maxWidth: maxWidth,
+		procs:    procs,
+		kind:     kind,
+		cache:    cache,
+		baseCtx:  baseCtx,
+		inflight: inflight,
+		pending:  make(map[coalesceKey]*coGroup),
+		running:  make(map[coalesceKey]int),
+		requests: reg.Counter("loops_coalesce_requests_total", "solve requests submitted to the coalescer", nil),
+		passes:   reg.Counter("loops_coalesce_passes_total", "fused executor passes run", nil),
+		fusedC:   reg.Counter("loops_coalesce_fused_requests_total", "requests that shared an executor pass", nil),
+		soloC:    reg.Counter("loops_coalesce_solo_requests_total", "requests that ran alone", nil),
+		widthH:   reg.Histogram("loops_coalesce_pass_width", "right-hand sides per executor pass", nil, WidthBuckets),
+		maxFused: reg.Gauge("loops_coalesce_max_fused", "largest request count fused into one pass", nil),
+	}
+}
+
+// Submit solves l (lower or upper triangular) against the right-hand
+// sides bs, possibly fused with concurrent structurally identical
+// requests, and returns the solutions. ctx cancellation while the
+// request is still waiting in its window withdraws it without disturbing
+// the other waiters; once the fused pass has started the pass runs to
+// completion (under the coalescer's base context) but the caller still
+// returns promptly with ctx.Err().
+func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs [][]float64) ([][]float64, SolveInfo, error) {
+	c.requests.Add(uint64(1))
+	key := coalesceKey{fp: l.StructureFingerprint(), n: l.N, lower: lower}
+	xs := make([][]float64, len(bs))
+	for j := range xs {
+		xs[j] = make([]float64, l.N)
+	}
+	req := &coReq{l: l, xs: xs, bs: bs, done: make(chan struct{})}
+	if d, ok := ctx.Deadline(); ok {
+		req.deadline = d
+	}
+
+	if c.window <= 0 || c.maxWidth <= 1 || len(bs) >= c.maxWidth {
+		// Fusion disabled or the request alone fills a pass: run solo,
+		// synchronously, with the request's own deadline driving RunCtx.
+		return c.submitSolo(ctx, key, req)
+	}
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return c.submitSolo(ctx, key, req)
+	}
+	g := c.pending[key]
+	if g != nil && g.width+len(bs) > c.maxWidth {
+		// Width-cap overflow: seal the full window now (it executes as
+		// its own pass) and start a fresh one for this request.
+		c.sealLocked(g)
+		g = nil
+	}
+	if g == nil {
+		g = &coGroup{key: key}
+		c.pending[key] = g
+		g.timer = time.AfterFunc(c.window, func() { c.flushGroup(g) })
+	}
+	g.members = append(g.members, req)
+	g.width += len(bs)
+	req.group = g
+	c.parked++
+	if g.width >= c.maxWidth {
+		c.sealLocked(g)
+	} else {
+		c.sealIfQuiescentLocked()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-req.done:
+		return req.xs, req.info, req.err
+	case <-ctx.Done():
+		c.withdraw(req)
+		select {
+		case <-req.done:
+			// The pass had already started (or finished) when the context
+			// fired; the results are valid, so return them.
+			return req.xs, req.info, req.err
+		default:
+			return nil, SolveInfo{}, ctx.Err()
+		}
+	}
+}
+
+// submitSolo runs req as its own synchronous pass, counted as blocked so
+// quiescence detection knows it can no longer join a window.
+func (c *Coalescer) submitSolo(ctx context.Context, key coalesceKey, req *coReq) ([][]float64, SolveInfo, error) {
+	c.mu.Lock()
+	c.blocked++
+	c.running[key]++
+	c.sealIfQuiescentLocked()
+	c.mu.Unlock()
+	c.execute(ctx, key, []*coReq{req})
+	c.passDone(key, 1)
+	return req.xs, req.info, req.err
+}
+
+// passDone retires one finished pass for key: its waiters are no
+// longer blocked, and — the group-commit chain — a window that filled up
+// behind the pass seals now, fusing everything that accumulated while
+// the key was busy.
+func (c *Coalescer) passDone(key coalesceKey, members int) {
+	c.mu.Lock()
+	c.blocked -= members
+	c.running[key]--
+	if c.running[key] <= 0 {
+		delete(c.running, key)
+		if g, ok := c.pending[key]; ok {
+			c.sealLocked(g)
+		}
+	}
+	c.sealIfQuiescentLocked()
+	c.mu.Unlock()
+}
+
+// withdraw removes req from its pending group if the group has not been
+// sealed yet; the remaining waiters are untouched (an emptied group is
+// dissolved so its timer does not fire a zero-member pass).
+func (c *Coalescer) withdraw(req *coReq) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := req.group
+	if g == nil || g.sealed {
+		return
+	}
+	for i, m := range g.members {
+		if m == req {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.width -= len(req.bs)
+			c.parked--
+			break
+		}
+	}
+	if len(g.members) == 0 {
+		g.sealed = true
+		g.timer.Stop()
+		delete(c.pending, g.key)
+	}
+}
+
+// sealIfQuiescentLocked seals pending windows once no admitted request
+// remains outside one: with the caller's inflight count fully accounted
+// for by parked and pass-blocked requests, nobody is left who could
+// still join, and waiting out the timers would only add latency. Windows
+// whose key has a pass in flight are held back — arrivals keep
+// accumulating behind the running pass (they would only serialize on the
+// shared strategy anyway) and seal together when it completes, the
+// group-commit chain in passDone. This pairing is what makes the window
+// an upper bound for open traffic without stalling closed-loop clients.
+// Callers hold c.mu.
+func (c *Coalescer) sealIfQuiescentLocked() {
+	if c.inflight == nil || c.parked == 0 {
+		return
+	}
+	if int64(c.parked+c.blocked) < c.inflight() {
+		return
+	}
+	groups := make([]*coGroup, 0, len(c.pending))
+	for _, g := range c.pending {
+		if c.running[g.key] == 0 {
+			groups = append(groups, g)
+		}
+	}
+	for _, g := range groups {
+		c.sealLocked(g)
+	}
+}
+
+// Nudge re-evaluates the quiescence condition. The server calls it as
+// admitted requests leave, so parked windows never outlive the traffic
+// that could have joined them.
+func (c *Coalescer) Nudge() {
+	c.mu.Lock()
+	c.sealIfQuiescentLocked()
+	c.mu.Unlock()
+}
+
+// flushGroup seals g when its window timer fires.
+func (c *Coalescer) flushGroup(g *coGroup) {
+	c.mu.Lock()
+	if !g.sealed {
+		c.sealLocked(g)
+	}
+	c.mu.Unlock()
+}
+
+// sealLocked removes g from the pending set and schedules its pass; its
+// members move from parked to pass-blocked until the pass completes.
+// Callers hold c.mu.
+func (c *Coalescer) sealLocked(g *coGroup) {
+	g.sealed = true
+	g.timer.Stop()
+	delete(c.pending, g.key)
+	members := g.members
+	c.parked -= len(members)
+	c.blocked += len(members)
+	c.running[g.key]++
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ctx, cancel := c.passCtx(members)
+		defer cancel()
+		c.execute(ctx, g.key, members)
+		c.passDone(g.key, len(members))
+	}()
+}
+
+// passCtx bounds a fused pass by the slackest member deadline (every
+// member will have returned by then, so running longer only pins the
+// worker pool); a member with no deadline leaves the pass unbounded.
+func (c *Coalescer) passCtx(members []*coReq) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, m := range members {
+		if m.deadline.IsZero() {
+			return c.baseCtx, func() {}
+		}
+		if m.deadline.After(latest) {
+			latest = m.deadline
+		}
+	}
+	return context.WithDeadline(c.baseCtx, latest)
+}
+
+// execute runs one fused (or solo) pass for members and wakes every
+// waiter. Members that reference the same factor object — the normal
+// case when clients resubmit by fingerprint — are merged into one
+// BatchProblem, so the pass reads each row's values once for all their
+// right-hand sides (the cross-request extension of SolveBatch's
+// row-sharing). Fused members' done channels are closed even on error,
+// each carrying the pass error.
+func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coReq) {
+	group := make([]trisolve.BatchProblem, 0, len(members))
+	byFactor := make(map[*sparse.CSR]int, len(members))
+	width := 0
+	for _, m := range members {
+		if j, ok := byFactor[m.l]; ok {
+			group[j].Xs = append(group[j].Xs, m.xs...)
+			group[j].Bs = append(group[j].Bs, m.bs...)
+		} else {
+			byFactor[m.l] = len(group)
+			group = append(group, trisolve.BatchProblem{
+				L:  m.l,
+				Xs: append(make([][]float64, 0, len(m.xs)), m.xs...),
+				Bs: append(make([][]float64, 0, len(m.bs)), m.bs...),
+			})
+		}
+		width += len(m.bs)
+	}
+	var metrics executor.Metrics
+	plan, err := c.cache.Get(members[0].l, key.lower,
+		trisolve.WithProcs(c.procs), trisolve.WithKind(c.kind))
+	if err == nil {
+		metrics, err = plan.SolveGroupCtx(ctx, group)
+		if cerr := plan.Close(); err == nil {
+			err = cerr
+		}
+	}
+
+	c.passes.Inc()
+	c.widthH.Observe(float64(width))
+	if len(members) > 1 {
+		c.fusedC.Add(uint64(len(members)))
+		c.maxFused.Max(int64(len(members)))
+	} else {
+		c.soloC.Inc()
+	}
+	info := SolveInfo{Fused: len(members), Width: width, Metrics: metrics}
+	for _, m := range members {
+		m.err = err
+		m.info = info
+		close(m.done)
+	}
+}
+
+// Flush seals every pending window immediately. It is called on drain so
+// accepted requests finish without waiting out their windows.
+func (c *Coalescer) Flush() {
+	c.mu.Lock()
+	groups := make([]*coGroup, 0, len(c.pending))
+	for _, g := range c.pending {
+		groups = append(groups, g)
+	}
+	for _, g := range groups {
+		c.sealLocked(g)
+	}
+	c.mu.Unlock()
+}
+
+// BeginDrain routes subsequent Submits to solo passes and flushes every
+// pending window, so requests already accepted stop waiting for traffic
+// that will never come.
+func (c *Coalescer) BeginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.Flush()
+}
+
+// Drain is BeginDrain plus a wait for every fused pass to finish.
+func (c *Coalescer) Drain() {
+	c.BeginDrain()
+	c.wg.Wait()
+}
+
+// DrainCtx is Drain bounded by ctx: it returns ctx.Err() if passes are
+// still running at the deadline (the caller can then cancel the
+// coalescer's base context to abort them and Drain again).
+func (c *Coalescer) DrainCtx(ctx context.Context) error {
+	c.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the coalescer counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	s := CoalesceStats{
+		Requests: c.requests.Value(),
+		Passes:   c.passes.Value(),
+		Fused:    c.fusedC.Value(),
+		Solo:     c.soloC.Value(),
+		MaxFused: uint64(c.maxFused.Value()),
+	}
+	if s.Requests > 0 {
+		s.Rate = float64(s.Fused) / float64(s.Requests)
+	}
+	return s
+}

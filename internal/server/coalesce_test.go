@@ -1,0 +1,351 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+	"doconsider/internal/trisolve"
+)
+
+// testFactor returns a small lower-triangular factor with full diagonal.
+func testFactor(m int) *sparse.CSR {
+	return stencil.Laplace2D(m, m).LowerWithDiag()
+}
+
+// scaledFactor clones l with every value multiplied by f: same structure,
+// different numbers — the cross-request recurrence the coalescer fuses.
+func scaledFactor(l *sparse.CSR, f float64) *sparse.CSR {
+	c := l.Clone()
+	for k := range c.Val {
+		c.Val[k] *= f
+	}
+	return c
+}
+
+func randVec(n int, seed int64) []float64 {
+	v := make([]float64, n)
+	s := uint64(seed)*2654435761 + 1
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = float64(s%1000)/1000 + 0.001
+	}
+	return v
+}
+
+func newTestCoalescer(t *testing.T, window time.Duration, width int) *Coalescer {
+	t.Helper()
+	reg := NewRegistry()
+	cache := trisolve.NewPlanCache(8)
+	c := NewCoalescer(context.Background(), cache, reg, window, width, 2, executor.Pooled, nil)
+	t.Cleanup(func() {
+		c.Drain()
+		cache.Close()
+	})
+	return c
+}
+
+// refSolve returns the unfused Plan.Solve result for one factor/RHS pair;
+// group passes must reproduce it bit for bit.
+func refSolve(t *testing.T, l *sparse.CSR, b []float64) []float64 {
+	t.Helper()
+	plan, err := trisolve.NewPlan(l, true, trisolve.WithProcs(2), trisolve.WithKind(executor.Pooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	x := make([]float64, l.N)
+	plan.Solve(x, b)
+	return x
+}
+
+func assertBitIdentical(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result differs at %d: %x vs %x", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCoalesceWindowOfOne: a request that spends its whole window alone
+// still solves correctly as a solo pass.
+func TestCoalesceWindowOfOne(t *testing.T) {
+	c := newTestCoalescer(t, 5*time.Millisecond, 64)
+	l := testFactor(12)
+	b := randVec(l.N, 1)
+	xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fused != 1 || info.Width != 1 {
+		t.Fatalf("solo window: info = %+v, want fused 1 width 1", info)
+	}
+	assertBitIdentical(t, xs[0], refSolve(t, l, b), "window of one")
+	s := c.Stats()
+	if s.Passes != 1 || s.Solo != 1 || s.Fused != 0 || s.Rate != 0 {
+		t.Fatalf("stats = %+v, want one solo pass", s)
+	}
+}
+
+// TestCoalesceFusesAtWidthCap: exactly cap-many concurrent requests fuse
+// into one pass, and every member's solution is bit-identical to its
+// unfused solve even though members carry different matrix values.
+func TestCoalesceFusesAtWidthCap(t *testing.T) {
+	const members = 6
+	c := newTestCoalescer(t, 10*time.Second, members) // timer must never win
+	base := testFactor(12)
+	var wg sync.WaitGroup
+	results := make([][][]float64, members)
+	infos := make([]SolveInfo, members)
+	errs := make([]error, members)
+	ls := make([]*sparse.CSR, members)
+	bs := make([][]float64, members)
+	for i := 0; i < members; i++ {
+		ls[i] = scaledFactor(base, 1+0.1*float64(i))
+		bs[i] = randVec(base.N, int64(i))
+	}
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], infos[i], errs[i] = c.Submit(context.Background(), ls[i], true, [][]float64{bs[i]})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < members; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if infos[i].Fused != members || infos[i].Width != members {
+			t.Fatalf("member %d: info = %+v, want fused %d", i, infos[i], members)
+		}
+		assertBitIdentical(t, results[i][0], refSolve(t, ls[i], bs[i]), "fused member")
+	}
+	s := c.Stats()
+	if s.Passes != 1 || s.Fused != members || s.MaxFused != members {
+		t.Fatalf("stats = %+v, want one fused pass of %d", s, members)
+	}
+	if s.Rate != 1 {
+		t.Fatalf("coalescing rate = %v, want 1", s.Rate)
+	}
+}
+
+// TestCoalesceWidthCapOverflowSplits: three requests of width 2 against a
+// cap of 4 must split into two passes (2 requests fused, 1 solo) — the
+// overflow seals the full window instead of growing it past the cap.
+func TestCoalesceWidthCapOverflowSplits(t *testing.T) {
+	c := newTestCoalescer(t, 10*time.Second, 4)
+	l := testFactor(10)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bs := [][]float64{randVec(l.N, int64(2*i)), randVec(l.N, int64(2*i+1))}
+			if _, _, err := c.Submit(context.Background(), l, true, bs); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Two of the three fill the cap and seal; the third waits on its own
+	// window, which only a flush (or the 10s timer) releases. Flush only
+	// after the width-cap pass has finished and all three have submitted,
+	// so a premature flush can never seal a singleton that was about to
+	// pair up.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := c.Stats()
+		if s.Passes >= 2 {
+			break
+		}
+		if s.Passes >= 1 && s.Requests == 3 {
+			c.Flush()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Passes != 2 || s.Fused != 2 || s.Solo != 1 {
+		t.Fatalf("stats = %+v, want cap overflow split into a fused pass of 2 and a solo pass", s)
+	}
+}
+
+// TestCoalesceOversizedRequestRunsSolo: a request whose own batch meets
+// the cap never waits in a window.
+func TestCoalesceOversizedRequestRunsSolo(t *testing.T) {
+	c := newTestCoalescer(t, 10*time.Second, 2)
+	l := testFactor(8)
+	bs := [][]float64{randVec(l.N, 1), randVec(l.N, 2), randVec(l.N, 3)}
+	start := time.Now()
+	_, info, err := c.Submit(context.Background(), l, true, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fused != 1 || info.Width != 3 {
+		t.Fatalf("info = %+v, want solo pass of width 3", info)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("oversized request waited out the window")
+	}
+}
+
+// TestCoalesceCancellationReleasesOtherWaiters: cancelling one request
+// mid-window withdraws it without wedging the group — the surviving
+// waiter still completes when the window closes.
+func TestCoalesceCancellationReleasesOtherWaiters(t *testing.T) {
+	c := newTestCoalescer(t, 150*time.Millisecond, 64)
+	l := testFactor(10)
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+
+	var wg sync.WaitGroup
+	var errA error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errA = c.Submit(ctxA, l, true, [][]float64{randVec(l.N, 1)})
+	}()
+	// Give A a moment to join its window, bring B in, then cancel A.
+	time.Sleep(10 * time.Millisecond)
+	var xsB [][]float64
+	var infoB SolveInfo
+	var errB error
+	bB := randVec(l.N, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		xsB, infoB, errB = c.Submit(context.Background(), l, true, [][]float64{bB})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancelA()
+	wg.Wait()
+
+	if !errors.Is(errA, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", errA)
+	}
+	if errB != nil {
+		t.Fatal(errB)
+	}
+	if infoB.Fused != 1 {
+		t.Fatalf("survivor fused = %d, want 1 (the cancelled request left the pass)", infoB.Fused)
+	}
+	assertBitIdentical(t, xsB[0], refSolve(t, l, bB), "survivor after cancellation")
+}
+
+// TestCoalesceCancelledLoneWaiterDissolvesGroup: the cancelled request
+// was the only member, so its group must be dissolved — no zero-member
+// pass runs when the timer fires.
+func TestCoalesceCancelledLoneWaiterDissolvesGroup(t *testing.T) {
+	c := newTestCoalescer(t, 30*time.Millisecond, 64)
+	l := testFactor(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Submit(ctx, l, true, [][]float64{randVec(l.N, 1)})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	time.Sleep(50 * time.Millisecond) // past the window timer
+	if s := c.Stats(); s.Passes != 0 {
+		t.Fatalf("stats = %+v, want no pass for a dissolved group", s)
+	}
+}
+
+// TestCoalesceWindowZeroDisables: with the window off every request is a
+// synchronous solo pass and the coalescing rate stays zero.
+func TestCoalesceWindowZeroDisables(t *testing.T) {
+	c := newTestCoalescer(t, 0, 64)
+	l := testFactor(10)
+	for i := 0; i < 4; i++ {
+		b := randVec(l.N, int64(i))
+		xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Fused != 1 {
+			t.Fatalf("request %d fused = %d with coalescing disabled", i, info.Fused)
+		}
+		assertBitIdentical(t, xs[0], refSolve(t, l, b), "disabled coalescing")
+	}
+	s := c.Stats()
+	if s.Passes != 4 || s.Rate != 0 {
+		t.Fatalf("stats = %+v, want four solo passes, rate 0", s)
+	}
+}
+
+// TestCoalesceUpperSolve exercises the backward-solve key path.
+func TestCoalesceUpperSolve(t *testing.T) {
+	c := newTestCoalescer(t, 0, 64)
+	u := testFactor(10).Transpose()
+	b := randVec(u.N, 7)
+	xs, _, err := c.Submit(context.Background(), u, false, [][]float64{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := trisolve.NewPlan(u, false, trisolve.WithProcs(2), trisolve.WithKind(executor.Pooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	want := make([]float64, u.N)
+	plan.Solve(want, b)
+	assertBitIdentical(t, xs[0], want, "upper solve")
+}
+
+// TestCoalesceQuiescentSeal: with an inflight hook installed, windows
+// seal the moment every admitted request is parked — the timer (10s
+// here) must never be what releases them.
+func TestCoalesceQuiescentSeal(t *testing.T) {
+	var inflight atomic.Int64
+	reg := NewRegistry()
+	cache := trisolve.NewPlanCache(8)
+	defer cache.Close()
+	c := NewCoalescer(context.Background(), cache, reg, 10*time.Second, 64, 2,
+		executor.Pooled, inflight.Load)
+	defer c.Drain()
+	l := testFactor(10)
+
+	const members = 3
+	inflight.Store(members)
+	var wg sync.WaitGroup
+	infos := make([]SolveInfo, members)
+	start := time.Now()
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			_, infos[i], err = c.Submit(context.Background(), l, true, [][]float64{randVec(l.N, int64(i))})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("requests took %v — quiescent seal did not fire before the window timer", elapsed)
+	}
+	// All three were admitted and parked, so they seal together (the
+	// last joiner trips quiescence; earlier partial seals would only
+	// happen if a joiner arrived after a flush, impossible here since
+	// parked < inflight until the last one).
+	for i, info := range infos {
+		if info.Fused != members {
+			t.Fatalf("request %d fused = %d, want %d", i, info.Fused, members)
+		}
+	}
+	if s := c.Stats(); s.Passes != 1 {
+		t.Fatalf("stats = %+v, want one quiescence-sealed pass", s)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.56) > 1e-12 {
+		t.Fatalf("sum = %v, want 5.56", got)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.2, 0.01}, {0.4, 0.01}, {0.6, 0.1}, {0.8, 1}, {1.0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := NewHistogram([]float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramObserveOnBoundary(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive in Prometheus semantics
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("boundary observation landed at %v, want bucket 1", got)
+	}
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "requests", Labels{{"code", "200"}})
+	c.Add(3)
+	g := reg.Gauge("test_in_flight", "in flight", nil)
+	g.Set(7)
+	reg.GaugeFunc("test_ratio", "a computed ratio", nil, func() float64 { return 0.5 })
+	h := reg.Histogram("test_seconds", "latency", Labels{{"endpoint", "x"}}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP test_requests_total requests",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{code="200"} 3`,
+		"# TYPE test_in_flight gauge",
+		"test_in_flight 7",
+		"test_ratio 0.5",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{endpoint="x",le="0.1"} 1`,
+		`test_seconds_bucket{endpoint="x",le="1"} 2`,
+		`test_seconds_bucket{endpoint="x",le="+Inf"} 3`,
+		`test_seconds_sum{endpoint="x"} 50.55`,
+		`test_seconds_count{endpoint="x"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWithLE(t *testing.T) {
+	if got := withLE("", "0.5"); got != `{le="0.5"}` {
+		t.Errorf("withLE bare = %s", got)
+	}
+	if got := withLE(`{a="b"}`, "+Inf"); got != `{a="b",le="+Inf"}` {
+		t.Errorf("withLE merged = %s", got)
+	}
+}

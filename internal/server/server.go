@@ -1,0 +1,683 @@
+// Package server turns the runtime into a network service: an HTTP/JSON
+// API over the shared plan cache and the batch coalescer, with admission
+// control, per-request deadlines, live Prometheus metrics and graceful
+// drain. It is the serving story the ROADMAP's north star asks for — the
+// inspector/executor amortization of the paper exercised end to end by
+// many independent clients whose problems recur structurally.
+//
+// Endpoints:
+//
+//	POST /v1/trisolve  submit a CSR triangular factor + RHS batch
+//	GET  /v1/stats     JSON snapshot: cache, coalescer, admission
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/plancache"
+	"doconsider/internal/sparse"
+	"doconsider/internal/trisolve"
+)
+
+// Config shapes a Server. The zero value is usable: defaults are applied
+// by New.
+type Config struct {
+	Procs          int           // processors per plan (default 4)
+	Kind           string        // executor kind registry name (default "pooled")
+	CacheCap       int           // plan-cache capacity in skeletons (default 16)
+	FactorCacheCap int           // factors resubmittable by fingerprint (default 32)
+	CoalesceWindow time.Duration // batching window; 0 disables coalescing
+	CoalesceWidth  int           // max RHS per fused pass (default 64)
+	MaxInFlight    int           // admission bound on concurrent solves (default 64)
+	MaxBatch       int           // max RHS per request (default 64)
+	DefaultTimeout time.Duration // per-request deadline when none given (default 30s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Kind == "" {
+		c.Kind = executor.Pooled.String()
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 16
+	}
+	if c.FactorCacheCap == 0 {
+		c.FactorCacheCap = 32
+	}
+	if c.CoalesceWidth <= 0 {
+		c.CoalesceWidth = 64
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// SolveRequest is the POST /v1/trisolve wire format: a CSR triangular
+// factor (structure + values) and a batch of right-hand sides.
+//
+// Recurring factors need not be re-shipped: every response carries the
+// factor's content fingerprint, and a later request may send just that
+// fingerprint in fp (omitting n/rowptr/colidx/val). The server keeps the
+// FactorCacheCap most recent factors; an unknown or evicted fingerprint
+// fails with 404 and the client falls back to a full request. For the
+// structurally recurring traffic this server exists for, that turns the
+// dominant per-request cost — parsing a few hundred KB of matrix JSON —
+// into a cache lookup, leaving the executor pass as the work that counts.
+type SolveRequest struct {
+	N         int         `json:"n,omitempty"`
+	RowPtr    []int32     `json:"rowptr,omitempty"`
+	ColIdx    []int32     `json:"colidx,omitempty"`
+	Val       []float64   `json:"val,omitempty"`
+	Fp        string      `json:"fp,omitempty"`    // resubmit a cached factor by fingerprint
+	Lower     *bool       `json:"lower,omitempty"` // default true (forward solve)
+	B         [][]float64 `json:"b,omitempty"`
+	B64       [][]byte    `json:"b_b64,omitempty"` // RHS as base64 little-endian float64 packing
+	TimeoutMs int         `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse is the POST /v1/trisolve reply. Solutions come back in
+// the encoding the request used: x for JSON-array right-hand sides,
+// x_b64 for packed ones (a few hundred nanoseconds per value of JSON
+// float parsing is the difference between the wire and the executor
+// dominating a large solve).
+type SolveResponse struct {
+	X        [][]float64 `json:"x,omitempty"`
+	X64      [][]byte    `json:"x_b64,omitempty"`
+	Fp       string      `json:"fp"`       // content fingerprint for resubmission
+	Fused    int         `json:"fused"`    // requests that shared the executor pass
+	Width    int         `json:"width"`    // total RHS in the pass
+	Executed int64       `json:"executed"` // loop bodies run by the pass
+}
+
+// Solutions returns the response's solution batch in either encoding.
+func (r *SolveResponse) Solutions() ([][]float64, error) {
+	if r.X != nil {
+		return r.X, nil
+	}
+	xs := make([][]float64, len(r.X64))
+	for j, raw := range r.X64 {
+		var err error
+		if xs[j], err = UnpackFloats(raw); err != nil {
+			return nil, err
+		}
+	}
+	return xs, nil
+}
+
+// StatsResponse is the GET /v1/stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	InFlight      int64           `json:"in_flight"`
+	Accepted      uint64          `json:"accepted"`
+	Shed          uint64          `json:"shed"`
+	Draining      bool            `json:"draining"`
+	PlanCache     plancache.Stats `json:"plan_cache"`
+	CacheHitRate  float64         `json:"cache_hit_rate"`
+	FactorCache   plancache.Stats `json:"factor_cache"`
+	Coalesce      CoalesceStats   `json:"coalesce"`
+}
+
+// cachedFactor is a factor resident in the by-fingerprint cache, tagged
+// with the solve direction it was validated for. plancache requires a
+// Closer; a factor owns no resources.
+type cachedFactor struct {
+	l     *sparse.CSR
+	lower bool
+}
+
+func (cachedFactor) Close() error { return nil }
+
+// errUnknownFactor distinguishes a by-fingerprint miss from real build
+// failures inside the factor cache.
+var errUnknownFactor = errors.New("server: unknown factor fingerprint")
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the serving subsystem: plan cache, coalescer, metrics and
+// the HTTP handlers over them. Create with New, start with Start (or
+// mount Handler on a listener of your own), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	cache    *trisolve.PlanCache
+	factors  *plancache.Cache[uint64, cachedFactor]
+	co       *Coalescer
+	reg      *Registry
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ln       net.Listener
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+	draining atomic.Bool
+
+	inFlight *Gauge
+	accepted *Counter
+	shed     *Counter
+	solveEP  *endpointMetrics
+	statsEP  *endpointMetrics
+	healthEP *endpointMetrics
+	metricEP *endpointMetrics
+}
+
+// New builds a server from cfg (zero fields take defaults). It fails
+// only on an unresolvable executor kind name.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	kind, err := executor.KindByName(cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	cache := trisolve.NewPlanCache(cfg.CacheCap)
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		factors: plancache.New[uint64, cachedFactor](cfg.FactorCacheCap),
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	s.inFlight = reg.Gauge("loops_http_in_flight", "solve requests currently admitted", nil)
+	// The in-flight hook lets the coalescer seal windows early the moment
+	// every admitted request is parked in one — see Coalescer.
+	s.co = NewCoalescer(baseCtx, cache, reg, cfg.CoalesceWindow, cfg.CoalesceWidth,
+		cfg.Procs, kind, s.inFlight.Value)
+	s.accepted = reg.Counter("loops_admission_accepted_total", "solve requests admitted", nil)
+	s.shed = reg.Counter("loops_admission_shed_total", "solve requests shed with 429", nil)
+	for _, cs := range []struct {
+		name string
+		f    func(plancache.Stats) float64
+	}{
+		{"hits", func(st plancache.Stats) float64 { return float64(st.Hits) }},
+		{"coalesced", func(st plancache.Stats) float64 { return float64(st.Coalesced) }},
+		{"misses", func(st plancache.Stats) float64 { return float64(st.Misses) }},
+		{"evictions", func(st plancache.Stats) float64 { return float64(st.Evictions) }},
+		{"resident", func(st plancache.Stats) float64 { return float64(st.Resident) }},
+	} {
+		f := cs.f
+		reg.GaugeFunc("loops_plan_cache", "plan cache counters by event", Labels{{"event", cs.name}},
+			func() float64 { return f(cache.Stats()) })
+	}
+	reg.GaugeFunc("loops_plan_cache_hit_rate", "fraction of plan lookups served without the inspector", nil,
+		func() float64 { return cache.Stats().HitRate() })
+	factors := s.factors
+	reg.GaugeFunc("loops_factor_cache", "factor cache counters by event", Labels{{"event", "resident"}},
+		func() float64 { return float64(factors.Stats().Resident) })
+	reg.GaugeFunc("loops_factor_cache_hit_rate", "fraction of factor references served from cache", nil,
+		func() float64 { return factors.Stats().HitRate() })
+
+	s.solveEP = newEndpointMetrics(reg, "trisolve")
+	s.statsEP = newEndpointMetrics(reg, "stats")
+	s.healthEP = newEndpointMetrics(reg, "healthz")
+	s.metricEP = newEndpointMetrics(reg, "metrics")
+
+	s.mux.HandleFunc("/v1/trisolve", s.solveEP.wrap(s.handleTrisolve))
+	s.mux.HandleFunc("/v1/stats", s.statsEP.wrap(s.handleStats))
+	s.mux.HandleFunc("/healthz", s.healthEP.wrap(s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.metricEP.wrap(s.handleMetrics))
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (for tests and in-process
+// mounting).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves in a
+// background goroutine. It returns once the listener is bound, so Addr
+// is valid immediately after.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails this way if the listener breaks underneath
+			// us; the error is observable through failed requests.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully drains the server: new requests are refused with
+// 503 (and /healthz fails, so load balancers stop routing here), pending
+// coalescer windows are flushed so accepted requests finish immediately,
+// and the HTTP server waits for in-flight handlers up to ctx's deadline.
+// The plan cache is closed last. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.co.BeginDrain()
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	// Handlers may also be mounted on an external http.Server through
+	// Handler(), which httpSrv.Shutdown knows nothing about — wait for
+	// the admitted-solve gauge itself to drain before tearing down the
+	// caches those handlers are using.
+	if werr := s.waitInFlight(ctx); err == nil {
+		err = werr
+	}
+	if derr := s.co.DrainCtx(ctx); derr != nil {
+		// Deadline: abort in-flight passes via the base context, then
+		// wait for them to unwind (bounded — cancelled executors release
+		// their workers promptly).
+		s.cancel()
+		s.co.Drain()
+		if err == nil {
+			err = derr
+		}
+	}
+	s.cancel()
+	if cerr := s.cache.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.factors.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// waitInFlight blocks until no solve request is admitted, or ctx ends.
+func (s *Server) waitInFlight(ctx context.Context) error {
+	for s.inFlight.Value() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Stats assembles the /v1/stats snapshot.
+func (s *Server) Stats() StatsResponse {
+	cs := s.cache.Stats()
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Value(),
+		Accepted:      s.accepted.Value(),
+		Shed:          s.shed.Value(),
+		Draining:      s.draining.Load(),
+		PlanCache:     cs,
+		CacheHitRate:  cs.HitRate(),
+		FactorCache:   s.factors.Stats(),
+		Coalesce:      s.co.Stats(),
+	}
+}
+
+func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Admission control: bound the solves in flight; excess load is shed
+	// immediately with 429 instead of queueing without bound.
+	if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
+		s.inFlight.Add(-1)
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server is at capacity")
+		return
+	}
+	defer func() {
+		s.inFlight.Add(-1)
+		s.co.Nudge()
+	}()
+	s.accepted.Inc()
+
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	lower := req.Lower == nil || *req.Lower
+	l, fp, release, err := s.resolveFactor(&req, lower)
+	if err != nil {
+		if errors.Is(err, errUnknownFactor) {
+			writeError(w, http.StatusNotFound, err.Error())
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	defer release()
+	bs, binaryRHS, err := decodeRHS(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateRHS(bs, l.N, s.cfg.MaxBatch); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		// Clamp before converting: a huge timeout_ms would overflow the
+		// int64 nanosecond Duration into a negative, already-expired
+		// deadline.
+		const maxTimeoutMs = 24 * 60 * 60 * 1000
+		ms := req.TimeoutMs
+		if ms > maxTimeoutMs {
+			ms = maxTimeoutMs
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	xs, info, err := s.co.Submit(ctx, l, lower, bs)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request cancelled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	resp := SolveResponse{
+		Fused: info.Fused, Width: info.Width, Executed: info.Metrics.Executed,
+	}
+	if fp != 0 {
+		resp.Fp = fmt.Sprintf("%016x", fp)
+	}
+	if binaryRHS {
+		resp.X64 = make([][]byte, len(xs))
+		for j, x := range xs {
+			resp.X64[j] = PackFloats(x)
+		}
+	} else {
+		resp.X = xs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeRHS resolves the request's right-hand sides from whichever
+// encoding it used, reporting whether the packed form was chosen.
+func decodeRHS(req *SolveRequest) ([][]float64, bool, error) {
+	if len(req.B64) == 0 {
+		return req.B, false, nil
+	}
+	if len(req.B) > 0 {
+		return nil, false, errors.New("request carries both b and b_b64; send one")
+	}
+	bs := make([][]float64, len(req.B64))
+	for j, raw := range req.B64 {
+		var err error
+		if bs[j], err = UnpackFloats(raw); err != nil {
+			return nil, false, fmt.Errorf("b_b64[%d]: %w", j, err)
+		}
+	}
+	return bs, true, nil
+}
+
+// PackFloats packs a float64 slice little-endian (JSON renders the
+// bytes as one base64 string — 12 bytes per value on the wire instead of
+// ~18 for a parsed decimal, and ~100x cheaper to decode).
+func PackFloats(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// UnpackFloats unpacks a little-endian float64 array.
+func UnpackFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("packed float array has %d bytes, not a multiple of 8", len(b))
+	}
+	x := make([]float64, len(b)/8)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return x, nil
+}
+
+// resolveFactor materializes the request's factor: from the wire matrix
+// (validating it and registering it in the by-fingerprint cache) or from
+// the cache when the request carries just a fingerprint. The returned
+// release pins the factor against eviction until the solve is done.
+func (s *Server) resolveFactor(req *SolveRequest, lower bool) (*sparse.CSR, uint64, func(), error) {
+	if req.Fp != "" {
+		if req.N != 0 || req.RowPtr != nil || req.ColIdx != nil || req.Val != nil {
+			return nil, 0, nil, errors.New("request carries both a factor and a fingerprint; send one")
+		}
+		fp, err := strconv.ParseUint(req.Fp, 16, 64)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("malformed fingerprint %q", req.Fp)
+		}
+		h, err := s.factors.Get(fp, func() (cachedFactor, error) {
+			return cachedFactor{}, errUnknownFactor
+		})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		cf := h.Value()
+		if cf.lower != lower {
+			h.Release()
+			return nil, 0, nil, fmt.Errorf("factor %s was registered for lower=%v", req.Fp, cf.lower)
+		}
+		return cf.l, fp, func() { _ = h.Release() }, nil
+	}
+	l, err := buildFactor(req, lower)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	fp := l.ContentFingerprint()
+	h, err := s.factors.Get(fp, func() (cachedFactor, error) {
+		return cachedFactor{l: l, lower: lower}, nil
+	})
+	if err != nil {
+		// The cache is closed (drain raced in); solve with the wire copy.
+		return l, fp, func() {}, nil
+	}
+	// Solve with the resident copy so concurrent identical requests
+	// coalesce on one value array; the wire copy becomes garbage.
+	cf := h.Value()
+	if !sparse.Equal(l, cf.l) {
+		// 64-bit fingerprint collision: the resident entry is a different
+		// matrix. Solve with the wire copy — never a neighbor's numbers —
+		// and return no fingerprint, since a by-reference resubmission
+		// could not be told apart from the resident factor. The O(nnz)
+		// equality check costs what the fingerprint already did.
+		h.Release()
+		return l, 0, func() {}, nil
+	}
+	return cf.l, fp, func() { _ = h.Release() }, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// buildFactor validates the wire matrix and returns it as a CSR: well
+// formed, triangular in the requested direction, full nonzero diagonal
+// (the executor bodies divide by it with no error path).
+func buildFactor(req *SolveRequest, lower bool) (*sparse.CSR, error) {
+	if req.N < 1 {
+		return nil, fmt.Errorf("n must be >= 1, got %d", req.N)
+	}
+	l := &sparse.CSR{N: req.N, M: req.N, RowPtr: req.RowPtr, ColIdx: req.ColIdx, Val: req.Val}
+	if err := l.CheckWellFormed(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < l.N; i++ {
+		cols, vals := l.Row(i)
+		hasDiag := false
+		for k, c := range cols {
+			switch {
+			case int(c) == i:
+				if vals[k] == 0 {
+					return nil, fmt.Errorf("zero diagonal at row %d", i)
+				}
+				hasDiag = true
+			case lower && int(c) > i:
+				return nil, fmt.Errorf("row %d has upper entry %d in a forward solve", i, c)
+			case !lower && int(c) < i:
+				return nil, fmt.Errorf("row %d has lower entry %d in a backward solve", i, c)
+			}
+		}
+		if !hasDiag {
+			return nil, fmt.Errorf("missing diagonal at row %d", i)
+		}
+	}
+	return l, nil
+}
+
+// validateRHS bounds and shape-checks the request's right-hand sides.
+func validateRHS(bs [][]float64, n, maxBatch int) error {
+	if len(bs) == 0 {
+		return errors.New("request has no right-hand sides")
+	}
+	if len(bs) > maxBatch {
+		return fmt.Errorf("request has %d right-hand sides, limit %d", len(bs), maxBatch)
+	}
+	for j, b := range bs {
+		if len(b) != n {
+			return fmt.Errorf("right-hand side %d has length %d, want %d", j, len(b), n)
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// endpointMetrics instruments one endpoint: a latency histogram plus
+// per-status-code request counters.
+type endpointMetrics struct {
+	reg      *Registry
+	endpoint string
+	hist     *Histogram
+	codes    map[int]*Counter
+}
+
+// newEndpointMetrics pre-registers the status codes the handlers emit so
+// the exposition is stable from the first scrape.
+func newEndpointMetrics(reg *Registry, endpoint string) *endpointMetrics {
+	m := &endpointMetrics{
+		reg:      reg,
+		endpoint: endpoint,
+		hist: reg.Histogram("loops_http_request_seconds", "request latency by endpoint",
+			Labels{{"endpoint", endpoint}}, DefaultLatencyBuckets),
+		codes: make(map[int]*Counter),
+	}
+	for _, code := range []int{200, 400, 404, 405, 429, 500, 503, 504} {
+		m.codes[code] = reg.Counter("loops_http_requests_total", "requests by endpoint and status code",
+			Labels{{"endpoint", endpoint}, {"code", fmt.Sprint(code)}})
+	}
+	// Catch-all for codes outside the pre-registered set; the map is
+	// read-only after construction so observe stays lock-free.
+	m.codes[0] = reg.Counter("loops_http_requests_total", "requests by endpoint and status code",
+		Labels{{"endpoint", endpoint}, {"code", "other"}})
+	return m
+}
+
+func (m *endpointMetrics) observe(code int, d time.Duration) {
+	m.hist.Observe(d.Seconds())
+	c, ok := m.codes[code]
+	if !ok {
+		c = m.codes[0]
+	}
+	c.Inc()
+}
+
+// wrap instruments a handler with latency and status accounting.
+func (m *endpointMetrics) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		m.observe(rec.code, time.Since(t0))
+	}
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/sparse"
+)
+
+// solveBody marshals a SolveRequest for a factor and RHS batch.
+func solveBody(t *testing.T, l *sparse.CSR, lower bool, bs [][]float64) []byte {
+	t.Helper()
+	req := SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val, Lower: &lower, B: bs}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func postSolve(t *testing.T, url string, body []byte) (*http.Response, SolveResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SolveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, sr
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func TestServerSolveEndToEnd(t *testing.T) {
+	for _, lower := range []bool{true, false} {
+		s, ts := newTestServer(t, Config{Procs: 2})
+		l := testFactor(12)
+		if !lower {
+			l = l.Transpose()
+		}
+		bs := [][]float64{randVec(l.N, 3), randVec(l.N, 4)}
+		resp, sr := postSolve(t, ts.URL, solveBody(t, l, lower, bs))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lower=%v: status %d", lower, resp.StatusCode)
+		}
+		if len(sr.X) != 2 || sr.Fused != 1 || sr.Width != 2 || sr.Executed != int64(l.N) {
+			t.Fatalf("lower=%v: response = fused %d width %d executed %d (%d solutions)",
+				lower, sr.Fused, sr.Width, sr.Executed, len(sr.X))
+		}
+		// The server must reproduce the in-process plan solve bit for bit
+		// (JSON round-trips float64 exactly via %g shortest form).
+		c := newTestCoalescer(t, 0, 64)
+		for j, b := range bs {
+			want, _, err := c.Submit(context.Background(), l, lower, [][]float64{b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, sr.X[j], want[0], "server solve")
+		}
+		if st := s.Stats(); st.Accepted != 1 || st.PlanCache.Misses != 1 {
+			t.Fatalf("lower=%v: stats = %+v, want one accepted request, one cache miss", lower, st)
+		}
+	}
+}
+
+func TestServerPlanCacheSharedAcrossRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 2})
+	l := testFactor(10)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	for i := 0; i < 3; i++ {
+		if resp, _ := postSolve(t, ts.URL, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCache.Misses != 1 || st.PlanCache.Hits != 2 {
+		t.Fatalf("plan cache stats = %+v, want 1 miss + 2 hits across requests", st.PlanCache)
+	}
+	if st.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0", st.CacheHitRate)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1, MaxBatch: 2})
+	l := testFactor(6)
+	n := l.N
+	good := [][]float64{randVec(n, 1)}
+
+	noDiag := l.StrictLower() // missing diagonal entirely
+	zeroDiag := l.Clone()
+	for i := 0; i < n; i++ {
+		cols, _ := zeroDiag.Row(i)
+		for k, c := range cols {
+			if int(c) == i {
+				zeroDiag.Val[int(zeroDiag.RowPtr[i])+k] = 0
+			}
+		}
+	}
+	upper := l.Transpose()
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"bad json", []byte("{nope")},
+		{"n zero", mustJSON(t, SolveRequest{N: 0, B: good})},
+		{"malformed csr", mustJSON(t, SolveRequest{N: n, RowPtr: l.RowPtr[:n], ColIdx: l.ColIdx, Val: l.Val, B: good})},
+		{"upper entries in forward solve", solveBody(t, upper, true, good)},
+		{"missing diagonal", solveBody(t, noDiag, true, good)},
+		{"zero diagonal", solveBody(t, zeroDiag, true, good)},
+		{"no rhs", solveBody(t, l, true, nil)},
+		{"short rhs", solveBody(t, l, true, [][]float64{make([]float64, n-1)})},
+		{"batch over limit", solveBody(t, l, true, [][]float64{good[0], good[0], good[0]})},
+	}
+	for _, tc := range cases {
+		resp, _ := postSolve(t, ts.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServerKindConfig: the executor kind is resolved by registry name,
+// so an explicit "sequential" (Kind value 0) is honored rather than
+// falling through to the pooled default, and unknown names fail fast.
+func TestServerKindConfig(t *testing.T) {
+	s, err := New(Config{Kind: "sequential", Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	if got := s.co.kind; got != executor.Sequential {
+		t.Fatalf("coalescer kind = %v, want sequential", got)
+	}
+	l := testFactor(8)
+	b := randVec(l.N, 1)
+	xs, _, err := s.co.Submit(context.Background(), l, true, [][]float64{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, xs[0], refSolve(t, l, b), "sequential-kind solve")
+
+	if _, err := New(Config{Kind: "bogus"}); err == nil {
+		t.Fatal("accepted an unknown executor kind name")
+	}
+}
+
+func TestServerMethodChecks(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/trisolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/trisolve: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// stallRequest opens a solve request whose body stalls mid-upload,
+// pinning it in flight (admitted, blocked in decode) until finish is
+// called with the rest of the body — the deterministic way to hold
+// server capacity from a test.
+func stallRequest(t *testing.T, url string, body []byte) (done <-chan int, finish func()) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	ch := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/trisolve", "application/json", pr)
+		if err != nil {
+			ch <- -1
+			return
+		}
+		resp.Body.Close()
+		ch <- resp.StatusCode
+	}()
+	half := len(body) / 2
+	if _, err := pw.Write(body[:half]); err != nil {
+		t.Fatal(err)
+	}
+	rest := body[half:]
+	return ch, func() {
+		pw.Write(rest)
+		pw.Close()
+	}
+}
+
+// TestServerAdmissionControl pins one request in flight and verifies the
+// next is shed with 429 + Retry-After, that a request accepted before
+// the drain began still completes, and that post-drain traffic is
+// refused.
+func TestServerAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+
+	first, finish := stallRequest(t, ts.URL, body)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlight.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.inFlight.Value() < 1 {
+		t.Fatal("first request never went in flight")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.shed.Value())
+	}
+
+	// Begin the drain while the first request is still uploading: it was
+	// accepted, so it must complete even though the server is draining.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Shutdown(ctx)
+	}()
+	for !s.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	finish()
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("accepted request finished with %d during drain, want 200", code)
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-drain requests are refused, and health reflects it.
+	resp, err = http.Post(ts.URL+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain solve: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServerRequestDeadline parks a deadline-carrying request in a long
+// window while another admitted request keeps the coalescer from sealing
+// early (quiescence needs every in-flight request parked): the deadline,
+// not the window, must decide when the request comes back.
+func TestServerRequestDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1, CoalesceWindow: 10 * time.Second, CoalesceWidth: 64})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	_, finish := stallRequest(t, ts.URL, body)
+	defer finish()
+
+	req := SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		B: [][]float64{randVec(l.N, 1)}, TimeoutMs: 20}
+	start := time.Now()
+	resp, _ := postSolve(t, ts.URL, mustJSON(t, req))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not cut the coalescing wait short")
+	}
+}
+
+// TestServerQuiescentSealNoWindowStall: a lone request in an otherwise
+// idle server must not wait out a long coalescing window — the coalescer
+// seals as soon as every admitted request is parked.
+func TestServerQuiescentSealNoWindowStall(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1, CoalesceWindow: 10 * time.Second, CoalesceWidth: 64})
+	l := testFactor(8)
+	start := time.Now()
+	resp, sr := postSolve(t, ts.URL, solveBody(t, l, true, [][]float64{randVec(l.N, 1)}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("lone request took %v — stalled on the coalescing window", elapsed)
+	}
+	if sr.Fused != 1 {
+		t.Fatalf("fused = %d, want 1", sr.Fused)
+	}
+}
+
+// TestServerFingerprintResubmission: a full submission returns a content
+// fingerprint; a by-fingerprint request with fresh RHS then solves the
+// same factor without re-shipping it, bit-identically. Unknown
+// fingerprints 404 so clients know to fall back.
+func TestServerFingerprintResubmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Procs: 2})
+	l := testFactor(10)
+	lower := true
+	b := randVec(l.N, 5)
+
+	resp, sr := postSolve(t, ts.URL, solveBody(t, l, true, [][]float64{randVec(l.N, 4)}))
+	if resp.StatusCode != http.StatusOK || sr.Fp == "" {
+		t.Fatalf("full submission: status %d fp %q", resp.StatusCode, sr.Fp)
+	}
+
+	byFp := mustJSON(t, SolveRequest{Fp: sr.Fp, Lower: &lower, B: [][]float64{b}})
+	resp2, sr2 := postSolve(t, ts.URL, byFp)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("by-fingerprint request: status %d", resp2.StatusCode)
+	}
+	assertBitIdentical(t, sr2.X[0], refSolve(t, l, b), "by-fingerprint solve")
+	if st := s.Stats(); st.FactorCache.Hits != 1 {
+		t.Fatalf("factor cache stats = %+v, want one hit", st.FactorCache)
+	}
+
+	bogus := mustJSON(t, SolveRequest{Fp: "00000000deadbeef", Lower: &lower, B: [][]float64{b}})
+	resp3, _ := postSolve(t, ts.URL, bogus)
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status %d, want 404", resp3.StatusCode)
+	}
+
+	both := mustJSON(t, SolveRequest{Fp: sr.Fp, N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		Lower: &lower, B: [][]float64{b}})
+	resp4, _ := postSolve(t, ts.URL, both)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("factor+fingerprint request: status %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestServerPackedRHS: b_b64 requests round-trip bit-identically and get
+// x_b64 responses; mixing b and b_b64 is rejected.
+func TestServerPackedRHS(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 2})
+	l := testFactor(10)
+	lower := true
+	b := randVec(l.N, 6)
+
+	packed := mustJSON(t, SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		Lower: &lower, B64: [][]byte{PackFloats(b)}})
+	resp, sr := postSolve(t, ts.URL, packed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("packed request: status %d", resp.StatusCode)
+	}
+	if len(sr.X) != 0 || len(sr.X64) != 1 {
+		t.Fatalf("packed request got %d plain + %d packed solutions, want 0 + 1", len(sr.X), len(sr.X64))
+	}
+	xs, err := sr.Solutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, xs[0], refSolve(t, l, b), "packed round-trip")
+
+	mixed := mustJSON(t, SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		Lower: &lower, B: [][]float64{b}, B64: [][]byte{PackFloats(b)}})
+	if resp, _ := postSolve(t, ts.URL, mixed); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed encodings: status %d, want 400", resp.StatusCode)
+	}
+	odd := mustJSON(t, SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		Lower: &lower, B64: [][]byte{{1, 2, 3}}})
+	if resp, _ := postSolve(t, ts.URL, odd); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("odd-length packed RHS: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPackUnpackFloats(t *testing.T) {
+	v := randVec(17, 3)
+	got, err := UnpackFloats(PackFloats(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, got, v, "pack/unpack")
+	if _, err := UnpackFloats(make([]byte, 9)); err == nil {
+		t.Fatal("accepted a 9-byte packed array")
+	}
+}
+
+func TestServerHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	l := testFactor(8)
+	if resp, _ := postSolve(t, ts.URL, solveBody(t, l, true, [][]float64{randVec(l.N, 1)})); resp.StatusCode != 200 {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`loops_plan_cache{event="hits"}`,
+		"loops_plan_cache_hit_rate",
+		"loops_http_in_flight",
+		`loops_http_requests_total{endpoint="trisolve",code="200"} 1`,
+		`loops_http_request_seconds_bucket{endpoint="trisolve",le="+Inf"} 1`,
+		`loops_http_request_seconds_count{endpoint="trisolve"} 1`,
+		"loops_coalesce_passes_total 1",
+		"loops_admission_accepted_total 1",
+		"# TYPE loops_http_request_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package sparse
 
-import "doconsider/internal/fphash"
+import (
+	"math"
+
+	"doconsider/internal/fphash"
+)
 
 // StructureFingerprint returns a 64-bit hash of the sparsity pattern:
 // dimensions, row pointers and column indices. Values are excluded
@@ -28,4 +32,20 @@ func (a *CSR) StructureFingerprint() uint64 {
 	}
 	a.structFp.Store(h)
 	return h
+}
+
+// ContentFingerprint returns a 64-bit hash of the full matrix content:
+// the sparsity pattern plus the stored values. Unlike
+// StructureFingerprint it is not memoized — Val entries may legally
+// change in place — and it identifies the matrix itself rather than its
+// plan-sharing equivalence class. The serving layer uses it to let
+// clients resubmit a recurring factor by reference instead of
+// re-shipping (and re-parsing) the whole matrix.
+func (a *CSR) ContentFingerprint() uint64 {
+	h := a.StructureFingerprint()
+	h = fphash.Mix(h, uint64(len(a.Val)))
+	for _, v := range a.Val {
+		h = fphash.Mix(h, math.Float64bits(v))
+	}
+	return fphash.Final(h)
 }

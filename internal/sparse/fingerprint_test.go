@@ -38,3 +38,25 @@ func TestStructureFingerprint(t *testing.T) {
 		t.Fatal("fingerprint used the uncomputed sentinel")
 	}
 }
+
+func TestContentFingerprint(t *testing.T) {
+	a := MustAssemble(2, 2, []Triplet{{0, 0, 1}, {1, 0, 2}, {1, 1, 3}})
+	b := MustAssemble(2, 2, []Triplet{{0, 0, 1}, {1, 0, 2}, {1, 1, 3}})
+	if a.ContentFingerprint() != b.ContentFingerprint() {
+		t.Fatal("equal matrices have different content fingerprints")
+	}
+	c := a.Clone()
+	c.Val[1] = 99
+	if a.StructureFingerprint() != c.StructureFingerprint() {
+		t.Fatal("value edit changed the structure fingerprint")
+	}
+	if a.ContentFingerprint() == c.ContentFingerprint() {
+		t.Fatal("value edit did not change the content fingerprint")
+	}
+	// Not memoized: an in-place value update must be reflected.
+	before := c.ContentFingerprint()
+	c.Val[0]++
+	if c.ContentFingerprint() == before {
+		t.Fatal("in-place value update not reflected in content fingerprint")
+	}
+}

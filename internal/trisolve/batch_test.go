@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/sparse"
 	"doconsider/internal/stencil"
 )
 
@@ -114,5 +115,100 @@ func TestSolveBatchShapeErrors(t *testing.T) {
 	}
 	if m, err := plan.SolveBatch(nil, nil); err != nil || m.Executed != 0 {
 		t.Fatalf("empty batch: m=%+v err=%v, want no-op", m, err)
+	}
+}
+
+// scaleValues returns a structural clone of tri with every value
+// multiplied by f — same fingerprint, different numbers.
+func scaleValues(tri *sparse.CSR, f float64) *sparse.CSR {
+	c := tri.Clone()
+	for k := range c.Val {
+		c.Val[k] *= f
+	}
+	return c
+}
+
+// TestSolveGroupBitIdenticalPerMember checks the fused group pass against
+// per-member SolveBatch calls: members share the plan's sparsity pattern
+// but carry different values, and every solution must match bit for bit.
+func TestSolveGroupBitIdenticalPerMember(t *testing.T) {
+	for _, lower := range []bool{true, false} {
+		tri := stencil.Laplace2D(25, 25).LowerWithDiag()
+		if !lower {
+			tri = tri.Transpose()
+		}
+		n := tri.N
+		for _, kind := range []executor.Kind{executor.Sequential, executor.SelfExecuting, executor.Pooled} {
+			plan, err := NewPlan(tri, lower, WithProcs(4), WithKind(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const members, k = 3, 2
+			group := make([]BatchProblem, members)
+			want := make([][][]float64, members)
+			for g := 0; g < members; g++ {
+				l := scaleValues(tri, 1+0.25*float64(g))
+				xs := make([][]float64, k)
+				bs := make([][]float64, k)
+				want[g] = make([][]float64, k)
+				for j := 0; j < k; j++ {
+					bs[j] = randRHS(n, int64(10*g+j))
+					xs[j] = make([]float64, n)
+					want[g][j] = make([]float64, n)
+				}
+				group[g] = BatchProblem{L: l, Xs: xs, Bs: bs}
+				// Reference: an unfused batched solve on a plan bound to
+				// this member's values.
+				ref, err := NewPlan(l, lower, WithProcs(4), WithKind(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.SolveBatch(want[g], bs); err != nil {
+					t.Fatal(err)
+				}
+				ref.Close()
+			}
+			m, err := plan.SolveGroup(group)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Executed != int64(n) {
+				t.Fatalf("lower=%v kind=%v: group executed %d indices, want %d (one shared pass)",
+					lower, kind, m.Executed, n)
+			}
+			for g := 0; g < members; g++ {
+				for j := 0; j < k; j++ {
+					for i := 0; i < n; i++ {
+						if group[g].Xs[j][i] != want[g][j][i] {
+							t.Fatalf("lower=%v kind=%v member %d rhs %d index %d: got %x want %x",
+								lower, kind, g, j, i, group[g].Xs[j][i], want[g][j][i])
+						}
+					}
+				}
+			}
+			plan.Close()
+		}
+	}
+}
+
+func TestSolveGroupRejectsForeignStructure(t *testing.T) {
+	tri := stencil.Laplace2D(10, 10).LowerWithDiag()
+	other := stencil.Laplace2D(11, 11).LowerWithDiag()
+	plan, err := NewPlan(tri, true, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	n := other.N
+	g := []BatchProblem{{L: other, Xs: [][]float64{make([]float64, n)}, Bs: [][]float64{make([]float64, n)}}}
+	if _, err := plan.SolveGroup(g); err == nil {
+		t.Fatal("group member with a different sparsity structure accepted")
+	}
+	bad := []BatchProblem{{L: tri, Xs: [][]float64{make([]float64, tri.N)}, Bs: nil}}
+	if _, err := plan.SolveGroup(bad); err == nil {
+		t.Fatal("mismatched Xs/Bs lengths accepted")
+	}
+	if m, err := plan.SolveGroup(nil); err != nil || m.Executed != 0 {
+		t.Fatalf("empty group: m=%+v err=%v, want no-op", m, err)
 	}
 }

@@ -2,10 +2,12 @@ package trisolve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/plancache"
 	"doconsider/internal/sparse"
 	"doconsider/internal/stencil"
 )
@@ -217,5 +219,48 @@ func TestLeasedPlanCloseReleasesNotCloses(t *testing.T) {
 	}
 	if err := pc.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlanCacheCloseIdempotent pins the Close contract: a second Close
+// (even racing the first) returns nil, Gets after Close fail with
+// ErrClosed, and plans leased across the Close stay solvable until their
+// own (also idempotent) Close.
+func TestPlanCacheCloseIdempotent(t *testing.T) {
+	pc := NewPlanCache(4)
+	l := stencil.Laplace2D(12, 12).LowerWithDiag()
+	plan, err := pc.Get(l, true, WithProcs(2), WithKind(executor.Pooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pc.Close(); err != nil {
+				t.Errorf("concurrent Close returned %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := pc.Close(); err != nil {
+		t.Fatalf("Close after Close returned %v, want nil", err)
+	}
+
+	if _, err := pc.Get(l, true, WithProcs(2)); !errors.Is(err, plancache.ErrClosed) {
+		t.Fatalf("Get after Close returned %v, want plancache.ErrClosed", err)
+	}
+
+	// The leased plan still solves (its skeleton is torn down only at the
+	// last lease Close), and double-Closing the lease is a no-op.
+	x := make([]float64, l.N)
+	plan.Solve(x, randRHS(l.N, 9))
+	if err := plan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Close(); err != nil {
+		t.Fatalf("second plan Close returned %v, want nil", err)
 	}
 }
