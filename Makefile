@@ -1,12 +1,13 @@
 # make verify mirrors the CI pipeline (lint gate, tier-1 tests, race,
-# bench smoke + regression gate) so a green local run means a green CI
-# run. Individual steps are also exposed as targets.
+# fuzz smoke, bench smoke + regression gate) so a green local run means
+# a green CI run. Individual steps are also exposed as targets.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet build test race bench-smoke bench bench-update clean
+.PHONY: verify fmt vet build test race fuzz bench-smoke bench bench-update clean
 
-verify: fmt vet build test race bench-smoke
+verify: fmt vet build test race fuzz bench-smoke
 	@echo "verify: all checks passed"
 
 fmt:
@@ -24,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The CI fuzz smoke: coverage-guided exploration beyond the checked-in
+# seeds, one target at a time (go test allows one -fuzz per invocation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzAdaptiveSolve$$' -fuzztime $(FUZZTIME) ./internal/trisolve
+	$(GO) test -run '^$$' -fuzz '^FuzzSelect$$' -fuzztime $(FUZZTIME) ./internal/planner
 
 # One repetition of the CI bench job: fast local check that the gate and
 # artifact plumbing still work.

@@ -150,7 +150,8 @@ func benchMain(args []string) error {
 var benchInvocations = [][]string{
 	{"-bench", ".",
 		"./internal/executor", "./internal/schedule", "./internal/trisolve",
-		"./internal/core", "./internal/plancache", "./internal/server"},
+		"./internal/core", "./internal/plancache", "./internal/planner",
+		"./internal/server"},
 	{"-bench", "^BenchmarkRuntimeRepeatedRun$", "."},
 }
 

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,8 @@ type loadgenReport struct {
 	cacheHitRate   float64
 	passes, shed   uint64
 	serverRequests uint64
+	plannerKind    string            // server's configured kind ("auto" = adaptive)
+	plannerCounts  map[string]uint64 // plan builds by chosen strategy
 }
 
 // throughput returns completed solves per second (requests x batch).
@@ -218,6 +221,16 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		rep.shed = after.Shed - before.Shed
 		rep.passes = after.Coalesce.Passes - before.Coalesce.Passes
 		rep.serverRequests = after.Coalesce.Requests - before.Coalesce.Requests
+		rep.plannerKind = after.Planner.Kind
+		// Like the other server counters, report this run's delta — a
+		// long-running server's lifetime decision counts would
+		// misattribute earlier traffic to this run.
+		rep.plannerCounts = make(map[string]uint64, len(after.Planner.Counts))
+		for name, n := range after.Planner.Counts {
+			if d := n - before.Planner.Counts[name]; d > 0 {
+				rep.plannerCounts[name] = d
+			}
+		}
 		if rep.serverRequests > 0 {
 			rep.coalesceRate = float64(after.Coalesce.Fused-before.Coalesce.Fused) / float64(rep.serverRequests)
 		}
@@ -305,5 +318,23 @@ func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
 	if rep.statsOK {
 		fmt.Fprintf(w, "  server: coalescing rate %.1f%% (%d requests fused into %d passes), cache hit rate %.1f%%, %d shed\n",
 			100*rep.coalesceRate, rep.serverRequests, rep.passes, 100*rep.cacheHitRate, rep.shed)
+		if len(rep.plannerCounts) > 0 {
+			fmt.Fprintf(w, "  planner: kind=%s decisions: %s\n", rep.plannerKind, formatPlannerCounts(rep.plannerCounts))
+		}
 	}
+}
+
+// formatPlannerCounts renders per-strategy plan-build counts sorted by
+// strategy name, e.g. "pooled:5 sequential:2".
+func formatPlannerCounts(counts map[string]uint64) string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, counts[name]))
+	}
+	return strings.Join(parts, " ")
 }

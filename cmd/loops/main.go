@@ -52,7 +52,7 @@ func run(args []string) error {
 	requests := fs.Int("requests", 64, "serve/loadgen: total solve requests")
 	batch := fs.Int("batch", 8, "serve/loadgen: right-hand sides per request")
 	cacheCap := fs.Int("cache", 8, "serve/server: plan cache capacity")
-	kindName := fs.String("kind", "pooled", "serve/server: executor kind")
+	kindName := fs.String("kind", "auto", "serve/server: executor kind, or \"auto\" for adaptive planning")
 	compare := fs.Bool("compare", true, "serve: also run with coalescing disabled")
 	seed := fs.Int64("seed", 1989, "serve/loadgen: base RNG seed (client i uses seed+i)")
 	window := fs.Duration("coalesce-window", 2*time.Millisecond, "serve/server: coalescing window (0 disables)")
@@ -67,6 +67,10 @@ func run(args []string) error {
 	}
 	exp := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := validateServingFlags(exp, *width, *reqTimeout, *window); err != nil {
+		usage(fs)
 		return err
 	}
 
@@ -149,6 +153,30 @@ func run(args []string) error {
 	default:
 		usage(fs)
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// validateServingFlags rejects serving-flag values that would otherwise
+// produce undefined behavior deep in the stack: a zero or negative
+// -coalesce-width (a fused pass must hold at least one right-hand side)
+// and negative durations for -timeout and -coalesce-window. Only the
+// serving experiments consume these flags; the table/figure experiments
+// ignore them, so they are not validated there.
+func validateServingFlags(exp string, width int, timeout, window time.Duration) error {
+	switch exp {
+	case "serve", "server", "loadgen":
+	default:
+		return nil
+	}
+	if width <= 0 && exp != "loadgen" {
+		return fmt.Errorf("usage: -coalesce-width must be positive, got %d", width)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("usage: -timeout must not be negative, got %s", timeout)
+	}
+	if window < 0 && exp != "loadgen" {
+		return fmt.Errorf("usage: -coalesce-window must not be negative, got %s", window)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunCheapExperiments(t *testing.T) {
 	for _, args := range [][]string{
@@ -44,5 +47,33 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"table1", "-bogus"}); err == nil {
 		t.Error("accepted unknown flag")
+	}
+}
+
+// TestServingFlagValidation pins the usage errors for serving-flag
+// values that previously reached the server as undefined behavior: a
+// fused pass cannot hold zero (or negatively many) right-hand sides, and
+// negative durations are not timeouts. Table experiments ignore the
+// serving flags entirely, so they must keep accepting them.
+func TestServingFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-coalesce-width", "0"},
+		{"serve", "-coalesce-width", "-3"},
+		{"server", "-coalesce-width", "0"},
+		{"serve", "-timeout", "-1s"},
+		{"server", "-timeout", "-1ms"},
+		{"loadgen", "-timeout", "-5s"},
+		{"serve", "-coalesce-window", "-1ms"},
+		{"server", "-coalesce-window", "-1s"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): accepted invalid serving flag", args)
+		} else if !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v): error %q is not a usage error", args, err)
+		}
+	}
+	// Sanity: the same values are fine for experiments that ignore them.
+	if err := run([]string{"summary", "-coalesce-width", "0", "-timeout", "-1s"}); err != nil {
+		t.Errorf("summary rejected irrelevant serving flags: %v", err)
 	}
 }

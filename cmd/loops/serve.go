@@ -26,7 +26,7 @@ type serveConfig struct {
 	seed     int64         // loadgen RNG base seed (reproducible runs)
 	maxBatch int           // server-side cap on RHS per request
 	compare  bool          // also run with coalescing disabled
-	kind     executor.Kind
+	kind     string        // executor kind registry name, or "auto" for adaptive planning
 }
 
 // serve is the `loops serve` experiment, demoted to a thin driver over
@@ -54,6 +54,10 @@ func serve(w io.Writer, cfg serveConfig) error {
 	fmt.Fprintf(w, "  exec coalescer: %d passes for %d requests (%d fused, rate %.1f%%, widest %d)\n",
 		stats.Coalesce.Passes, stats.Coalesce.Requests, stats.Coalesce.Fused,
 		100*stats.Coalesce.Rate, stats.Coalesce.MaxFused)
+	if len(stats.Planner.Counts) > 0 {
+		fmt.Fprintf(w, "  planner:        kind=%s decisions: %s\n",
+			stats.Planner.Kind, formatPlannerCounts(stats.Planner.Counts))
+	}
 
 	if cfg.compare {
 		base, _, err := runServePass(w, cfg, 0)
@@ -75,7 +79,7 @@ func serve(w io.Writer, cfg serveConfig) error {
 func runServePass(w io.Writer, cfg serveConfig, window time.Duration) (*loadgenReport, server.StatsResponse, error) {
 	s, err := server.New(server.Config{
 		Procs:          cfg.procs,
-		Kind:           cfg.kind.String(),
+		Kind:           cfg.kind,
 		CacheCap:       cfg.cacheCap,
 		CoalesceWindow: window,
 		CoalesceWidth:  cfg.width,
@@ -110,5 +114,14 @@ func runServePass(w io.Writer, cfg serveConfig, window time.Duration) (*loadgenR
 	return rep, stats, nil
 }
 
-// parseKind resolves an executor kind by its registry name.
-func parseKind(name string) (executor.Kind, error) { return executor.KindByName(name) }
+// parseKind validates an executor kind registry name; "auto" selects
+// adaptive planning (the planner picks the strategy per structure).
+func parseKind(name string) (string, error) {
+	if name == server.KindAuto {
+		return name, nil
+	}
+	if _, err := executor.KindByName(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}

@@ -4,8 +4,6 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"doconsider/internal/executor"
 )
 
 func TestServeSmoke(t *testing.T) {
@@ -13,7 +11,7 @@ func TestServeSmoke(t *testing.T) {
 	err := serve(&out, serveConfig{
 		procs: 2, clients: 4, requests: 12, batch: 3,
 		cacheCap: 4, window: 2 * time.Millisecond, width: 16,
-		seed: 3, compare: true, kind: executor.Pooled,
+		seed: 3, compare: true, kind: "pooled",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +50,7 @@ func TestServeFlagPlumbing(t *testing.T) {
 }
 
 func TestServeRejectsBadConfig(t *testing.T) {
-	err := serve(&strings.Builder{}, serveConfig{procs: 1, clients: 0, requests: 1, batch: 1, kind: executor.Sequential})
+	err := serve(&strings.Builder{}, serveConfig{procs: 1, clients: 0, requests: 1, batch: 1, kind: "sequential"})
 	if err == nil {
 		t.Fatal("accepted zero clients")
 	}
@@ -67,7 +65,7 @@ func TestServerCommandRunsAndDrains(t *testing.T) {
 	var out strings.Builder
 	go func() {
 		done <- runServer(&out, serverConfig{
-			addr: "127.0.0.1:0", procs: 1, kind: executor.Pooled, cacheCap: 4,
+			addr: "127.0.0.1:0", procs: 1, kind: "pooled", cacheCap: 4,
 			window: time.Millisecond, width: 8, maxInFlight: 8,
 			timeout: 5 * time.Second, drainWait: 10 * time.Second,
 		}, stop)

@@ -9,7 +9,6 @@ import (
 	"syscall"
 	"time"
 
-	"doconsider/internal/executor"
 	"doconsider/internal/server"
 )
 
@@ -17,7 +16,7 @@ import (
 type serverConfig struct {
 	addr        string
 	procs       int
-	kind        executor.Kind
+	kind        string
 	cacheCap    int
 	window      time.Duration
 	width       int
@@ -30,7 +29,7 @@ type serverConfig struct {
 func (c serverConfig) serverOptions() server.Config {
 	return server.Config{
 		Procs:          c.procs,
-		Kind:           c.kind.String(),
+		Kind:           c.kind,
 		CacheCap:       c.cacheCap,
 		CoalesceWindow: c.window,
 		CoalesceWidth:  c.width,

@@ -10,6 +10,18 @@
 // plan cache, cross-request batch coalescing, admission control, live
 // Prometheus metrics and graceful drain.
 //
+// The inspector is adaptive (internal/planner): unless the caller pins
+// an executor kind, plan construction measures the dependence DAG
+// (levels, widths, critical-path fraction, dependence distances),
+// consults a host-calibrated cost model, optionally ranks wavefronts by
+// a reverse Cuthill-McKee ordering from internal/reorder, and picks the
+// execution strategy itself — sequential for tiny or chain-like
+// structures, pooled for wide ones, doacross when the natural order
+// already parallelizes — with bit-identical results under every choice.
+// See the "Adaptive planning" section of README.md for the model, the
+// per-machine calibration, and the DOCONSIDER_CALIBRATION /
+// DOCONSIDER_STRATEGY environment overrides.
+//
 // The implementation lives under internal/; see README.md for the package
 // map, DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this

@@ -6,6 +6,7 @@ import (
 
 	"doconsider/internal/fphash"
 	"doconsider/internal/plancache"
+	"doconsider/internal/planner"
 	"doconsider/internal/wavefront"
 )
 
@@ -26,13 +27,21 @@ type Cache struct {
 }
 
 // cacheKey identifies a plan. ParallelInspector is deliberately excluded:
-// it changes how wavefronts are computed, not what they are.
+// it changes how wavefronts are computed, not what they are. Adaptive
+// plans (no pinned kind) key on auto plus the cost model identity: the
+// planner's choice is a pure function of (structure, procs, model), so
+// two adaptive Gets under one model always agree, while a Get pinning a
+// kind never shares an entry with an adaptive one that happened to pick
+// the same kind.
 type cacheKey struct {
 	fp        uint64
 	procs     int
 	scheduler Scheduler
 	kind      int // executor.Kind; int keeps the key comparable and compact
-	partition int // schedule.Partition
+	auto      bool
+	model     planner.CostModel // zero + !hasModel = host model; compared by value
+	hasModel  bool              // so fresh-but-equal models (planner.Default() per call) share entries
+	partition int               // schedule.Partition
 	merge     bool
 	weightsFp uint64
 }
@@ -65,9 +74,16 @@ func (c *Cache) Get(deps *wavefront.Deps, opts ...Option) (*RuntimeLease, error)
 		procs:     cfg.Procs,
 		scheduler: cfg.Scheduler,
 		kind:      int(cfg.Executor),
+		auto:      cfg.adaptive(),
 		partition: int(cfg.Partition),
 		merge:     cfg.MergePhases,
 		weightsFp: hashWeights(cfg.WorkWeights),
+	}
+	if key.auto {
+		key.kind = -1 // the planner decides; don't fragment on the unused default
+		if cfg.Model != nil {
+			key.model, key.hasModel = *cfg.Model, true
+		}
 	}
 	h, err := c.c.Get(key, func() (*Runtime, error) { return New(deps, opts...) })
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/planner"
 	"doconsider/internal/schedule"
 	"doconsider/internal/wavefront"
 )
@@ -57,14 +58,22 @@ func (s Scheduler) String() string {
 // Config collects the runtime options.
 type Config struct {
 	Procs             int                // simulated processors (goroutines); default 1
-	Executor          executor.Kind      // default SelfExecuting
+	Executor          executor.Kind      // executor kind; chosen adaptively unless set via WithExecutor
 	Strategy          executor.Strategy  // overrides Executor when non-nil (pluggable strategies)
 	Scheduler         Scheduler          // default GlobalScheduler
 	Partition         schedule.Partition // initial partition for local scheduling
 	ParallelInspector bool               // run the wavefront sweep in parallel (§2.3)
 	WorkWeights       []float64          // optional per-index costs for work-balanced global dealing
 	MergePhases       bool               // coalesce barrier phases when safe (ref [13])
+	Model             *planner.CostModel // cost model for adaptive selection; nil = host-calibrated
+
+	// kindSet records that WithExecutor pinned the kind explicitly; with
+	// neither a kind nor a strategy pinned, New lets the planner choose.
+	kindSet bool
 }
+
+// adaptive reports whether New should let the planner pick the strategy.
+func (c *Config) adaptive() bool { return c.Strategy == nil && !c.kindSet }
 
 // Option mutates a Config.
 type Option func(*Config)
@@ -72,8 +81,15 @@ type Option func(*Config)
 // WithProcs sets the number of processors.
 func WithProcs(p int) Option { return func(c *Config) { c.Procs = p } }
 
-// WithExecutor sets the executor kind.
-func WithExecutor(k executor.Kind) Option { return func(c *Config) { c.Executor = k } }
+// WithExecutor pins the executor kind, bypassing adaptive selection.
+func WithExecutor(k executor.Kind) Option {
+	return func(c *Config) { c.Executor = k; c.kindSet = true }
+}
+
+// WithModel supplies the cost model adaptive selection consults; nil (the
+// default) uses the once-per-machine calibrated host model (planner.ForHost).
+// Pass planner.Default() for machine-independent, reproducible decisions.
+func WithModel(m *planner.CostModel) Option { return func(c *Config) { c.Model = m } }
 
 // WithStrategy sets a custom execution strategy instance, bypassing the
 // Kind-named built-ins; use it to plug in strategies registered with
@@ -126,7 +142,8 @@ type Runtime struct {
 	wf        []int32
 	sched     *schedule.Schedule
 	strat     executor.Strategy
-	ownsStrat bool // Close only closes strategies this runtime constructed
+	ownsStrat bool              // Close only closes strategies this runtime constructed
+	decision  *planner.Decision // non-nil when the planner chose the strategy
 }
 
 // New runs the inspector on the dependence structure and builds the
@@ -149,6 +166,16 @@ func New(deps *wavefront.Deps, opts ...Option) (*Runtime, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Adaptive planning: with neither a kind nor a strategy pinned, the
+	// inspector measures the DAG it just leveled and picks the executor
+	// itself (sequential for tiny or chain-like structures, pooled for
+	// wide ones, doacross when the natural order already parallelizes).
+	var dec *planner.Decision
+	if cfg.adaptive() {
+		d := planner.Select(planner.Analyze(deps, wf, cfg.Procs), cfg.Model)
+		dec = &d
+		cfg.Executor = d.Strategy
 	}
 	var s *schedule.Schedule
 	switch cfg.Scheduler {
@@ -176,8 +203,12 @@ func New(deps *wavefront.Deps, opts ...Option) (*Runtime, error) {
 		}
 		owns = true
 	}
-	return &Runtime{cfg: cfg, deps: deps, wf: wf, sched: s, strat: strat, ownsStrat: owns}, nil
+	return &Runtime{cfg: cfg, deps: deps, wf: wf, sched: s, strat: strat, ownsStrat: owns, decision: dec}, nil
 }
+
+// Decision returns the planner's strategy decision, or nil when the
+// caller pinned the executor (WithExecutor or WithStrategy).
+func (r *Runtime) Decision() *planner.Decision { return r.decision }
 
 // Run executes the loop body under the configured executor. It may be
 // called repeatedly; the schedule — and, for the pooled executor, the

@@ -1,0 +1,30 @@
+package planner_test
+
+import (
+	"testing"
+
+	"doconsider/internal/planner"
+	"doconsider/internal/problems"
+)
+
+// BenchmarkAnalyze measures the per-plan cost of DAG feature extraction
+// — the planner's only O(N + E) addition to the inspector.
+func BenchmarkAnalyze(b *testing.B) {
+	p := problems.MustGet("5-PT")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = planner.Analyze(p.Deps, p.Wf, 4)
+	}
+}
+
+// BenchmarkSelect measures the decision itself (feature comparison under
+// the cost model; no graph traversal).
+func BenchmarkSelect(b *testing.B) {
+	p := problems.MustGet("5-PT")
+	f := planner.Analyze(p.Deps, p.Wf, 4)
+	m := planner.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = planner.Select(f, m)
+	}
+}

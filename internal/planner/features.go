@@ -1,0 +1,123 @@
+package planner
+
+import (
+	"doconsider/internal/wavefront"
+)
+
+// Features are cheap structural measurements of one dependence DAG at a
+// fixed processor count — everything the cost model needs, computable in
+// one O(N + E) sweep at plan-construction time (the inspector already
+// paid O(N + E) for the wavefront numbers, so analysis does not change
+// the asymptotic cost of planning).
+type Features struct {
+	N     int `json:"n"`     // loop indices (rows)
+	Edges int `json:"edges"` // dependence edges (off-diagonals of a factor)
+	P     int `json:"p"`     // processors the plan will run on
+
+	Levels   int     `json:"levels"`    // wavefront count — the DAG depth
+	MaxWidth int     `json:"max_width"` // widest wavefront
+	AvgWidth float64 `json:"avg_width"` // N / Levels
+	CritFrac float64 `json:"crit_frac"` // Levels / N: 1 = pure chain, →0 = flat
+
+	AvgDeps float64 `json:"avg_deps"` // Edges / N
+	MaxDeps int     `json:"max_deps"` // densest row
+	DepSkew float64 `json:"dep_skew"` // MaxDeps / AvgDeps (1 = uniform rows)
+
+	MeanDist float64 `json:"mean_dist"` // mean dependence distance |i - t|
+	DistFrac float64 `json:"dist_frac"` // MeanDist / N — bandwidth scatter
+
+	// LevelSum is Σ_l ceil(width_l / P): the step count of a perfectly
+	// dealt wavefront schedule where every index costs one step. It lower-
+	// bounds to max(ceil(N/P), Levels) and is the pooled executor's
+	// idealized makespan in row units.
+	LevelSum int `json:"level_sum"`
+	// NatSteps is the unit-work makespan of the natural striped order —
+	// the doacross executor's idealized makespan in row units, from an
+	// exact earliest-finish sweep over the DAG with index i pinned to
+	// worker i mod P.
+	NatSteps int `json:"nat_steps"`
+	// LateEdges counts dependence edges shorter than the stripe width P.
+	// Under the natural striped order the producer of such an edge runs
+	// in the consumer's own time slot (or later), so each is a likely
+	// busy-wait for the doacross executor.
+	LateEdges int `json:"late_edges"`
+	// Backward reports that every dependence points to a smaller index —
+	// the precondition for executing the natural order at all. A general
+	// DAG (forward edges) rules the doacross executor out entirely: its
+	// striped natural order would busy-wait on indices later in the same
+	// worker's own list.
+	Backward bool `json:"backward"`
+}
+
+// Analyze measures deps (with wavefront numbers wf, as computed by the
+// inspector) for execution on procs processors.
+func Analyze(deps *wavefront.Deps, wf []int32, procs int) Features {
+	if procs < 1 {
+		procs = 1
+	}
+	f := Features{N: deps.N, Edges: deps.Edges(), P: procs}
+	if deps.N == 0 {
+		return f
+	}
+
+	hist := wavefront.Histogram(wf)
+	f.Levels = len(hist)
+	for _, w := range hist {
+		if w > f.MaxWidth {
+			f.MaxWidth = w
+		}
+		f.LevelSum += (w + procs - 1) / procs
+	}
+	f.AvgWidth = float64(f.N) / float64(f.Levels)
+	f.CritFrac = float64(f.Levels) / float64(f.N)
+	f.AvgDeps = float64(f.Edges) / float64(f.N)
+
+	// Earliest-finish sweep of the natural striped order: index i runs on
+	// worker i mod P after the worker's previous index and after every
+	// dependence. finish is in unit row-steps. The sweep is exact only
+	// for backward dependences; a forward edge marks the DAG general and
+	// the doacross candidate invalid (see Backward).
+	finish := make([]int32, f.N)
+	var distSum float64
+	natMax := int32(0)
+	f.Backward = true
+	for i := 0; i < f.N; i++ {
+		on := deps.On(i)
+		if len(on) > f.MaxDeps {
+			f.MaxDeps = len(on)
+		}
+		start := int32(0)
+		if i >= procs {
+			start = finish[i-procs]
+		}
+		for _, t := range on {
+			if int(t) >= i {
+				f.Backward = false
+			}
+			d := i - int(t)
+			if d < 0 {
+				d = -d
+			}
+			distSum += float64(d)
+			if d < procs {
+				f.LateEdges++
+			}
+			if finish[t] > start {
+				start = finish[t]
+			}
+		}
+		finish[i] = start + 1
+		if finish[i] > natMax {
+			natMax = finish[i]
+		}
+	}
+	f.NatSteps = int(natMax)
+	if f.Edges > 0 {
+		f.MeanDist = distSum / float64(f.Edges)
+		f.DistFrac = f.MeanDist / float64(f.N)
+	}
+	if f.AvgDeps > 0 {
+		f.DepSkew = float64(f.MaxDeps) / f.AvgDeps
+	}
+	return f
+}

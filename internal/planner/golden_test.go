@@ -1,0 +1,72 @@
+package planner_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"doconsider/internal/planner"
+	"doconsider/internal/problems"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/decisions.golden from current planner output")
+
+// goldenProcs fixes the processor count the decision table is computed
+// at; 4 matches the serving default.
+const goldenProcs = 4
+
+// TestGoldenDecisions pins the planner's (features → strategy/reorder)
+// mapping over the full problem suite under the canonical Default cost
+// model, so a cost-model change produces a reviewable diff of decision
+// flips instead of a silent behavioral change. Regenerate with
+//
+//	go test ./internal/planner -run TestGoldenDecisions -update
+func TestGoldenDecisions(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# planner decisions over the problem suite\n")
+	fmt.Fprintf(&sb, "# model=default procs=%d; columns: problem features -> strategy/reorder\n", goldenProcs)
+	for _, name := range problems.AllNames() {
+		p, err := problems.Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f := planner.Analyze(p.Deps, p.Wf, goldenProcs)
+		d := planner.Select(f, planner.Default())
+		fmt.Fprintf(&sb,
+			"%-10s n=%-6d edges=%-6d levels=%-4d maxw=%-4d avgw=%-7.1f dist=%-7.1f levelsum=%-6d natsteps=%-6d -> %s/%s\n",
+			name, f.N, f.Edges, f.Levels, f.MaxWidth, f.AvgWidth, f.MeanDist, f.LevelSum, f.NatSteps,
+			d.Strategy, d.Reorder)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "decisions.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("planner decisions changed; review and regenerate with -update.\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestGoldenDecisionsPinnedByEnv guards the golden table against an
+// inherited DOCONSIDER_STRATEGY: the pin is resolved once per process,
+// so if it is set the table above is not the planner's own output.
+func TestGoldenDecisionsPinnedByEnv(t *testing.T) {
+	if os.Getenv("DOCONSIDER_STRATEGY") != "" {
+		t.Fatal("DOCONSIDER_STRATEGY is set; the golden decision table would record pinned decisions")
+	}
+}

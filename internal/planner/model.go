@@ -1,0 +1,150 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"doconsider/internal/executor"
+)
+
+// CostModel holds the per-operation costs, in seconds, that turn DAG
+// features into predicted executor pass times. The shape of the model is
+// the paper's own §5.1.2 accounting — per-row work, shared-array checks,
+// busy-wait losses, per-pass overhead — with constants measured on the
+// host (Calibrate) instead of on the Encore Multimax.
+//
+// Only ratios matter for strategy selection, but the constants are kept
+// in absolute seconds so predictions can be sanity-checked against real
+// pass timings.
+type CostModel struct {
+	TRow   float64 `json:"t_row"`   // fixed per-row cost: loop body dispatch, row header
+	TDep   float64 `json:"t_dep"`   // per-dependence cost: one multiply-add + column load
+	TCheck float64 `json:"t_check"` // one shared ready-array check (atomic load)
+	TSpin  float64 `json:"t_spin"`  // one not-ready busy-wait round (check + Gosched)
+	TPass  float64 `json:"t_pass"`  // fixed parallel pass overhead: waking and retiring workers
+
+	// Parallelism is the hardware parallelism the host can actually
+	// deliver (GOMAXPROCS at calibration time); 0 — the canonical
+	// default — trusts the plan's processor count. A plan configured for
+	// more workers than the host has cores gets no compute speedup from
+	// the excess, only coordination overhead, so Predict floors the
+	// parallel step counts at N/Parallelism. This is what routes small
+	// and medium structures to the sequential executor on a one-core
+	// container even when the caller asked for four workers.
+	Parallelism int `json:"parallelism"`
+
+	// Scatter inflates the parallel compute term to account for the
+	// wavefront sort destroying the natural row-access locality: the
+	// pooled executor walks rows in (level, index) order, so consecutive
+	// bodies touch non-adjacent rows of the factor and of x. It is
+	// dimensionless (a fraction of the compute term).
+	Scatter float64 `json:"scatter"`
+
+	// ReorderMinN and ReorderDistFrac gate the RCM within-level
+	// reordering: structures smaller than ReorderMinN rows don't leave
+	// cache anyway, and structures whose mean dependence distance is
+	// under ReorderDistFrac of the order are already local.
+	ReorderMinN     int     `json:"reorder_min_n"`
+	ReorderDistFrac float64 `json:"reorder_dist_frac"`
+
+	// Calibrated marks models produced by Calibrate (as opposed to the
+	// canonical defaults), so stats can say which one decided.
+	Calibrated bool `json:"calibrated"`
+}
+
+// Default returns the canonical cost model: constants representative of
+// a current commodity core, fixed so decisions (and the golden decision
+// table in this package's tests) are machine-independent. Calibrate
+// replaces the timing constants with host measurements; the reorder
+// thresholds are policy, not timing, and are never calibrated.
+func Default() *CostModel {
+	return &CostModel{
+		TRow:            25e-9,
+		TDep:            6e-9,
+		TCheck:          4e-9,
+		TSpin:           120e-9,
+		TPass:           15e-6,
+		Scatter:         0.05,
+		ReorderMinN:     4096,
+		ReorderDistFrac: 0.05,
+	}
+}
+
+// Predict estimates the wall time, in seconds, of one executor pass over
+// a structure with features f under strategy kind. Unknown kinds predict
+// +Inf so Select can iterate candidates without special cases.
+func (m *CostModel) Predict(f Features, kind executor.Kind) float64 {
+	n := float64(f.N)
+	edges := float64(f.Edges)
+	p := float64(f.P)
+	if p < 1 {
+		p = 1
+	}
+	// Effective parallelism: excess workers beyond the host's cores add
+	// coordination, not speedup, so parallel step counts are floored at
+	// the work bound N/eff.
+	eff := p
+	if m.Parallelism > 0 && float64(m.Parallelism) < eff {
+		eff = float64(m.Parallelism)
+	}
+	steps := func(ideal int) float64 {
+		s := float64(ideal)
+		if w := n / eff; w > s {
+			s = w
+		}
+		return s
+	}
+	row := m.TRow + m.TDep*f.AvgDeps
+	switch kind {
+	case executor.Sequential:
+		return n * row
+	case executor.Pooled, executor.SelfExecuting:
+		// Ideal wavefront-dealt makespan, inflated by the sort's locality
+		// scatter, plus the per-edge ready checks one worker performs and
+		// the fixed cost of waking the pool.
+		t := steps(f.LevelSum)*row*(1+m.Scatter) + edges/p*m.TCheck + m.TPass
+		if kind == executor.SelfExecuting {
+			// Spawn-per-run: goroutine creation ~ the pass overhead again.
+			t += m.TPass
+		}
+		return t
+	case executor.DoAcross:
+		// Natural striped makespan (no sort, so no scatter), per-edge
+		// checks, and a spin penalty for every edge short enough that the
+		// producer shares the consumer's time slot.
+		return steps(f.NatSteps)*row + edges/p*m.TCheck + float64(f.LateEdges)/p*m.TSpin + m.TPass
+	case executor.PreScheduled:
+		// Like pooled but paying a synchronization per level instead of
+		// ready checks; the barrier is modeled as a spin round per worker.
+		return steps(f.LevelSum)*row*(1+m.Scatter) + float64(f.Levels)*p*m.TSpin + m.TPass
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Validate rejects models whose constants are non-positive or non-finite
+// — a corrupt calibration file must fall back to defaults, not produce
+// NaN predictions that compare false against everything.
+func (m *CostModel) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"t_row", m.TRow}, {"t_dep", m.TDep}, {"t_check", m.TCheck},
+		{"t_spin", m.TSpin}, {"t_pass", m.TPass},
+	} {
+		if !(c.v > 0) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("planner: cost model %s = %v, want finite > 0", c.name, c.v)
+		}
+	}
+	if m.Scatter < 0 || m.Scatter > 10 || math.IsNaN(m.Scatter) {
+		return fmt.Errorf("planner: cost model scatter = %v out of range", m.Scatter)
+	}
+	if m.ReorderMinN < 0 || m.ReorderDistFrac < 0 || math.IsNaN(m.ReorderDistFrac) {
+		return fmt.Errorf("planner: cost model reorder thresholds out of range")
+	}
+	if m.Parallelism < 0 {
+		return fmt.Errorf("planner: cost model parallelism = %d, want >= 0", m.Parallelism)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package planner is the adaptive half of the inspector: given the
+// dependence structure a plan was built from, it measures the DAG
+// (level count, width distribution, critical-path fraction, dependence
+// distances), consults a calibrated cost model, and decides which
+// execution strategy to run — and whether a locality-improving
+// reordering from internal/reorder pays for itself — instead of making
+// the caller guess.
+//
+// The paper's inspector exists because the best execution of a
+// runtime-dependent loop varies with the dependence structure; the
+// runtime-scheduling follow-ups to BaxterMS89 moved from fixed to
+// adaptive schedules on exactly that observation. This package makes the
+// repository's inspector adaptive: core.New and trisolve.NewPlan call
+// Select by default (an explicit executor kind is still honored), so a
+// tiny or chain-like DAG runs sequentially, a wide shallow DAG runs on
+// the pooled executor, and structures whose natural order already
+// respects the wavefronts run doacross.
+//
+// Decisions are deterministic for a fixed cost model. The host model is
+// calibrated once per machine by microbenchmark and persisted (see
+// Calibrate and ForHost); set DOCONSIDER_CALIBRATION=off to use the
+// canonical default constants, DOCONSIDER_CALIBRATION=<path> to relocate
+// the persisted file, and DOCONSIDER_STRATEGY=<kind> to pin the strategy
+// globally without touching call sites.
+package planner
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"doconsider/internal/executor"
+)
+
+// Reorder names a reordering the planner may apply to improve a plan.
+type Reorder int
+
+const (
+	// ReorderNone keeps the global schedule's (wavefront, index) order.
+	ReorderNone Reorder = iota
+	// ReorderRCM orders indices within each wavefront by their reverse
+	// Cuthill-McKee rank. A symmetric permutation can never shorten the
+	// dependence DAG (depth is invariant under relabeling), but RCM's
+	// bandwidth reduction shortens dependence distances, so the busy-wait
+	// reads of the self-executing executors land on recently produced —
+	// still cache-resident — entries. Because only the within-level order
+	// of the schedule changes, each row's arithmetic is untouched and
+	// results stay bit-identical.
+	ReorderRCM
+)
+
+// String returns the reorder name as recorded in decision stats.
+func (r Reorder) String() string {
+	switch r {
+	case ReorderNone:
+		return "none"
+	case ReorderRCM:
+		return "rcm"
+	default:
+		return fmt.Sprintf("Reorder(%d)", int(r))
+	}
+}
+
+// Decision is the planner's output for one dependence structure: the
+// strategy to execute with, the reordering to apply (advisory — callers
+// without a matrix to rank, like core.New over a bare Deps, ignore it),
+// the features the choice was based on, and the predicted cost of each
+// candidate so a surprising choice can be audited after the fact.
+type Decision struct {
+	Strategy executor.Kind
+	Reorder  Reorder
+	Features Features
+	// Predicted wall time per executor pass, seconds, by candidate.
+	PredSequential float64
+	PredPooled     float64
+	PredDoAcross   float64
+	// Pinned reports that DOCONSIDER_STRATEGY forced the strategy and the
+	// predictions were not consulted.
+	Pinned bool
+}
+
+// String renders the decision for logs and CLI output.
+func (d Decision) String() string {
+	pin := ""
+	if d.Pinned {
+		pin = " (pinned)"
+	}
+	return fmt.Sprintf("%s/%s%s [n=%d edges=%d levels=%d maxw=%d; seq=%.1fµs pool=%.1fµs doacross=%.1fµs]",
+		d.Strategy, d.Reorder, pin,
+		d.Features.N, d.Features.Edges, d.Features.Levels, d.Features.MaxWidth,
+		d.PredSequential*1e6, d.PredPooled*1e6, d.PredDoAcross*1e6)
+}
+
+// Select picks the execution strategy and reordering for a dependence
+// structure with features f under cost model m (nil means the
+// host-calibrated model, see ForHost). The candidates are the trio the
+// serving paths register by default: sequential (tiny or chain-like
+// DAGs, where any coordination costs more than the work), pooled
+// (persistent workers over the wavefront-sorted schedule — the general
+// parallel case), and doacross (busy-wait execution in natural order,
+// which wins when the original order already respects the wavefronts
+// and the wavefront sort would only scatter locality).
+func Select(f Features, m *CostModel) Decision {
+	if m == nil {
+		m = ForHost()
+	}
+	d := Decision{
+		Features:       f,
+		PredSequential: m.Predict(f, executor.Sequential),
+		PredPooled:     m.Predict(f, executor.Pooled),
+		PredDoAcross:   m.Predict(f, executor.DoAcross),
+	}
+	if k, ok := pinnedKind(); ok {
+		d.Strategy = k
+		d.Pinned = true
+	} else {
+		d.Strategy = executor.Sequential
+		best := d.PredSequential
+		if f.P > 1 {
+			// Deterministic tie-break: a parallel strategy must strictly
+			// beat the sequential prediction, and doacross must strictly
+			// beat pooled, so equal-cost structures always resolve the
+			// same way on every host.
+			if d.PredPooled < best {
+				d.Strategy, best = executor.Pooled, d.PredPooled
+			}
+			// Doacross executes the natural index order, which only makes
+			// progress when every dependence points backward; on a general
+			// DAG the candidate is structurally invalid, whatever its
+			// predicted cost.
+			if f.Backward && d.PredDoAcross < best {
+				d.Strategy, best = executor.DoAcross, d.PredDoAcross
+			}
+		}
+	}
+	// Reordering is worth a plan-time RCM pass only when the structure is
+	// scattered (long mean dependence distance relative to the matrix
+	// order), big enough for cache effects to matter, and actually going
+	// to run in parallel. It is advisory: only callers holding the matrix
+	// (trisolve) can rank rows.
+	if d.Strategy != executor.Sequential && f.N >= m.ReorderMinN && f.DistFrac > m.ReorderDistFrac {
+		d.Reorder = ReorderRCM
+	}
+	return d
+}
+
+var (
+	pinOnce sync.Once
+	pin     executor.Kind
+	pinSet  bool
+)
+
+// pinnedKind resolves the DOCONSIDER_STRATEGY override once per process.
+// An unknown name is ignored (the planner decides) rather than failing
+// every plan construction.
+func pinnedKind() (executor.Kind, bool) {
+	pinOnce.Do(func() {
+		name := os.Getenv("DOCONSIDER_STRATEGY")
+		if name == "" {
+			return
+		}
+		if k, err := executor.KindByName(name); err == nil {
+			pin, pinSet = k, true
+		}
+	})
+	return pin, pinSet
+}

@@ -110,6 +110,39 @@ func Global(wf []int32, nproc int) *Schedule {
 	return s
 }
 
+// GlobalRanked is Global with a caller-supplied within-wavefront order:
+// indices are sorted by (wavefront, rank[i], index) and dealt wrapped.
+// The rank typically comes from a locality-improving ordering such as
+// reverse Cuthill-McKee (reorder.RCM's Permutation.Inv), which cannot
+// change the wavefronts — DAG depth is invariant under relabeling — but
+// places rows that reference each other near each other in the execution
+// lists, so the executors' busy-wait reads land on recently produced
+// entries. Because only the order within a wavefront changes, every
+// executor produces bit-identical results to the plain Global schedule.
+func GlobalRanked(wf []int32, rank []int32, nproc int) *Schedule {
+	order := sortedByWavefront(wf)
+	for lo := 0; lo < len(order); {
+		hi := lo
+		w := wf[order[lo]]
+		for hi < len(order) && wf[order[hi]] == w {
+			hi++
+		}
+		seg := order[lo:hi]
+		sort.SliceStable(seg, func(a, b int) bool { return rank[seg[a]] < rank[seg[b]] })
+		lo = hi
+	}
+	s := newSchedule(wf, nproc, len(order))
+	partitionPtrs(s, Striped)
+	pos := fillStart(s)
+	for k, idx := range order {
+		p := k % s.P
+		s.Idx[pos[p]] = idx
+		pos[p]++
+	}
+	s.buildPhasePtrs()
+	return s
+}
+
 // GlobalByWork is the work-weighted variant of Global: within each
 // wavefront, indices are dealt greedily to the least-loaded processor
 // (longest-processing-time order), balancing cost rather than cardinality.

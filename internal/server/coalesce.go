@@ -30,9 +30,10 @@ type coalesceKey struct {
 
 // SolveInfo describes how one request was executed.
 type SolveInfo struct {
-	Fused   int // requests that shared the executor pass (>= 1)
-	Width   int // total right-hand sides in the pass
-	Metrics executor.Metrics
+	Fused    int    // requests that shared the executor pass (>= 1)
+	Width    int    // total right-hand sides in the pass
+	Strategy string // executor strategy the pass ran under (planner-chosen for "auto")
+	Metrics  executor.Metrics
 }
 
 // coReq is one request waiting in (or executed by) the coalescer.
@@ -78,7 +79,7 @@ type Coalescer struct {
 	window   time.Duration
 	maxWidth int // cap on total RHS per fused pass
 	procs    int
-	kind     executor.Kind
+	kind     string // executor kind registry name, or KindAuto for planner choice
 	cache    *trisolve.PlanCache
 	baseCtx  context.Context // bounds fused passes; solo passes use the request context
 	inflight func() int64    // admitted solve requests (nil disables early sealing)
@@ -100,12 +101,13 @@ type Coalescer struct {
 }
 
 // NewCoalescer returns a coalescer executing over cache with the given
-// plan shape. Metrics are registered on reg under the loops_coalesce_*
-// families; reg may not be nil. inflight, when non-nil, reports the
-// solve requests currently admitted by the caller and enables
-// quiescence-based early sealing.
+// plan shape; kind is an executor registry name, or KindAuto to let the
+// planner choose per structure. Metrics are registered on reg under the
+// loops_coalesce_* families; reg may not be nil. inflight, when non-nil,
+// reports the solve requests currently admitted by the caller and
+// enables quiescence-based early sealing.
 func NewCoalescer(baseCtx context.Context, cache *trisolve.PlanCache, reg *Registry,
-	window time.Duration, maxWidth, procs int, kind executor.Kind, inflight func() int64) *Coalescer {
+	window time.Duration, maxWidth, procs int, kind string, inflight func() int64) *Coalescer {
 	if maxWidth < 1 {
 		maxWidth = 1
 	}
@@ -126,6 +128,25 @@ func NewCoalescer(baseCtx context.Context, cache *trisolve.PlanCache, reg *Regis
 		widthH:   reg.Histogram("loops_coalesce_pass_width", "right-hand sides per executor pass", nil, WidthBuckets),
 		maxFused: reg.Gauge("loops_coalesce_max_fused", "largest request count fused into one pass", nil),
 	}
+}
+
+// planOpts returns the plan-cache options the coalescer's passes use:
+// the configured processor count, plus a pinned executor kind unless the
+// coalescer runs in KindAuto mode (then the planner decides per
+// structure and the decision is recorded in the plan cache's stats). An
+// unresolvable kind name is an error — Server.New validates its config
+// up front, but a directly constructed Coalescer must not silently fall
+// back to adaptive planning on a typo.
+func (c *Coalescer) planOpts() ([]trisolve.Option, error) {
+	opts := []trisolve.Option{trisolve.WithProcs(c.procs)}
+	if c.kind == KindAuto {
+		return opts, nil
+	}
+	k, err := executor.KindByName(c.kind)
+	if err != nil {
+		return nil, err
+	}
+	return append(opts, trisolve.WithKind(k)), nil
 }
 
 // Submit solves l (lower or upper triangular) against the right-hand
@@ -362,12 +383,16 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 		width += len(m.bs)
 	}
 	var metrics executor.Metrics
-	plan, err := c.cache.Get(members[0].l, key.lower,
-		trisolve.WithProcs(c.procs), trisolve.WithKind(c.kind))
+	strategy := ""
+	opts, err := c.planOpts()
 	if err == nil {
-		metrics, err = plan.SolveGroupCtx(ctx, group)
-		if cerr := plan.Close(); err == nil {
-			err = cerr
+		var plan *trisolve.Plan
+		if plan, err = c.cache.Get(members[0].l, key.lower, opts...); err == nil {
+			strategy = plan.Kind.String()
+			metrics, err = plan.SolveGroupCtx(ctx, group)
+			if cerr := plan.Close(); err == nil {
+				err = cerr
+			}
 		}
 	}
 
@@ -379,7 +404,7 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 	} else {
 		c.soloC.Inc()
 	}
-	info := SolveInfo{Fused: len(members), Width: width, Metrics: metrics}
+	info := SolveInfo{Fused: len(members), Width: width, Strategy: strategy, Metrics: metrics}
 	for _, m := range members {
 		m.err = err
 		m.info = info

@@ -32,11 +32,16 @@ import (
 	"doconsider/internal/trisolve"
 )
 
+// KindAuto selects adaptive planning: each structure's executor strategy
+// is chosen by the planner (internal/planner) from measured DAG features
+// instead of being fixed for the whole server.
+const KindAuto = "auto"
+
 // Config shapes a Server. The zero value is usable: defaults are applied
 // by New.
 type Config struct {
 	Procs          int           // processors per plan (default 4)
-	Kind           string        // executor kind registry name (default "pooled")
+	Kind           string        // executor kind registry name, or "auto" (default) for adaptive planning
 	CacheCap       int           // plan-cache capacity in skeletons (default 16)
 	FactorCacheCap int           // factors resubmittable by fingerprint (default 32)
 	CoalesceWindow time.Duration // batching window; 0 disables coalescing
@@ -51,7 +56,7 @@ func (c Config) withDefaults() Config {
 		c.Procs = 4
 	}
 	if c.Kind == "" {
-		c.Kind = executor.Pooled.String()
+		c.Kind = KindAuto
 	}
 	if c.CacheCap == 0 {
 		c.CacheCap = 16
@@ -108,6 +113,7 @@ type SolveResponse struct {
 	Fp       string      `json:"fp"`       // content fingerprint for resubmission
 	Fused    int         `json:"fused"`    // requests that shared the executor pass
 	Width    int         `json:"width"`    // total RHS in the pass
+	Strategy string      `json:"strategy"` // executor strategy of the pass (planner-chosen for "auto")
 	Executed int64       `json:"executed"` // loop bodies run by the pass
 }
 
@@ -126,6 +132,15 @@ func (r *SolveResponse) Solutions() ([][]float64, error) {
 	return xs, nil
 }
 
+// PlannerStats reports what the adaptive planner decided for the
+// structures this server has planned: per-strategy build counts and the
+// most recent decisions with the features and predictions behind them.
+type PlannerStats struct {
+	Kind      string                    `json:"kind"` // configured kind ("auto" = adaptive)
+	Counts    map[string]uint64         `json:"counts"`
+	Decisions []trisolve.DecisionRecord `json:"decisions"`
+}
+
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
@@ -137,6 +152,7 @@ type StatsResponse struct {
 	CacheHitRate  float64         `json:"cache_hit_rate"`
 	FactorCache   plancache.Stats `json:"factor_cache"`
 	Coalesce      CoalesceStats   `json:"coalesce"`
+	Planner       PlannerStats    `json:"planner"`
 }
 
 // cachedFactor is a factor resident in the by-fingerprint cache, tagged
@@ -185,12 +201,14 @@ type Server struct {
 }
 
 // New builds a server from cfg (zero fields take defaults). It fails
-// only on an unresolvable executor kind name.
+// only on an unresolvable executor kind name ("auto" delegates the
+// choice to the planner per structure).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	kind, err := executor.KindByName(cfg.Kind)
-	if err != nil {
-		return nil, err
+	if cfg.Kind != KindAuto {
+		if _, err := executor.KindByName(cfg.Kind); err != nil {
+			return nil, err
+		}
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	reg := NewRegistry()
@@ -209,7 +227,7 @@ func New(cfg Config) (*Server, error) {
 	// The in-flight hook lets the coalescer seal windows early the moment
 	// every admitted request is parked in one — see Coalescer.
 	s.co = NewCoalescer(baseCtx, cache, reg, cfg.CoalesceWindow, cfg.CoalesceWidth,
-		cfg.Procs, kind, s.inFlight.Value)
+		cfg.Procs, cfg.Kind, s.inFlight.Value)
 	s.accepted = reg.Counter("loops_admission_accepted_total", "solve requests admitted", nil)
 	s.shed = reg.Counter("loops_admission_shed_total", "solve requests shed with 429", nil)
 	for _, cs := range []struct {
@@ -233,6 +251,15 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(factors.Stats().Resident) })
 	reg.GaugeFunc("loops_factor_cache_hit_rate", "fraction of factor references served from cache", nil,
 		func() float64 { return factors.Stats().HitRate() })
+	// Planner decisions by strategy: how many skeleton builds the adaptive
+	// planner resolved to each executor (constant-labeled for a stable
+	// exposition; pinned servers count everything under the pinned kind).
+	for _, k := range []executor.Kind{executor.Sequential, executor.PreScheduled,
+		executor.SelfExecuting, executor.DoAcross, executor.Pooled} {
+		name := k.String()
+		reg.GaugeFunc("loops_planner_decisions", "plan builds by chosen strategy", Labels{{"strategy", name}},
+			func() float64 { return float64(cache.DecisionCounts()[name]) })
+	}
 
 	s.solveEP = newEndpointMetrics(reg, "trisolve")
 	s.statsEP = newEndpointMetrics(reg, "stats")
@@ -345,6 +372,11 @@ func (s *Server) Stats() StatsResponse {
 		CacheHitRate:  cs.HitRate(),
 		FactorCache:   s.factors.Stats(),
 		Coalesce:      s.co.Stats(),
+		Planner: PlannerStats{
+			Kind:      s.cfg.Kind,
+			Counts:    s.cache.DecisionCounts(),
+			Decisions: s.cache.Decisions(),
+		},
 	}
 }
 
@@ -427,7 +459,8 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SolveResponse{
-		Fused: info.Fused, Width: info.Width, Executed: info.Metrics.Executed,
+		Fused: info.Fused, Width: info.Width, Strategy: info.Strategy,
+		Executed: info.Metrics.Executed,
 	}
 	if fp != 0 {
 		resp.Fp = fmt.Sprintf("%016x", fp)

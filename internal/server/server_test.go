@@ -176,7 +176,7 @@ func TestServerKindConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Shutdown(context.Background())
-	if got := s.co.kind; got != executor.Sequential {
+	if got := s.co.kind; got != executor.Sequential.String() {
 		t.Fatalf("coalescer kind = %v, want sequential", got)
 	}
 	l := testFactor(8)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/planner"
 	"doconsider/internal/stencil"
 )
 
@@ -125,6 +126,37 @@ func BenchmarkPlanCacheGet(b *testing.B) {
 				b.Fatal(err)
 			}
 			p.Close()
+		}
+	})
+}
+
+// BenchmarkNewPlan gates plan-construction cost in CI: the adaptive
+// variant adds DAG feature analysis and strategy selection to the
+// inspector, and the allocs/op of both variants are pinned against
+// ci/bench_baseline.json so planner overhead cannot creep silently.
+// The default cost model keeps the adaptive path off the one-shot host
+// calibration (which would dominate the first iteration).
+func BenchmarkNewPlan(b *testing.B) {
+	l := stencil.Laplace2D(63, 63).LowerWithDiag()
+	b.Run("pinned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan, err := NewPlan(l, true, WithProcs(4), WithKind(executor.Pooled))
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Close()
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		m := planner.Default()
+		for i := 0; i < b.N; i++ {
+			plan, err := NewPlan(l, true, WithProcs(4), WithModel(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Close()
 		}
 	})
 }

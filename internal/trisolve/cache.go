@@ -2,9 +2,11 @@ package trisolve
 
 import (
 	"io"
+	"sync"
 
 	"doconsider/internal/executor"
 	"doconsider/internal/plancache"
+	"doconsider/internal/planner"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
 	"doconsider/internal/wavefront"
@@ -22,29 +24,64 @@ import (
 // so matrices with equal structure but different values each solve with
 // their own numbers. Concurrent misses for one key are coalesced into a
 // single inspector run.
+//
+// When no kind is pinned (no WithKind), the planner chooses the strategy
+// per structure; the cache records each decision (see Decisions and
+// DecisionCounts) so serving stats can report what the inspector decided
+// and why.
 type PlanCache struct {
 	c *plancache.Cache[planKey, *planSkeleton]
+
+	mu      sync.Mutex
+	records []DecisionRecord
+	counts  map[string]uint64
+}
+
+// maxDecisionRecords bounds the per-cache decision log; older records
+// are dropped FIFO. The counts map is never trimmed.
+const maxDecisionRecords = 64
+
+// DecisionRecord is one planner decision made while building a cached
+// skeleton, flattened for JSON stats.
+type DecisionRecord struct {
+	Strategy string `json:"strategy"`
+	Reorder  string `json:"reorder"`
+	Pinned   bool   `json:"pinned,omitempty"`
+	Lower    bool   `json:"lower"`
+	Procs    int    `json:"procs"`
+	N        int    `json:"n"`
+	Edges    int    `json:"edges"`
+	Levels   int    `json:"levels"`
+	MaxWidth int    `json:"max_width"`
+	// Predicted pass times, seconds, for auditing a surprising choice.
+	PredSequential float64 `json:"pred_sequential"`
+	PredPooled     float64 `json:"pred_pooled"`
+	PredDoAcross   float64 `json:"pred_doacross"`
 }
 
 type planKey struct {
-	fp    uint64
-	lower bool
-	procs int
-	kind  int // executor.Kind
-	sched SchedulerKind
-	part  int // schedule.Partition
+	fp       uint64
+	lower    bool
+	procs    int
+	kind     int               // executor.Kind; -1 when the planner chooses
+	auto     bool              // no pinned kind: decision is a function of (fp, procs, model)
+	model    planner.CostModel // compared by value, so fresh-but-equal models share entries
+	hasModel bool              // false = host model
+	sched    SchedulerKind
+	part     int // schedule.Partition
 }
 
 // planSkeleton is the cached, matrix-value-free part of a Plan: the
-// dependence structure, wavefronts, schedule and (possibly stateful)
-// execution strategy. All of it is a pure function of the sparsity
-// pattern and the plan configuration.
+// dependence structure, wavefronts, schedule, planner decision and the
+// (possibly stateful) execution strategy. All of it is a pure function
+// of the sparsity pattern and the plan configuration.
 type planSkeleton struct {
-	deps  *wavefront.Deps
-	wf    []int32
-	sched *schedule.Schedule
-	kind  executor.Kind
-	strat executor.Strategy
+	deps     *wavefront.Deps
+	wf       []int32
+	sched    *schedule.Schedule
+	kind     executor.Kind
+	decision *planner.Decision
+	strat    executor.Strategy
 }
 
 func (s *planSkeleton) Close() error {
@@ -58,7 +95,10 @@ func (s *planSkeleton) Close() error {
 // capacity <= 0 means unbounded. Evicted skeletons close their strategy
 // (releasing pooled workers) after the last leased Plan is Closed.
 func NewPlanCache(capacity int) *PlanCache {
-	return &PlanCache{c: plancache.New[planKey, *planSkeleton](capacity)}
+	return &PlanCache{
+		c:      plancache.New[planKey, *planSkeleton](capacity),
+		counts: make(map[string]uint64),
+	}
 }
 
 // Get returns a Plan for the factor t, sharing the inspector output and
@@ -77,32 +117,97 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		sched: cfg.scheduler,
 		part:  int(cfg.part),
 	}
+	if cfg.adaptive() {
+		key.kind, key.auto = -1, true
+		if cfg.model != nil {
+			key.model, key.hasModel = *cfg.model, true
+		}
+	}
 	h, err := pc.c.Get(key, func() (*planSkeleton, error) {
-		deps, wf, s, err := inspect(t, lower, cfg)
+		deps, wf, s, kind, dec, err := inspect(t, lower, cfg)
 		if err != nil {
 			return nil, err
 		}
-		strat, err := cfg.kind.NewStrategy()
+		strat, err := kind.NewStrategy()
 		if err != nil {
 			return nil, err
 		}
-		return &planSkeleton{deps: deps, wf: wf, sched: s, kind: cfg.kind, strat: strat}, nil
+		sk := &planSkeleton{deps: deps, wf: wf, sched: s, kind: kind, decision: dec, strat: strat}
+		pc.record(lower, cfg, sk)
+		return sk, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	sk := h.Value()
 	return &Plan{
-		L:       t,
-		Lower:   lower,
-		Deps:    sk.deps,
-		Wf:      sk.wf,
-		Sched:   sk.sched,
-		Kind:    sk.kind,
-		strat:   sk.strat,
-		leased:  true,
-		release: h.Release,
+		L:        t,
+		Lower:    lower,
+		Deps:     sk.deps,
+		Wf:       sk.wf,
+		Sched:    sk.sched,
+		Kind:     sk.kind,
+		Decision: sk.decision,
+		strat:    sk.strat,
+		leased:   true,
+		release:  h.Release,
 	}, nil
+}
+
+// record logs the strategy chosen for a freshly built skeleton.
+func (pc *PlanCache) record(lower bool, cfg planConfig, sk *planSkeleton) {
+	rec := DecisionRecord{
+		Strategy: sk.kind.String(),
+		Reorder:  planner.ReorderNone.String(),
+		Lower:    lower,
+		Procs:    cfg.nproc,
+	}
+	if d := sk.decision; d != nil {
+		rec.Reorder = d.Reorder.String()
+		rec.Pinned = d.Pinned
+		rec.N = d.Features.N
+		rec.Edges = d.Features.Edges
+		rec.Levels = d.Features.Levels
+		rec.MaxWidth = d.Features.MaxWidth
+		rec.PredSequential = d.PredSequential
+		rec.PredPooled = d.PredPooled
+		rec.PredDoAcross = d.PredDoAcross
+	} else {
+		rec.Pinned = true
+		rec.N = sk.deps.N
+		rec.Edges = sk.deps.Edges()
+		rec.Levels = sk.sched.NumPhases
+	}
+	pc.mu.Lock()
+	pc.counts[rec.Strategy]++
+	pc.records = append(pc.records, rec)
+	if len(pc.records) > maxDecisionRecords {
+		pc.records = pc.records[len(pc.records)-maxDecisionRecords:]
+	}
+	pc.mu.Unlock()
+}
+
+// Decisions returns the most recent planner decisions (newest last,
+// bounded FIFO) made while building skeletons for this cache.
+func (pc *PlanCache) Decisions() []DecisionRecord {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make([]DecisionRecord, len(pc.records))
+	copy(out, pc.records)
+	return out
+}
+
+// DecisionCounts returns how many skeleton builds chose each strategy,
+// by registry name, since the cache was created (evictions do not
+// decrement).
+func (pc *PlanCache) DecisionCounts() map[string]uint64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	out := make(map[string]uint64, len(pc.counts))
+	for k, v := range pc.counts {
+		out[k] = v
+	}
+	return out
 }
 
 // Stats returns the cache effectiveness counters.

@@ -10,6 +10,8 @@ import (
 	"io"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/planner"
+	"doconsider/internal/reorder"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
 	"doconsider/internal/wavefront"
@@ -132,7 +134,10 @@ type Plan struct {
 	Wf    []int32
 	Sched *schedule.Schedule
 	Kind  executor.Kind
-	strat executor.Strategy
+	// Decision records the planner's analysis when the kind was chosen
+	// adaptively (no WithKind); nil for pinned plans.
+	Decision *planner.Decision
+	strat    executor.Strategy
 	// leased marks plans obtained from a PlanCache: the schedule and
 	// strategy are shared, so Close releases the lease (once) instead of
 	// closing the strategy.
@@ -146,9 +151,14 @@ type Option func(*planConfig)
 type planConfig struct {
 	nproc     int
 	kind      executor.Kind
+	kindSet   bool // WithKind pins the kind; otherwise the planner chooses
+	model     *planner.CostModel
 	scheduler SchedulerKind
 	part      schedule.Partition
 }
+
+// adaptive reports whether the planner should choose the executor.
+func (c *planConfig) adaptive() bool { return !c.kindSet }
 
 // SchedulerKind selects global or local index-set scheduling.
 type SchedulerKind int
@@ -165,8 +175,15 @@ const (
 // WithProcs sets the processor count (default 1).
 func WithProcs(p int) Option { return func(c *planConfig) { c.nproc = p } }
 
-// WithKind sets the executor kind (default SelfExecuting).
-func WithKind(k executor.Kind) Option { return func(c *planConfig) { c.kind = k } }
+// WithKind pins the executor kind, bypassing adaptive selection.
+func WithKind(k executor.Kind) Option {
+	return func(c *planConfig) { c.kind = k; c.kindSet = true }
+}
+
+// WithModel supplies the cost model adaptive selection consults; nil
+// (the default) uses the once-per-machine calibrated host model. Pass
+// planner.Default() for machine-independent, reproducible decisions.
+func WithModel(m *planner.CostModel) Option { return func(c *planConfig) { c.model = m } }
 
 // WithScheduler sets the scheduling method (default GlobalSched).
 func WithScheduler(s SchedulerKind) Option { return func(c *planConfig) { c.scheduler = s } }
@@ -188,10 +205,12 @@ func buildPlanConfig(opts []Option) planConfig {
 }
 
 // inspect runs the inspector half of plan construction: dependence
-// extraction, wavefront computation and schedule construction. The output
-// depends only on the sparsity structure of t, never on its values —
-// which is what lets a PlanCache share it across matrices.
-func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int32, *schedule.Schedule, error) {
+// extraction, wavefront computation, adaptive planning (when no kind is
+// pinned) and schedule construction. The output depends only on the
+// sparsity structure of t, never on its values — which is what lets a
+// PlanCache share it across matrices. The returned kind is cfg.kind for
+// pinned plans and the planner's choice otherwise.
+func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int32, *schedule.Schedule, executor.Kind, *planner.Decision, error) {
 	var deps *wavefront.Deps
 	if lower {
 		deps = wavefront.FromLower(t)
@@ -200,35 +219,71 @@ func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int3
 	}
 	wf, err := wavefront.Compute(deps)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, 0, nil, err
+	}
+	kind := cfg.kind
+	var dec *planner.Decision
+	var rank []int32
+	if cfg.adaptive() {
+		d := planner.Select(planner.Analyze(deps, wf, cfg.nproc), cfg.model)
+		dec = &d
+		kind = d.Strategy
+		// Realize an RCM reorder decision as a within-wavefront rank for
+		// the global schedule; the wavefronts themselves are untouched
+		// (DAG depth is relabeling-invariant) so results stay
+		// bit-identical. Other schedulers fix the order themselves.
+		if d.Reorder == planner.ReorderRCM && cfg.scheduler == GlobalSched {
+			if p, rerr := reorder.RCM(t); rerr == nil {
+				rank = p.Inv
+				if !lower {
+					// FromUpper reflects indices (iteration k stands for
+					// row n-1-k); reflect the rank to match.
+					n := t.N
+					rank = make([]int32, n)
+					for k := 0; k < n; k++ {
+						rank[k] = p.Inv[n-1-k]
+					}
+				}
+			} else {
+				d.Reorder = planner.ReorderNone
+			}
+		} else if d.Reorder != planner.ReorderNone {
+			d.Reorder = planner.ReorderNone
+		}
 	}
 	var s *schedule.Schedule
 	switch cfg.scheduler {
 	case GlobalSched:
-		s = schedule.Global(wf, cfg.nproc)
+		if rank != nil {
+			s = schedule.GlobalRanked(wf, rank, cfg.nproc)
+		} else {
+			s = schedule.Global(wf, cfg.nproc)
+		}
 	case LocalSched:
 		s = schedule.Local(wf, cfg.nproc, cfg.part)
 	case NaturalSched:
 		s = schedule.Natural(t.N, cfg.nproc, cfg.part)
 	default:
-		return nil, nil, nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
+		return nil, nil, nil, 0, nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
 	}
-	return deps, wf, s, nil
+	return deps, wf, s, kind, dec, nil
 }
 
 // NewPlan runs the inspector for a triangular factor: it extracts the
-// dependence sets, computes wavefronts and builds the requested schedule.
+// dependence sets, computes wavefronts, lets the planner pick the
+// executor strategy (and a locality reordering) unless WithKind pinned
+// one, and builds the schedule.
 func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
 	cfg := buildPlanConfig(opts)
-	deps, wf, s, err := inspect(t, lower, cfg)
+	deps, wf, s, kind, dec, err := inspect(t, lower, cfg)
 	if err != nil {
 		return nil, err
 	}
-	strat, err := cfg.kind.NewStrategy()
+	strat, err := kind.NewStrategy()
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: cfg.kind, strat: strat}, nil
+	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: kind, Decision: dec, strat: strat}, nil
 }
 
 // Solve executes the planned triangular solve, writing the solution to x.
