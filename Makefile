@@ -1,14 +1,24 @@
 # make verify mirrors the CI pipeline (lint gate, tier-1 tests, race,
-# fuzz smoke, bench smoke + regression gate) so a green local run means
-# a green CI run. Individual steps are also exposed as targets.
+# fuzz smoke, coverage gate, bench smoke + regression gate) so a green
+# local run means a green CI run. Individual steps are also exposed as
+# targets. staticcheck/govulncheck run in CI with pinned versions; they
+# are invoked here only when already installed, so verify works offline.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet build test race fuzz bench-smoke bench bench-update clean
+.PHONY: verify fmt vet lint-tools build test race fuzz cover bench-smoke bench bench-update clean
 
-verify: fmt vet build test race fuzz bench-smoke
+verify: fmt vet lint-tools build test race fuzz cover bench-smoke
 	@echo "verify: all checks passed"
+
+# Mirror the CI staticcheck/govulncheck steps when the pinned tools are
+# on PATH; skip quietly otherwise (CI always runs them).
+lint-tools:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint-tools: staticcheck not installed, skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint-tools: govulncheck not installed, skipping (CI runs it)"; fi
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,6 +41,11 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAdaptiveSolve$$' -fuzztime $(FUZZTIME) ./internal/trisolve
 	$(GO) test -run '^$$' -fuzz '^FuzzSelect$$' -fuzztime $(FUZZTIME) ./internal/planner
+	$(GO) test -run '^$$' -fuzz '^FuzzRepair$$' -fuzztime $(FUZZTIME) ./internal/delta
+
+# The CI coverage gate: total statement coverage vs the checked-in floor.
+cover:
+	$(GO) run ./cmd/ci coverage
 
 # One repetition of the CI bench job: fast local check that the gate and
 # artifact plumbing still work.
@@ -46,4 +61,4 @@ bench-update:
 	$(GO) run ./cmd/ci bench -count 5 -out BENCH_ci.json -update
 
 clean:
-	rm -f BENCH_ci.json
+	rm -f BENCH_ci.json coverage.out

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// coverageMain is the `ci coverage` subcommand: it runs the test suite
+// with a coverage profile, extracts the total statement coverage, and
+// fails when it drops below the checked-in floor — the gate that keeps
+// "add code without tests" from silently eroding the suite. With
+// -update the floor is rewritten from the observed total minus a margin
+// (so routine churn doesn't flap the gate).
+func coverageMain(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ci coverage", flag.ContinueOnError)
+	floorPath := fs.String("floor", "ci/coverage_floor.txt", "file holding the minimum total coverage percentage")
+	profile := fs.String("profile", "coverage.out", "coverage profile output path")
+	update := fs.Bool("update", false, "rewrite the floor from this run instead of gating")
+	margin := fs.Float64("margin", 2.0, "with -update: percentage points subtracted from the observed total")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "test", "-coverprofile", *profile, "./...")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(out)
+		return fmt.Errorf("go test -coverprofile: %w", err)
+	}
+
+	total, err := coverageTotal(*profile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ci: total statement coverage %.1f%%\n", total)
+
+	if *update {
+		floor := math.Floor((total-*margin)*10) / 10
+		if floor < 0 {
+			floor = 0
+		}
+		data := fmt.Sprintf("%.1f\n", floor)
+		if err := os.WriteFile(*floorPath, []byte(data), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ci: wrote coverage floor %.1f%% to %s\n", floor, *floorPath)
+		return nil
+	}
+
+	floor, err := readCoverageFloor(*floorPath)
+	if err != nil {
+		return err
+	}
+	if total < floor {
+		return fmt.Errorf("total coverage %.1f%% is below the floor %.1f%% (%s); add tests or, if the drop is justified, update the floor with `go run ./cmd/ci coverage -update`",
+			total, floor, *floorPath)
+	}
+	fmt.Fprintf(w, "ci: coverage gate passed (floor %.1f%%)\n", floor)
+	return nil
+}
+
+// coverageTotal runs `go tool cover -func` over the profile and parses
+// the "total:" line.
+func coverageTotal(profile string) (float64, error) {
+	cmd := exec.Command("go", "tool", "cover", "-func", profile)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("go tool cover: %w", err)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[0] == "total:" {
+			return strconv.ParseFloat(strings.TrimSuffix(fields[len(fields)-1], "%"), 64)
+		}
+	}
+	return 0, fmt.Errorf("no total: line in go tool cover output")
+}
+
+// readCoverageFloor parses the floor file: one percentage on the first
+// non-comment line.
+func readCoverageFloor(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(line, "%"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: no coverage floor found", path)
+}

@@ -1,18 +1,31 @@
 // Command ci mirrors the repository's CI pipeline so it runs identically
-// on a laptop and in GitHub Actions. Its one subcommand, bench, runs the
-// benchmark suite at -benchtime 1x, emits a benchstat-comparable JSON
-// artifact (BENCH_ci.json) and gates allocs/op of the hot-path
-// benchmarks against a checked-in baseline: a >threshold regression —
-// e.g. the pooled executor's 0 allocs/op Run picking up allocations —
-// fails the build.
+// on a laptop and in GitHub Actions.
+//
+// Subcommands:
+//
+//	bench     run the benchmark suite at -benchtime 1x, emit a
+//	          benchstat-comparable JSON artifact (BENCH_ci.json) and
+//	          gate allocs/op of the hot-path benchmarks against a
+//	          checked-in baseline: a >threshold regression — e.g. the
+//	          pooled executor's 0 allocs/op Run picking up allocations —
+//	          fails the build. With -update the baseline file is
+//	          rewritten from the observed values instead of enforced.
+//	coverage  run `go test -coverprofile` across ./... and fail if the
+//	          total statement coverage drops below the floor checked in
+//	          at ci/coverage_floor.txt. With -update the floor is
+//	          rewritten from the observed total (minus a margin).
+//	compare   render a benchstat-style markdown comparison of a bench
+//	          artifact against the checked-in baseline (the nightly
+//	          workflow posts it as the job summary).
 //
 // Usage:
 //
 //	go run ./cmd/ci bench [-count 5] [-out BENCH_ci.json] \
 //	    [-baseline ci/bench_baseline.json] [-threshold 0.30] [-update]
-//
-// With -update the baseline file is rewritten from the observed values
-// instead of being enforced.
+//	go run ./cmd/ci coverage [-floor ci/coverage_floor.txt] \
+//	    [-profile coverage.out] [-update]
+//	go run ./cmd/ci compare [-artifact BENCH_ci.json] \
+//	    [-baseline ci/bench_baseline.json]
 package main
 
 import (
@@ -36,10 +49,19 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) == 0 || args[0] != "bench" {
-		return fmt.Errorf("usage: ci bench [flags] (the only subcommand is bench)")
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ci <bench|coverage|compare> [flags]")
 	}
-	return benchMain(args[1:])
+	switch args[0] {
+	case "bench":
+		return benchMain(args[1:])
+	case "coverage":
+		return coverageMain(args[1:], os.Stdout)
+	case "compare":
+		return compareMain(args[1:], os.Stdout)
+	default:
+		return fmt.Errorf("usage: ci <bench|coverage|compare> [flags]; unknown subcommand %q", args[0])
+	}
 }
 
 // benchRecord is one parsed benchmark result line.
@@ -133,11 +155,12 @@ func benchMain(args []string) error {
 		base.Threshold = *threshold
 	}
 	problems := gate(records, base)
-	for _, p := range problems {
-		fmt.Fprintln(os.Stderr, "ci: FAIL:", p)
-	}
 	if len(problems) > 0 {
-		return fmt.Errorf("benchmark regression gate failed (%d problems)", len(problems))
+		// One message naming every offender with baseline vs observed, so
+		// a multi-benchmark regression is diagnosed from a single failure
+		// line instead of one fix-rerun cycle per benchmark.
+		return fmt.Errorf("benchmark regression gate failed (%d problems):\n  %s",
+			len(problems), strings.Join(problems, "\n  "))
 	}
 	fmt.Printf("ci: regression gate passed (%d gated benchmarks, threshold %.0f%%)\n",
 		len(base.AllocsPerOp), 100*base.Threshold)
@@ -151,7 +174,7 @@ var benchInvocations = [][]string{
 	{"-bench", ".",
 		"./internal/executor", "./internal/schedule", "./internal/trisolve",
 		"./internal/core", "./internal/plancache", "./internal/planner",
-		"./internal/server"},
+		"./internal/server", "./internal/delta"},
 	{"-bench", "^BenchmarkRuntimeRepeatedRun$", "."},
 }
 

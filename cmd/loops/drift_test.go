@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"doconsider/internal/problems"
+	"doconsider/internal/server"
+)
+
+// TestServeDriftSmoke drives the in-process serving demo with a
+// drifting workload and checks the drift/repair reporting surfaces.
+func TestServeDriftSmoke(t *testing.T) {
+	var out strings.Builder
+	err := serve(&out, serveConfig{
+		procs: 2, clients: 4, requests: 40, batch: 2,
+		cacheCap: 8, window: time.Millisecond, width: 16,
+		seed: 7, compare: false, kind: "auto",
+		driftRate: 0.5, driftEdits: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"drifting workload", "drift:", "drifted requests"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve drift output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestDriftTemplateNoEditsFallsThrough pins the degenerate drift paths
+// that once deadlocked: a template whose fingerprint is not yet known
+// (and one whose structure admits no drift) must fall through to a
+// plain request, not block on the template lock.
+func TestDriftTemplateNoEditsFallsThrough(t *testing.T) {
+	s, err := server.New(server.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	p := problems.MustGet("5-PT")
+	tmpl := &solveTemplate{cur: p.L, wf: p.Wf} // fp never registered
+	cfg := loadgenConfig{
+		baseURL: "http://" + s.Addr(), clients: 1, requests: 1, batch: 1,
+		driftRate: 1, driftEdits: 3,
+	}
+	rng := rand.New(rand.NewSource(9))
+	b := randomBatch(rng, 1, p.L.N)
+
+	done := make(chan error, 1)
+	go func() {
+		_, status, msg, attempted, fellBack, err := driftTemplate(http.DefaultClient, &cfg, tmpl, b, rng)
+		if err == nil && status != http.StatusOK {
+			t.Errorf("drift fall-through: status %d: %s", status, msg)
+		}
+		if attempted {
+			t.Error("fall-through wrongly counted as an attempted drift")
+		}
+		if fellBack {
+			t.Error("fall-through wrongly reported a 404 fallback")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("driftTemplate deadlocked on the degenerate (no-fingerprint) path")
+	}
+}

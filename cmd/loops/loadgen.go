@@ -15,6 +15,8 @@ import (
 
 	"doconsider/internal/problems"
 	"doconsider/internal/server"
+	"doconsider/internal/sparse"
+	"doconsider/internal/synthetic"
 )
 
 // loadgenConfig parameterizes the concurrent load generator: a pool of
@@ -30,6 +32,8 @@ type loadgenConfig struct {
 	timeout    time.Duration // per-request client timeout (0 = none)
 	problems   []string      // problem names; nil = the trisolve suite
 	fullMatrix bool          // ship the full CSR every request instead of by-fingerprint reuse
+	driftRate  float64       // probability a request structurally drifts its problem
+	driftEdits int           // row edits per drift step
 	quiet      bool          // suppress the progress header
 }
 
@@ -41,12 +45,16 @@ type loadgenReport struct {
 	failed         int    // transport errors and unexpected statuses
 	failMsg        string // sample failure, so "N failed" is debuggable
 	fused          int    // OK responses that shared an executor pass
+	drifted        int    // OK responses to base_fp+edits drift requests
+	driftFell      int    // drift requests that fell back to a full ship (404)
 	latencies      []time.Duration
 	statsOK        bool
 	coalesceRate   float64
 	cacheHitRate   float64
 	passes, shed   uint64
 	serverRequests uint64
+	repairs        uint64            // plan misses served by delta repair
+	repairFalls    uint64            // repair attempts that rebuilt instead
 	plannerKind    string            // server's configured kind ("auto" = adaptive)
 	plannerCounts  map[string]uint64 // plan builds by chosen strategy
 }
@@ -74,27 +82,52 @@ func (r *loadgenReport) percentile(q float64) time.Duration {
 	return r.latencies[i]
 }
 
-// solveTemplate is the per-problem constant part of a request. fp holds
+// solveTemplate is the per-problem state of the load generator. fp holds
 // the server-assigned content fingerprint once a full submission has
 // registered the factor; subsequent requests reference it instead of
 // re-shipping the matrix (shared across all clients — real tenants
-// recurring on one problem would do the same).
+// recurring on one problem would do the same). Under -drift-rate the
+// factor itself evolves: drift steps edit cur's nonzero pattern and ship
+// only base_fp + edits, exactly like a refactorization with a modified
+// drop pattern. mu serializes drift steps per problem; fingerprint reads
+// on the recurring path stay lock-free.
 type solveTemplate struct {
-	req server.SolveRequest
-	fp  atomic.Pointer[string]
+	fp atomic.Pointer[string]
+
+	mu  sync.Mutex
+	cur *sparse.CSR
+	wf  []int32 // wavefronts of cur; invariant under level-compatible drift
+}
+
+// fullRequest builds a whole-matrix submission for the template's
+// current factor.
+func (t *solveTemplate) fullRequest() server.SolveRequest {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fullRequestFor(t.cur)
+}
+
+func fullRequestFor(cur *sparse.CSR) server.SolveRequest {
+	lower := true
+	return server.SolveRequest{
+		N: cur.N, RowPtr: cur.RowPtr, ColIdx: cur.ColIdx, Val: cur.Val, Lower: &lower,
+	}
+}
+
+func (t *solveTemplate) n() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur.N
 }
 
 func loadgenTemplates(names []string) ([]*solveTemplate, error) {
 	tmpl := make([]*solveTemplate, len(names))
-	lower := true
 	for i, name := range names {
 		p, err := problems.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		tmpl[i] = &solveTemplate{req: server.SolveRequest{
-			N: p.L.N, RowPtr: p.L.RowPtr, ColIdx: p.L.ColIdx, Val: p.L.Val, Lower: &lower,
-		}}
+		tmpl[i] = &solveTemplate{cur: p.L, wf: p.Wf}
 	}
 	return tmpl, nil
 }
@@ -144,7 +177,7 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	if !cfg.fullMatrix {
 		rng := rand.New(rand.NewSource(cfg.seed - 1))
 		for _, t := range tmpl {
-			req := t.req
+			req := t.fullRequest()
 			req.B64 = randomBatch(rng, 1, req.N)
 			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
 			if err != nil {
@@ -175,9 +208,20 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 					return
 				}
 				t := tmpl[rng.Intn(len(tmpl))]
-				b := randomBatch(rng, cfg.batch, t.req.N)
+				b := randomBatch(rng, cfg.batch, t.n())
+				drift := cfg.driftRate > 0 && cfg.driftEdits > 0 && !cfg.fullMatrix &&
+					rng.Float64() < cfg.driftRate
 				t0 := time.Now()
-				sr, status, msg, err := postTemplate(client, &cfg, t, b)
+				var sr *server.SolveResponse
+				var status int
+				var msg string
+				var err error
+				attempted, fellBack := false, false
+				if drift {
+					sr, status, msg, attempted, fellBack, err = driftTemplate(client, &cfg, t, b, rng)
+				} else {
+					sr, status, msg, err = postTemplate(client, &cfg, t, b)
+				}
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -197,6 +241,12 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 						rep.latencies = append(rep.latencies, lat)
 						if sr.Fused > 1 {
 							rep.fused++
+						}
+						if attempted {
+							rep.drifted++
+							if fellBack {
+								rep.driftFell++
+							}
 						}
 					}
 				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
@@ -221,6 +271,8 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		rep.shed = after.Shed - before.Shed
 		rep.passes = after.Coalesce.Passes - before.Coalesce.Passes
 		rep.serverRequests = after.Coalesce.Requests - before.Coalesce.Requests
+		rep.repairs = after.Delta.Repairs - before.Delta.Repairs
+		rep.repairFalls = after.Delta.Fallbacks - before.Delta.Fallbacks
 		rep.plannerKind = after.Planner.Kind
 		// Like the other server counters, report this run's delta — a
 		// long-running server's lifetime decision counts would
@@ -285,23 +337,87 @@ func postSolveRequest(client *http.Client, baseURL string, req *server.SolveRequ
 // (falling back to a full submission if the server evicted the factor),
 // otherwise shipping the full matrix and remembering the fingerprint.
 func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]byte) (*server.SolveResponse, int, string, error) {
+	lower := true
 	if !cfg.fullMatrix {
 		if fpp := t.fp.Load(); fpp != nil {
-			req := server.SolveRequest{Fp: *fpp, Lower: t.req.Lower, B64: b}
+			req := server.SolveRequest{Fp: *fpp, Lower: &lower, B64: b}
 			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
 			if err != nil || status != http.StatusNotFound {
 				return sr, status, msg, err
 			}
 		}
 	}
-	req := t.req
+	t.mu.Lock()
+	cur := t.cur
+	t.mu.Unlock()
+	req := fullRequestFor(cur)
 	req.B64 = b
 	sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
 	if err == nil && status == http.StatusOK && !cfg.fullMatrix && sr.Fp != "" {
-		fp := sr.Fp
-		t.fp.Store(&fp)
+		// Commit only if no drift replaced the factor while we were on
+		// the wire — the stored fingerprint must always correspond to cur.
+		t.mu.Lock()
+		if t.cur == cur {
+			fp := sr.Fp
+			t.fp.Store(&fp)
+		}
+		t.mu.Unlock()
 	}
 	return sr, status, msg, err
+}
+
+// driftTemplate evolves the template's factor by a structural edit set
+// and solves against the drifted structure, shipping only base_fp +
+// edits — the wire form of a refactorization with a modified drop
+// pattern. attempted reports whether a drift request was actually sent
+// (the degenerate paths fall through to a plain recurring request). If
+// the server no longer holds the base (404) the full drifted matrix is
+// shipped instead (fellBack). The template lock is held only to
+// snapshot and to commit, never across the network round trip:
+// concurrent drifts of one problem race freely and the loser's local
+// update is simply dropped (the server answered it correctly either
+// way), so recurring-path readers block for pointer copies at most.
+func driftTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]byte, rng *rand.Rand) (sr *server.SolveResponse, status int, msg string, attempted, fellBack bool, err error) {
+	lower := true
+	t.mu.Lock()
+	// fp must be read in the same critical section as cur: a concurrent
+	// drift commit replaces both together, and edits generated from an
+	// old cur against a newer base fingerprint would be rejected by the
+	// server (e.g. deleting a column the other drift already removed).
+	cur, wf, fpp := t.cur, t.wf, t.fp.Load()
+	t.mu.Unlock()
+	edits := synthetic.DriftLower(rng, cur, wf, cfg.driftEdits, 0.3)
+	if len(edits) == 0 || fpp == nil {
+		// The structure admits no drift (or was never registered): plain
+		// recurring request.
+		sr, status, msg, err = postTemplate(client, cfg, t, b)
+		return sr, status, msg, false, false, err
+	}
+	edited, aerr := cur.ApplyRowEdits(edits)
+	if aerr != nil {
+		return nil, 0, "", false, false, aerr
+	}
+	req := server.SolveRequest{BaseFp: *fpp, Edits: edits, Lower: &lower, B64: b}
+	sr, status, msg, err = postSolveRequest(client, cfg.baseURL, &req)
+	if err == nil && status == http.StatusNotFound {
+		// Base evicted server-side: ship the drifted matrix whole.
+		fellBack = true
+		full := server.SolveRequest{
+			N: edited.N, RowPtr: edited.RowPtr, ColIdx: edited.ColIdx, Val: edited.Val,
+			Lower: &lower, B64: b,
+		}
+		sr, status, msg, err = postSolveRequest(client, cfg.baseURL, &full)
+	}
+	if err == nil && status == http.StatusOK && sr.Fp != "" {
+		t.mu.Lock()
+		if t.cur == cur { // nobody drifted the template while we were on the wire
+			t.cur = edited // wf is invariant under level-compatible drift
+			fp := sr.Fp
+			t.fp.Store(&fp)
+		}
+		t.mu.Unlock()
+	}
+	return sr, status, msg, true, fellBack, err
 }
 
 // printLoadgenReport renders the report in the serve/loadgen output style.
@@ -315,9 +431,16 @@ func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
 			rep.percentile(0.99).Round(time.Microsecond),
 			rep.latencies[len(rep.latencies)-1].Round(time.Microsecond))
 	}
+	if rep.drifted > 0 {
+		fmt.Fprintf(w, "  drift: %d drifted requests (%d fell back to a full ship)\n", rep.drifted, rep.driftFell)
+	}
 	if rep.statsOK {
 		fmt.Fprintf(w, "  server: coalescing rate %.1f%% (%d requests fused into %d passes), cache hit rate %.1f%%, %d shed\n",
 			100*rep.coalesceRate, rep.serverRequests, rep.passes, 100*rep.cacheHitRate, rep.shed)
+		if rep.repairs+rep.repairFalls > 0 {
+			fmt.Fprintf(w, "  delta: %d plan misses repaired from a resident ancestor, %d rebuilt (cone/planner fallback)\n",
+				rep.repairs, rep.repairFalls)
+		}
 		if len(rep.plannerCounts) > 0 {
 			fmt.Fprintf(w, "  planner: kind=%s decisions: %s\n", rep.plannerKind, formatPlannerCounts(rep.plannerCounts))
 		}

@@ -61,6 +61,8 @@ func run(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 64, "server: admission-control bound on concurrent solves")
 	maxBatch := fs.Int("max-batch", 64, "serve/server: max right-hand sides accepted per request")
 	reqTimeout := fs.Duration("timeout", 30*time.Second, "server: default per-request deadline; loadgen: client timeout")
+	driftRate := fs.Float64("drift-rate", 0, "serve/loadgen: probability a request structurally drifts its problem (base_fp+edits)")
+	driftEdits := fs.Int("drift-edits", 4, "serve/loadgen: row edits per drift step")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -70,6 +72,10 @@ func run(args []string) error {
 		return err
 	}
 	if err := validateServingFlags(exp, *width, *reqTimeout, *window); err != nil {
+		usage(fs)
+		return err
+	}
+	if err := validateDriftFlags(exp, *driftRate, *driftEdits); err != nil {
 		usage(fs)
 		return err
 	}
@@ -114,6 +120,7 @@ func run(args []string) error {
 			procs: serveProcs(fs, *procs), clients: *clients, requests: *requests,
 			batch: *batch, cacheCap: *cacheCap, compare: *compare, kind: kind,
 			window: *window, width: *width, seed: *seed, maxBatch: *maxBatch,
+			driftRate: *driftRate, driftEdits: *driftEdits,
 		})
 	case "server":
 		kind, err := parseKind(*kindName)
@@ -133,6 +140,7 @@ func run(args []string) error {
 		rep, err := loadgen(os.Stdout, loadgenConfig{
 			baseURL: "http://" + target, clients: *clients, requests: *requests,
 			batch: *batch, seed: *seed, timeout: *reqTimeout,
+			driftRate: *driftRate, driftEdits: *driftEdits,
 		})
 		if err != nil {
 			return err
@@ -177,6 +185,23 @@ func validateServingFlags(exp string, width int, timeout, window time.Duration) 
 	}
 	if window < 0 && exp != "loadgen" {
 		return fmt.Errorf("usage: -coalesce-window must not be negative, got %s", window)
+	}
+	return nil
+}
+
+// validateDriftFlags bounds the drifting-workload knobs: a drift rate is
+// a probability, and a drift step must make at least one edit.
+func validateDriftFlags(exp string, rate float64, edits int) error {
+	switch exp {
+	case "serve", "loadgen":
+	default:
+		return nil
+	}
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("usage: -drift-rate must be in [0,1], got %g", rate)
+	}
+	if rate > 0 && edits < 1 {
+		return fmt.Errorf("usage: -drift-edits must be positive when -drift-rate is set, got %d", edits)
 	}
 	return nil
 }

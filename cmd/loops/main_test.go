@@ -77,3 +77,25 @@ func TestServingFlagValidation(t *testing.T) {
 		t.Errorf("summary rejected irrelevant serving flags: %v", err)
 	}
 }
+
+// TestDriftFlagValidation pins the usage errors for the drifting
+// workload knobs: a drift rate is a probability and a drift step must
+// edit at least one row.
+func TestDriftFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-drift-rate", "-0.1"},
+		{"serve", "-drift-rate", "1.5"},
+		{"loadgen", "-drift-rate", "2"},
+		{"serve", "-drift-rate", "0.5", "-drift-edits", "0"},
+		{"loadgen", "-drift-rate", "0.5", "-drift-edits", "-2"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): accepted invalid drift flag", args)
+		} else if !strings.Contains(err.Error(), "usage:") {
+			t.Errorf("run(%v): error %q is not a usage error", args, err)
+		}
+	}
+	if err := run([]string{"summary", "-drift-rate", "7"}); err != nil {
+		t.Errorf("summary rejected irrelevant drift flags: %v", err)
+	}
+}

@@ -16,17 +16,19 @@ import (
 // end-to-end amortization — shared inspector runs via the plan cache and
 // shared executor passes via the request coalescer.
 type serveConfig struct {
-	procs    int           // processors per plan
-	clients  int           // concurrent loadgen clients
-	requests int           // total solve requests across all clients
-	batch    int           // right-hand sides per request
-	cacheCap int           // plan-cache capacity (skeletons)
-	window   time.Duration // coalescing window
-	width    int           // max RHS per fused pass
-	seed     int64         // loadgen RNG base seed (reproducible runs)
-	maxBatch int           // server-side cap on RHS per request
-	compare  bool          // also run with coalescing disabled
-	kind     string        // executor kind registry name, or "auto" for adaptive planning
+	procs      int           // processors per plan
+	clients    int           // concurrent loadgen clients
+	requests   int           // total solve requests across all clients
+	batch      int           // right-hand sides per request
+	cacheCap   int           // plan-cache capacity (skeletons)
+	window     time.Duration // coalescing window
+	width      int           // max RHS per fused pass
+	seed       int64         // loadgen RNG base seed (reproducible runs)
+	maxBatch   int           // server-side cap on RHS per request
+	compare    bool          // also run with coalescing disabled
+	kind       string        // executor kind registry name, or "auto" for adaptive planning
+	driftRate  float64       // probability a request structurally drifts its problem
+	driftEdits int           // row edits per drift step
 }
 
 // serve is the `loops serve` experiment, demoted to a thin driver over
@@ -40,6 +42,10 @@ func serve(w io.Writer, cfg serveConfig) error {
 	}
 	fmt.Fprintf(w, "serve: %d clients, %d requests, batch %d, %d procs/plan, %s executor, cache %d, window %s, seed %d\n",
 		cfg.clients, cfg.requests, cfg.batch, cfg.procs, cfg.kind, cfg.cacheCap, cfg.window, cfg.seed)
+	if cfg.driftRate > 0 && cfg.driftEdits > 0 {
+		fmt.Fprintf(w, "serve: drifting workload: rate %.2f, %d row edits per drift (base_fp+edits requests)\n",
+			cfg.driftRate, cfg.driftEdits)
+	}
 
 	rep, stats, err := runServePass(w, cfg, cfg.window)
 	if err != nil {
@@ -54,6 +60,10 @@ func serve(w io.Writer, cfg serveConfig) error {
 	fmt.Fprintf(w, "  exec coalescer: %d passes for %d requests (%d fused, rate %.1f%%, widest %d)\n",
 		stats.Coalesce.Passes, stats.Coalesce.Requests, stats.Coalesce.Fused,
 		100*stats.Coalesce.Rate, stats.Coalesce.MaxFused)
+	if stats.Delta.Repairs+stats.Delta.Fallbacks > 0 {
+		fmt.Fprintf(w, "  delta repair:   %d plan misses repaired from a resident ancestor, %d rebuilt, %d rows releveled\n",
+			stats.Delta.Repairs, stats.Delta.Fallbacks, stats.Delta.ConeRows)
+	}
 	if len(stats.Planner.Counts) > 0 {
 		fmt.Fprintf(w, "  planner:        kind=%s decisions: %s\n",
 			stats.Planner.Kind, formatPlannerCounts(stats.Planner.Counts))
@@ -92,12 +102,14 @@ func runServePass(w io.Writer, cfg serveConfig, window time.Duration) (*loadgenR
 		return nil, server.StatsResponse{}, err
 	}
 	rep, err := loadgen(w, loadgenConfig{
-		baseURL:  "http://" + s.Addr(),
-		clients:  cfg.clients,
-		requests: cfg.requests,
-		batch:    cfg.batch,
-		seed:     cfg.seed,
-		quiet:    true,
+		baseURL:    "http://" + s.Addr(),
+		clients:    cfg.clients,
+		requests:   cfg.requests,
+		batch:      cfg.batch,
+		seed:       cfg.seed,
+		driftRate:  cfg.driftRate,
+		driftEdits: cfg.driftEdits,
+		quiet:      true,
 	})
 	stats := s.Stats()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -54,6 +54,26 @@ func TestRunSpy(t *testing.T) {
 	}
 }
 
+func TestRunDrift(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "20-3-2", "-seed", "7", "-drift-steps", "3", "-drift-edits", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drift simulation: 3 steps", "drift summary:", "repair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Invalid drift knobs are usage errors.
+	if err := run([]string{"-name", "10-2-2", "-drift-rate", "2"}, &buf); err == nil {
+		t.Error("accepted drift rate > 1")
+	}
+	if err := run([]string{"-name", "10-2-2", "-drift-steps", "2", "-drift-edits", "0"}, &buf); err == nil {
+		t.Error("accepted zero drift edits")
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-name", "nonsense"}, &buf); err == nil {

@@ -22,6 +22,17 @@
 // per-machine calibration, and the DOCONSIDER_CALIBRATION /
 // DOCONSIDER_STRATEGY environment overrides.
 //
+// Inspection is also incremental (internal/delta): when a structure
+// drifts — a few rows gain or lose nonzeros between solves, as under
+// adaptive meshing or a refactorization with a modified drop pattern —
+// the wavefront levels and schedule of a resident plan are repaired
+// through the affected cone instead of re-inspected from scratch, with
+// the planner pricing repair against rebuild as its fourth decision.
+// The plan cache repairs the nearest resident ancestor on a fingerprint
+// miss, core.Runtime exposes Patch/PatchCtx, and the server accepts
+// base_fp+edits drift requests; see the "Structural drift" section of
+// README.md.
+//
 // The implementation lives under internal/; see README.md for the package
 // map, DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this

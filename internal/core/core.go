@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"doconsider/internal/delta"
 	"doconsider/internal/executor"
 	"doconsider/internal/planner"
 	"doconsider/internal/schedule"
@@ -144,6 +145,7 @@ type Runtime struct {
 	strat     executor.Strategy
 	ownsStrat bool              // Close only closes strategies this runtime constructed
 	decision  *planner.Decision // non-nil when the planner chose the strategy
+	patch     *delta.State      // incremental-repair state, built on first Patch
 }
 
 // New runs the inspector on the dependence structure and builds the

@@ -1,0 +1,434 @@
+package delta
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/schedule"
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+// chainDeps builds the dependence chain 0 <- 1 <- 2 <- ... <- n-1.
+func chainDeps(n int) *wavefront.Deps {
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	return wavefront.FromAdjacency(adj)
+}
+
+func TestApplyInsertDelete(t *testing.T) {
+	d := wavefront.FromAdjacency([][]int32{nil, {0}, {0, 1}, {2}})
+	nd, changed, err := Apply(d, EditSet{
+		{Row: 2, Delete: []int32{1}},
+		{Row: 3, Insert: []int32{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 || changed[0] != 2 || changed[1] != 3 {
+		t.Fatalf("changed = %v, want [2 3]", changed)
+	}
+	want := [][]int32{nil, {0}, {0}, {0, 2}}
+	for i := range want {
+		got := nd.On(i)
+		if len(got) != len(want[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got, want[i])
+		}
+		for k := range got {
+			if got[k] != want[i][k] {
+				t.Fatalf("row %d = %v, want %v", i, got, want[i])
+			}
+		}
+	}
+	// The original is untouched.
+	if d.Count(2) != 2 || d.Count(3) != 1 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	d := wavefront.FromAdjacency([][]int32{nil, {0}, {1}})
+	cases := []struct {
+		name  string
+		edits EditSet
+	}{
+		{"row out of range", EditSet{{Row: 9}}},
+		{"negative row", EditSet{{Row: -1}}},
+		{"row edited twice", EditSet{{Row: 1, Delete: []int32{0}}, {Row: 1, Insert: []int32{0}}}},
+		{"insert present", EditSet{{Row: 1, Insert: []int32{0}}}},
+		{"insert out of range", EditSet{{Row: 1, Insert: []int32{7}}}},
+		{"insert self", EditSet{{Row: 1, Insert: []int32{1}}}},
+		{"insert twice", EditSet{{Row: 2, Insert: []int32{0, 0}}}},
+		{"delete missing", EditSet{{Row: 2, Delete: []int32{0}}}},
+		{"delete twice", EditSet{{Row: 1, Delete: []int32{0, 0}}}},
+		{"insert and delete", EditSet{{Row: 1, Insert: []int32{0}, Delete: []int32{0}}}},
+	}
+	for _, c := range cases {
+		if _, _, err := Apply(d, c.edits); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestDiffRowsOrderInsensitive(t *testing.T) {
+	a := wavefront.FromAdjacency([][]int32{nil, nil, {0, 1}})
+	b := wavefront.FromAdjacency([][]int32{nil, nil, {1, 0}})
+	changed, err := DiffRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("order-only difference reported as structural: %v", changed)
+	}
+	c := wavefront.FromAdjacency([][]int32{nil, {0}, {1, 0}})
+	changed, err = DiffRows(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != 1 {
+		t.Fatalf("changed = %v, want [1]", changed)
+	}
+}
+
+func TestRepairMatchesCompute(t *testing.T) {
+	// 0 <- 1 <- 2 <- 3 <- 4, then cut 2's dependence: levels collapse
+	// for the whole suffix.
+	d := chainDeps(5)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(d, wf, schedule.Global(wf, 2))
+	nd, changed, err := Apply(d, EditSet{{Row: 2, Delete: []int32{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, stats, err := st.Repair(nd, changed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := wavefront.Compute(nd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if st2.Wf[i] != ref[i] {
+			t.Fatalf("wf[%d] = %d, want %d (repair diverged from Compute)", i, st2.Wf[i], ref[i])
+		}
+	}
+	if stats.Moved != 3 { // rows 2, 3, 4 drop a level
+		t.Fatalf("moved = %d, want 3", stats.Moved)
+	}
+	if err := wavefront.Validate(st2.Wf, nd); err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, st2.Sched, st2.Wf)
+}
+
+func TestRepairReusesScheduleWhenNoLevelMoves(t *testing.T) {
+	// 3 depends on 0 and 2; deleting the 0-edge cannot change 3's level.
+	d := wavefront.FromAdjacency([][]int32{nil, {0}, {1}, {0, 2}})
+	wf, _ := wavefront.Compute(d)
+	st := NewState(d, wf, schedule.Global(wf, 2))
+	nd, changed, err := Apply(d, EditSet{{Row: 3, Delete: []int32{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, stats, err := st.Repair(nd, changed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Reused {
+		t.Fatal("expected the base schedule to be reused")
+	}
+	if st2.Sched != st.Sched {
+		t.Fatal("schedule not shared")
+	}
+	if st2.Deps != nd {
+		t.Fatal("repaired state must carry the new structure")
+	}
+}
+
+func TestRepairConeBound(t *testing.T) {
+	// Inserting a dependence at the head of a long chain releveles the
+	// whole suffix; a small cone bound must abort with ErrConeTooLarge.
+	n := 64
+	adj := make([][]int32, n)
+	for i := 2; i < n; i++ {
+		adj[i] = []int32{int32(i - 1)}
+	}
+	d := wavefront.FromAdjacency(adj) // 1 is independent
+	wf, _ := wavefront.Compute(d)
+	st := NewState(d, wf, schedule.Global(wf, 2))
+	nd, changed, err := Apply(d, EditSet{{Row: 1, Insert: []int32{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Repair(nd, changed, Options{MaxCone: 4}); !errors.Is(err, ErrConeTooLarge) {
+		t.Fatalf("err = %v, want ErrConeTooLarge", err)
+	}
+	// Unbounded succeeds and matches Compute.
+	st2, stats, err := st.Repair(nd, changed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cone < n-2 {
+		t.Fatalf("cone = %d, want the whole chain", stats.Cone)
+	}
+	ref, _ := wavefront.Compute(nd)
+	for i := range ref {
+		if st2.Wf[i] != ref[i] {
+			t.Fatalf("wf[%d] = %d, want %d", i, st2.Wf[i], ref[i])
+		}
+	}
+}
+
+func TestRepairRejectsForwardDeps(t *testing.T) {
+	d := wavefront.FromAdjacency([][]int32{{1}, nil}) // forward edge
+	wf, err := wavefront.ComputeDAG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(d, wf, schedule.Global(wf, 2))
+	if _, _, err := st.Repair(d, nil, Options{}); !errors.Is(err, ErrNotBackward) {
+		t.Fatalf("err = %v, want ErrNotBackward", err)
+	}
+}
+
+func TestRepairChain(t *testing.T) {
+	// A drift chain: repair from a repaired state stays exact.
+	rng := rand.New(rand.NewSource(7))
+	d := randomBackwardDeps(rng, 80, 3)
+	wf, err := wavefront.Compute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(d, wf, schedule.Global(wf, 4))
+	for step := 0; step < 12; step++ {
+		edits := randomEdits(rng, st.Deps, 3)
+		nd, changed, err := Apply(st.Deps, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, _, err := st.Repair(nd, changed, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := wavefront.Compute(nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if next.Wf[i] != ref[i] {
+				t.Fatalf("step %d: wf[%d] = %d, want %d", step, i, next.Wf[i], ref[i])
+			}
+		}
+		checkSchedule(t, next.Sched, next.Wf)
+		st = next
+	}
+}
+
+func TestDiffFactorAndFactorDeps(t *testing.T) {
+	for _, lower := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(11))
+		a := randomFactor(rng, 40, 3, lower)
+		base := factorDepsFull(a, lower)
+		edited := toggleFactor(rng, a, 5, lower)
+		ref := factorDepsFull(edited, lower)
+
+		changed, ok := DiffFactor(base, edited, lower, 0)
+		if !ok {
+			t.Fatalf("lower=%v: unbounded DiffFactor reported not ok", lower)
+		}
+		refChanged, err := DiffRows(base, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(changed) != len(refChanged) {
+			t.Fatalf("lower=%v: DiffFactor found %v, DiffRows %v", lower, changed, refChanged)
+		}
+		for k := range changed {
+			if changed[k] != refChanged[k] {
+				t.Fatalf("lower=%v: DiffFactor found %v, DiffRows %v", lower, changed, refChanged)
+			}
+		}
+		got := FactorDeps(base, edited, lower, changed)
+		d2, err := DiffRows(got, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d2) != 0 {
+			t.Fatalf("lower=%v: FactorDeps differs from full extraction at rows %v", lower, d2)
+		}
+		// The early-exit contract: with a limit below the real diff count
+		// the scan reports not-ok.
+		if len(changed) > 1 {
+			if _, ok := DiffFactor(base, edited, lower, len(changed)-1); ok {
+				t.Fatalf("lower=%v: limit %d did not trip", lower, len(changed)-1)
+			}
+		}
+	}
+}
+
+// checkSchedule asserts s is a valid wrapped-deal schedule over wf:
+// every index appears exactly once, each processor's list has
+// non-decreasing wavefront numbers, and every phase holds exactly the
+// indices of its wavefront.
+func checkSchedule(t *testing.T, s *schedule.Schedule, wf []int32) {
+	t.Helper()
+	seen := make([]bool, s.N)
+	for p := 0; p < s.P; p++ {
+		list := s.Proc(p)
+		for k, idx := range list {
+			if seen[idx] {
+				t.Fatalf("index %d scheduled twice", idx)
+			}
+			seen[idx] = true
+			if k > 0 && wf[list[k-1]] > wf[idx] {
+				t.Fatalf("processor %d not wavefront-monotone at %d", p, k)
+			}
+		}
+		for k := 0; k < s.NumPhases; k++ {
+			for _, idx := range s.Phase(p, k) {
+				if wf[idx] != int32(k) {
+					t.Fatalf("phase %d holds index %d of wavefront %d", k, idx, wf[idx])
+				}
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d missing from schedule", i)
+		}
+	}
+}
+
+// randomBackwardDeps builds a random backward dependence structure with
+// about deg dependences per row.
+func randomBackwardDeps(rng *rand.Rand, n, deg int) *wavefront.Deps {
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		k := rng.Intn(deg + 1)
+		seen := map[int32]bool{}
+		for j := 0; j < k; j++ {
+			t := int32(rng.Intn(i))
+			if !seen[t] {
+				seen[t] = true
+				adj[i] = append(adj[i], t)
+			}
+		}
+	}
+	return wavefront.FromAdjacency(adj)
+}
+
+// randomEdits toggles count random backward edges of d.
+func randomEdits(rng *rand.Rand, d *wavefront.Deps, count int) EditSet {
+	type rowEdit struct{ ins, del map[int32]bool }
+	rows := map[int32]*rowEdit{}
+	for tries := 0; tries < count*4 && count > 0; tries++ {
+		i := int32(rng.Intn(d.N-1) + 1)
+		t := int32(rng.Intn(int(i)))
+		re := rows[i]
+		if re == nil {
+			re = &rowEdit{ins: map[int32]bool{}, del: map[int32]bool{}}
+			rows[i] = re
+		}
+		if re.ins[t] || re.del[t] {
+			continue
+		}
+		if contains(sortedCopy(d.On(int(i))), t) {
+			re.del[t] = true
+		} else {
+			re.ins[t] = true
+		}
+		count--
+	}
+	var out EditSet
+	for r, re := range rows {
+		e := RowEdit{Row: r}
+		for t := range re.ins {
+			e.Insert = append(e.Insert, t)
+		}
+		for t := range re.del {
+			e.Delete = append(e.Delete, t)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// randomFactor builds a random triangular factor with unit-plus diagonal
+// and about deg strictly off-diagonal entries per row.
+func randomFactor(rng *rand.Rand, n, deg int, lower bool) *sparse.CSR {
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: 2 + rng.Float64()})
+		k := rng.Intn(deg + 1)
+		for j := 0; j < k; j++ {
+			var c int
+			if lower {
+				if i == 0 {
+					continue
+				}
+				c = rng.Intn(i)
+			} else {
+				if i == n-1 {
+					continue
+				}
+				c = i + 1 + rng.Intn(n-1-i)
+			}
+			ts = append(ts, sparse.Triplet{Row: i, Col: c, Val: rng.NormFloat64()})
+		}
+	}
+	return sparse.MustAssemble(n, n, ts)
+}
+
+// toggleFactor flips count random strictly-triangular entries of a.
+func toggleFactor(rng *rand.Rand, a *sparse.CSR, count int, lower bool) *sparse.CSR {
+	n := a.N
+	entries := map[[2]int]float64{}
+	for i := 0; i < n; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			entries[[2]int{i, int(c)}] = vals[k]
+		}
+	}
+	for done := 0; done < count; {
+		i := rng.Intn(n)
+		var c int
+		if lower {
+			if i == 0 {
+				continue
+			}
+			c = rng.Intn(i)
+		} else {
+			if i == n-1 {
+				continue
+			}
+			c = i + 1 + rng.Intn(n-1-i)
+		}
+		key := [2]int{i, c}
+		if _, ok := entries[key]; ok {
+			delete(entries, key)
+		} else {
+			entries[key] = rng.NormFloat64()
+		}
+		done++
+	}
+	var ts []sparse.Triplet
+	for key, v := range entries {
+		ts = append(ts, sparse.Triplet{Row: key[0], Col: key[1], Val: v})
+	}
+	return sparse.MustAssemble(n, n, ts)
+}
+
+// factorDepsFull extracts the factor's dependence structure from scratch.
+func factorDepsFull(a *sparse.CSR, lower bool) *wavefront.Deps {
+	if lower {
+		return wavefront.FromLower(a)
+	}
+	return wavefront.FromUpper(a)
+}

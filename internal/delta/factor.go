@@ -1,0 +1,137 @@
+package delta
+
+import (
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+// This file is the bridge between drifted triangular factors and the
+// generic repair machinery: it diffs a factor's dependence pattern
+// against a base structure row by row — without materializing the
+// factor's full dependence structure first — and splices only the
+// changed rows, so a near-miss plan cache lookup pays memcpy-class cost
+// for the 99% of the structure that did not drift.
+
+// DiffFactor returns the rows whose dependence set in the factor l
+// (lower=true: forward-solve dependences, wavefront.FromLower; false:
+// reflected backward-solve dependences, wavefront.FromUpper) differs
+// from base. The scan early-exits once more than limit rows differ
+// (limit <= 0 means unbounded), reporting ok=false — the signal that l
+// has drifted too far from this base for repair to be worth pricing.
+func DiffFactor(base *wavefront.Deps, l *sparse.CSR, lower bool, limit int) (changed []int32, ok bool) {
+	if base.N != l.N || l.N != l.M {
+		return nil, false
+	}
+	n := l.N
+	for k := 0; k < n; k++ {
+		if factorRowEqual(base.On(k), l, lower, k) {
+			continue
+		}
+		changed = append(changed, int32(k))
+		if limit > 0 && len(changed) > limit {
+			return changed, false
+		}
+	}
+	return changed, true
+}
+
+// factorRowEqual reports whether iteration k's dependence list in the
+// factor equals on. It exploits the CSR column ordering: the dependences
+// of a lower factor are the strictly-lower prefix of the row, those of
+// an upper factor the reflected strictly-upper suffix, so a hypothesized
+// length (len(on)) is verified with one boundary check and a sequential
+// compare — no search.
+func factorRowEqual(on []int32, l *sparse.CSR, lower bool, k int) bool {
+	m := len(on)
+	if lower {
+		cols, _ := l.Row(k)
+		if m > len(cols) {
+			return false
+		}
+		for q := 0; q < m; q++ {
+			if cols[q] != on[q] {
+				return false
+			}
+		}
+		// on lists only targets < k (FromLower's invariant), so matching
+		// the prefix is enough iff no further strictly-lower entry follows.
+		return m == len(cols) || int(cols[m]) >= k
+	}
+	n := l.N
+	i := n - 1 - k // actual row under the reflected numbering
+	cols, _ := l.Row(i)
+	if m > len(cols) {
+		return false
+	}
+	s := len(cols) - m
+	if s > 0 && int(cols[s-1]) > i {
+		return false // an extra strictly-upper entry precedes the suffix
+	}
+	for q := 0; q < m; q++ {
+		if on[q] != int32(n-1-int(cols[s+q])) {
+			return false
+		}
+	}
+	return true
+}
+
+// FactorDeps builds the dependence structure of the factor l by splicing
+// the given changed rows (from DiffFactor) into base. The result equals
+// wavefront.FromLower(l) (or FromUpper) including within-row ordering,
+// at the cost of a block copy plus the changed rows.
+func FactorDeps(base *wavefront.Deps, l *sparse.CSR, lower bool, changed []int32) *wavefront.Deps {
+	if len(changed) == 0 {
+		return base
+	}
+	rows := make(map[int32][]int32, len(changed))
+	var buf []int32
+	for _, r := range changed {
+		row := factorRow(l, lower, int(r), &buf)
+		rows[r] = append([]int32(nil), row...)
+		buf = buf[:0]
+	}
+	return spliceRows(base, changed, rows)
+}
+
+// factorRow returns iteration k's dependence list in the factor,
+// matching the conventions of wavefront.FromLower/FromUpper. For lower
+// factors the list aliases the matrix row (the strictly-lower prefix);
+// for upper factors the reflected indices are materialized into *buf.
+func factorRow(l *sparse.CSR, lower bool, k int, buf *[]int32) []int32 {
+	if lower {
+		cols, _ := l.Row(k)
+		// Columns are sorted ascending, so the strictly-lower entries are
+		// a prefix; binary search the first c >= k.
+		lo, hi := 0, len(cols)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(cols[mid]) < k {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return cols[:lo]
+	}
+	n := l.N
+	i := n - 1 - k // actual row under the reflected numbering
+	cols, _ := l.Row(i)
+	// The strictly-upper entries are a suffix; binary search the first
+	// c > i, then reflect in FromUpper's order (ascending c, so the
+	// reflected indices come out descending).
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(cols[mid]) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	out := (*buf)[:0]
+	for q := lo; q < len(cols); q++ {
+		out = append(out, int32(n-1-int(cols[q])))
+	}
+	*buf = out
+	return out
+}

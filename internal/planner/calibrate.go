@@ -19,8 +19,9 @@ import (
 
 // calibFileVersion guards the persisted calibration schema: bumping it
 // invalidates stale files so a model change recalibrates instead of
-// misreading old constants (version 2 added Parallelism).
-const calibFileVersion = 2
+// misreading old constants (version 2 added Parallelism; version 3 added
+// the repair-vs-rebuild pricing constants).
+const calibFileVersion = 3
 
 // calibFile is the on-disk calibration record.
 type calibFile struct {

@@ -47,6 +47,17 @@ type CostModel struct {
 	ReorderMinN     int     `json:"reorder_min_n"`
 	ReorderDistFrac float64 `json:"reorder_dist_frac"`
 
+	// Repair pricing (internal/delta): full inspection costs per row and
+	// per dependence edge (extraction + leveling + analysis + schedule
+	// construction), against the per-row splice cost and the per-cone-row
+	// releveling cost of an incremental repair. These are policy-grade
+	// constants like the reorder thresholds — Calibrate leaves them at
+	// their defaults.
+	TInspectRow float64 `json:"t_inspect_row"` // full inspection, per row
+	TInspectDep float64 `json:"t_inspect_dep"` // full inspection, per dependence edge
+	TRepairRow  float64 `json:"t_repair_row"`  // repair splice/merge, per row
+	TConeRow    float64 `json:"t_cone_row"`    // repair releveling, per cone row
+
 	// Calibrated marks models produced by Calibrate (as opposed to the
 	// canonical defaults), so stats can say which one decided.
 	Calibrated bool `json:"calibrated"`
@@ -67,7 +78,60 @@ func Default() *CostModel {
 		Scatter:         0.05,
 		ReorderMinN:     4096,
 		ReorderDistFrac: 0.05,
+		TInspectRow:     20e-9,
+		TInspectDep:     8e-9,
+		TRepairRow:      15e-9,
+		TConeRow:        250e-9,
 	}
+}
+
+// PredictInspect estimates the cost, in seconds, of a full cold
+// inspection of a structure with n rows and edges dependence edges:
+// dependence extraction, the wavefront sweep, feature analysis and
+// schedule construction, each of which walks every row and edge.
+func (m *CostModel) PredictInspect(n, edges int) float64 {
+	return float64(n)*m.TInspectRow + float64(edges)*m.TInspectDep
+}
+
+// PredictRepair estimates the cost, in seconds, of an incremental repair
+// (internal/delta) whose level propagation re-examines cone rows: a few
+// memcpy-class O(N) splices plus the cone itself.
+func (m *CostModel) PredictRepair(n, cone int) float64 {
+	return float64(n)*m.TRepairRow + float64(cone)*m.TConeRow
+}
+
+// RepairDecision is the planner's fourth decision — after strategy,
+// reordering and schedule shape — made when a structure misses the plan
+// cache but a near-identical ancestor is resident: repair the ancestor's
+// plan or re-inspect from scratch.
+type RepairDecision struct {
+	Repair bool // attempt repair (bounded by MaxCone) instead of rebuilding
+	// MaxCone is the break-even propagation cone: past this many
+	// re-examined rows a repair costs more than the rebuild it replaces,
+	// so delta.Repair aborts there and the caller falls back.
+	MaxCone     int
+	PredRepair  float64 // optimistic repair cost, seconds (cone = edited rows)
+	PredRebuild float64 // full re-inspection cost, seconds
+}
+
+// PlanRepair prices repair against rebuild for a structure with n rows
+// and edges dependence edges of which editedRows rows changed. The
+// repair estimate is optimistic — the true cone is only discovered while
+// propagating — so the decision is paired with the MaxCone abort bound
+// that caps how wrong the optimism can get.
+func PlanRepair(n, edges, editedRows int, m *CostModel) RepairDecision {
+	if m == nil {
+		m = ForHost()
+	}
+	d := RepairDecision{
+		PredRepair:  m.PredictRepair(n, editedRows),
+		PredRebuild: m.PredictInspect(n, edges),
+	}
+	if m.TConeRow > 0 {
+		d.MaxCone = int((d.PredRebuild - float64(n)*m.TRepairRow) / m.TConeRow)
+	}
+	d.Repair = editedRows > 0 && d.MaxCone >= editedRows && d.PredRepair < d.PredRebuild
+	return d
 }
 
 // Predict estimates the wall time, in seconds, of one executor pass over
@@ -132,6 +196,8 @@ func (m *CostModel) Validate() error {
 	}{
 		{"t_row", m.TRow}, {"t_dep", m.TDep}, {"t_check", m.TCheck},
 		{"t_spin", m.TSpin}, {"t_pass", m.TPass},
+		{"t_inspect_row", m.TInspectRow}, {"t_inspect_dep", m.TInspectDep},
+		{"t_repair_row", m.TRepairRow}, {"t_cone_row", m.TConeRow},
 	} {
 		if !(c.v > 0) || math.IsInf(c.v, 0) {
 			return fmt.Errorf("planner: cost model %s = %v, want finite > 0", c.name, c.v)

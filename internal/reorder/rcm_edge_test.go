@@ -1,0 +1,112 @@
+package reorder
+
+import (
+	"testing"
+
+	"doconsider/internal/sparse"
+)
+
+// checkValidPermutation asserts p is a bijection on 0..n-1 with a
+// consistent inverse — the contract every RCM caller (the planner's
+// within-wavefront ranking) relies on.
+func checkValidPermutation(t *testing.T, p *Permutation, n int) {
+	t.Helper()
+	if len(p.Perm) != n || len(p.Inv) != n {
+		t.Fatalf("permutation length %d/%d, want %d", len(p.Perm), len(p.Inv), n)
+	}
+	seen := make([]bool, n)
+	for k, old := range p.Perm {
+		if old < 0 || int(old) >= n {
+			t.Fatalf("perm[%d] = %d out of range", k, old)
+		}
+		if seen[old] {
+			t.Fatalf("perm repeats %d", old)
+		}
+		seen[old] = true
+		if p.Inv[old] != int32(k) {
+			t.Fatalf("inv[%d] = %d, want %d", old, p.Inv[old], k)
+		}
+	}
+}
+
+// TestRCMDisconnected covers a block-diagonal matrix whose adjacency
+// graph has several components (including isolated vertices): RCM must
+// restart its BFS per component and still emit a valid permutation.
+func TestRCMDisconnected(t *testing.T) {
+	// Three components: a 3-chain {0,1,2}, an isolated vertex {3}, and a
+	// 2-chain {4,5}.
+	a := sparse.MustAssemble(6, 6, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}, {Row: 2, Col: 2, Val: 1}, {Row: 3, Col: 3, Val: 1}, {Row: 4, Col: 4, Val: 1}, {Row: 5, Col: 5, Val: 1},
+		{Row: 1, Col: 0, Val: 1}, {Row: 2, Col: 1, Val: 1},
+		{Row: 5, Col: 4, Val: 1},
+	})
+	p, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPermutation(t, p, 6)
+	// The permutation must actually apply: symmetric application keeps
+	// the entry count.
+	b, err := p.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("Apply changed nnz %d -> %d", a.NNZ(), b.NNZ())
+	}
+}
+
+// TestRCMSingleRow covers the order-1 structure: the rank used by the
+// planner's schedule ordering must exist and be the identity.
+func TestRCMSingleRow(t *testing.T) {
+	a := sparse.MustAssemble(1, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 2}})
+	p, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPermutation(t, p, 1)
+	if p.Perm[0] != 0 {
+		t.Fatalf("order-1 RCM = %v, want identity", p.Perm)
+	}
+}
+
+// TestRCMEmptyAdjacency covers a diagonal-only matrix: every vertex is
+// its own component.
+func TestRCMEmptyAdjacency(t *testing.T) {
+	a := sparse.MustAssemble(5, 5, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}, {Row: 2, Col: 2, Val: 1}, {Row: 3, Col: 3, Val: 1}, {Row: 4, Col: 4, Val: 1},
+	})
+	p, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPermutation(t, p, 5)
+}
+
+// TestRCMAlreadyBanded covers an input that is already optimally banded
+// (a tridiagonal matrix): RCM must return a valid permutation and must
+// not make the bandwidth worse.
+func TestRCMAlreadyBanded(t *testing.T) {
+	n := 40
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: 2})
+		if i > 0 {
+			ts = append(ts, sparse.Triplet{Row: i, Col: i - 1, Val: -1})
+			ts = append(ts, sparse.Triplet{Row: i - 1, Col: i, Val: -1})
+		}
+	}
+	a := sparse.MustAssemble(n, n, ts)
+	p, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPermutation(t, p, n)
+	b, err := p.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := Bandwidth(b); bw > Bandwidth(a) {
+		t.Fatalf("RCM worsened an already-banded matrix: bandwidth %d -> %d", Bandwidth(a), bw)
+	}
+}

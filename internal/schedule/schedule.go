@@ -94,7 +94,17 @@ func (s *Schedule) Phase(p, k int) []int32 {
 // anti-diagonal list of paper Figure 9 — and dealt to processors in a
 // wrapped manner (Figure 10).
 func Global(wf []int32, nproc int) *Schedule {
-	order := sortedByWavefront(wf)
+	return FromOrder(wf, sortedByWavefront(wf), nproc)
+}
+
+// FromOrder builds a global-style schedule from a caller-supplied
+// execution order: position k of order is dealt to processor k mod P
+// (the wrapped dealing of Figure 10). order must list every index exactly
+// once with non-decreasing wavefront numbers — the invariant Global and
+// GlobalRanked establish by sorting, and which an incremental schedule
+// repair (internal/delta) re-establishes by merging a repaired order
+// instead of re-sorting from scratch.
+func FromOrder(wf []int32, order []int32, nproc int) *Schedule {
 	s := newSchedule(wf, nproc, len(order))
 	// Wrapped dealing: position k of the sorted list goes to processor
 	// k mod P, so the per-processor counts are exactly those of a striped
@@ -108,6 +118,21 @@ func Global(wf []int32, nproc int) *Schedule {
 	}
 	s.buildPhasePtrs()
 	return s
+}
+
+// Order recovers the global dealing order of a wrapped-deal schedule
+// (Global, GlobalRanked, FromOrder): position k was dealt to processor
+// k mod P at slot k/P. It is the inverse of FromOrder's dealing and lets
+// an incremental repair splice a few moved indices into the existing
+// order in O(N) instead of re-sorting. The result is unspecified for
+// schedules built with a non-wrapped partition (Local, Natural,
+// GlobalByWork).
+func (s *Schedule) Order() []int32 {
+	order := make([]int32, s.N)
+	for k := 0; k < s.N; k++ {
+		order[k] = s.Idx[int(s.ProcPtr[k%s.P])+k/s.P]
+	}
+	return order
 }
 
 // GlobalRanked is Global with a caller-supplied within-wavefront order:
@@ -131,16 +156,7 @@ func GlobalRanked(wf []int32, rank []int32, nproc int) *Schedule {
 		sort.SliceStable(seg, func(a, b int) bool { return rank[seg[a]] < rank[seg[b]] })
 		lo = hi
 	}
-	s := newSchedule(wf, nproc, len(order))
-	partitionPtrs(s, Striped)
-	pos := fillStart(s)
-	for k, idx := range order {
-		p := k % s.P
-		s.Idx[pos[p]] = idx
-		pos[p]++
-	}
-	s.buildPhasePtrs()
-	return s
+	return FromOrder(wf, order, nproc)
 }
 
 // GlobalByWork is the work-weighted variant of Global: within each

@@ -40,8 +40,9 @@ type SolveInfo struct {
 type coReq struct {
 	l        *sparse.CSR
 	xs, bs   [][]float64
-	deadline time.Time // caller ctx deadline; zero = none
-	group    *coGroup  // the pending group this request joined, if any
+	hint     *driftHint // plan-repair ancestor, when the request drifted
+	deadline time.Time  // caller ctx deadline; zero = none
+	group    *coGroup   // the pending group this request joined, if any
 	done     chan struct{}
 	err      error
 	info     SolveInfo
@@ -151,19 +152,21 @@ func (c *Coalescer) planOpts() ([]trisolve.Option, error) {
 
 // Submit solves l (lower or upper triangular) against the right-hand
 // sides bs, possibly fused with concurrent structurally identical
-// requests, and returns the solutions. ctx cancellation while the
-// request is still waiting in its window withdraws it without disturbing
-// the other waiters; once the fused pass has started the pass runs to
-// completion (under the coalescer's base context) but the caller still
-// returns promptly with ctx.Err().
-func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs [][]float64) ([][]float64, SolveInfo, error) {
+// requests, and returns the solutions. hint, when non-nil, names the
+// plan-cache ancestor the factor drifted from (base_fp+edits requests)
+// so a plan miss repairs instead of re-inspecting. ctx cancellation
+// while the request is still waiting in its window withdraws it without
+// disturbing the other waiters; once the fused pass has started the pass
+// runs to completion (under the coalescer's base context) but the caller
+// still returns promptly with ctx.Err().
+func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs [][]float64, hint *driftHint) ([][]float64, SolveInfo, error) {
 	c.requests.Add(uint64(1))
 	key := coalesceKey{fp: l.StructureFingerprint(), n: l.N, lower: lower}
 	xs := make([][]float64, len(bs))
 	for j := range xs {
 		xs[j] = make([]float64, l.N)
 	}
-	req := &coReq{l: l, xs: xs, bs: bs, done: make(chan struct{})}
+	req := &coReq{l: l, xs: xs, bs: bs, hint: hint, done: make(chan struct{})}
 	if d, ok := ctx.Deadline(); ok {
 		req.deadline = d
 	}
@@ -386,6 +389,15 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 	strategy := ""
 	opts, err := c.planOpts()
 	if err == nil {
+		// Any member's drift hint serves the whole pass: fused members
+		// share the structure, and the repair happens at most once inside
+		// the plan cache's singleflight builder.
+		for _, m := range members {
+			if m.hint != nil {
+				opts = append(opts, trisolve.WithDriftHint(m.hint.baseStructFp, m.hint.rows))
+				break
+			}
+		}
 		var plan *trisolve.Plan
 		if plan, err = c.cache.Get(members[0].l, key.lower, opts...); err == nil {
 			strategy = plan.Kind.String()

@@ -80,7 +80,7 @@ func TestCoalesceWindowOfOne(t *testing.T) {
 	c := newTestCoalescer(t, 5*time.Millisecond, 64)
 	l := testFactor(12)
 	b := randVec(l.N, 1)
-	xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b})
+	xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestCoalesceFusesAtWidthCap(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], infos[i], errs[i] = c.Submit(context.Background(), ls[i], true, [][]float64{bs[i]})
+			results[i], infos[i], errs[i] = c.Submit(context.Background(), ls[i], true, [][]float64{bs[i]}, nil)
 		}(i)
 	}
 	wg.Wait()
@@ -149,7 +149,7 @@ func TestCoalesceWidthCapOverflowSplits(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			bs := [][]float64{randVec(l.N, int64(2*i)), randVec(l.N, int64(2*i+1))}
-			if _, _, err := c.Submit(context.Background(), l, true, bs); err != nil {
+			if _, _, err := c.Submit(context.Background(), l, true, bs, nil); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -184,7 +184,7 @@ func TestCoalesceOversizedRequestRunsSolo(t *testing.T) {
 	l := testFactor(8)
 	bs := [][]float64{randVec(l.N, 1), randVec(l.N, 2), randVec(l.N, 3)}
 	start := time.Now()
-	_, info, err := c.Submit(context.Background(), l, true, bs)
+	_, info, err := c.Submit(context.Background(), l, true, bs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestCoalesceCancellationReleasesOtherWaiters(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, errA = c.Submit(ctxA, l, true, [][]float64{randVec(l.N, 1)})
+		_, _, errA = c.Submit(ctxA, l, true, [][]float64{randVec(l.N, 1)}, nil)
 	}()
 	// Give A a moment to join its window, bring B in, then cancel A.
 	time.Sleep(10 * time.Millisecond)
@@ -221,7 +221,7 @@ func TestCoalesceCancellationReleasesOtherWaiters(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		xsB, infoB, errB = c.Submit(context.Background(), l, true, [][]float64{bB})
+		xsB, infoB, errB = c.Submit(context.Background(), l, true, [][]float64{bB}, nil)
 	}()
 	time.Sleep(10 * time.Millisecond)
 	cancelA()
@@ -248,7 +248,7 @@ func TestCoalesceCancelledLoneWaiterDissolvesGroup(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := c.Submit(ctx, l, true, [][]float64{randVec(l.N, 1)})
+		_, _, err := c.Submit(ctx, l, true, [][]float64{randVec(l.N, 1)}, nil)
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)
@@ -269,7 +269,7 @@ func TestCoalesceWindowZeroDisables(t *testing.T) {
 	l := testFactor(10)
 	for i := 0; i < 4; i++ {
 		b := randVec(l.N, int64(i))
-		xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b})
+		xs, info, err := c.Submit(context.Background(), l, true, [][]float64{b}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +289,7 @@ func TestCoalesceUpperSolve(t *testing.T) {
 	c := newTestCoalescer(t, 0, 64)
 	u := testFactor(10).Transpose()
 	b := randVec(u.N, 7)
-	xs, _, err := c.Submit(context.Background(), u, false, [][]float64{b})
+	xs, _, err := c.Submit(context.Background(), u, false, [][]float64{b}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestCoalesceQuiescentSeal(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var err error
-			_, infos[i], err = c.Submit(context.Background(), l, true, [][]float64{randVec(l.N, int64(i))})
+			_, infos[i], err = c.Submit(context.Background(), l, true, [][]float64{randVec(l.N, int64(i))}, nil)
 			if err != nil {
 				t.Error(err)
 			}

@@ -90,16 +90,27 @@ func (c Config) withDefaults() Config {
 // structurally recurring traffic this server exists for, that turns the
 // dominant per-request cost — parsing a few hundred KB of matrix JSON —
 // into a cache lookup, leaving the executor pass as the work that counts.
+//
+// Drifting factors need not be re-shipped either: a request may carry
+// base_fp (a previously returned fingerprint) plus edits — per-row
+// nonzero insertions and deletions — and the server materializes the
+// drifted factor from the cached base, registers it under its own
+// fingerprint (returned as usual), and hands the edited rows to the plan
+// cache as a repair hint, so the inspector output is repaired from the
+// base plan instead of rebuilt. An unknown base_fp fails with 404 and
+// the client falls back to a full request.
 type SolveRequest struct {
-	N         int         `json:"n,omitempty"`
-	RowPtr    []int32     `json:"rowptr,omitempty"`
-	ColIdx    []int32     `json:"colidx,omitempty"`
-	Val       []float64   `json:"val,omitempty"`
-	Fp        string      `json:"fp,omitempty"`    // resubmit a cached factor by fingerprint
-	Lower     *bool       `json:"lower,omitempty"` // default true (forward solve)
-	B         [][]float64 `json:"b,omitempty"`
-	B64       [][]byte    `json:"b_b64,omitempty"` // RHS as base64 little-endian float64 packing
-	TimeoutMs int         `json:"timeout_ms,omitempty"`
+	N         int              `json:"n,omitempty"`
+	RowPtr    []int32          `json:"rowptr,omitempty"`
+	ColIdx    []int32          `json:"colidx,omitempty"`
+	Val       []float64        `json:"val,omitempty"`
+	Fp        string           `json:"fp,omitempty"`      // resubmit a cached factor by fingerprint
+	BaseFp    string           `json:"base_fp,omitempty"` // drift: edits apply to this cached factor
+	Edits     []sparse.RowEdit `json:"edits,omitempty"`   // drift: per-row nonzero insertions/deletions
+	Lower     *bool            `json:"lower,omitempty"`   // default true (forward solve)
+	B         [][]float64      `json:"b,omitempty"`
+	B64       [][]byte         `json:"b_b64,omitempty"` // RHS as base64 little-endian float64 packing
+	TimeoutMs int              `json:"timeout_ms,omitempty"`
 }
 
 // SolveResponse is the POST /v1/trisolve reply. Solutions come back in
@@ -153,6 +164,10 @@ type StatsResponse struct {
 	FactorCache   plancache.Stats `json:"factor_cache"`
 	Coalesce      CoalesceStats   `json:"coalesce"`
 	Planner       PlannerStats    `json:"planner"`
+	// Delta reports the near-miss repair outcomes for drifting
+	// structures: plan misses served by repairing a resident ancestor
+	// instead of a cold re-inspection.
+	Delta trisolve.DeltaStats `json:"delta"`
 }
 
 // cachedFactor is a factor resident in the by-fingerprint cache, tagged
@@ -246,6 +261,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg.GaugeFunc("loops_plan_cache_hit_rate", "fraction of plan lookups served without the inspector", nil,
 		func() float64 { return cache.Stats().HitRate() })
+	// Near-miss repair outcomes for drifting structures.
+	for _, ds := range []struct {
+		name string
+		f    func(trisolve.DeltaStats) float64
+	}{
+		{"repairs", func(d trisolve.DeltaStats) float64 { return float64(d.Repairs) }},
+		{"fallbacks", func(d trisolve.DeltaStats) float64 { return float64(d.Fallbacks) }},
+		{"cone_rows", func(d trisolve.DeltaStats) float64 { return float64(d.ConeRows) }},
+	} {
+		f := ds.f
+		reg.GaugeFunc("loops_plan_repair", "near-miss plan repair counters by event", Labels{{"event", ds.name}},
+			func() float64 { return f(cache.DeltaStats()) })
+	}
 	factors := s.factors
 	reg.GaugeFunc("loops_factor_cache", "factor cache counters by event", Labels{{"event", "resident"}},
 		func() float64 { return float64(factors.Stats().Resident) })
@@ -372,6 +400,7 @@ func (s *Server) Stats() StatsResponse {
 		CacheHitRate:  cs.HitRate(),
 		FactorCache:   s.factors.Stats(),
 		Coalesce:      s.co.Stats(),
+		Delta:         s.cache.DeltaStats(),
 		Planner: PlannerStats{
 			Kind:      s.cfg.Kind,
 			Counts:    s.cache.DecisionCounts(),
@@ -411,7 +440,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lower := req.Lower == nil || *req.Lower
-	l, fp, release, err := s.resolveFactor(&req, lower)
+	l, fp, release, hint, err := s.resolveFactor(&req, lower)
 	if err != nil {
 		if errors.Is(err, errUnknownFactor) {
 			writeError(w, http.StatusNotFound, err.Error())
@@ -446,7 +475,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	xs, info, err := s.co.Submit(ctx, l, lower, bs)
+	xs, info, err := s.co.Submit(ctx, l, lower, bs, hint)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -519,56 +548,124 @@ func UnpackFloats(b []byte) ([]float64, error) {
 }
 
 // resolveFactor materializes the request's factor: from the wire matrix
-// (validating it and registering it in the by-fingerprint cache) or from
-// the cache when the request carries just a fingerprint. The returned
-// release pins the factor against eviction until the solve is done.
-func (s *Server) resolveFactor(req *SolveRequest, lower bool) (*sparse.CSR, uint64, func(), error) {
+// (validating it and registering it in the by-fingerprint cache), from
+// the cache when the request carries just a fingerprint, or by applying
+// a drift edit set to a cached base factor (base_fp + edits). The
+// returned release pins the factor against eviction until the solve is
+// done; for the drift form the returned hint carries the base structure
+// fingerprint and edited rows so the plan cache can repair instead of
+// re-inspect.
+func (s *Server) resolveFactor(req *SolveRequest, lower bool) (*sparse.CSR, uint64, func(), *driftHint, error) {
+	forms := 0
 	if req.Fp != "" {
-		if req.N != 0 || req.RowPtr != nil || req.ColIdx != nil || req.Val != nil {
-			return nil, 0, nil, errors.New("request carries both a factor and a fingerprint; send one")
-		}
-		fp, err := strconv.ParseUint(req.Fp, 16, 64)
-		if err != nil {
-			return nil, 0, nil, fmt.Errorf("malformed fingerprint %q", req.Fp)
-		}
-		h, err := s.factors.Get(fp, func() (cachedFactor, error) {
-			return cachedFactor{}, errUnknownFactor
-		})
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		cf := h.Value()
-		if cf.lower != lower {
-			h.Release()
-			return nil, 0, nil, fmt.Errorf("factor %s was registered for lower=%v", req.Fp, cf.lower)
-		}
-		return cf.l, fp, func() { _ = h.Release() }, nil
+		forms++
+	}
+	if req.BaseFp != "" {
+		forms++
+	}
+	if req.N != 0 || req.RowPtr != nil || req.ColIdx != nil || req.Val != nil {
+		forms++
+	}
+	if forms > 1 {
+		return nil, 0, nil, nil, errors.New("request carries more than one of: a factor, fp, base_fp; send one")
+	}
+	if len(req.Edits) > 0 && req.BaseFp == "" {
+		return nil, 0, nil, nil, errors.New("edits require base_fp")
+	}
+	switch {
+	case req.Fp != "":
+		l, fp, release, err := s.lookupFactor(req.Fp, lower)
+		return l, fp, release, nil, err
+	case req.BaseFp != "":
+		return s.resolveDrifted(req, lower)
 	}
 	l, err := buildFactor(req, lower)
 	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	l, fp, release := s.registerFactor(l, lower)
+	return l, fp, release, nil, nil
+}
+
+// driftHint names the plan-cache repair ancestor of a drifted factor:
+// the base's structure fingerprint and the matrix rows the edits
+// touched.
+type driftHint struct {
+	baseStructFp uint64
+	rows         []int32
+}
+
+// lookupFactor pins a cached factor by content fingerprint.
+func (s *Server) lookupFactor(hexFp string, lower bool) (*sparse.CSR, uint64, func(), error) {
+	fp, err := strconv.ParseUint(hexFp, 16, 64)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("malformed fingerprint %q", hexFp)
+	}
+	h, err := s.factors.Get(fp, func() (cachedFactor, error) {
+		return cachedFactor{}, errUnknownFactor
+	})
+	if err != nil {
 		return nil, 0, nil, err
 	}
+	cf := h.Value()
+	if cf.lower != lower {
+		h.Release()
+		return nil, 0, nil, fmt.Errorf("factor %s was registered for lower=%v", hexFp, cf.lower)
+	}
+	return cf.l, fp, func() { _ = h.Release() }, nil
+}
+
+// resolveDrifted materializes base_fp + edits: the cached base factor
+// with the edit set applied, validated on the edited rows only (the rest
+// is the already-validated base), registered under its own fingerprint.
+func (s *Server) resolveDrifted(req *SolveRequest, lower bool) (*sparse.CSR, uint64, func(), *driftHint, error) {
+	if len(req.Edits) == 0 {
+		return nil, 0, nil, nil, errors.New("base_fp requires edits (use fp to resubmit unchanged)")
+	}
+	base, _, releaseBase, err := s.lookupFactor(req.BaseFp, lower)
+	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	defer releaseBase()
+	l, err := base.ApplyRowEdits(req.Edits)
+	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	rows := make([]int32, 0, len(req.Edits))
+	for _, e := range req.Edits {
+		rows = append(rows, e.Row)
+	}
+	if err := validateFactorRows(l, rows, lower); err != nil {
+		return nil, 0, nil, nil, err
+	}
+	hint := &driftHint{baseStructFp: base.StructureFingerprint(), rows: rows}
+	l, fp, release := s.registerFactor(l, lower)
+	return l, fp, release, hint, nil
+}
+
+// registerFactor installs a validated factor in the by-fingerprint cache
+// and returns the resident copy (so concurrent identical requests
+// coalesce on one value array).
+func (s *Server) registerFactor(l *sparse.CSR, lower bool) (*sparse.CSR, uint64, func()) {
 	fp := l.ContentFingerprint()
 	h, err := s.factors.Get(fp, func() (cachedFactor, error) {
 		return cachedFactor{l: l, lower: lower}, nil
 	})
 	if err != nil {
 		// The cache is closed (drain raced in); solve with the wire copy.
-		return l, fp, func() {}, nil
+		return l, fp, func() {}
 	}
-	// Solve with the resident copy so concurrent identical requests
-	// coalesce on one value array; the wire copy becomes garbage.
 	cf := h.Value()
 	if !sparse.Equal(l, cf.l) {
 		// 64-bit fingerprint collision: the resident entry is a different
-		// matrix. Solve with the wire copy — never a neighbor's numbers —
+		// matrix. Solve with the local copy — never a neighbor's numbers —
 		// and return no fingerprint, since a by-reference resubmission
 		// could not be told apart from the resident factor. The O(nnz)
 		// equality check costs what the fingerprint already did.
 		h.Release()
-		return l, 0, func() {}, nil
+		return l, 0, func() {}
 	}
-	return cf.l, fp, func() { _ = h.Release() }, nil
+	return cf.l, fp, func() { _ = h.Release() }
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -627,6 +724,37 @@ func buildFactor(req *SolveRequest, lower bool) (*sparse.CSR, error) {
 		}
 	}
 	return l, nil
+}
+
+// validateFactorRows checks the triangularity and diagonal invariants
+// of the given rows only — the rows a drift edit touched; every other
+// row is the already-validated base factor, block-copied.
+func validateFactorRows(l *sparse.CSR, rows []int32, lower bool) error {
+	for _, r := range rows {
+		if r < 0 || int(r) >= l.N {
+			return fmt.Errorf("edit row %d outside [0,%d)", r, l.N)
+		}
+		i := int(r)
+		cols, vals := l.Row(i)
+		hasDiag := false
+		for k, c := range cols {
+			switch {
+			case int(c) == i:
+				if vals[k] == 0 {
+					return fmt.Errorf("edit leaves zero diagonal at row %d", i)
+				}
+				hasDiag = true
+			case lower && int(c) > i:
+				return fmt.Errorf("edit gives row %d an upper entry %d in a forward solve", i, c)
+			case !lower && int(c) < i:
+				return fmt.Errorf("edit gives row %d a lower entry %d in a backward solve", i, c)
+			}
+		}
+		if !hasDiag {
+			return fmt.Errorf("edit removes the diagonal at row %d", i)
+		}
+	}
+	return nil
 }
 
 // validateRHS bounds and shape-checks the request's right-hand sides.

@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EditEntry is one nonzero inserted (or updated) by a row edit.
+type EditEntry struct {
+	Col int32   `json:"col"`
+	Val float64 `json:"val"`
+}
+
+// RowEdit describes the change to one row's nonzeros: entries to insert
+// or update, and columns to delete. It is the wire form of structural
+// drift — the server's base_fp+edits request body carries a list of
+// these — and the input to ApplyRowEdits.
+type RowEdit struct {
+	Row    int32       `json:"row"`
+	Insert []EditEntry `json:"insert,omitempty"` // upsert: new entry, or new value for an existing one
+	Delete []int32     `json:"delete,omitempty"` // columns removed; must be present
+}
+
+// ApplyRowEdits returns a new matrix with the edits applied; a is not
+// modified (its pattern may back cached plans). Each row may appear at
+// most once; inserts upsert (an existing column gets the new value),
+// deletes require the column to be present, and a column may not be both
+// inserted and deleted in one edit. Unedited rows are block-copied.
+func (a *CSR) ApplyRowEdits(edits []RowEdit) (*CSR, error) {
+	if len(edits) == 0 {
+		return a, nil
+	}
+	type newRow struct {
+		cols []int32
+		vals []float64
+	}
+	rows := make(map[int32]newRow, len(edits))
+	changed := make([]int32, 0, len(edits))
+	for _, e := range edits {
+		if e.Row < 0 || int(e.Row) >= a.N {
+			return nil, fmt.Errorf("sparse: edit row %d outside [0,%d)", e.Row, a.N)
+		}
+		if _, dup := rows[e.Row]; dup {
+			return nil, fmt.Errorf("sparse: row %d edited twice", e.Row)
+		}
+		cols, vals, err := a.editedRow(e)
+		if err != nil {
+			return nil, err
+		}
+		rows[e.Row] = newRow{cols, vals}
+		changed = append(changed, e.Row)
+	}
+	sort.Slice(changed, func(x, y int) bool { return changed[x] < changed[y] })
+
+	size := a.NNZ()
+	for _, r := range changed {
+		size += len(rows[r].cols) - a.RowNNZ(int(r))
+	}
+	out := &CSR{
+		N:      a.N,
+		M:      a.M,
+		RowPtr: make([]int32, a.N+1),
+		ColIdx: make([]int32, 0, size),
+		Val:    make([]float64, 0, size),
+	}
+	prev := 0
+	for _, r := range changed {
+		out.ColIdx = append(out.ColIdx, a.ColIdx[a.RowPtr[prev]:a.RowPtr[r]]...)
+		out.Val = append(out.Val, a.Val[a.RowPtr[prev]:a.RowPtr[r]]...)
+		out.ColIdx = append(out.ColIdx, rows[r].cols...)
+		out.Val = append(out.Val, rows[r].vals...)
+		prev = int(r) + 1
+	}
+	out.ColIdx = append(out.ColIdx, a.ColIdx[a.RowPtr[prev]:]...)
+	out.Val = append(out.Val, a.Val[a.RowPtr[prev]:]...)
+
+	off, ci := int32(0), 0
+	for i := 0; i < a.N; i++ {
+		if ci < len(changed) && changed[ci] == int32(i) {
+			off += int32(len(rows[int32(i)].cols)) - (a.RowPtr[i+1] - a.RowPtr[i])
+			ci++
+		}
+		out.RowPtr[i+1] = a.RowPtr[i+1] + off
+	}
+	return out, nil
+}
+
+// editedRow materializes one edited row, sorted by column.
+func (a *CSR) editedRow(e RowEdit) ([]int32, []float64, error) {
+	oldCols, oldVals := a.Row(int(e.Row))
+	ins := append([]EditEntry(nil), e.Insert...)
+	sort.Slice(ins, func(x, y int) bool { return ins[x].Col < ins[y].Col })
+	del := append([]int32(nil), e.Delete...)
+	sort.Slice(del, func(x, y int) bool { return del[x] < del[y] })
+	for k, en := range ins {
+		if en.Col < 0 || int(en.Col) >= a.M {
+			return nil, nil, fmt.Errorf("sparse: row %d inserts out-of-range column %d", e.Row, en.Col)
+		}
+		if k > 0 && ins[k-1].Col == en.Col {
+			return nil, nil, fmt.Errorf("sparse: row %d inserts column %d twice", e.Row, en.Col)
+		}
+		if hasSorted(del, en.Col) {
+			return nil, nil, fmt.Errorf("sparse: row %d both inserts and deletes column %d", e.Row, en.Col)
+		}
+	}
+	for k, c := range del {
+		if k > 0 && del[k-1] == c {
+			return nil, nil, fmt.Errorf("sparse: row %d deletes column %d twice", e.Row, c)
+		}
+		if !hasSorted(oldCols, c) {
+			return nil, nil, fmt.Errorf("sparse: row %d deletes column %d, not present", e.Row, c)
+		}
+	}
+	cols := make([]int32, 0, len(oldCols)+len(ins))
+	vals := make([]float64, 0, len(oldCols)+len(ins))
+	oi, ii, di := 0, 0, 0
+	for oi < len(oldCols) || ii < len(ins) {
+		switch {
+		case ii >= len(ins) || (oi < len(oldCols) && oldCols[oi] < ins[ii].Col):
+			c := oldCols[oi]
+			if di < len(del) && del[di] == c {
+				di++
+			} else {
+				cols = append(cols, c)
+				vals = append(vals, oldVals[oi])
+			}
+			oi++
+		case oi >= len(oldCols) || ins[ii].Col < oldCols[oi]:
+			cols = append(cols, ins[ii].Col)
+			vals = append(vals, ins[ii].Val)
+			ii++
+		default: // upsert of an existing column
+			cols = append(cols, ins[ii].Col)
+			vals = append(vals, ins[ii].Val)
+			oi++
+			ii++
+		}
+	}
+	return cols, vals, nil
+}
+
+// hasSorted reports whether sorted slice s holds t.
+func hasSorted(s []int32, t int32) bool {
+	i := sort.Search(len(s), func(k int) bool { return s[k] >= t })
+	return i < len(s) && s[i] == t
+}

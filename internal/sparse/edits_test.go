@@ -1,0 +1,65 @@
+package sparse
+
+import "testing"
+
+func editTestMatrix() *CSR {
+	return MustAssemble(4, 4, []Triplet{
+		{0, 0, 1}, {1, 0, -1}, {1, 1, 2}, {2, 1, -2}, {2, 2, 3}, {3, 3, 4},
+	})
+}
+
+func TestApplyRowEditsInsertDeleteUpsert(t *testing.T) {
+	a := editTestMatrix()
+	b, err := a.ApplyRowEdits([]RowEdit{
+		{Row: 3, Insert: []EditEntry{{Col: 0, Val: 5}, {Col: 2, Val: 6}}},
+		{Row: 2, Delete: []int32{1}},
+		{Row: 1, Insert: []EditEntry{{Col: 0, Val: 9}}}, // upsert existing
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	want := MustAssemble(4, 4, []Triplet{
+		{0, 0, 1}, {1, 0, 9}, {1, 1, 2}, {2, 2, 3},
+		{3, 0, 5}, {3, 2, 6}, {3, 3, 4},
+	})
+	if !Equal(b, want) {
+		t.Fatalf("edited matrix = %v, want %v", b.Dense(), want.Dense())
+	}
+	// The base is untouched (its pattern may back cached plans).
+	if !Equal(a, editTestMatrix()) {
+		t.Fatal("ApplyRowEdits mutated its receiver")
+	}
+}
+
+func TestApplyRowEditsEmpty(t *testing.T) {
+	a := editTestMatrix()
+	b, err := a.ApplyRowEdits(nil)
+	if err != nil || b != a {
+		t.Fatalf("empty edit must return the receiver, got %v, %v", b, err)
+	}
+}
+
+func TestApplyRowEditsErrors(t *testing.T) {
+	a := editTestMatrix()
+	cases := []struct {
+		name  string
+		edits []RowEdit
+	}{
+		{"row out of range", []RowEdit{{Row: 4}}},
+		{"negative row", []RowEdit{{Row: -1}}},
+		{"row twice", []RowEdit{{Row: 1, Delete: []int32{0}}, {Row: 1, Delete: []int32{1}}}},
+		{"insert out of range", []RowEdit{{Row: 0, Insert: []EditEntry{{Col: 9, Val: 1}}}}},
+		{"insert twice", []RowEdit{{Row: 0, Insert: []EditEntry{{Col: 2, Val: 1}, {Col: 2, Val: 2}}}}},
+		{"delete missing", []RowEdit{{Row: 0, Delete: []int32{3}}}},
+		{"delete twice", []RowEdit{{Row: 1, Delete: []int32{0, 0}}}},
+		{"insert and delete", []RowEdit{{Row: 1, Insert: []EditEntry{{Col: 0, Val: 1}}, Delete: []int32{0}}}},
+	}
+	for _, c := range cases {
+		if _, err := a.ApplyRowEdits(c.edits); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package synthetic
+
+import (
+	"math/rand"
+	"sort"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+// driftRow accumulates the pending edits to one row while a drift set is
+// generated.
+type driftRow struct {
+	ins []sparse.EditEntry
+	del []int32
+}
+
+// pending reports whether column c is already touched by this row's
+// accumulated edits.
+func (rs *driftRow) pending(c int32) bool {
+	if rs == nil {
+		return false
+	}
+	for _, e := range rs.ins {
+		if e.Col == c {
+			return true
+		}
+	}
+	for _, d := range rs.del {
+		if d == c {
+			return true
+		}
+	}
+	return false
+}
+
+// DriftLower generates structural drift for a lower triangular factor:
+// count row edits that insert level-compatible fill next to the existing
+// pattern, plus (with probability delFrac per edit) deletions of
+// non-critical entries. This models the drift of real recurring
+// workloads — adaptive mesh steps, ILU refactorizations whose drop
+// tolerance admits or drops a neighbor — where nonzeros appear and
+// vanish adjacent to entries that are already there, below the row's
+// wavefront level, rather than at random long range. Level-compatible
+// edits keep the repair cone within the edit footprint, which is what
+// makes the drifting-workload scenario repairable at all; arbitrary
+// level-breaking edits are legal too but route to a full rebuild.
+//
+// wf must be the wavefront assignment of the factor's forward-solve
+// dependence structure (wavefront.Compute of wavefront.FromLower; pass
+// nil to have it computed here). The returned edits apply to a via
+// sparse.CSR.ApplyRowEdits; nil when the factor admits no such drift
+// (e.g. order 1).
+func DriftLower(rng *rand.Rand, a *sparse.CSR, wf []int32, count int, delFrac float64) []sparse.RowEdit {
+	n := a.N
+	if n < 2 || count < 1 {
+		return nil
+	}
+	if wf == nil {
+		var err error
+		if wf, err = wavefront.Compute(wavefront.FromLower(a)); err != nil {
+			return nil
+		}
+	}
+	rows := map[int32]*driftRow{}
+	for done, tries := 0, 0; done < count && tries < count*60; tries++ {
+		i := rng.Intn(n-1) + 1
+		cols, _ := a.Row(i)
+		var anchors []int32 // existing strictly-lower entries
+		for _, c := range cols {
+			if int(c) < i {
+				anchors = append(anchors, c)
+			}
+		}
+		if len(anchors) == 0 {
+			continue
+		}
+		rs := rows[int32(i)]
+		if rng.Float64() < delFrac {
+			// Delete a non-critical entry: one whose level sits more than
+			// a step below the row's, so it cannot be the dependence that
+			// defines the row's level and removing it moves nothing.
+			var dels []int32
+			for _, c := range anchors {
+				if wf[c]+1 < wf[i] && !rs.pending(c) {
+					dels = append(dels, c)
+				}
+			}
+			if len(dels) > 0 {
+				if rs == nil {
+					rs = &driftRow{}
+					rows[int32(i)] = rs
+				}
+				rs.del = append(rs.del, dels[rng.Intn(len(dels))])
+				done++
+				continue
+			}
+		}
+		// Insert the nearest absent level-compatible column below a
+		// random anchor.
+		t := anchors[rng.Intn(len(anchors))]
+		ins := int32(-1)
+		for c := t - 1; c >= 0 && c >= t-16; c-- {
+			if wf[c] < wf[i] && a.At(i, int(c)) == 0 && !rs.pending(c) {
+				ins = c
+				break
+			}
+		}
+		if ins < 0 {
+			continue
+		}
+		if rs == nil {
+			rs = &driftRow{}
+			rows[int32(i)] = rs
+		}
+		rs.ins = append(rs.ins, sparse.EditEntry{Col: ins, Val: 0.01 * float64(rng.Intn(7)+1)})
+		done++
+	}
+	out := make([]sparse.RowEdit, 0, len(rows))
+	for r, rs := range rows {
+		if len(rs.ins) == 0 && len(rs.del) == 0 {
+			continue
+		}
+		out = append(out, sparse.RowEdit{Row: r, Insert: rs.ins, Delete: rs.del})
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Row < out[y].Row })
+	return out
+}

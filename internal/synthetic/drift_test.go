@@ -1,0 +1,59 @@
+package synthetic
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/sparse"
+	"doconsider/internal/wavefront"
+)
+
+func TestDriftLowerLevelCompatible(t *testing.T) {
+	a := Generate(Config{Mesh: 20, Degree: 3, Distance: 2, Seed: 9})
+	wf, err := wavefront.Compute(wavefront.FromLower(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	edits := DriftLower(rng, a, wf, 12, 0.3)
+	if len(edits) == 0 {
+		t.Fatal("no edits generated")
+	}
+	b, err := a.ApplyRowEdits(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	// Level-compatible drift must leave the wavefront assignment intact —
+	// that is the property that keeps the repair cone inside the edit
+	// footprint.
+	wf2, err := wavefront.Compute(wavefront.FromLower(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wf {
+		if wf[i] != wf2[i] {
+			t.Fatalf("wf[%d] moved %d -> %d; drift not level-compatible", i, wf[i], wf2[i])
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := DriftLower(rand.New(rand.NewSource(5)), a, wf, 12, 0.3)
+	if len(again) != len(edits) {
+		t.Fatalf("drift not deterministic: %d vs %d row edits", len(again), len(edits))
+	}
+	for k := range edits {
+		if edits[k].Row != again[k].Row || len(edits[k].Insert) != len(again[k].Insert) ||
+			len(edits[k].Delete) != len(again[k].Delete) {
+			t.Fatalf("drift not deterministic at row edit %d", k)
+		}
+	}
+}
+
+func TestDriftLowerDegenerate(t *testing.T) {
+	one := sparse.MustAssemble(1, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if edits := DriftLower(rand.New(rand.NewSource(1)), one, nil, 4, 0.5); edits != nil {
+		t.Fatalf("order-1 factor drifted: %v", edits)
+	}
+}

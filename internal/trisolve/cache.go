@@ -2,8 +2,10 @@ package trisolve
 
 import (
 	"io"
+	"sort"
 	"sync"
 
+	"doconsider/internal/delta"
 	"doconsider/internal/executor"
 	"doconsider/internal/plancache"
 	"doconsider/internal/planner"
@@ -29,12 +31,55 @@ import (
 // per structure; the cache records each decision (see Decisions and
 // DecisionCounts) so serving stats can report what the inspector decided
 // and why.
+//
+// A fingerprint miss is not necessarily a cold start: the cache keeps a
+// similarity index of resident skeletons, and when the new structure is
+// a small structural drift of a resident one — a few rows' nonzeros
+// appeared or vanished — the nearest ancestor's plan is repaired through
+// internal/delta instead of re-inspected from scratch, with the caller's
+// values bound as usual. The planner prices repair against rebuild
+// (planner.PlanRepair) and the repair aborts to a full build when the
+// level-change cone exceeds the break-even bound. WithDriftHint lets a
+// caller that knows the edited rows (the server's base_fp+edits request
+// form) skip the ancestor scan entirely.
 type PlanCache struct {
 	c *plancache.Cache[planKey, *planSkeleton]
 
 	mu      sync.Mutex
 	records []DecisionRecord
 	counts  map[string]uint64
+	sim     map[simKey]map[uint64]*simEntry
+	delta   DeltaStats
+}
+
+// maxSimScan bounds how many resident candidates one near-miss lookup
+// will diff against; candidates beyond the bound (unusual — drift chains
+// keep one or two ancestors per shape) fall back to a cold build.
+const maxSimScan = 4
+
+// simKey groups skeletons that could repair one another: everything in
+// planKey except the structural fingerprint, plus the order (repair
+// never changes N).
+type simKey struct {
+	n   int
+	key planKey // fp zeroed
+}
+
+// simEntry is one resident skeleton's entry in the similarity index.
+type simEntry struct {
+	state    *delta.State
+	kind     executor.Kind
+	decision *planner.Decision
+}
+
+// DeltaStats counts the near-miss outcomes of a PlanCache: how many
+// misses were served by repairing a resident ancestor, how many
+// attempted repairs fell back to a full build (planner declined or the
+// cone bound tripped), and the total rows releveled by repairs.
+type DeltaStats struct {
+	Repairs   uint64 `json:"repairs"`
+	Fallbacks uint64 `json:"fallbacks"`
+	ConeRows  uint64 `json:"cone_rows"`
 }
 
 // maxDecisionRecords bounds the per-cache decision log; older records
@@ -47,12 +92,16 @@ type DecisionRecord struct {
 	Strategy string `json:"strategy"`
 	Reorder  string `json:"reorder"`
 	Pinned   bool   `json:"pinned,omitempty"`
-	Lower    bool   `json:"lower"`
-	Procs    int    `json:"procs"`
-	N        int    `json:"n"`
-	Edges    int    `json:"edges"`
-	Levels   int    `json:"levels"`
-	MaxWidth int    `json:"max_width"`
+	// Repaired marks skeletons obtained by delta-repairing a resident
+	// ancestor instead of full inspection; the strategy and predictions
+	// are inherited from the ancestor's decision.
+	Repaired bool `json:"repaired,omitempty"`
+	Lower    bool `json:"lower"`
+	Procs    int  `json:"procs"`
+	N        int  `json:"n"`
+	Edges    int  `json:"edges"`
+	Levels   int  `json:"levels"`
+	MaxWidth int  `json:"max_width"`
 	// Predicted pass times, seconds, for auditing a surprising choice.
 	PredSequential float64 `json:"pred_sequential"`
 	PredPooled     float64 `json:"pred_pooled"`
@@ -82,9 +131,14 @@ type planSkeleton struct {
 	kind     executor.Kind
 	decision *planner.Decision
 	strat    executor.Strategy
+	state    *delta.State // repair state; nil for non-global schedules
+	cleanup  func()       // removes the skeleton from the similarity index
 }
 
 func (s *planSkeleton) Close() error {
+	if s.cleanup != nil {
+		s.cleanup()
+	}
 	if c, ok := s.strat.(io.Closer); ok {
 		return c.Close()
 	}
@@ -98,6 +152,7 @@ func NewPlanCache(capacity int) *PlanCache {
 	return &PlanCache{
 		c:      plancache.New[planKey, *planSkeleton](capacity),
 		counts: make(map[string]uint64),
+		sim:    make(map[simKey]map[uint64]*simEntry),
 	}
 }
 
@@ -124,6 +179,9 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		}
 	}
 	h, err := pc.c.Get(key, func() (*planSkeleton, error) {
+		if sk := pc.tryRepair(t, lower, cfg, key); sk != nil {
+			return sk, nil
+		}
 		deps, wf, s, kind, dec, err := inspect(t, lower, cfg)
 		if err != nil {
 			return nil, err
@@ -133,7 +191,11 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 			return nil, err
 		}
 		sk := &planSkeleton{deps: deps, wf: wf, sched: s, kind: kind, decision: dec, strat: strat}
-		pc.record(lower, cfg, sk)
+		if cfg.scheduler == GlobalSched {
+			sk.state = delta.NewState(deps, wf, s)
+			pc.registerSim(key, t.N, sk)
+		}
+		pc.record(lower, cfg, sk, nil)
 		return sk, nil
 	})
 	if err != nil {
@@ -154,11 +216,176 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 	}, nil
 }
 
+// tryRepair is the near-miss path: on a fingerprint miss it looks for a
+// resident ancestor with the same plan shape whose structure differs
+// from t in few enough rows that the planner prices a delta repair below
+// a rebuild, and repairs that ancestor's skeleton. It returns nil — full
+// inspection proceeds — when no ancestor qualifies.
+func (pc *PlanCache) tryRepair(t *sparse.CSR, lower bool, cfg planConfig, key planKey) *planSkeleton {
+	if cfg.scheduler != GlobalSched {
+		return nil
+	}
+	sk := simKey{n: t.N, key: key}
+	sk.key.fp = 0
+	pc.mu.Lock()
+	bucket := pc.sim[sk]
+	candidates := make([]*simEntry, 0, len(bucket))
+	hinted := false
+	if cfg.hintRows != nil {
+		if e, ok := bucket[cfg.hintFp]; ok {
+			candidates = append(candidates, e)
+			hinted = true
+		}
+	}
+	if len(candidates) == 0 {
+		for _, e := range bucket {
+			candidates = append(candidates, e)
+			if len(candidates) == maxSimScan {
+				break
+			}
+		}
+	}
+	pc.mu.Unlock()
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	var best *simEntry
+	var bestChanged []int32
+	if hinted {
+		// The caller names the edited rows (it built t from the ancestor
+		// by applying exactly those edits), so the diff scan disappears.
+		// Hint rows are matrix rows; translate to iteration space (upper
+		// factors are reflected) and normalize for the splice.
+		best, bestChanged = candidates[0], normalizeHintRows(cfg.hintRows, t.N, lower)
+	} else {
+		for _, e := range candidates {
+			limit := planner.PlanRepair(t.N, e.state.Deps.Edges(), 1, cfg.model).MaxCone
+			if limit <= 0 {
+				// Repair can never pay for this shape (the break-even cone
+				// is empty); don't spend an O(N) diff to find that out —
+				// DiffFactor would read limit<=0 as "unbounded".
+				continue
+			}
+			changed, ok := delta.DiffFactor(e.state.Deps, t, lower, limit)
+			if !ok || len(changed) == 0 {
+				continue // drifted too far, or a fingerprint collision
+			}
+			if best == nil || len(changed) < len(bestChanged) {
+				best, bestChanged = e, changed
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	dec := planner.PlanRepair(t.N, best.state.Deps.Edges(), len(bestChanged), cfg.model)
+	if !dec.Repair {
+		pc.countDelta(func(d *DeltaStats) { d.Fallbacks++ })
+		return nil
+	}
+	newDeps := delta.FactorDeps(best.state.Deps, t, lower, bestChanged)
+	st, stats, err := best.state.Repair(newDeps, bestChanged, delta.Options{MaxCone: dec.MaxCone})
+	if err != nil {
+		pc.countDelta(func(d *DeltaStats) { d.Fallbacks++ })
+		return nil
+	}
+	strat, err := best.kind.NewStrategy()
+	if err != nil {
+		return nil
+	}
+	out := &planSkeleton{
+		deps: st.Deps, wf: st.Wf, sched: st.Sched,
+		kind: best.kind, decision: best.decision, strat: strat, state: st,
+	}
+	pc.registerSim(key, t.N, out)
+	pc.countDelta(func(d *DeltaStats) {
+		d.Repairs++
+		d.ConeRows += uint64(stats.Cone)
+	})
+	pc.record(lower, cfg, out, &stats)
+	return out
+}
+
+// normalizeHintRows maps matrix row indices to iteration indices
+// (reflected for backward solves, wavefront.ReflectIndex), sorted and
+// deduplicated as the splice requires. Out-of-range rows are dropped —
+// the repair then treats the structure as if those rows were unedited,
+// and the hint contract (rows cover every edited row) stays with the
+// caller.
+func normalizeHintRows(rows []int32, n int, lower bool) []int32 {
+	out := make([]int32, 0, len(rows))
+	for _, r := range rows {
+		if r < 0 || int(r) >= n {
+			continue
+		}
+		if !lower {
+			r = int32(wavefront.ReflectIndex(n, int(r)))
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	uniq := out[:0]
+	var prev int32 = -1
+	for _, r := range out {
+		if r != prev {
+			uniq = append(uniq, r)
+			prev = r
+		}
+	}
+	return uniq
+}
+
+// registerSim adds a freshly built skeleton to the similarity index and
+// arranges its removal when the skeleton is torn down.
+func (pc *PlanCache) registerSim(key planKey, n int, sk *planSkeleton) {
+	sKey := simKey{n: n, key: key}
+	sKey.key.fp = 0
+	fp := key.fp
+	entry := &simEntry{state: sk.state, kind: sk.kind, decision: sk.decision}
+	pc.mu.Lock()
+	bucket := pc.sim[sKey]
+	if bucket == nil {
+		bucket = make(map[uint64]*simEntry)
+		pc.sim[sKey] = bucket
+	}
+	bucket[fp] = entry
+	pc.mu.Unlock()
+	sk.cleanup = func() {
+		pc.mu.Lock()
+		// Close of an evicted skeleton can run after the same structure
+		// was rebuilt and re-registered (plancache defers Close past the
+		// last lease): only remove the entry if it is still ours, never a
+		// replacement's.
+		if b := pc.sim[sKey]; b != nil && b[fp] == entry {
+			delete(b, fp)
+			if len(b) == 0 {
+				delete(pc.sim, sKey)
+			}
+		}
+		pc.mu.Unlock()
+	}
+}
+
+func (pc *PlanCache) countDelta(f func(*DeltaStats)) {
+	pc.mu.Lock()
+	f(&pc.delta)
+	pc.mu.Unlock()
+}
+
+// DeltaStats returns the cache's near-miss repair counters.
+func (pc *PlanCache) DeltaStats() DeltaStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.delta
+}
+
 // record logs the strategy chosen for a freshly built skeleton.
-func (pc *PlanCache) record(lower bool, cfg planConfig, sk *planSkeleton) {
+func (pc *PlanCache) record(lower bool, cfg planConfig, sk *planSkeleton, repair *delta.Stats) {
 	rec := DecisionRecord{
 		Strategy: sk.kind.String(),
 		Reorder:  planner.ReorderNone.String(),
+		Repaired: repair != nil,
 		Lower:    lower,
 		Procs:    cfg.nproc,
 	}

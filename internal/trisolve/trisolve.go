@@ -155,6 +155,12 @@ type planConfig struct {
 	model     *planner.CostModel
 	scheduler SchedulerKind
 	part      schedule.Partition
+	// Drift hint (PlanCache only): the structure is hintRows-many edited
+	// rows away from the resident plan fingerprinted hintFp. Advisory —
+	// it never enters the cache key — but it lets a near-miss lookup skip
+	// the ancestor diff scan.
+	hintFp   uint64
+	hintRows []int32
 }
 
 // adaptive reports whether the planner should choose the executor.
@@ -190,6 +196,17 @@ func WithScheduler(s SchedulerKind) Option { return func(c *planConfig) { c.sche
 
 // WithPartition sets the local-scheduling partition (default Striped).
 func WithPartition(p schedule.Partition) Option { return func(c *planConfig) { c.part = p } }
+
+// WithDriftHint tells a PlanCache lookup that the factor was produced by
+// editing the nonzero pattern of exactly the given rows of the resident
+// structure fingerprinted baseFp (sparse.CSR.StructureFingerprint). The
+// hint is advisory and trusted: rows must cover every row whose pattern
+// differs from the base — the server's base_fp+edits request form
+// guarantees that by construction, having built the factor from those
+// very edits. Plain NewPlan ignores the hint.
+func WithDriftHint(baseFp uint64, rows []int32) Option {
+	return func(c *planConfig) { c.hintFp, c.hintRows = baseFp, rows }
+}
 
 // buildPlanConfig resolves options against the defaults shared by NewPlan
 // and the plan cache's key computation.
