@@ -40,6 +40,7 @@ race:
 # seeds, one target at a time (go test allows one -fuzz per invocation).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAdaptiveSolve$$' -fuzztime $(FUZZTIME) ./internal/trisolve
+	$(GO) test -run '^$$' -fuzz '^FuzzFusedSolve$$' -fuzztime $(FUZZTIME) ./internal/trisolve
 	$(GO) test -run '^$$' -fuzz '^FuzzSelect$$' -fuzztime $(FUZZTIME) ./internal/planner
 	$(GO) test -run '^$$' -fuzz '^FuzzRepair$$' -fuzztime $(FUZZTIME) ./internal/delta
 

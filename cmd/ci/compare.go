@@ -51,9 +51,16 @@ func compareMain(args []string, w io.Writer) error {
 	}
 	byName := map[string]*row{}
 	var order []string
+	gatedNames := map[string]bool{}
+	for name := range base.AllocsPerOp {
+		gatedNames[name] = true
+	}
+	for name := range base.NsPerOp {
+		gatedNames[name] = true
+	}
 	for _, rec := range art.Records {
 		name := rec.Name
-		for baseName := range base.AllocsPerOp {
+		for baseName := range gatedNames {
 			if matchesName(rec.Name, baseName) {
 				name = baseName
 				break
@@ -117,7 +124,7 @@ func compareMain(args []string, w io.Writer) error {
 	// A gated benchmark missing from the artifact is worth flagging here
 	// too — the gate fails the build on it, the summary explains it.
 	var missing []string
-	for name := range base.AllocsPerOp {
+	for name := range gatedNames {
 		if _, ok := byName[name]; !ok {
 			missing = append(missing, name)
 		}

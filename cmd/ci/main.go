@@ -85,9 +85,16 @@ type artifact struct {
 // baseline is the checked-in regression reference. AllocsPerOp maps
 // normalized benchmark names (no -GOMAXPROCS suffix) to the expected
 // allocs/op; a run exceeding a value by more than Threshold fails.
+// NsPerOp gates wall time the same way under its own (much coarser)
+// NsThreshold: allocation counts are deterministic, while ns/op moves
+// with the machine, so the time gate only catches catastrophic
+// regressions — a fused kernel falling back to row-wise dispatch, not a
+// few percent of jitter.
 type baseline struct {
 	Threshold   float64            `json:"threshold"`
+	NsThreshold float64            `json:"ns_threshold,omitempty"`
 	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+	NsPerOp     map[string]float64 `json:"ns_per_op,omitempty"`
 }
 
 func benchMain(args []string) error {
@@ -140,6 +147,13 @@ func benchMain(args []string) error {
 			}
 			base.AllocsPerOp[name] = v
 		}
+		for name := range base.NsPerOp {
+			v, ok := minMetric(records, name, "ns/op")
+			if !ok {
+				return fmt.Errorf("baseline benchmark %q did not run; cannot update", name)
+			}
+			base.NsPerOp[name] = v
+		}
 		if err := writeBaseline(*basePath, base); err != nil {
 			return err
 		}
@@ -162,8 +176,8 @@ func benchMain(args []string) error {
 		return fmt.Errorf("benchmark regression gate failed (%d problems):\n  %s",
 			len(problems), strings.Join(problems, "\n  "))
 	}
-	fmt.Printf("ci: regression gate passed (%d gated benchmarks, threshold %.0f%%)\n",
-		len(base.AllocsPerOp), 100*base.Threshold)
+	fmt.Printf("ci: regression gate passed (%d alloc-gated, %d time-gated benchmarks, thresholds +%.0f%% / +%.0f%%)\n",
+		len(base.AllocsPerOp), len(base.NsPerOp), 100*base.Threshold, 100*base.NsThreshold)
 	return nil
 }
 
@@ -283,6 +297,25 @@ func gate(records []benchRecord, base baseline) []string {
 				name, got, want, limit, 100*base.Threshold))
 		}
 	}
+	names = names[:0]
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.NsPerOp[name]
+		got, ok := minMetric(records, name, "ns/op")
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: gated benchmark did not run or reported no ns/op", name))
+			continue
+		}
+		limit := want * (1 + base.NsThreshold)
+		if got > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: ns/op regressed to %.0f (baseline %.0f, limit %.0f = +%.0f%%)",
+				name, got, want, limit, 100*base.NsThreshold))
+		}
+	}
 	return problems
 }
 
@@ -297,6 +330,9 @@ func loadBaseline(path string) (baseline, error) {
 	}
 	if base.Threshold <= 0 {
 		base.Threshold = 0.30
+	}
+	if base.NsThreshold <= 0 {
+		base.NsThreshold = 2.0
 	}
 	return base, nil
 }

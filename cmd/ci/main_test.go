@@ -72,10 +72,14 @@ func TestMinMetricUsesMinimumAcrossRuns(t *testing.T) {
 
 func testBaseline() baseline {
 	return baseline{
-		Threshold: 0.30,
+		Threshold:   0.30,
+		NsThreshold: 2.0,
 		AllocsPerOp: map[string]float64{
 			"BenchmarkRuntimeRepeatedRun/self-executing": 14,
 			"BenchmarkRuntimeRepeatedRun/pooled":         0,
+		},
+		NsPerOp: map[string]float64{
+			"BenchmarkRuntimeRepeatedRun/pooled": 251000,
 		},
 	}
 }
@@ -118,13 +122,32 @@ func TestGateFailsOnInjectedAllocRegression(t *testing.T) {
 	}
 }
 
+// TestGateTimeRegression: the ns/op gate is deliberately coarse (+200%
+// by default) — 3x the baseline wall time fails, a 2x machine-to-machine
+// wobble does not.
+func TestGateTimeRegression(t *testing.T) {
+	wobble := strings.ReplaceAll(sampleOutput, "253000 ns/op", "500000 ns/op")
+	wobble = strings.ReplaceAll(wobble, "251000 ns/op", "500000 ns/op")
+	if problems := gate(parseBench(wobble), testBaseline()); len(problems) != 0 {
+		t.Fatalf("ns gate rejected within-threshold wobble: %v", problems)
+	}
+	blown := strings.ReplaceAll(sampleOutput, "253000 ns/op", "900000 ns/op")
+	blown = strings.ReplaceAll(blown, "251000 ns/op", "900000 ns/op")
+	problems := gate(parseBench(blown), testBaseline())
+	if len(problems) != 1 || !strings.Contains(problems[0], "ns/op regressed") {
+		t.Fatalf("ns gate problems = %v, want exactly the pooled time regression", problems)
+	}
+}
+
 // TestGateFailsWhenGatedBenchmarkVanishes: deleting the benchmark must
 // not silently disable the gate.
 func TestGateFailsWhenGatedBenchmarkVanishes(t *testing.T) {
 	withoutPooled := strings.ReplaceAll(sampleOutput, "BenchmarkRuntimeRepeatedRun/pooled", "BenchmarkRenamed/pooled")
 	problems := gate(parseBench(withoutPooled), testBaseline())
-	if len(problems) != 1 || !strings.Contains(problems[0], "did not run") {
-		t.Fatalf("gate problems = %v, want a did-not-run failure", problems)
+	// The pooled benchmark is gated on both allocs/op and ns/op, so its
+	// disappearance trips both gates.
+	if len(problems) != 2 || !strings.Contains(problems[0], "did not run") || !strings.Contains(problems[1], "did not run") {
+		t.Fatalf("gate problems = %v, want two did-not-run failures", problems)
 	}
 }
 

@@ -57,6 +57,10 @@ type loadgenReport struct {
 	repairFalls    uint64            // repair attempts that rebuilt instead
 	plannerKind    string            // server's configured kind ("auto" = adaptive)
 	plannerCounts  map[string]uint64 // plan builds by chosen strategy
+	superPlans     uint64            // fused plan builds this run
+	superRows      uint64            // rows those plans cover
+	superFusedRows uint64            // rows inside width >= 2 supernodes
+	superMaxWidth  int               // widest supernode the cache has seen
 }
 
 // throughput returns completed solves per second (requests x batch).
@@ -286,6 +290,10 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		if rep.serverRequests > 0 {
 			rep.coalesceRate = float64(after.Coalesce.Fused-before.Coalesce.Fused) / float64(rep.serverRequests)
 		}
+		rep.superPlans = after.Supernode.FusedPlans - before.Supernode.FusedPlans
+		rep.superRows = after.Supernode.Rows - before.Supernode.Rows
+		rep.superFusedRows = after.Supernode.FusedRows - before.Supernode.FusedRows
+		rep.superMaxWidth = after.Supernode.MaxWidth
 	}
 	return rep, nil
 }
@@ -443,6 +451,10 @@ func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
 		}
 		if len(rep.plannerCounts) > 0 {
 			fmt.Fprintf(w, "  planner: kind=%s decisions: %s\n", rep.plannerKind, formatPlannerCounts(rep.plannerCounts))
+		}
+		if rep.superPlans > 0 {
+			fmt.Fprintf(w, "  supernode: %d fused plans (%d of %d rows fused, max width %d)\n",
+				rep.superPlans, rep.superFusedRows, rep.superRows, rep.superMaxWidth)
 		}
 	}
 }

@@ -68,6 +68,10 @@ func serve(w io.Writer, cfg serveConfig) error {
 		fmt.Fprintf(w, "  planner:        kind=%s decisions: %s\n",
 			stats.Planner.Kind, formatPlannerCounts(stats.Planner.Counts))
 	}
+	if sn := stats.Supernode; sn.FusedPlans > 0 {
+		fmt.Fprintf(w, "  supernode:      %d fused plans: %d nodes over %d rows (%.1f%% fused, max width %d)\n",
+			sn.FusedPlans, sn.Nodes, sn.Rows, 100*sn.FusedFrac, sn.MaxWidth)
+	}
 
 	if cfg.compare {
 		base, _, err := runServePass(w, cfg, 0)

@@ -25,6 +25,7 @@ import (
 	"doconsider/internal/planner"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
+	"doconsider/internal/supernode"
 	"doconsider/internal/synthetic"
 	"doconsider/internal/wavefront"
 )
@@ -82,6 +83,14 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "  source rows    %d (no dependences)\n", s.EmptyRows)
 		fmt.Fprintf(w, "  avg row band   %.1f\n", s.AvgRowBand)
 		fmt.Fprintf(w, "  wavefronts     %d (max width %d)\n", len(hist), maxw)
+		part := supernode.Detect(deps, supernode.Config{})
+		ps := part.Stats()
+		unitWf, err := wavefront.Compute(part.Compress(deps))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  supernodes     %d (%d of %d rows fused, max width %d, %d compressed levels)\n",
+			ps.Nodes, ps.FusedRows, ps.Rows, ps.MaxWidth, len(wavefront.Histogram(unitWf)))
 	}
 	if *spy {
 		if err := a.Spy(w, 64); err != nil {

@@ -33,6 +33,16 @@
 // base_fp+edits drift requests; see the "Structural drift" section of
 // README.md.
 //
+// Execution is supernodal where the structure allows (internal/supernode):
+// runs of consecutive rows with identical or nested dependence patterns
+// fuse into width-capped supernodes, uniform nodes run as unrolled dense
+// blocklet kernels, and the schedule runs over compressed levels — fewer
+// barriers and busy-waits, bit-identical results. The planner prices the
+// fused plan as a fifth candidate, the plan cache keys on fusion identity
+// and re-splices partitions under drift, and DOCONSIDER_FUSE /
+// trisolve.WithFusion force or disable it; see the "Supernodal
+// execution" section of README.md.
+//
 // The implementation lives under internal/; see README.md for the package
 // map, DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this

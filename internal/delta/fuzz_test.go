@@ -9,6 +9,7 @@ import (
 	"doconsider/internal/executor"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
+	"doconsider/internal/supernode"
 	"doconsider/internal/wavefront"
 )
 
@@ -45,6 +46,7 @@ func FuzzRepair(f *testing.F) {
 			t.Fatal(err)
 		}
 		st := NewState(deps, wf, schedule.Global(wf, 4))
+		part := supernode.Detect(deps, supernode.Config{})
 
 		// Drift chain: repair twice from successive states.
 		for step := 0; step < 2; step++ {
@@ -75,8 +77,36 @@ func FuzzRepair(f *testing.F) {
 			}
 			checkSchedule(t, next.Sched, next.Wf)
 
-			// Bit-identical solves: one RHS and a batch of three, repaired
-			// schedule vs from-scratch schedule.
+			// Supernodal invariant: re-splicing the previous partition
+			// around the edited rows lands exactly on fresh detection over
+			// the repaired structure — the identity trisolve's plan cache
+			// relies on to keep drift chains fused.
+			part = supernode.Resplice(part, newDeps, changed)
+			freshPart := supernode.Detect(newDeps, supernode.Config{})
+			if len(part.RowPtr) != len(freshPart.RowPtr) {
+				t.Fatalf("step %d: respliced partition has %d nodes, fresh detection %d",
+					step, part.NumNodes(), freshPart.NumNodes())
+			}
+			for u := range freshPart.RowPtr {
+				if part.RowPtr[u] != freshPart.RowPtr[u] {
+					t.Fatalf("step %d: RowPtr[%d] = %d, want %d", step, u, part.RowPtr[u], freshPart.RowPtr[u])
+				}
+			}
+			for u := range freshPart.Uniform {
+				if part.Uniform[u] != freshPart.Uniform[u] {
+					t.Fatalf("step %d: Uniform[%d] = %v, want %v", step, u, part.Uniform[u], freshPart.Uniform[u])
+				}
+			}
+			unitDeps := part.Compress(newDeps)
+			unitWf, err := wavefront.Compute(unitDeps)
+			if err != nil {
+				t.Fatalf("step %d: compressed levels: %v", step, err)
+			}
+			unitSched := schedule.Global(unitWf, 4)
+
+			// Bit-identical solves: one RHS and a batch of three — the
+			// repaired schedule and the compressed (supernodal) schedule
+			// against a from-scratch row schedule.
 			fresh := schedule.Global(ref, 4)
 			for _, k := range []int{1, 3} {
 				bs := make([][]float64, k)
@@ -88,11 +118,16 @@ func FuzzRepair(f *testing.F) {
 				}
 				want := solveAll(t, fresh, newDeps, edited, lower, bs)
 				got := solveAll(t, next.Sched, newDeps, edited, lower, bs)
+				fusedGot := solveAllFused(t, unitSched, unitDeps, part, edited, lower, bs)
 				for j := range want {
 					for i := range want[j] {
 						if want[j][i] != got[j][i] {
 							t.Fatalf("step %d k=%d: x[%d][%d] = %v, want %v (not bit-identical)",
 								step, k, j, i, got[j][i], want[j][i])
+						}
+						if want[j][i] != fusedGot[j][i] {
+							t.Fatalf("step %d k=%d: fused x[%d][%d] = %v, want %v (not bit-identical)",
+								step, k, j, i, fusedGot[j][i], want[j][i])
 						}
 					}
 				}
@@ -158,6 +193,56 @@ func solveAll(t *testing.T, s *schedule.Schedule, deps *wavefront.Deps, factor *
 			}
 		}
 		if _, err := strat.Execute(context.Background(), s, deps, body); err != nil {
+			t.Fatal(err)
+		}
+		xs[j] = x
+	}
+	return xs
+}
+
+// solveAllFused is solveAll over a compressed supernodal schedule: each
+// scheduled index is a partition node whose rows run in order with the
+// same per-row arithmetic, so results must be bit-identical to the
+// row-wise schedules.
+func solveAllFused(t *testing.T, s *schedule.Schedule, unitDeps *wavefront.Deps, part *supernode.Partition, factor *sparse.CSR, lower bool, bs [][]float64) [][]float64 {
+	t.Helper()
+	n := factor.N
+	inv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := factor.At(i, i)
+		if d == 0 {
+			t.Fatal("zero diagonal in generated factor")
+		}
+		inv[i] = 1 / d
+	}
+	strat, err := executor.Sequential.NewStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(x, b []float64, i int) {
+		cols, vals := factor.Row(i)
+		sum := b[i]
+		for k, c := range cols {
+			if int(c) != i {
+				sum -= vals[k] * x[c]
+			}
+		}
+		x[i] = sum * inv[i]
+	}
+	xs := make([][]float64, len(bs))
+	for j, b := range bs {
+		x := make([]float64, n)
+		body := func(u int32) {
+			lo, hi := part.Rows(int(u))
+			for k := lo; k < hi; k++ {
+				i := int(k)
+				if !lower {
+					i = n - 1 - i
+				}
+				row(x, b, i)
+			}
+		}
+		if _, err := strat.Execute(context.Background(), s, unitDeps, body); err != nil {
 			t.Fatal(err)
 		}
 		xs[j] = x

@@ -20,8 +20,9 @@ import (
 // calibFileVersion guards the persisted calibration schema: bumping it
 // invalidates stale files so a model change recalibrates instead of
 // misreading old constants (version 2 added Parallelism; version 3 added
-// the repair-vs-rebuild pricing constants).
-const calibFileVersion = 3
+// the repair-vs-rebuild pricing constants; version 4 added the fused
+// per-row discount TRowFused).
+const calibFileVersion = 4
 
 // calibFile is the on-disk calibration record.
 type calibFile struct {

@@ -47,6 +47,29 @@ type Features struct {
 	// striped natural order would busy-wait on indices later in the same
 	// worker's own list.
 	Backward bool `json:"backward"`
+
+	// Fusion, when non-nil, describes the supernode partition the caller
+	// detected over this structure (internal/supernode) and makes the
+	// supernodal executor a candidate. Callers that cannot execute fused
+	// units — core.New over a bare Deps, pinned-kind plans — leave it nil
+	// and the planner never chooses fusion, mirroring how the advisory
+	// Reorder field is ignored by callers without a matrix to rank.
+	Fusion *Fusion `json:"fusion,omitempty"`
+}
+
+// Fusion summarizes a supernode partition for cost-model pricing: the
+// unit-level structure after fusing runs of rows into single scheduling
+// units. The per-row arithmetic is unchanged by fusion — only the
+// scheduling-unit count, dependence-check count and barrier count shrink.
+type Fusion struct {
+	Nodes     int `json:"nodes"`      // scheduling units after fusion
+	FusedRows int `json:"fused_rows"` // rows inside nodes of width >= 2
+	MaxWidth  int `json:"max_width"`  // widest node
+	// Unit-level DAG shape, measured like the row-level LevelSum/Levels
+	// but over the compressed dependence structure.
+	UnitEdges    int `json:"unit_edges"`
+	UnitLevels   int `json:"unit_levels"`
+	UnitLevelSum int `json:"unit_level_sum"` // Σ_l ceil(unit_width_l / P)
 }
 
 // Analyze measures deps (with wavefront numbers wf, as computed by the

@@ -10,6 +10,8 @@ import (
 
 	"doconsider/internal/planner"
 	"doconsider/internal/problems"
+	"doconsider/internal/supernode"
+	"doconsider/internal/wavefront"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/decisions.golden from current planner output")
@@ -27,18 +29,43 @@ const goldenProcs = 4
 func TestGoldenDecisions(t *testing.T) {
 	var sb strings.Builder
 	sb.WriteString("# planner decisions over the problem suite\n")
-	fmt.Fprintf(&sb, "# model=default procs=%d; columns: problem features -> strategy/reorder\n", goldenProcs)
+	fmt.Fprintf(&sb, "# model=default procs=%d; columns: problem features -> strategy[+fused]/reorder\n", goldenProcs)
 	for _, name := range problems.AllNames() {
 		p, err := problems.Get(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		f := planner.Analyze(p.Deps, p.Wf, goldenProcs)
+		// Price the fifth (supernodal) candidate the way trisolve's
+		// adaptive path does: detect the partition, compress the DAG,
+		// and hand the planner the unit-level shape.
+		part := supernode.Detect(p.Deps, supernode.Config{})
+		unitDeps := part.Compress(p.Deps)
+		unitWf, err := wavefront.Compute(unitDeps)
+		if err != nil {
+			t.Fatalf("%s: compressed levels: %v", name, err)
+		}
+		st := part.Stats()
+		fu := &planner.Fusion{
+			Nodes:     st.Nodes,
+			FusedRows: st.FusedRows,
+			MaxWidth:  st.MaxWidth,
+			UnitEdges: unitDeps.Edges(),
+		}
+		for _, w := range wavefront.Histogram(unitWf) {
+			fu.UnitLevels++
+			fu.UnitLevelSum += (w + goldenProcs - 1) / goldenProcs
+		}
+		f.Fusion = fu
 		d := planner.Select(f, planner.Default())
+		strat := fmt.Sprint(d.Strategy)
+		if d.Fused {
+			strat += "+fused"
+		}
 		fmt.Fprintf(&sb,
-			"%-10s n=%-6d edges=%-6d levels=%-4d maxw=%-4d avgw=%-7.1f dist=%-7.1f levelsum=%-6d natsteps=%-6d -> %s/%s\n",
+			"%-10s n=%-6d edges=%-6d levels=%-4d maxw=%-4d avgw=%-7.1f dist=%-7.1f levelsum=%-6d natsteps=%-6d nodes=%-6d fusedrows=%-6d -> %s/%s\n",
 			name, f.N, f.Edges, f.Levels, f.MaxWidth, f.AvgWidth, f.MeanDist, f.LevelSum, f.NatSteps,
-			d.Strategy, d.Reorder)
+			fu.Nodes, fu.FusedRows, strat, d.Reorder)
 	}
 	got := sb.String()
 

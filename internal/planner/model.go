@@ -23,6 +23,13 @@ type CostModel struct {
 	TSpin  float64 `json:"t_spin"`  // one not-ready busy-wait round (check + Gosched)
 	TPass  float64 `json:"t_pass"`  // fixed parallel pass overhead: waking and retiring workers
 
+	// TRowFused is the per-row fixed cost of a row executed inside a
+	// supernode beyond the node's first: the fused kernels pay one body
+	// dispatch and one set of dependence checks per node, so trailing
+	// rows cost only their loop header and bounds setup. Policy-grade
+	// like the repair constants — Calibrate leaves it at its default.
+	TRowFused float64 `json:"t_row_fused"`
+
 	// Parallelism is the hardware parallelism the host can actually
 	// deliver (GOMAXPROCS at calibration time); 0 — the canonical
 	// default — trusts the plan's processor count. A plan configured for
@@ -71,6 +78,7 @@ type CostModel struct {
 func Default() *CostModel {
 	return &CostModel{
 		TRow:            25e-9,
+		TRowFused:       10e-9,
 		TDep:            6e-9,
 		TCheck:          4e-9,
 		TSpin:           120e-9,
@@ -186,6 +194,48 @@ func (m *CostModel) Predict(f Features, kind executor.Kind) float64 {
 	}
 }
 
+// PredictFused estimates the wall time, in seconds, of one supernodal
+// executor pass: rows run inside fused units, so only the first row of
+// each node pays the full per-unit cost (dispatch, ready checks) while
+// trailing rows pay TRowFused, and the parallel makespan is measured in
+// units over the compressed level structure. Features without fusion
+// data — or kinds the fused kernels don't target — predict +Inf so
+// Select can iterate candidates without special cases.
+func (m *CostModel) PredictFused(f Features, kind executor.Kind) float64 {
+	fu := f.Fusion
+	if fu == nil || fu.Nodes <= 0 {
+		return math.Inf(1)
+	}
+	nodes := float64(fu.Nodes)
+	n := float64(f.N)
+	edges := float64(f.Edges)
+	p := float64(f.P)
+	if p < 1 {
+		p = 1
+	}
+	eff := p
+	if m.Parallelism > 0 && float64(m.Parallelism) < eff {
+		eff = float64(m.Parallelism)
+	}
+	// Per-pass compute: one full row cost per node, the discounted cost
+	// for every fused trailing row, and the unchanged per-dependence
+	// arithmetic (fusion removes checks and dispatch, not flops).
+	compute := nodes*m.TRow + (n-nodes)*m.TRowFused + edges*m.TDep
+	switch kind {
+	case executor.Sequential:
+		return compute
+	case executor.Pooled:
+		steps := float64(fu.UnitLevelSum)
+		if w := nodes / eff; w > steps {
+			steps = w
+		}
+		unit := compute / nodes
+		return steps*unit*(1+m.Scatter) + float64(fu.UnitEdges)/p*m.TCheck + m.TPass
+	default:
+		return math.Inf(1)
+	}
+}
+
 // Validate rejects models whose constants are non-positive or non-finite
 // — a corrupt calibration file must fall back to defaults, not produce
 // NaN predictions that compare false against everything.
@@ -198,6 +248,7 @@ func (m *CostModel) Validate() error {
 		{"t_spin", m.TSpin}, {"t_pass", m.TPass},
 		{"t_inspect_row", m.TInspectRow}, {"t_inspect_dep", m.TInspectDep},
 		{"t_repair_row", m.TRepairRow}, {"t_cone_row", m.TConeRow},
+		{"t_row_fused", m.TRowFused},
 	} {
 		if !(c.v > 0) || math.IsInf(c.v, 0) {
 			return fmt.Errorf("planner: cost model %s = %v, want finite > 0", c.name, c.v)

@@ -74,6 +74,15 @@ type Decision struct {
 	PredSequential float64
 	PredPooled     float64
 	PredDoAcross   float64
+	// PredSupernodal is the best fused-execution prediction (sequential
+	// or pooled over supernode units); 0 when the caller supplied no
+	// fusion data and the candidate was not priced.
+	PredSupernodal float64
+	// Fused reports that the supernodal candidate won: the caller should
+	// execute fused units (Strategy names the executor kind the units run
+	// on). Like Reorder it is advisory — callers without fused kernels
+	// never set Features.Fusion and never see it.
+	Fused bool
 	// Pinned reports that DOCONSIDER_STRATEGY forced the strategy and the
 	// predictions were not consulted.
 	Pinned bool
@@ -85,21 +94,32 @@ func (d Decision) String() string {
 	if d.Pinned {
 		pin = " (pinned)"
 	}
-	return fmt.Sprintf("%s/%s%s [n=%d edges=%d levels=%d maxw=%d; seq=%.1fµs pool=%.1fµs doacross=%.1fµs]",
-		d.Strategy, d.Reorder, pin,
+	fused := ""
+	if d.Fused {
+		fused = "+fused"
+	}
+	super := ""
+	if d.Features.Fusion != nil {
+		super = fmt.Sprintf(" super=%.1fµs", d.PredSupernodal*1e6)
+	}
+	return fmt.Sprintf("%s%s/%s%s [n=%d edges=%d levels=%d maxw=%d; seq=%.1fµs pool=%.1fµs doacross=%.1fµs%s]",
+		d.Strategy, fused, d.Reorder, pin,
 		d.Features.N, d.Features.Edges, d.Features.Levels, d.Features.MaxWidth,
-		d.PredSequential*1e6, d.PredPooled*1e6, d.PredDoAcross*1e6)
+		d.PredSequential*1e6, d.PredPooled*1e6, d.PredDoAcross*1e6, super)
 }
 
 // Select picks the execution strategy and reordering for a dependence
 // structure with features f under cost model m (nil means the
 // host-calibrated model, see ForHost). The candidates are the trio the
-// serving paths register by default: sequential (tiny or chain-like
+// serving paths register by default — sequential (tiny or chain-like
 // DAGs, where any coordination costs more than the work), pooled
 // (persistent workers over the wavefront-sorted schedule — the general
 // parallel case), and doacross (busy-wait execution in natural order,
 // which wins when the original order already respects the wavefronts
-// and the wavefront sort would only scatter locality).
+// and the wavefront sort would only scatter locality) — plus, when the
+// caller supplied fusion data (Features.Fusion), the supernodal executor:
+// fused units on the sequential or pooled kind over the compressed level
+// structure.
 func Select(f Features, m *CostModel) Decision {
 	if m == nil {
 		m = ForHost()
@@ -109,6 +129,15 @@ func Select(f Features, m *CostModel) Decision {
 		PredSequential: m.Predict(f, executor.Sequential),
 		PredPooled:     m.Predict(f, executor.Pooled),
 		PredDoAcross:   m.Predict(f, executor.DoAcross),
+	}
+	fusedKind := executor.Sequential
+	if f.Fusion != nil {
+		d.PredSupernodal = m.PredictFused(f, executor.Sequential)
+		if f.P > 1 {
+			if fp := m.PredictFused(f, executor.Pooled); fp < d.PredSupernodal {
+				d.PredSupernodal, fusedKind = fp, executor.Pooled
+			}
+		}
 	}
 	if k, ok := pinnedKind(); ok {
 		d.Strategy = k
@@ -132,13 +161,19 @@ func Select(f Features, m *CostModel) Decision {
 				d.Strategy, best = executor.DoAcross, d.PredDoAcross
 			}
 		}
+		// The supernodal candidate must strictly beat every row-wise
+		// candidate, keeping the tie-break deterministic.
+		if f.Fusion != nil && d.PredSupernodal < best {
+			d.Strategy, d.Fused = fusedKind, true
+		}
 	}
 	// Reordering is worth a plan-time RCM pass only when the structure is
 	// scattered (long mean dependence distance relative to the matrix
 	// order), big enough for cache effects to matter, and actually going
 	// to run in parallel. It is advisory: only callers holding the matrix
-	// (trisolve) can rank rows.
-	if d.Strategy != executor.Sequential && f.N >= m.ReorderMinN && f.DistFrac > m.ReorderDistFrac {
+	// (trisolve) can rank rows. Fused plans schedule units, not rows, so
+	// a within-level row rank has nothing to rank and fusion skips it.
+	if d.Strategy != executor.Sequential && !d.Fused && f.N >= m.ReorderMinN && f.DistFrac > m.ReorderDistFrac {
 		d.Reorder = ReorderRCM
 	}
 	return d

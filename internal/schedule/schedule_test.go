@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"doconsider/internal/stencil"
+	"doconsider/internal/supernode"
 	"doconsider/internal/wavefront"
 )
 
@@ -248,5 +249,89 @@ func TestMoreProcsThanIndices(t *testing.T) {
 	}
 	if total != 2 {
 		t.Errorf("scheduled %d indices, want 2", total)
+	}
+}
+
+// compressedWavefronts builds the unit-level wavefront vector of a
+// supernode-compressed mesh factor: far fewer units than rows, with
+// levels whose widths collapse unevenly under fusion.
+func compressedWavefronts(m, n, maxWidth int) []int32 {
+	a := stencil.Laplace2D(m, n)
+	deps := wavefront.FromLower(a.LowerWithDiag())
+	part := supernode.Detect(deps, supernode.Config{MaxWidth: maxWidth})
+	unit := part.Compress(deps)
+	wf, err := wavefront.Compute(unit)
+	if err != nil {
+		panic(err)
+	}
+	return wf
+}
+
+// TestFromOrderCompressedLevels pins FromOrder/Order round trips on the
+// level shapes supernodal compression produces: a single unit spanning a
+// whole level, alternating singleton/fused runs, and far fewer units
+// than the row count that fed them.
+func TestFromOrderCompressedLevels(t *testing.T) {
+	cases := []struct {
+		name string
+		wf   []int32
+	}{
+		{"mesh-compressed", compressedWavefronts(9, 6, 8)},
+		{"mesh-tight-cap", compressedWavefronts(12, 12, 2)},
+		// One unit alone on its level (a supernode that swallowed the
+		// level), between wider levels.
+		{"singleton-level", []int32{0, 0, 0, 1, 2, 2}},
+		// Alternating singleton/fused-run levels of width 1 and 2.
+		{"alternating", []int32{0, 1, 1, 2, 3, 3, 4}},
+		// A pure chain after maximal fusion: every level width 1.
+		{"chain", []int32{0, 1, 2, 3}},
+		// Degenerate orders.
+		{"single-unit", []int32{0}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		for _, p := range []int{1, 2, 4, 7} {
+			s := Global(tc.wf, p)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s/p=%d: %v", tc.name, p, err)
+			}
+			order := s.Order()
+			// Order is wavefront-sorted and FromOrder(Order) reproduces
+			// the schedule exactly.
+			for k := 1; k < len(order); k++ {
+				if tc.wf[order[k-1]] > tc.wf[order[k]] {
+					t.Fatalf("%s/p=%d: order positions %d,%d descend levels", tc.name, p, k-1, k)
+				}
+			}
+			s2 := FromOrder(tc.wf, order, p)
+			if err := s2.Validate(); err != nil {
+				t.Fatalf("%s/p=%d: round trip: %v", tc.name, p, err)
+			}
+			if !reflect.DeepEqual(s.Idx, s2.Idx) || !reflect.DeepEqual(s.PhasePtr, s2.PhasePtr) || s.NumPhases != s2.NumPhases {
+				t.Fatalf("%s/p=%d: FromOrder(Order()) does not reproduce the schedule", tc.name, p)
+			}
+		}
+	}
+}
+
+// TestFromOrderEmptyInteriorLevel pins the empty-phase behavior an
+// incremental (repaired or re-spliced) wavefront vector can exhibit: a
+// level number with no units still yields a structurally valid schedule
+// with an empty phase rather than a collapsed or misassigned one.
+func TestFromOrderEmptyInteriorLevel(t *testing.T) {
+	wf := []int32{0, 0, 2, 2, 2} // level 1 empty after compression
+	for _, p := range []int{1, 3} {
+		s := Global(wf, p)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if s.NumPhases != 3 {
+			t.Fatalf("p=%d: phases = %d, want 3 (empty interior level kept)", p, s.NumPhases)
+		}
+		order := s.Order()
+		s2 := FromOrder(wf, order, p)
+		if !reflect.DeepEqual(s.Idx, s2.Idx) || !reflect.DeepEqual(s.PhasePtr, s2.PhasePtr) {
+			t.Fatalf("p=%d: round trip differs with empty interior level", p)
+		}
 	}
 }

@@ -168,6 +168,10 @@ type StatsResponse struct {
 	// structures: plan misses served by repairing a resident ancestor
 	// instead of a cold re-inspection.
 	Delta trisolve.DeltaStats `json:"delta"`
+	// Supernode reports the supernodal fusion outcomes of the cache's
+	// plan builds: node counts, widths and the fused-row fraction
+	// (internal/supernode).
+	Supernode trisolve.SupernodeStats `json:"supernode"`
 }
 
 // cachedFactor is a factor resident in the by-fingerprint cache, tagged
@@ -274,6 +278,22 @@ func New(cfg Config) (*Server, error) {
 		reg.GaugeFunc("loops_plan_repair", "near-miss plan repair counters by event", Labels{{"event", ds.name}},
 			func() float64 { return f(cache.DeltaStats()) })
 	}
+	// Supernodal fusion outcomes of plan builds.
+	for _, ss := range []struct {
+		name string
+		f    func(trisolve.SupernodeStats) float64
+	}{
+		{"fused_plans", func(st trisolve.SupernodeStats) float64 { return float64(st.FusedPlans) }},
+		{"nodes", func(st trisolve.SupernodeStats) float64 { return float64(st.Nodes) }},
+		{"fused_rows", func(st trisolve.SupernodeStats) float64 { return float64(st.FusedRows) }},
+		{"max_width", func(st trisolve.SupernodeStats) float64 { return float64(st.MaxWidth) }},
+	} {
+		f := ss.f
+		reg.GaugeFunc("loops_supernode", "supernodal fusion counters by event", Labels{{"event", ss.name}},
+			func() float64 { return f(cache.SupernodeStats()) })
+	}
+	reg.GaugeFunc("loops_supernode_fused_frac", "fraction of planned rows inside fused supernodes", nil,
+		func() float64 { return cache.SupernodeStats().FusedFrac })
 	factors := s.factors
 	reg.GaugeFunc("loops_factor_cache", "factor cache counters by event", Labels{{"event", "resident"}},
 		func() float64 { return float64(factors.Stats().Resident) })
@@ -401,6 +421,7 @@ func (s *Server) Stats() StatsResponse {
 		FactorCache:   s.factors.Stats(),
 		Coalesce:      s.co.Stats(),
 		Delta:         s.cache.DeltaStats(),
+		Supernode:     s.cache.SupernodeStats(),
 		Planner: PlannerStats{
 			Kind:      s.cfg.Kind,
 			Counts:    s.cache.DecisionCounts(),

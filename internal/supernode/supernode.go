@@ -1,0 +1,451 @@
+// Package supernode detects runs of consecutive loop iterations whose
+// dependence patterns are identical, nested, or chained, and fuses each
+// run into a single scheduling unit — a supernode. Fusion attacks the
+// per-iteration overhead the paper's cost accounting (§5.1.2) charges to
+// every scheduled unit: body dispatch, dependence checks, and a share of
+// each wavefront barrier. Merging w rows into one node divides that
+// overhead by w and compresses the level structure (a chain of w rows
+// that spanned w wavefronts becomes one unit in one), so the executor
+// pays fewer, coarser synchronization steps.
+//
+// Detection runs in iteration space over the inspector's dependence
+// structure (wavefront.Deps), so it is direction-agnostic: forward solves
+// use row numbers directly and backward solves use the reflected
+// numbering of wavefront.FromUpper. Three patterns fuse row i+1 into the
+// node ending at row i:
+//
+//   - identical: i+1's dependence list equals the node's first row's —
+//     the rows form a dense blocklet sharing one packed column map, which
+//     the executor can run with an unrolled multi-row kernel;
+//   - chained: i+1 depends on i itself, so the pair is sequential no
+//     matter how it is scheduled and fusing it costs no parallelism that
+//     existed (this is the level-compression case: mesh ILU factors are
+//     long chains of such rows);
+//   - nested: i+1's external dependences (those reaching before the node)
+//     are a subset or superset of the node's own, so the fused unit's
+//     dependence set stays small and the rows likely share cache lines.
+//
+// A Partition is a pure function of the dependence structure and the
+// width cap, never of numeric values, which lets plan caches share it and
+// lets Resplice repair it under structural drift by re-detecting only
+// around the edited rows.
+package supernode
+
+import (
+	"sort"
+
+	"doconsider/internal/wavefront"
+)
+
+// DefaultMaxWidth caps supernode width when Config.MaxWidth is zero.
+// Eight rows is wide enough to amortize dispatch and compress mesh-factor
+// chains substantially, while keeping the serialization a node imposes on
+// its rows below the scale the planner's level-sum pricing works at.
+const DefaultMaxWidth = 8
+
+// Config bounds detection.
+type Config struct {
+	// MaxWidth caps the number of rows fused into one node; 0 means
+	// DefaultMaxWidth.
+	MaxWidth int
+}
+
+func (c Config) maxWidth() int {
+	if c.MaxWidth > 0 {
+		return c.MaxWidth
+	}
+	return DefaultMaxWidth
+}
+
+// Partition is a supernode decomposition of an iteration space: node u
+// covers iterations RowPtr[u] .. RowPtr[u+1]-1. Nodes cover the space
+// exactly, in order, so the partition is fully described by its
+// boundaries. A Partition is immutable once built.
+type Partition struct {
+	N        int // iterations covered (RowPtr[len(RowPtr)-1])
+	MaxWidth int // the width cap detection ran with; Resplice reuses it
+	RowPtr   []int32
+	// Uniform marks nodes of width >= 2 whose rows all carry identical
+	// dependence lists — the blocklet case a multi-row unrolled kernel
+	// can execute over one shared column map.
+	Uniform []bool
+}
+
+// NumNodes returns the number of supernodes.
+func (p *Partition) NumNodes() int { return len(p.RowPtr) - 1 }
+
+// Rows returns the half-open iteration range [lo, hi) of node u.
+func (p *Partition) Rows(u int) (lo, hi int32) { return p.RowPtr[u], p.RowPtr[u+1] }
+
+// Width returns the number of rows fused into node u.
+func (p *Partition) Width(u int) int { return int(p.RowPtr[u+1] - p.RowPtr[u]) }
+
+// NodeOf returns the iteration→node map.
+func (p *Partition) NodeOf() []int32 {
+	nodeOf := make([]int32, p.N)
+	for u := 0; u < p.NumNodes(); u++ {
+		for r := p.RowPtr[u]; r < p.RowPtr[u+1]; r++ {
+			nodeOf[r] = int32(u)
+		}
+	}
+	return nodeOf
+}
+
+// Stats summarizes a partition for planner pricing and serving stats.
+type Stats struct {
+	Rows       int     `json:"rows"`
+	Nodes      int     `json:"nodes"`
+	Singletons int     `json:"singletons"` // width-1 nodes
+	Blocklets  int     `json:"blocklets"`  // uniform nodes (width >= 2)
+	FusedRows  int     `json:"fused_rows"` // rows inside nodes of width >= 2
+	MaxWidth   int     `json:"max_width"`
+	MeanWidth  float64 `json:"mean_width"` // Rows / Nodes
+	FusedFrac  float64 `json:"fused_frac"` // FusedRows / Rows
+}
+
+// Stats measures the partition.
+func (p *Partition) Stats() Stats {
+	s := Stats{Rows: p.N, Nodes: p.NumNodes()}
+	for u := 0; u < s.Nodes; u++ {
+		w := p.Width(u)
+		if w > s.MaxWidth {
+			s.MaxWidth = w
+		}
+		if w == 1 {
+			s.Singletons++
+			continue
+		}
+		s.FusedRows += w
+		if p.Uniform[u] {
+			s.Blocklets++
+		}
+	}
+	if s.Nodes > 0 {
+		s.MeanWidth = float64(s.Rows) / float64(s.Nodes)
+	}
+	if s.Rows > 0 {
+		s.FusedFrac = float64(s.FusedRows) / float64(s.Rows)
+	}
+	return s
+}
+
+// Detect scans the iteration space of deps in order and fuses runs of
+// consecutive iterations under the package's three rules, bounded by the
+// width cap. The result depends only on (deps, cfg) — detection is
+// deterministic, which Resplice relies on to splice a drifted partition
+// instead of rescanning it.
+func Detect(deps *wavefront.Deps, cfg Config) *Partition {
+	max := cfg.maxWidth()
+	p := &Partition{N: deps.N, MaxWidth: max}
+	if deps.N == 0 {
+		p.RowPtr = []int32{0}
+		p.Uniform = []bool{}
+		return p
+	}
+	s := newScanner(deps, max)
+	s.open(0)
+	for i := int32(1); i < int32(deps.N); i++ {
+		if !s.step(i) {
+			s.flush()
+			s.open(i)
+		}
+	}
+	s.flush()
+	p.RowPtr, p.Uniform = s.rowPtr, s.uniform
+	return p
+}
+
+// Compress builds the unit-level dependence structure of a partition:
+// node u depends on node v when any row of u depends on a row of v.
+// Intra-node dependences vanish — they are honored by the kernel's
+// in-order row sweep inside the node — and duplicate edges are removed.
+// Because nodes cover ascending iteration ranges and every row dependence
+// points backward, every unit dependence points backward too, so the
+// result feeds wavefront.Compute directly for the compressed levels.
+func (p *Partition) Compress(deps *wavefront.Deps) *wavefront.Deps {
+	nodes := p.NumNodes()
+	nodeOf := p.NodeOf()
+	out := &wavefront.Deps{N: nodes, Ptr: make([]int32, nodes+1)}
+	seen := make([]int32, nodes)
+	for i := range seen {
+		seen[i] = -1
+	}
+	idx := make([]int32, 0, deps.Edges())
+	for u := 0; u < nodes; u++ {
+		for r := p.RowPtr[u]; r < p.RowPtr[u+1]; r++ {
+			for _, t := range deps.On(int(r)) {
+				v := nodeOf[t]
+				if int(v) != u && seen[v] != int32(u) {
+					seen[v] = int32(u)
+					idx = append(idx, v)
+				}
+			}
+		}
+		out.Ptr[u+1] = int32(len(idx))
+	}
+	out.Idx = idx
+	return out
+}
+
+// Resplice repairs a partition after structural drift: deps is the new
+// dependence structure and changed lists (sorted ascending, iteration
+// space) every iteration whose dependence list differs from the structure
+// old was detected on. Nodes away from the edits are kept; around each
+// edited cluster, detection re-runs from the enclosing node's start until
+// a produced boundary coincides with an old boundary again, at which
+// point the remaining old nodes replay verbatim. Because detection
+// decisions are local to a node — they depend only on the node's start
+// and its rows' dependence lists, never on the wavefront numbers — the
+// result is identical to Detect(deps, Config{MaxWidth: old.MaxWidth}).
+func Resplice(old *Partition, deps *wavefront.Deps, changed []int32) *Partition {
+	cfg := Config{MaxWidth: old.MaxWidth}
+	if deps.N != old.N {
+		// Drift that changes the order is outside the splice contract.
+		return Detect(deps, cfg)
+	}
+	changed = normalizeChanged(changed, old.N)
+	if len(changed) == 0 || deps.N == 0 {
+		return old
+	}
+	max := cfg.maxWidth()
+	s := newScanner(deps, max)
+	nodes := old.NumNodes()
+	ci := 0
+	ou := 0
+	for ou < nodes {
+		lo, hi := old.RowPtr[ou], old.RowPtr[ou+1]
+		for ci < len(changed) && changed[ci] < lo {
+			ci++
+		}
+		if ci == len(changed) || changed[ci] > hi {
+			// Node untouched by the remaining edits — including the row at
+			// its end boundary, whose (unchanged) pattern is what decided
+			// the flush: replay it.
+			s.copyNode(hi, old.Uniform[ou])
+			ou++
+			continue
+		}
+		// Edited row inside this node: re-detect from its start until a
+		// fresh boundary lands on an old one past the consumed edits.
+		s.open(lo)
+		pos := lo + 1
+		resynced := false
+		for pos < int32(old.N) {
+			if s.step(pos) {
+				pos++
+				continue
+			}
+			s.flush()
+			for ci < len(changed) && changed[ci] < pos {
+				ci++
+			}
+			for ou < nodes && old.RowPtr[ou+1] <= pos {
+				ou++
+			}
+			if ou < nodes && old.RowPtr[ou] == pos {
+				resynced = true
+				break
+			}
+			s.open(pos)
+			pos++
+		}
+		if !resynced {
+			s.flush()
+			ou = nodes
+		}
+	}
+	return &Partition{N: old.N, MaxWidth: max, RowPtr: s.rowPtr, Uniform: s.uniform}
+}
+
+// normalizeChanged sorts (when needed), deduplicates and bounds the
+// changed-iteration list without modifying the caller's slice.
+func normalizeChanged(changed []int32, n int) []int32 {
+	sorted := true
+	for i := 1; i < len(changed); i++ {
+		if changed[i] < changed[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		cp := make([]int32, len(changed))
+		copy(cp, changed)
+		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		changed = cp
+	}
+	out := changed[:0:0]
+	var prev int32 = -1
+	for _, r := range changed {
+		if r < 0 || int(r) >= n || r == prev {
+			continue
+		}
+		out = append(out, r)
+		prev = r
+	}
+	return out
+}
+
+// scanner is the incremental detector shared by Detect and Resplice. A
+// node is grown one row at a time; flush records its boundary and
+// blocklet flag.
+type scanner struct {
+	deps *wavefront.Deps
+	max  int
+
+	rowPtr  []int32
+	uniform []bool
+
+	start int32 // current node's first iteration
+	width int
+	uni   bool    // all rows so far share the first row's dependence list
+	ext   []int32 // ascending union of the node rows' external deps (< start)
+
+	scratch []int32 // candidate's external deps, ascending
+	mergeTo []int32 // spare buffer swapped with ext on union merges
+}
+
+func newScanner(deps *wavefront.Deps, max int) *scanner {
+	return &scanner{deps: deps, max: max, rowPtr: make([]int32, 1, 16)}
+}
+
+// open starts a new node at iteration i; the previous node must have been
+// flushed.
+func (s *scanner) open(i int32) {
+	s.start, s.width, s.uni = i, 1, true
+	s.ext = extAscending(s.deps.On(int(i)), i, s.ext[:0])
+}
+
+// flush records the current node's end boundary and blocklet flag.
+func (s *scanner) flush() {
+	s.rowPtr = append(s.rowPtr, s.start+int32(s.width))
+	s.uniform = append(s.uniform, s.uni && s.width > 1)
+}
+
+// copyNode replays a node ending at boundary end with a known flag; used
+// by Resplice for stretches untouched by drift.
+func (s *scanner) copyNode(end int32, uniform bool) {
+	s.rowPtr = append(s.rowPtr, end)
+	s.uniform = append(s.uniform, uniform)
+}
+
+// step examines iteration i (which must be start+width) and reports
+// whether it was absorbed into the current node; false means the caller
+// must flush and open a new node at i.
+func (s *scanner) step(i int32) bool {
+	if s.width >= s.max {
+		return false
+	}
+	cand := s.deps.On(int(i))
+	// identical: the blocklet rule. The first row's dependences all
+	// precede the node, so list equality implies the candidate has no
+	// intra-node dependence either.
+	if s.uni && equalLists(cand, s.deps.On(int(s.start))) {
+		s.width++
+		return true
+	}
+	ce := extAscending(cand, s.start, s.scratch[:0])
+	s.scratch = ce
+	// chained: i depends on i-1. i-1 is the largest value a backward
+	// dependence of i can take, so if present it sits at whichever end of
+	// the (value-ordered) list holds the maximum.
+	chained := len(cand) > 0 && (cand[0] == i-1 || cand[len(cand)-1] == i-1)
+	if !chained {
+		// nested: the candidate must genuinely share structure with the
+		// node — reference an in-node row, or carry external deps that
+		// nest with the node's. An independent row fuses only with
+		// identical rows (handled above), never by the vacuous
+		// empty-subset reading of "nested".
+		hasIntra := len(cand) != len(ce)
+		nested := (subsetAsc(ce, s.ext) && (hasIntra || len(ce) > 0)) ||
+			(len(s.ext) > 0 && subsetAsc(s.ext, ce))
+		if !nested {
+			return false
+		}
+	}
+	s.uni = false
+	s.width++
+	s.mergeExt(ce)
+	return true
+}
+
+// mergeExt unions the candidate's external deps into the node's, keeping
+// the ascending order. Buffers are swapped, not reallocated, so a long
+// scan settles into two reused slices.
+func (s *scanner) mergeExt(ce []int32) {
+	if len(ce) == 0 {
+		return
+	}
+	buf := s.mergeTo[:0]
+	i, j := 0, 0
+	for i < len(s.ext) && j < len(ce) {
+		a, b := s.ext[i], ce[j]
+		switch {
+		case a < b:
+			buf = append(buf, a)
+			i++
+		case a > b:
+			buf = append(buf, b)
+			j++
+		default:
+			buf = append(buf, a)
+			i++
+			j++
+		}
+	}
+	buf = append(buf, s.ext[i:]...)
+	buf = append(buf, ce[j:]...)
+	s.mergeTo = s.ext
+	s.ext = buf
+}
+
+// extAscending appends the entries of cand smaller than start to out in
+// ascending order. Dependence lists are value-ordered by construction
+// (FromLower ascending, FromUpper descending), so a reversed walk covers
+// the descending case without sorting.
+func extAscending(cand []int32, start int32, out []int32) []int32 {
+	if len(cand) >= 2 && cand[0] > cand[len(cand)-1] {
+		for j := len(cand) - 1; j >= 0; j-- {
+			if cand[j] < start {
+				out = append(out, cand[j])
+			}
+		}
+		return out
+	}
+	for _, t := range cand {
+		if t < start {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// equalLists reports element-wise equality. Within one dependence
+// structure the list order is a pure function of the value set, so this
+// is set equality for lists from the same Deps.
+func equalLists(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetAsc reports whether ascending list a is a subset of ascending
+// list b.
+func subsetAsc(a, b []int32) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j == len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+package supernode
+
+import (
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/wavefront"
+)
+
+// adj builds a Deps whose lists are ascending, matching the value-ordered
+// invariant of the real constructors (FromLower/FromUpper).
+func adj(lists ...[]int32) *wavefront.Deps {
+	return wavefront.FromAdjacency(lists)
+}
+
+func widths(p *Partition) []int {
+	out := make([]int, p.NumNodes())
+	for u := range out {
+		out[u] = p.Width(u)
+	}
+	return out
+}
+
+func TestDetectTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		deps    *wavefront.Deps
+		cfg     Config
+		widths  []int
+		uniform []bool
+	}{
+		{
+			name: "identical-blocklet",
+			// Rows 3..5 all depend on exactly {0, 1}: a uniform blocklet.
+			// Row 2 (independent) separates them from the {0,1} chain node,
+			// and row 3 opens a fresh node because its external deps
+			// conflict with nothing yet nest with nothing either.
+			deps: adj(nil, []int32{0}, nil,
+				[]int32{0, 1}, []int32{0, 1}, []int32{0, 1}),
+			widths:  []int{2, 1, 3},
+			uniform: []bool{false, false, true},
+		},
+		{
+			name: "chain",
+			// Pure chain: each row depends on its predecessor; everything
+			// fuses up to the width cap.
+			deps:    adj(nil, []int32{0}, []int32{1}, []int32{2}, []int32{3}),
+			widths:  []int{5},
+			uniform: []bool{false},
+		},
+		{
+			name: "chain-width-cap",
+			deps: adj(nil, []int32{0}, []int32{1}, []int32{2}, []int32{3},
+				[]int32{4}, []int32{5}),
+			cfg:     Config{MaxWidth: 3},
+			widths:  []int{3, 3, 1},
+			uniform: []bool{false, false, false},
+		},
+		{
+			name: "nested",
+			// Node opens at row 3 with external deps {0, 1}; row 4's {0}
+			// is a subset and row 5's {0, 1, 2} a superset — both fuse
+			// without a chain edge.
+			deps: adj(nil, []int32{0}, nil,
+				[]int32{0, 1}, []int32{0}, []int32{0, 1, 2}),
+			widths:  []int{2, 1, 3},
+			uniform: []bool{false, false, false},
+		},
+		{
+			name: "non-fusable",
+			// Rows 3 and 4 carry disjoint external deps and no chain:
+			// they must stay separate nodes. Row 2's independence also
+			// separates it from the chain node before it.
+			deps:    adj(nil, []int32{0}, nil, []int32{0}, []int32{1}),
+			widths:  []int{2, 1, 1, 1},
+			uniform: []bool{false, false, false, false},
+		},
+		{
+			name: "identical-then-divergent",
+			// A blocklet ends when a row's pattern diverges beyond
+			// nesting: row 5 references {2}, disjoint from {0, 1}.
+			deps: adj(nil, []int32{0}, nil,
+				[]int32{0, 1}, []int32{0, 1}, []int32{2}),
+			widths:  []int{2, 1, 2, 1},
+			uniform: []bool{false, false, true, false},
+		},
+		{
+			name:    "empty",
+			deps:    adj(),
+			widths:  []int{},
+			uniform: []bool{},
+		},
+		{
+			name:    "singleton",
+			deps:    adj([]int32(nil)),
+			widths:  []int{1},
+			uniform: []bool{false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Detect(tc.deps, tc.cfg)
+			if p.N != tc.deps.N {
+				t.Fatalf("N = %d, want %d", p.N, tc.deps.N)
+			}
+			got := widths(p)
+			if len(got) != len(tc.widths) {
+				t.Fatalf("widths = %v, want %v", got, tc.widths)
+			}
+			for u := range got {
+				if got[u] != tc.widths[u] {
+					t.Fatalf("widths = %v, want %v", got, tc.widths)
+				}
+				if p.Uniform[u] != tc.uniform[u] {
+					t.Fatalf("uniform = %v, want %v", p.Uniform, tc.uniform)
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	deps := randomDeps(rand.New(rand.NewSource(7)), 400, 3)
+	p := Detect(deps, Config{})
+	if p.RowPtr[0] != 0 || int(p.RowPtr[p.NumNodes()]) != deps.N {
+		t.Fatalf("partition does not cover the space: %v", p.RowPtr[:2])
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		if p.Width(u) < 1 || p.Width(u) > p.MaxWidth {
+			t.Fatalf("node %d has width %d (cap %d)", u, p.Width(u), p.MaxWidth)
+		}
+		if p.Uniform[u] && p.Width(u) < 2 {
+			t.Fatalf("singleton node %d marked uniform", u)
+		}
+	}
+	st := p.Stats()
+	if st.Rows != deps.N || st.Nodes != p.NumNodes() {
+		t.Fatalf("stats rows/nodes = %d/%d, want %d/%d", st.Rows, st.Nodes, deps.N, p.NumNodes())
+	}
+	if st.FusedRows != st.Rows-st.Singletons {
+		t.Fatalf("stats fused accounting inconsistent: %+v", st)
+	}
+}
+
+func TestCompress(t *testing.T) {
+	// Nodes: A = {0,1} (chain), B = {2} (independent), C = {3,4}
+	// (identical blocklet over {0,1}).
+	deps := adj(nil, []int32{0}, nil, []int32{0, 1}, []int32{0, 1})
+	p := Detect(deps, Config{})
+	if got := widths(p); len(got) != 3 || got[0] != 2 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("widths = %v, want [2 1 2]", got)
+	}
+	unit := p.Compress(deps)
+	if unit.N != 3 {
+		t.Fatalf("unit N = %d, want 3", unit.N)
+	}
+	if err := unit.CheckBackward(); err != nil {
+		t.Fatal(err)
+	}
+	if got := unit.On(0); len(got) != 0 {
+		t.Fatalf("unit 0 deps = %v, want none", got)
+	}
+	if got := unit.On(1); len(got) != 0 {
+		t.Fatalf("unit 1 deps = %v, want none", got)
+	}
+	// C references rows 0 and 1 from both its rows: one deduplicated
+	// unit edge to A.
+	if got := unit.On(2); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("unit 2 deps = %v, want [0]", got)
+	}
+	if unit.Edges() != 1 {
+		t.Fatalf("unit edges = %d, want 1 (deduplicated)", unit.Edges())
+	}
+	// Compressed levels: rows span 3 levels (0, 1, 2), units span 2.
+	uwf, err := wavefront.Compute(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw := wavefront.NumWavefronts(uwf); nw != 2 {
+		t.Fatalf("unit levels = %d, want 2", nw)
+	}
+}
+
+// randomDeps builds a backward dependence structure with ascending lists,
+// mixing chains, repeated patterns and scattered references so detection
+// exercises every rule.
+func randomDeps(rng *rand.Rand, n, maxDeps int) *wavefront.Deps {
+	lists := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // chain
+			lists[i] = []int32{int32(i - 1)}
+		case 1: // copy the previous row's pattern when possible
+			if len(lists[i-1]) > 0 && lists[i-1][len(lists[i-1])-1] < int32(i-1) {
+				lists[i] = append([]int32(nil), lists[i-1]...)
+			}
+		case 2: // scattered backward references
+			k := rng.Intn(maxDeps + 1)
+			seen := map[int32]bool{}
+			for j := 0; j < k; j++ {
+				t := int32(rng.Intn(i))
+				if !seen[t] {
+					seen[t] = true
+					lists[i] = append(lists[i], t)
+				}
+			}
+			sortAsc(lists[i])
+		default: // independent
+		}
+	}
+	return wavefront.FromAdjacency(lists)
+}
+
+func sortAsc(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// TestRespliceMatchesDetect pins the splice contract: repairing around
+// edited rows yields exactly the partition a fresh detection would.
+func TestRespliceMatchesDetect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 20 + rng.Intn(180)
+		old := randomDeps(rng, n, 3)
+		oldPart := Detect(old, Config{})
+
+		// Drift: rewrite a few rows' dependence lists.
+		lists := make([][]int32, n)
+		for i := 0; i < n; i++ {
+			lists[i] = append([]int32(nil), old.On(i)...)
+		}
+		edits := 1 + rng.Intn(4)
+		changed := make([]int32, 0, edits)
+		for e := 0; e < edits; e++ {
+			i := 1 + rng.Intn(n-1)
+			k := rng.Intn(3)
+			nl := []int32(nil)
+			seen := map[int32]bool{}
+			for j := 0; j < k; j++ {
+				tgt := int32(rng.Intn(i))
+				if !seen[tgt] {
+					seen[tgt] = true
+					nl = append(nl, tgt)
+				}
+			}
+			sortAsc(nl)
+			if !equalLists(nl, lists[i]) {
+				lists[i] = nl
+				changed = append(changed, int32(i))
+			}
+		}
+		if len(changed) == 0 {
+			continue
+		}
+		newDeps := wavefront.FromAdjacency(lists)
+		want := Detect(newDeps, Config{})
+		got := Resplice(oldPart, newDeps, changed)
+		if !equalLists(got.RowPtr, want.RowPtr) {
+			t.Fatalf("trial %d: resplice boundaries %v != detect %v (changed %v)",
+				trial, got.RowPtr, want.RowPtr, changed)
+		}
+		for u := range want.Uniform {
+			if got.Uniform[u] != want.Uniform[u] {
+				t.Fatalf("trial %d: resplice uniform flags differ at node %d", trial, u)
+			}
+		}
+	}
+}
+
+// TestRespliceNoChange returns the original partition untouched.
+func TestRespliceNoChange(t *testing.T) {
+	deps := adj(nil, []int32{0}, []int32{1})
+	p := Detect(deps, Config{})
+	if got := Resplice(p, deps, nil); got != p {
+		t.Fatal("resplice with no edits should return the partition unchanged")
+	}
+}

@@ -18,6 +18,7 @@ func ForwardBatchBody(l *sparse.CSR, xs, bs [][]float64) executor.Body {
 	invDiag := invDiagonal(l)
 	return func(i int32) {
 		cols, vals := l.Row(int(i))
+		vals = vals[:len(cols)] // hoist the bounds check out of the loops
 		for j := range xs {
 			x, b := xs[j], bs[j]
 			s := b[i]
@@ -39,6 +40,7 @@ func BackwardBatchBody(u *sparse.CSR, xs, bs [][]float64) executor.Body {
 	return func(k int32) {
 		i := n - 1 - int(k)
 		cols, vals := u.Row(i)
+		vals = vals[:len(cols)] // hoist the bounds check out of the loops
 		for j := range xs {
 			x, b := xs[j], bs[j]
 			s := b[i]
@@ -77,6 +79,7 @@ func ForwardGroupBody(group []BatchProblem) executor.Body {
 		for g := range group {
 			m := &group[g]
 			cols, vals := m.L.Row(int(i))
+			vals = vals[:len(cols)] // hoist the bounds check out of the loops
 			d := inv[g][i]
 			for j := range m.Xs {
 				x, b := m.Xs[j], m.Bs[j]
@@ -108,6 +111,7 @@ func BackwardGroupBody(group []BatchProblem) executor.Body {
 		for g := range group {
 			m := &group[g]
 			cols, vals := m.L.Row(i)
+			vals = vals[:len(cols)] // hoist the bounds check out of the loops
 			d := inv[g][i]
 			for j := range m.Xs {
 				x, b := m.Xs[j], m.Bs[j]
@@ -157,12 +161,18 @@ func (p *Plan) SolveGroupCtx(ctx context.Context, group []BatchProblem) (executo
 		}
 	}
 	var body executor.Body
-	if p.Lower {
+	switch {
+	case p.fused != nil && p.Lower:
+		body = p.fused.forwardGroupBody(p.L, group)
+	case p.fused != nil:
+		body = p.fused.backwardGroupBody(p.L, group)
+	case p.Lower:
 		body = ForwardGroupBody(group)
-	} else {
+	default:
 		body = BackwardGroupBody(group)
 	}
-	return p.strat.Execute(ctx, p.Sched, p.Deps, body)
+	m, err := p.strat.Execute(ctx, p.Sched, p.Deps, body)
+	return p.rowMetrics(m, err), err
 }
 
 // SolveBatch solves the planned triangular system for len(xs) right-hand
@@ -190,10 +200,16 @@ func (p *Plan) SolveBatchCtx(ctx context.Context, xs, bs [][]float64) (executor.
 		}
 	}
 	var body executor.Body
-	if p.Lower {
+	switch {
+	case p.fused != nil && p.Lower:
+		body = p.fused.forwardBatchBody(p.L, xs, bs)
+	case p.fused != nil:
+		body = p.fused.backwardBatchBody(p.L, xs, bs)
+	case p.Lower:
 		body = ForwardBatchBody(p.L, xs, bs)
-	} else {
+	default:
 		body = BackwardBatchBody(p.L, xs, bs)
 	}
-	return p.strat.Execute(ctx, p.Sched, p.Deps, body)
+	m, err := p.strat.Execute(ctx, p.Sched, p.Deps, body)
+	return p.rowMetrics(m, err), err
 }

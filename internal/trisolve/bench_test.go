@@ -160,3 +160,51 @@ func BenchmarkNewPlan(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSupernodal is the acceptance experiment for row fusion: the
+// same mesh factor solved under a forced-fused plan (blocklet kernels on
+// a compressed schedule) and under the row-wise plan it replaces, for
+// the sequential kernels themselves and for a pooled parallel run where
+// level compression also removes barriers. ci/bench_baseline.json gates
+// both ns/op and allocs/op of the fused variants.
+func BenchmarkSupernodal(b *testing.B) {
+	for _, mesh := range []struct {
+		name string
+		l    int
+	}{
+		{"mesh60", 60},
+		{"mesh150", 150},
+	} {
+		l := stencil.Laplace2D(mesh.l, mesh.l).LowerWithDiag()
+		rhs := make([]float64, l.N)
+		x := make([]float64, l.N)
+		for i := range rhs {
+			rhs[i] = float64(i%7) + 1
+		}
+		for _, c := range []struct {
+			name string
+			kind executor.Kind
+			fuse FuseMode
+			np   int
+		}{
+			{"rowwise-seq", executor.Sequential, FuseOff, 1},
+			{"fused-seq", executor.Sequential, FuseForce, 1},
+			{"rowwise-pooled", executor.Pooled, FuseOff, 4},
+			{"fused-pooled", executor.Pooled, FuseForce, 4},
+		} {
+			b.Run(mesh.name+"/"+c.name, func(b *testing.B) {
+				plan, err := NewPlan(l, true, WithProcs(c.np), WithKind(c.kind), WithFusion(c.fuse))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer plan.Close()
+				plan.Solve(x, rhs) // warm up the pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					plan.Solve(x, rhs)
+				}
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"doconsider/internal/planner"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
+	"doconsider/internal/supernode"
 	"doconsider/internal/wavefront"
 )
 
@@ -50,6 +51,7 @@ type PlanCache struct {
 	counts  map[string]uint64
 	sim     map[simKey]map[uint64]*simEntry
 	delta   DeltaStats
+	super   SupernodeStats
 }
 
 // maxSimScan bounds how many resident candidates one near-miss lookup
@@ -70,6 +72,10 @@ type simEntry struct {
 	state    *delta.State
 	kind     executor.Kind
 	decision *planner.Decision
+	// fused is the ancestor's supernodal state; repairs re-splice its
+	// partition around the edited rows so a drift chain keeps fused
+	// execution without re-detecting from scratch.
+	fused *fusedExec
 }
 
 // DeltaStats counts the near-miss outcomes of a PlanCache: how many
@@ -106,6 +112,25 @@ type DecisionRecord struct {
 	PredSequential float64 `json:"pred_sequential"`
 	PredPooled     float64 `json:"pred_pooled"`
 	PredDoAcross   float64 `json:"pred_doacross"`
+	PredSupernodal float64 `json:"pred_supernodal,omitempty"`
+	// Supernodal fusion outcome for this skeleton (internal/supernode).
+	Fused        bool `json:"fused,omitempty"`
+	Nodes        int  `json:"nodes,omitempty"`
+	FusedRows    int  `json:"fused_rows,omitempty"`
+	NodeMaxWidth int  `json:"node_max_width,omitempty"`
+}
+
+// SupernodeStats aggregates the fusion outcomes of a cache's skeleton
+// builds (cumulative, like DecisionCounts — evictions do not decrement).
+// MeanWidth and FusedFrac are derived over the fused skeletons only.
+type SupernodeStats struct {
+	FusedPlans uint64  `json:"fused_plans"`
+	Nodes      uint64  `json:"nodes"`
+	Rows       uint64  `json:"rows"`
+	FusedRows  uint64  `json:"fused_rows"`
+	MaxWidth   int     `json:"max_width"`
+	MeanWidth  float64 `json:"mean_width"`
+	FusedFrac  float64 `json:"fused_frac"`
 }
 
 type planKey struct {
@@ -118,12 +143,21 @@ type planKey struct {
 	hasModel bool              // false = host model
 	sched    SchedulerKind
 	part     int // schedule.Partition
+	// fuse is the resolved fusion mode — the plan's fusion identity.
+	// Modes differ in executor shape (unit vs row schedules), so fused
+	// and unfused skeletons must never share an entry. Under FuseAuto the
+	// fused/row-wise choice itself is a deterministic function of the
+	// fingerprint and model already in the key.
+	fuse FuseMode
 }
 
 // planSkeleton is the cached, matrix-value-free part of a Plan: the
 // dependence structure, wavefronts, schedule, planner decision and the
 // (possibly stateful) execution strategy. All of it is a pure function
-// of the sparsity pattern and the plan configuration.
+// of the sparsity pattern and the plan configuration. deps and wf are
+// always row-level (they feed the repair state); for a fused skeleton
+// sched is the unit-level schedule the executor runs and fused holds the
+// supernodal state, with the row-level structure still backing repairs.
 type planSkeleton struct {
 	deps     *wavefront.Deps
 	wf       []int32
@@ -131,6 +165,7 @@ type planSkeleton struct {
 	kind     executor.Kind
 	decision *planner.Decision
 	strat    executor.Strategy
+	fused    *fusedExec
 	state    *delta.State // repair state; nil for non-global schedules
 	cleanup  func()       // removes the skeleton from the similarity index
 }
@@ -171,6 +206,7 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		kind:  int(cfg.kind),
 		sched: cfg.scheduler,
 		part:  int(cfg.part),
+		fuse:  cfg.fuseMode(),
 	}
 	if cfg.adaptive() {
 		key.kind, key.auto = -1, true
@@ -182,17 +218,26 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		if sk := pc.tryRepair(t, lower, cfg, key); sk != nil {
 			return sk, nil
 		}
-		deps, wf, s, kind, dec, err := inspect(t, lower, cfg)
+		ins, err := inspect(t, lower, cfg)
 		if err != nil {
 			return nil, err
 		}
-		strat, err := kind.NewStrategy()
+		strat, err := ins.kind.NewStrategy()
 		if err != nil {
 			return nil, err
 		}
-		sk := &planSkeleton{deps: deps, wf: wf, sched: s, kind: kind, decision: dec, strat: strat}
+		sk := &planSkeleton{deps: ins.deps, wf: ins.wf, sched: ins.sched,
+			kind: ins.kind, decision: ins.dec, strat: strat, fused: ins.fused}
 		if cfg.scheduler == GlobalSched {
-			sk.state = delta.NewState(deps, wf, s)
+			// The repair state splices row-level structure, so a fused
+			// skeleton backs it with the row-level schedule the executor
+			// would have run unfused; the unit schedule is re-derived from
+			// the re-spliced partition after each repair.
+			rowSched := ins.sched
+			if ins.fused != nil {
+				rowSched = schedule.Global(ins.wf, cfg.nproc)
+			}
+			sk.state = delta.NewState(ins.deps, ins.wf, rowSched)
 			pc.registerSim(key, t.N, sk)
 		}
 		pc.record(lower, cfg, sk, nil)
@@ -202,7 +247,7 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		return nil, err
 	}
 	sk := h.Value()
-	return &Plan{
+	p := &Plan{
 		L:        t,
 		Lower:    lower,
 		Deps:     sk.deps,
@@ -211,9 +256,14 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		Kind:     sk.kind,
 		Decision: sk.decision,
 		strat:    sk.strat,
+		fused:    sk.fused,
 		leased:   true,
 		release:  h.Release,
-	}, nil
+	}
+	if sk.fused != nil {
+		p.Deps = sk.fused.deps
+	}
+	return p, nil
 }
 
 // tryRepair is the near-miss path: on a fingerprint miss it looks for a
@@ -298,6 +348,19 @@ func (pc *PlanCache) tryRepair(t *sparse.CSR, lower bool, cfg planConfig, key pl
 		deps: st.Deps, wf: st.Wf, sched: st.Sched,
 		kind: best.kind, decision: best.decision, strat: strat, state: st,
 	}
+	if best.fused != nil {
+		// Keep the drift chain fused: re-splice the ancestor's partition
+		// around the edited rows (detection is local, so untouched nodes
+		// carry over) and rebuild the unit schedule and kernel state.
+		newPart := supernode.Resplice(best.fused.part, st.Deps, bestChanged)
+		fx, ferr := newFusedExec(t, lower, newPart, st.Deps, nil, nil, cfg.nproc)
+		if ferr != nil {
+			pc.countDelta(func(d *DeltaStats) { d.Fallbacks++ })
+			return nil
+		}
+		out.fused = fx
+		out.sched = fx.sched
+	}
 	pc.registerSim(key, t.N, out)
 	pc.countDelta(func(d *DeltaStats) {
 		d.Repairs++
@@ -342,7 +405,7 @@ func (pc *PlanCache) registerSim(key planKey, n int, sk *planSkeleton) {
 	sKey := simKey{n: n, key: key}
 	sKey.key.fp = 0
 	fp := key.fp
-	entry := &simEntry{state: sk.state, kind: sk.kind, decision: sk.decision}
+	entry := &simEntry{state: sk.state, kind: sk.kind, decision: sk.decision, fused: sk.fused}
 	pc.mu.Lock()
 	bucket := pc.sim[sKey]
 	if bucket == nil {
@@ -399,19 +462,51 @@ func (pc *PlanCache) record(lower bool, cfg planConfig, sk *planSkeleton, repair
 		rec.PredSequential = d.PredSequential
 		rec.PredPooled = d.PredPooled
 		rec.PredDoAcross = d.PredDoAcross
+		rec.PredSupernodal = d.PredSupernodal
 	} else {
 		rec.Pinned = true
 		rec.N = sk.deps.N
 		rec.Edges = sk.deps.Edges()
 		rec.Levels = sk.sched.NumPhases
 	}
+	if fx := sk.fused; fx != nil {
+		rec.Fused = true
+		rec.Strategy += "+fused"
+		rec.Nodes = fx.stats.Nodes
+		rec.FusedRows = fx.stats.FusedRows
+		rec.NodeMaxWidth = fx.stats.MaxWidth
+	}
 	pc.mu.Lock()
 	pc.counts[rec.Strategy]++
+	if fx := sk.fused; fx != nil {
+		pc.super.FusedPlans++
+		pc.super.Nodes += uint64(fx.stats.Nodes)
+		pc.super.Rows += uint64(fx.stats.Rows)
+		pc.super.FusedRows += uint64(fx.stats.FusedRows)
+		if fx.stats.MaxWidth > pc.super.MaxWidth {
+			pc.super.MaxWidth = fx.stats.MaxWidth
+		}
+	}
 	pc.records = append(pc.records, rec)
 	if len(pc.records) > maxDecisionRecords {
 		pc.records = pc.records[len(pc.records)-maxDecisionRecords:]
 	}
 	pc.mu.Unlock()
+}
+
+// SupernodeStats returns the cache's cumulative fusion counters with the
+// derived mean node width and fused-row fraction filled in.
+func (pc *PlanCache) SupernodeStats() SupernodeStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	s := pc.super
+	if s.Nodes > 0 {
+		s.MeanWidth = float64(s.Rows) / float64(s.Nodes)
+	}
+	if s.Rows > 0 {
+		s.FusedFrac = float64(s.FusedRows) / float64(s.Rows)
+	}
+	return s
 }
 
 // Decisions returns the most recent planner decisions (newest last,

@@ -232,6 +232,23 @@ func FuzzAdaptiveSolve(f *testing.F) {
 			assertBitIdentical(t, xs[j], want[j], "SolveBatch")
 		}
 
+		// The supernodal executor is one of the planner's candidates;
+		// whether or not it won above, a forced-fusion plan must stay on
+		// the same oracle (fusion changes scheduling units, never row
+		// arithmetic).
+		fplan, err := NewPlan(l, lower, WithProcs(np), WithModel(planner.Default()), WithFusion(FuseForce))
+		if err != nil {
+			t.Fatalf("NewPlan(fused): %v", err)
+		}
+		defer fplan.Close()
+		if fplan.Fusion() == nil {
+			t.Fatal("forced plan is not fused")
+		}
+		for j := range bs {
+			fplan.Solve(x, bs[j])
+			assertBitIdentical(t, x, want[j], "fused Solve")
+		}
+
 		// Permutation round trip: permute the system with a random
 		// wavefront-respecting (hence triangularity-preserving)
 		// permutation, solve the permuted system adaptively, and compare
@@ -259,6 +276,59 @@ func FuzzAdaptiveSolve(f *testing.F) {
 			assertBitIdentical(t, px, refSolve(t, lp, lower, pb), "permuted Solve")
 			perm.UnpermuteVector(back, px)
 			assertClose(t, back, want[j], "permutation round trip")
+		}
+	})
+}
+
+// FuzzFusedSolve is the supernodal correctness property: for random
+// triangular factors, forced-fusion plans on every executor kind are
+// bit-identical to the sequential row-wise reference — per solve and per
+// batch — whatever mix of blocklet, chained and singleton nodes the
+// detector finds. The seeds are the checked-in deterministic corpus;
+// `go test -fuzz=FuzzFusedSolve` explores beyond them in CI's fuzz
+// smoke job.
+func FuzzFusedSolve(f *testing.F) {
+	f.Add(int64(1), uint16(1), uint8(0), uint8(1), true, uint8(1), uint8(0))
+	f.Add(int64(2), uint16(17), uint8(2), uint8(3), true, uint8(4), uint8(1))
+	f.Add(int64(3), uint16(64), uint8(5), uint8(2), false, uint8(4), uint8(2))
+	f.Add(int64(4), uint16(96), uint8(1), uint8(4), true, uint8(2), uint8(3))
+	f.Add(int64(55), uint16(48), uint8(0), uint8(2), false, uint8(2), uint8(4))
+	f.Add(int64(88), uint16(80), uint8(3), uint8(2), true, uint8(8), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, n16 uint16, extra, batch uint8, lower bool, procs, kindSel uint8) {
+		n := int(n16)%96 + 1
+		nExtra := int(extra) % 8
+		k := int(batch)%4 + 1
+		np := int(procs)%8 + 1
+		kind := fusedKindsUnderTest[int(kindSel)%len(fusedKindsUnderTest)]
+		rng := rand.New(rand.NewSource(seed))
+		l := randomTriangular(rng, n, nExtra, lower)
+		bs := randomRHS(rng, n, k)
+
+		plan, err := NewPlan(l, lower, WithKind(kind), WithFusion(FuseForce), WithProcs(np))
+		if err != nil {
+			t.Fatalf("NewPlan: %v", err)
+		}
+		defer plan.Close()
+		st := plan.Fusion()
+		if st == nil {
+			t.Fatal("forced plan is not fused")
+		}
+		if st.Rows != n || st.FusedRows != n-st.Singletons {
+			t.Fatalf("inconsistent partition stats: %+v over %d rows", st, n)
+		}
+
+		x := make([]float64, n)
+		for j := range bs {
+			want := refSolve(t, l, lower, bs[j])
+			plan.Solve(x, bs[j])
+			assertBitIdentical(t, x, want, "fused Solve")
+		}
+		xs := randomRHS(rng, n, k) // scratch, overwritten
+		if _, err := plan.SolveBatch(xs, bs); err != nil {
+			t.Fatalf("SolveBatch: %v", err)
+		}
+		for j := range xs {
+			assertBitIdentical(t, xs[j], refSolve(t, l, lower, bs[j]), "fused SolveBatch")
 		}
 	})
 }

@@ -8,12 +8,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"sync"
 
 	"doconsider/internal/executor"
 	"doconsider/internal/planner"
 	"doconsider/internal/reorder"
 	"doconsider/internal/schedule"
 	"doconsider/internal/sparse"
+	"doconsider/internal/supernode"
 	"doconsider/internal/wavefront"
 )
 
@@ -81,6 +84,7 @@ func ForwardBody(l *sparse.CSR, x, b []float64) executor.Body {
 	invDiag := invDiagonal(l)
 	return func(i int32) {
 		cols, vals := l.Row(int(i))
+		vals = vals[:len(cols)] // hoist the bounds check out of the loop
 		s := b[i]
 		for k, c := range cols {
 			if c != i {
@@ -100,6 +104,7 @@ func BackwardBody(u *sparse.CSR, x, b []float64) executor.Body {
 	return func(k int32) {
 		i := n - 1 - int(k)
 		cols, vals := u.Row(i)
+		vals = vals[:len(cols)] // hoist the bounds check out of the loop
 		s := b[i]
 		for q, c := range cols {
 			if int(c) != i {
@@ -127,6 +132,11 @@ func invDiagonal(a *sparse.CSR) []float64 {
 // Solve is the executor step. With the Pooled kind the strategy keeps a
 // persistent worker pool across Solve calls; call Close when done with
 // such a plan to release the workers.
+//
+// For a supernodal plan (Fusion non-nil) Deps and Sched describe the
+// compressed unit-level structure the executor actually runs — each
+// scheduled index is a supernode covering one or more rows — while Wf
+// keeps the row-level wavefront numbers the inspector computed.
 type Plan struct {
 	L     *sparse.CSR
 	Lower bool // forward (true) or backward (false) solve
@@ -138,11 +148,22 @@ type Plan struct {
 	// adaptively (no WithKind); nil for pinned plans.
 	Decision *planner.Decision
 	strat    executor.Strategy
+	fused    *fusedExec
 	// leased marks plans obtained from a PlanCache: the schedule and
 	// strategy are shared, so Close releases the lease (once) instead of
 	// closing the strategy.
 	leased  bool
 	release func() error
+}
+
+// Fusion returns the supernode statistics of a fused plan, or nil for a
+// row-wise plan.
+func (p *Plan) Fusion() *supernode.Stats {
+	if p.fused == nil {
+		return nil
+	}
+	st := p.fused.stats
+	return &st
 }
 
 // Option configures plan construction.
@@ -155,6 +176,7 @@ type planConfig struct {
 	model     *planner.CostModel
 	scheduler SchedulerKind
 	part      schedule.Partition
+	fuse      FuseMode
 	// Drift hint (PlanCache only): the structure is hintRows-many edited
 	// rows away from the resident plan fingerprinted hintFp. Advisory —
 	// it never enters the cache key — but it lets a near-miss lookup skip
@@ -165,6 +187,51 @@ type planConfig struct {
 
 // adaptive reports whether the planner should choose the executor.
 func (c *planConfig) adaptive() bool { return !c.kindSet }
+
+// fuseMode resolves the effective fusion mode: the DOCONSIDER_FUSE
+// environment override trumps the WithFusion option, mirroring how
+// DOCONSIDER_STRATEGY trumps adaptive selection.
+func (c *planConfig) fuseMode() FuseMode {
+	if m, ok := envFuseMode(); ok {
+		return m
+	}
+	return c.fuse
+}
+
+// FuseMode controls supernodal row fusion (internal/supernode).
+type FuseMode int
+
+const (
+	// FuseAuto (the default) detects supernodes on adaptively planned
+	// global-schedule plans and lets the planner's cost model decide
+	// whether the fused executor wins.
+	FuseAuto FuseMode = iota
+	// FuseOff disables detection entirely: plans are always row-wise.
+	FuseOff
+	// FuseForce executes fused whenever the partition is well-formed,
+	// bypassing the cost model — for benchmarks and differential tests.
+	FuseForce
+)
+
+var (
+	fuseEnvOnce sync.Once
+	fuseEnv     FuseMode
+	fuseEnvSet  bool
+)
+
+// envFuseMode resolves the DOCONSIDER_FUSE override once per process.
+// Unknown values are ignored rather than failing every plan.
+func envFuseMode() (FuseMode, bool) {
+	fuseEnvOnce.Do(func() {
+		switch os.Getenv("DOCONSIDER_FUSE") {
+		case "off":
+			fuseEnv, fuseEnvSet = FuseOff, true
+		case "force":
+			fuseEnv, fuseEnvSet = FuseForce, true
+		}
+	})
+	return fuseEnv, fuseEnvSet
+}
 
 // SchedulerKind selects global or local index-set scheduling.
 type SchedulerKind int
@@ -197,6 +264,11 @@ func WithScheduler(s SchedulerKind) Option { return func(c *planConfig) { c.sche
 // WithPartition sets the local-scheduling partition (default Striped).
 func WithPartition(p schedule.Partition) Option { return func(c *planConfig) { c.part = p } }
 
+// WithFusion sets the supernodal fusion mode (default FuseAuto). The
+// DOCONSIDER_FUSE environment variable ("off" or "force") overrides it
+// process-wide.
+func WithFusion(m FuseMode) Option { return func(c *planConfig) { c.fuse = m } }
+
 // WithDriftHint tells a PlanCache lookup that the factor was produced by
 // editing the nonzero pattern of exactly the given rows of the resident
 // structure fingerprinted baseFp (sparse.CSR.StructureFingerprint). The
@@ -221,13 +293,27 @@ func buildPlanConfig(opts []Option) planConfig {
 	return cfg
 }
 
+// inspection is the inspector's output: the row-level dependence
+// structure and wavefronts, the schedule the executor will actually run
+// (unit-level when fused), the chosen kind and decision, and the fused
+// executor state for supernodal plans (nil for row-wise plans).
+type inspection struct {
+	deps  *wavefront.Deps
+	wf    []int32
+	sched *schedule.Schedule
+	kind  executor.Kind
+	dec   *planner.Decision
+	fused *fusedExec
+}
+
 // inspect runs the inspector half of plan construction: dependence
-// extraction, wavefront computation, adaptive planning (when no kind is
-// pinned) and schedule construction. The output depends only on the
-// sparsity structure of t, never on its values — which is what lets a
-// PlanCache share it across matrices. The returned kind is cfg.kind for
-// pinned plans and the planner's choice otherwise.
-func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int32, *schedule.Schedule, executor.Kind, *planner.Decision, error) {
+// extraction, wavefront computation, supernode detection, adaptive
+// planning (when no kind is pinned) and schedule construction. The
+// output depends only on the sparsity structure of t, never on its
+// values — which is what lets a PlanCache share it across matrices. The
+// returned kind is cfg.kind for pinned plans and the planner's choice
+// otherwise.
+func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*inspection, error) {
 	var deps *wavefront.Deps
 	if lower {
 		deps = wavefront.FromLower(t)
@@ -236,20 +322,54 @@ func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int3
 	}
 	wf, err := wavefront.Compute(deps)
 	if err != nil {
-		return nil, nil, nil, 0, nil, err
+		return nil, err
 	}
+
+	// Supernode detection. Only global-schedule plans can run the
+	// compressed unit schedule, and under FuseAuto only adaptive plans
+	// detect (the cost model arbitrates; a pinned kind asked for exactly
+	// the row-wise executor it named). A partition with nothing fused is
+	// discarded — unless fusion is forced, where even an all-singleton
+	// partition exercises the fused kernels.
+	mode := cfg.fuseMode()
+	var part *supernode.Partition
+	var unitDeps *wavefront.Deps
+	var unitWf []int32
+	if cfg.scheduler == GlobalSched && (mode == FuseForce || (mode == FuseAuto && cfg.adaptive())) {
+		p := supernode.Detect(deps, supernode.Config{})
+		if st := p.Stats(); st.FusedRows > 0 || mode == FuseForce {
+			unitDeps = p.Compress(deps)
+			if unitWf, err = wavefront.Compute(unitDeps); err != nil {
+				return nil, err
+			}
+			part = p
+		}
+	}
+
 	kind := cfg.kind
+	useFused := mode == FuseForce && part != nil
 	var dec *planner.Decision
 	var rank []int32
 	if cfg.adaptive() {
-		d := planner.Select(planner.Analyze(deps, wf, cfg.nproc), cfg.model)
+		f := planner.Analyze(deps, wf, cfg.nproc)
+		if part != nil {
+			f.Fusion = fusionFeatures(part, unitDeps, unitWf, cfg.nproc)
+		}
+		d := planner.Select(f, cfg.model)
+		if useFused && !d.Fused {
+			// Forced fusion overrides the cost model's verdict but keeps
+			// its executor kind; fused plans schedule units, so the
+			// within-level row reordering has nothing to rank.
+			d.Fused, d.Reorder = true, planner.ReorderNone
+		}
 		dec = &d
 		kind = d.Strategy
+		useFused = d.Fused
 		// Realize an RCM reorder decision as a within-wavefront rank for
 		// the global schedule; the wavefronts themselves are untouched
 		// (DAG depth is relabeling-invariant) so results stay
 		// bit-identical. Other schedulers fix the order themselves.
-		if d.Reorder == planner.ReorderRCM && cfg.scheduler == GlobalSched {
+		if !useFused && d.Reorder == planner.ReorderRCM && cfg.scheduler == GlobalSched {
 			if p, rerr := reorder.RCM(t); rerr == nil {
 				rank = p.Inv
 				if !lower {
@@ -268,54 +388,93 @@ func inspect(t *sparse.CSR, lower bool, cfg planConfig) (*wavefront.Deps, []int3
 			d.Reorder = planner.ReorderNone
 		}
 	}
-	var s *schedule.Schedule
+	ins := &inspection{deps: deps, wf: wf, kind: kind, dec: dec}
+	if useFused {
+		fx, ferr := newFusedExec(t, lower, part, deps, unitDeps, unitWf, cfg.nproc)
+		if ferr != nil {
+			return nil, ferr
+		}
+		ins.fused = fx
+		ins.sched = fx.sched
+		return ins, nil
+	}
 	switch cfg.scheduler {
 	case GlobalSched:
 		if rank != nil {
-			s = schedule.GlobalRanked(wf, rank, cfg.nproc)
+			ins.sched = schedule.GlobalRanked(wf, rank, cfg.nproc)
 		} else {
-			s = schedule.Global(wf, cfg.nproc)
+			ins.sched = schedule.Global(wf, cfg.nproc)
 		}
 	case LocalSched:
-		s = schedule.Local(wf, cfg.nproc, cfg.part)
+		ins.sched = schedule.Local(wf, cfg.nproc, cfg.part)
 	case NaturalSched:
-		s = schedule.Natural(t.N, cfg.nproc, cfg.part)
+		ins.sched = schedule.Natural(t.N, cfg.nproc, cfg.part)
 	default:
-		return nil, nil, nil, 0, nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
+		return nil, fmt.Errorf("trisolve: unknown scheduler %d", cfg.scheduler)
 	}
-	return deps, wf, s, kind, dec, nil
+	return ins, nil
 }
 
 // NewPlan runs the inspector for a triangular factor: it extracts the
 // dependence sets, computes wavefronts, lets the planner pick the
-// executor strategy (and a locality reordering) unless WithKind pinned
-// one, and builds the schedule.
+// executor strategy (and a locality reordering or supernodal fusion)
+// unless WithKind pinned one, and builds the schedule.
 func NewPlan(t *sparse.CSR, lower bool, opts ...Option) (*Plan, error) {
 	cfg := buildPlanConfig(opts)
-	deps, wf, s, kind, dec, err := inspect(t, lower, cfg)
+	ins, err := inspect(t, lower, cfg)
 	if err != nil {
 		return nil, err
 	}
-	strat, err := kind.NewStrategy()
+	strat, err := ins.kind.NewStrategy()
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{L: t, Lower: lower, Deps: deps, Wf: wf, Sched: s, Kind: kind, Decision: dec, strat: strat}, nil
+	p := &Plan{L: t, Lower: lower, Wf: ins.wf, Sched: ins.sched, Kind: ins.kind, Decision: ins.dec, strat: strat, fused: ins.fused}
+	if ins.fused != nil {
+		p.Deps = ins.fused.deps
+	} else {
+		p.Deps = ins.deps
+	}
+	return p, nil
 }
 
 // Solve executes the planned triangular solve, writing the solution to x.
 // x and b must not alias (the parallel executors read b while writing x).
 func (p *Plan) Solve(x, b []float64) executor.Metrics {
-	return executor.MustMetrics(p.strat.Execute(context.Background(), p.Sched, p.Deps, p.body(x, b)))
+	m, err := p.SolveCtx(context.Background(), x, b)
+	return executor.MustMetrics(m, err)
 }
 
 // SolveCtx is Solve with cancellation support: a cancelled context
 // releases every worker and returns ctx.Err().
 func (p *Plan) SolveCtx(ctx context.Context, x, b []float64) (executor.Metrics, error) {
-	return p.strat.Execute(ctx, p.Sched, p.Deps, p.body(x, b))
+	m, err := p.strat.Execute(ctx, p.Sched, p.Deps, p.body(x, b))
+	return p.rowMetrics(m, err), err
+}
+
+// rowMetrics keeps the Executed counter in row substitutions for fused
+// plans: the executor counts scheduled indices, which for a supernodal
+// schedule are multi-row units. A complete pass (possibly replicated
+// P-fold by rotating-style strategies) translates exactly; an aborted
+// pass keeps the raw unit count.
+func (p *Plan) rowMetrics(m executor.Metrics, err error) executor.Metrics {
+	if p.fused == nil || err != nil {
+		return m
+	}
+	nodes := int64(p.fused.part.NumNodes())
+	if nodes > 0 && m.Executed%nodes == 0 {
+		m.Executed = m.Executed / nodes * int64(p.L.N)
+	}
+	return m
 }
 
 func (p *Plan) body(x, b []float64) executor.Body {
+	if p.fused != nil {
+		if p.Lower {
+			return p.fused.forwardBody(p.L, x, b)
+		}
+		return p.fused.backwardBody(p.L, x, b)
+	}
 	if p.Lower {
 		return ForwardBody(p.L, x, b)
 	}
@@ -344,5 +503,18 @@ func (p *Plan) Close() error {
 }
 
 // Phases returns the number of wavefronts of the factor — the paper's
-// "Phases" column in Tables 2 and 3.
-func (p *Plan) Phases() int { return p.Sched.NumPhases }
+// "Phases" column in Tables 2 and 3. A fused plan's schedule runs fewer
+// phases (the compressed unit levels); this reports the factor's own
+// level count either way.
+func (p *Plan) Phases() int {
+	if p.fused == nil {
+		return p.Sched.NumPhases
+	}
+	n := 0
+	for _, w := range p.Wf {
+		if int(w)+1 > n {
+			n = int(w) + 1
+		}
+	}
+	return n
+}
