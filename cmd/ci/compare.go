@@ -55,6 +55,9 @@ func compareMain(args []string, w io.Writer) error {
 	for name := range base.AllocsPerOp {
 		gatedNames[name] = true
 	}
+	for name := range base.AllocsBudget {
+		gatedNames[name] = true
+	}
 	for name := range base.NsPerOp {
 		gatedNames[name] = true
 	}
@@ -92,6 +95,20 @@ func compareMain(args []string, w io.Writer) error {
 				r.deltaPct = math.Inf(1)
 			}
 			r.exceedThreshold = r.allocsPerOp > want*(1+base.Threshold)
+		}
+	}
+	for name, want := range base.AllocsBudget {
+		if r, ok := byName[name]; ok {
+			r.gated = true
+			r.baseline = want
+			if want > 0 {
+				r.deltaPct = 100 * (r.allocsPerOp - want) / want
+			} else if r.allocsPerOp > 0 {
+				r.deltaPct = math.Inf(1)
+			}
+			// Budgets are exact: any mismatch is flagged, not just drift
+			// beyond the threshold.
+			r.exceedThreshold = r.allocsPerOp != want
 		}
 	}
 	sort.Strings(order)
@@ -132,6 +149,24 @@ func compareMain(args []string, w io.Writer) error {
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(w, "\n**missing gated benchmark:** %s\n", name)
+	}
+	// The inverse direction: benchmarks the candidate run produced that
+	// the baseline doesn't know about. New benchmarks land here until
+	// someone decides whether to gate them — surfacing the list keeps
+	// that decision visible instead of silently accumulating ungated
+	// hot paths.
+	var candidateOnly []string
+	for name := range byName {
+		if !gatedNames[name] {
+			candidateOnly = append(candidateOnly, name)
+		}
+	}
+	sort.Strings(candidateOnly)
+	if len(candidateOnly) > 0 {
+		fmt.Fprintf(w, "\n**present only in candidate run (not gated by the baseline):**\n\n")
+		for _, name := range candidateOnly {
+			fmt.Fprintf(w, "- %s\n", name)
+		}
 	}
 	return nil
 }

@@ -8,8 +8,10 @@
 //	          gate allocs/op of the hot-path benchmarks against a
 //	          checked-in baseline: a >threshold regression — e.g. the
 //	          pooled executor's 0 allocs/op Run picking up allocations —
-//	          fails the build. With -update the baseline file is
-//	          rewritten from the observed values instead of enforced.
+//	          fails the build. Benchmarks listed under allocs_budget are
+//	          held to an exact contract instead: any mismatch, in either
+//	          direction, fails. With -update the drift baselines are
+//	          rewritten from the observed values (budgets never are).
 //	coverage  run `go test -coverprofile` across ./... and fail if the
 //	          total statement coverage drops below the floor checked in
 //	          at ci/coverage_floor.txt. With -update the floor is
@@ -90,11 +92,19 @@ type artifact struct {
 // with the machine, so the time gate only catches catastrophic
 // regressions — a fused kernel falling back to row-wise dispatch, not a
 // few percent of jitter.
+// AllocsBudget is different in kind from AllocsPerOp: it is an exact
+// per-benchmark allocation contract, not a drift gate. A budgeted
+// benchmark must report exactly the pinned allocs/op — one allocation
+// over the zero-alloc serving path fails the build with no threshold,
+// and an improvement below the pin also fails, so the contract is
+// re-pinned deliberately rather than rotting. -update never rewrites
+// budgets for the same reason.
 type baseline struct {
-	Threshold   float64            `json:"threshold"`
-	NsThreshold float64            `json:"ns_threshold,omitempty"`
-	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
-	NsPerOp     map[string]float64 `json:"ns_per_op,omitempty"`
+	Threshold    float64            `json:"threshold"`
+	NsThreshold  float64            `json:"ns_threshold,omitempty"`
+	AllocsPerOp  map[string]float64 `json:"allocs_per_op"`
+	AllocsBudget map[string]float64 `json:"allocs_budget,omitempty"`
+	NsPerOp      map[string]float64 `json:"ns_per_op,omitempty"`
 }
 
 func benchMain(args []string) error {
@@ -154,6 +164,12 @@ func benchMain(args []string) error {
 			}
 			base.NsPerOp[name] = v
 		}
+		// Budgets are pinned contracts, never refreshed from a run; an
+		// -update that breaks one must fail loudly, not paper over it.
+		if problems := gateBudgets(records, base); len(problems) > 0 {
+			return fmt.Errorf("allocation budgets are exact contracts and are not rewritten by -update; fix the regression or re-pin the budget by hand:\n  %s",
+				strings.Join(problems, "\n  "))
+		}
 		if err := writeBaseline(*basePath, base); err != nil {
 			return err
 		}
@@ -176,8 +192,8 @@ func benchMain(args []string) error {
 		return fmt.Errorf("benchmark regression gate failed (%d problems):\n  %s",
 			len(problems), strings.Join(problems, "\n  "))
 	}
-	fmt.Printf("ci: regression gate passed (%d alloc-gated, %d time-gated benchmarks, thresholds +%.0f%% / +%.0f%%)\n",
-		len(base.AllocsPerOp), len(base.NsPerOp), 100*base.Threshold, 100*base.NsThreshold)
+	fmt.Printf("ci: regression gate passed (%d alloc-gated, %d time-gated, %d exact-budget benchmarks, thresholds +%.0f%% / +%.0f%%)\n",
+		len(base.AllocsPerOp), len(base.NsPerOp), len(base.AllocsBudget), 100*base.Threshold, 100*base.NsThreshold)
 	return nil
 }
 
@@ -297,6 +313,7 @@ func gate(records []benchRecord, base baseline) []string {
 				name, got, want, limit, 100*base.Threshold))
 		}
 	}
+	problems = append(problems, gateBudgets(records, base)...)
 	names = names[:0]
 	for name := range base.NsPerOp {
 		names = append(names, name)
@@ -314,6 +331,37 @@ func gate(records []benchRecord, base baseline) []string {
 			problems = append(problems, fmt.Sprintf(
 				"%s: ns/op regressed to %.0f (baseline %.0f, limit %.0f = +%.0f%%)",
 				name, got, want, limit, 100*base.NsThreshold))
+		}
+	}
+	return problems
+}
+
+// gateBudgets checks the exact allocation contracts: a budgeted
+// benchmark must report precisely the pinned allocs/op. There is no
+// threshold in either direction — going over is a leak on a path the
+// budget declares allocation-free (or fixed-cost), and going under
+// means the pin is stale and must be re-tightened by hand so the
+// contract keeps teeth.
+func gateBudgets(records []benchRecord, base baseline) []string {
+	var problems []string
+	names := make([]string, 0, len(base.AllocsBudget))
+	for name := range base.AllocsBudget {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		budget := base.AllocsBudget[name]
+		got, ok := minMetric(records, name, "allocs/op")
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"%s: budget-gated benchmark did not run or reported no allocs/op (budget is exactly %.0f allocs/op)",
+				name, budget))
+			continue
+		}
+		if got != budget {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op = %.0f, budget pins exactly %.0f (no drift allowed; re-pin ci/bench_baseline.json deliberately if this is intended)",
+				name, got, budget))
 		}
 	}
 	return problems

@@ -139,6 +139,80 @@ func TestGateTimeRegression(t *testing.T) {
 	}
 }
 
+// budgetBaseline pins the pooled benchmark to an exact allocation
+// contract on top of the usual drift gates.
+func budgetBaseline() baseline {
+	b := testBaseline()
+	b.AllocsBudget = map[string]float64{
+		"BenchmarkRuntimeRepeatedRun/pooled": 0,
+	}
+	return b
+}
+
+// TestBudgetGateIsExact pins the allocs_budget contract: the budget is
+// exact in both directions (a regression AND an unexpected improvement
+// fail), the failure message names the benchmark and the pinned budget,
+// and a budgeted benchmark that vanishes from the run fails too.
+func TestBudgetGateIsExact(t *testing.T) {
+	if problems := gate(parseBench(sampleOutput), budgetBaseline()); len(problems) != 0 {
+		t.Fatalf("budget gate failed on a conformant run: %v", problems)
+	}
+
+	// One allocation over budget fails with no threshold — even though
+	// the same run passes the ±30% drift gate's arithmetic for small
+	// baselines, the budget has no slack at all.
+	over := strings.ReplaceAll(sampleOutput,
+		"253000 ns/op	       0 B/op	       0 allocs/op",
+		"253000 ns/op	      32 B/op	       1 allocs/op")
+	over = strings.ReplaceAll(over,
+		"251000 ns/op	       0 B/op	       0 allocs/op",
+		"251000 ns/op	      32 B/op	       1 allocs/op")
+	problems := gate(parseBench(over), budgetBaseline())
+	if len(problems) != 2 {
+		// The drift gate for pooled also trips (0 -> 1 exceeds limit 0);
+		// the budget failure must be there alongside it.
+		t.Fatalf("gate problems = %v, want drift + budget failures", problems)
+	}
+	var budgetMsg string
+	for _, p := range problems {
+		if strings.Contains(p, "budget") {
+			budgetMsg = p
+		}
+	}
+	if budgetMsg == "" {
+		t.Fatalf("no budget failure among: %v", problems)
+	}
+	if !strings.Contains(budgetMsg, "BenchmarkRuntimeRepeatedRun/pooled") ||
+		!strings.Contains(budgetMsg, "pins exactly 0") ||
+		!strings.Contains(budgetMsg, "allocs/op = 1") {
+		t.Fatalf("budget message must name the benchmark, observed value and pinned budget: %s", budgetMsg)
+	}
+
+	// An improvement below the pin fails too: the contract must be
+	// re-tightened deliberately, not drift loose.
+	b := budgetBaseline()
+	b.AllocsBudget["BenchmarkRuntimeRepeatedRun/pooled"] = 3
+	b.AllocsPerOp["BenchmarkRuntimeRepeatedRun/pooled"] = 3
+	problems = gate(parseBench(sampleOutput), b)
+	if len(problems) != 1 || !strings.Contains(problems[0], "pins exactly 3") {
+		t.Fatalf("gate problems = %v, want exactly the stale-budget failure", problems)
+	}
+
+	// A vanished budgeted benchmark is a failure naming the budget.
+	gone := strings.ReplaceAll(sampleOutput, "BenchmarkRuntimeRepeatedRun/pooled", "BenchmarkRenamed/pooled")
+	problems = gate(parseBench(gone), budgetBaseline())
+	var sawBudgetGone bool
+	for _, p := range problems {
+		if strings.Contains(p, "budget-gated benchmark did not run") &&
+			strings.Contains(p, "BenchmarkRuntimeRepeatedRun/pooled") {
+			sawBudgetGone = true
+		}
+	}
+	if !sawBudgetGone {
+		t.Fatalf("gate problems = %v, want a budget did-not-run failure", problems)
+	}
+}
+
 // TestGateFailsWhenGatedBenchmarkVanishes: deleting the benchmark must
 // not silently disable the gate.
 func TestGateFailsWhenGatedBenchmarkVanishes(t *testing.T) {

@@ -97,6 +97,9 @@ func TestCompareRendersTable(t *testing.T) {
 		"| BenchmarkX | 1.2e-06 | 6 | 6 | +0.0% |",
 		"| BenchmarkY | 9e-07 | 4 | - | - |",
 		"missing gated benchmark:** BenchmarkZ",
+		// The inverse listing: BenchmarkY ran but is gated by nothing.
+		"present only in candidate run",
+		"- BenchmarkY",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)

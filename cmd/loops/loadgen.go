@@ -19,6 +19,15 @@ import (
 	"doconsider/internal/synthetic"
 )
 
+// Wire formats the load generator can speak. JSON packs the RHS as
+// base64 (b_b64); binary ships the whole request as a zero-copy frame
+// (Content-Type application/x-doconsider-frame) that the server decodes
+// by slicing into pooled arena memory.
+const (
+	wireJSON   = "json"
+	wireBinary = "binary"
+)
+
 // loadgenConfig parameterizes the concurrent load generator: a pool of
 // client goroutines posts triangular-solve requests to a running server
 // over the recurring problem suite and reports throughput, latency
@@ -34,6 +43,7 @@ type loadgenConfig struct {
 	fullMatrix bool          // ship the full CSR every request instead of by-fingerprint reuse
 	driftRate  float64       // probability a request structurally drifts its problem
 	driftEdits int           // row edits per drift step
+	wire       string        // wireJSON (default when empty) or wireBinary
 	quiet      bool          // suppress the progress header
 }
 
@@ -161,6 +171,11 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	if cfg.clients < 1 || cfg.requests < 1 || cfg.batch < 1 {
 		return nil, fmt.Errorf("loadgen: clients, requests and batch must be positive")
 	}
+	switch cfg.wire {
+	case "", wireJSON, wireBinary:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown wire format %q (want %s or %s)", cfg.wire, wireJSON, wireBinary)
+	}
 	names := cfg.problems
 	if len(names) == 0 {
 		names = problems.TriSolveNames()
@@ -170,8 +185,12 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		return nil, err
 	}
 	if !cfg.quiet {
-		fmt.Fprintf(w, "loadgen: %d clients, %d requests, batch %d over %d problems -> %s\n",
-			cfg.clients, cfg.requests, cfg.batch, len(tmpl), cfg.baseURL)
+		wire := cfg.wire
+		if wire == "" {
+			wire = wireJSON
+		}
+		fmt.Fprintf(w, "loadgen: %d clients, %d requests, batch %d over %d problems (%s wire) -> %s\n",
+			cfg.clients, cfg.requests, cfg.batch, len(tmpl), wire, cfg.baseURL)
 	}
 	client := &http.Client{Timeout: cfg.timeout}
 
@@ -182,8 +201,8 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		rng := rand.New(rand.NewSource(cfg.seed - 1))
 		for _, t := range tmpl {
 			req := t.fullRequest()
-			req.B64 = randomBatch(rng, 1, req.N)
-			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+			req.B = randomBatch(rng, 1, req.N)
+			sr, status, msg, err := postSolveRequest(client, &cfg, &req)
 			if err != nil {
 				return nil, fmt.Errorf("loadgen: warmup: %w", err)
 			}
@@ -298,30 +317,39 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	return rep, nil
 }
 
-// randomBatch draws k right-hand sides of length n, packed for the wire
-// (b_b64): recurring numeric traffic has no business re-parsing decimal
-// floats on every request.
-func randomBatch(rng *rand.Rand, k, n int) [][]byte {
-	bs := make([][]byte, k)
-	buf := make([]float64, n)
+// randomBatch draws k right-hand sides of length n. Requests carry them
+// in B; the JSON poster packs them to b_b64 at encode time (recurring
+// numeric traffic has no business re-parsing decimal floats on every
+// request) and the binary poster writes them straight into the frame.
+func randomBatch(rng *rand.Rand, k, n int) [][]float64 {
+	bs := make([][]float64, k)
 	for j := range bs {
-		for i := range buf {
-			buf[i] = rng.Float64()
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = rng.Float64()
 		}
-		bs[j] = server.PackFloats(buf)
+		bs[j] = row
 	}
 	return bs
 }
 
-// postSolveRequest posts one request and decodes a 200 reply; non-200
-// statuses are returned with a nil response, the server's error message
-// and no error (transport problems are the error path).
-func postSolveRequest(client *http.Client, baseURL string, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+// postSolveRequest posts one request over the configured wire format
+// and decodes a 200 reply; non-200 statuses are returned with a nil
+// response, the server's error message and no error (transport problems
+// are the error path).
+func postSolveRequest(client *http.Client, cfg *loadgenConfig, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+	if cfg.wire == wireBinary {
+		return postSolveFrame(client, cfg.baseURL, req)
+	}
+	if len(req.B) > 0 {
+		req.B64 = packBatch(req.B)
+		req.B = nil
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, 0, "", err
 	}
-	resp, err := client.Post(baseURL+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(cfg.baseURL+"/v1/trisolve", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, "", err
 	}
@@ -341,15 +369,63 @@ func postSolveRequest(client *http.Client, baseURL string, req *server.SolveRequ
 	return &sr, resp.StatusCode, "", nil
 }
 
+func packBatch(b [][]float64) [][]byte {
+	packed := make([][]byte, len(b))
+	for j, row := range b {
+		packed[j] = server.PackFloats(row)
+	}
+	return packed
+}
+
+// postSolveFrame posts one request as a binary frame and decodes the
+// frame reply into the JSON response shape, so the rest of the load
+// generator is wire-agnostic. Errors raised before the server's frame
+// handler takes over (admission 429, drain 503) arrive as JSON bodies;
+// the Content-Type header says which decoder applies.
+func postSolveFrame(client *http.Client, baseURL string, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+	body, err := server.EncodeRequestFrame(req)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	resp, err := client.Post(baseURL+"/v1/trisolve", server.FrameContentType, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), server.FrameContentType) {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, e.Error, nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, "", err
+	}
+	wr, err := server.DecodeResponseFrame(raw)
+	if err != nil {
+		return nil, resp.StatusCode, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, wr.ErrMsg, nil
+	}
+	return &server.SolveResponse{
+		X: wr.X, Fp: wr.Fp, Fused: wr.Fused, Width: wr.Width,
+		Strategy: wr.Strategy, Executed: wr.Executed,
+	}, resp.StatusCode, "", nil
+}
+
 // postTemplate issues one solve for t: by fingerprint when one is known
 // (falling back to a full submission if the server evicted the factor),
 // otherwise shipping the full matrix and remembering the fingerprint.
-func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]byte) (*server.SolveResponse, int, string, error) {
+func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]float64) (*server.SolveResponse, int, string, error) {
 	lower := true
 	if !cfg.fullMatrix {
 		if fpp := t.fp.Load(); fpp != nil {
-			req := server.SolveRequest{Fp: *fpp, Lower: &lower, B64: b}
-			sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+			req := server.SolveRequest{Fp: *fpp, Lower: &lower, B: b}
+			sr, status, msg, err := postSolveRequest(client, cfg, &req)
 			if err != nil || status != http.StatusNotFound {
 				return sr, status, msg, err
 			}
@@ -359,8 +435,8 @@ func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [
 	cur := t.cur
 	t.mu.Unlock()
 	req := fullRequestFor(cur)
-	req.B64 = b
-	sr, status, msg, err := postSolveRequest(client, cfg.baseURL, &req)
+	req.B = b
+	sr, status, msg, err := postSolveRequest(client, cfg, &req)
 	if err == nil && status == http.StatusOK && !cfg.fullMatrix && sr.Fp != "" {
 		// Commit only if no drift replaced the factor while we were on
 		// the wire — the stored fingerprint must always correspond to cur.
@@ -385,7 +461,7 @@ func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [
 // concurrent drifts of one problem race freely and the loser's local
 // update is simply dropped (the server answered it correctly either
 // way), so recurring-path readers block for pointer copies at most.
-func driftTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]byte, rng *rand.Rand) (sr *server.SolveResponse, status int, msg string, attempted, fellBack bool, err error) {
+func driftTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]float64, rng *rand.Rand) (sr *server.SolveResponse, status int, msg string, attempted, fellBack bool, err error) {
 	lower := true
 	t.mu.Lock()
 	// fp must be read in the same critical section as cur: a concurrent
@@ -405,16 +481,16 @@ func driftTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b 
 	if aerr != nil {
 		return nil, 0, "", false, false, aerr
 	}
-	req := server.SolveRequest{BaseFp: *fpp, Edits: edits, Lower: &lower, B64: b}
-	sr, status, msg, err = postSolveRequest(client, cfg.baseURL, &req)
+	req := server.SolveRequest{BaseFp: *fpp, Edits: edits, Lower: &lower, B: b}
+	sr, status, msg, err = postSolveRequest(client, cfg, &req)
 	if err == nil && status == http.StatusNotFound {
 		// Base evicted server-side: ship the drifted matrix whole.
 		fellBack = true
 		full := server.SolveRequest{
 			N: edited.N, RowPtr: edited.RowPtr, ColIdx: edited.ColIdx, Val: edited.Val,
-			Lower: &lower, B64: b,
+			Lower: &lower, B: b,
 		}
-		sr, status, msg, err = postSolveRequest(client, cfg.baseURL, &full)
+		sr, status, msg, err = postSolveRequest(client, cfg, &full)
 	}
 	if err == nil && status == http.StatusOK && sr.Fp != "" {
 		t.mu.Lock()

@@ -63,6 +63,7 @@ func run(args []string) error {
 	reqTimeout := fs.Duration("timeout", 30*time.Second, "server: default per-request deadline; loadgen: client timeout")
 	driftRate := fs.Float64("drift-rate", 0, "serve/loadgen: probability a request structurally drifts its problem (base_fp+edits)")
 	driftEdits := fs.Int("drift-edits", 4, "serve/loadgen: row edits per drift step")
+	wire := fs.String("wire", wireJSON, "loadgen: wire format, json or binary (zero-copy frames)")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -76,6 +77,10 @@ func run(args []string) error {
 		return err
 	}
 	if err := validateDriftFlags(exp, *driftRate, *driftEdits); err != nil {
+		usage(fs)
+		return err
+	}
+	if err := validateWireFlag(exp, *wire); err != nil {
 		usage(fs)
 		return err
 	}
@@ -140,7 +145,7 @@ func run(args []string) error {
 		rep, err := loadgen(os.Stdout, loadgenConfig{
 			baseURL: "http://" + target, clients: *clients, requests: *requests,
 			batch: *batch, seed: *seed, timeout: *reqTimeout,
-			driftRate: *driftRate, driftEdits: *driftEdits,
+			driftRate: *driftRate, driftEdits: *driftEdits, wire: *wire,
 		})
 		if err != nil {
 			return err
@@ -187,6 +192,21 @@ func validateServingFlags(exp string, width int, timeout, window time.Duration) 
 		return fmt.Errorf("usage: -coalesce-window must not be negative, got %s", window)
 	}
 	return nil
+}
+
+// validateWireFlag rejects unknown -wire formats before any traffic is
+// generated. Only loadgen speaks the binary protocol; serve compares
+// coalescing configurations over JSON and the other experiments ignore
+// the flag.
+func validateWireFlag(exp, wire string) error {
+	if exp != "loadgen" {
+		return nil
+	}
+	switch wire {
+	case "", wireJSON, wireBinary:
+		return nil
+	}
+	return fmt.Errorf("usage: -wire must be %s or %s, got %q", wireJSON, wireBinary, wire)
 }
 
 // validateDriftFlags bounds the drifting-workload knobs: a drift rate is

@@ -65,6 +65,7 @@ func TestServingFlagValidation(t *testing.T) {
 		{"loadgen", "-timeout", "-5s"},
 		{"serve", "-coalesce-window", "-1ms"},
 		{"server", "-coalesce-window", "-1s"},
+		{"loadgen", "-wire", "grpc"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v): accepted invalid serving flag", args)

@@ -114,3 +114,62 @@ func TestServerLoadgenIntegration(t *testing.T) {
 		t.Error("server still serving after shutdown")
 	}
 }
+
+// TestServerLoadgenBinaryWire drives the same end-to-end stack over the
+// zero-copy binary frame protocol, including structural drift (base_fp +
+// edits frames), and checks the arena-pooled request memory all came
+// back once the run drains.
+func TestServerLoadgenBinaryWire(t *testing.T) {
+	s, err := server.New(server.Config{
+		Procs:          2,
+		CacheCap:       8,
+		CoalesceWindow: 2 * time.Millisecond,
+		CoalesceWidth:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	baseURL := "http://" + s.Addr()
+
+	var out strings.Builder
+	rep, err := loadgen(&out, loadgenConfig{
+		baseURL:    baseURL,
+		clients:    6,
+		requests:   48,
+		batch:      2,
+		seed:       13,
+		problems:   []string{"SPE2", "5-PT"},
+		driftRate:  0.3,
+		driftEdits: 2,
+		wire:       wireBinary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ok != 48 || rep.failed != 0 || rep.refused != 0 {
+		t.Fatalf("binary loadgen report: %d ok, %d refused, %d failed (%s), want 48 clean",
+			rep.ok, rep.refused, rep.failed, rep.failMsg)
+	}
+	if !strings.Contains(out.String(), "binary wire") {
+		t.Errorf("loadgen header does not name the wire format:\n%s", out.String())
+	}
+	st := s.Stats()
+	if st.FactorCache.Hits == 0 {
+		t.Error("no factor-cache hits: binary by-fingerprint resubmission is not reaching the server")
+	}
+	if st.Arena.Gets == 0 {
+		t.Error("binary requests were served without touching the request arena pool")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := s.Stats(); st.Arena.Outstanding != 0 {
+		t.Errorf("%d request arenas still outstanding after drain", st.Arena.Outstanding)
+	}
+}

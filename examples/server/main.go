@@ -2,8 +2,9 @@
 // starts the trisolve server in-process on a loopback port (exactly what
 // `loops server` serves on a real address), then acts as a client —
 // submitting a factor with a full request, resubmitting it by content
-// fingerprint with packed right-hand sides, firing concurrent requests
-// to show cross-request coalescing, and finally scraping /v1/stats and
+// fingerprint with packed right-hand sides, resubmitting once more over
+// the zero-copy binary frame protocol, firing concurrent requests to
+// show cross-request coalescing, and finally scraping /v1/stats and
 // /metrics. Point baseURL at a remote `loops server` to run the same
 // client over the network.
 package main
@@ -90,7 +91,25 @@ func run() error {
 	}
 	fmt.Printf("by fingerprint:    x[0]=%.6f (bit-identical: %v)\n", xs[0][0], xs[0][0] == sr.X[0][0])
 
-	// 3. Concurrent clients on one structure: requests arriving within
+	// 3. The binary wire protocol: the same by-fingerprint request as a
+	// zero-copy frame. server.EncodeRequestFrame is the client-side
+	// encoder; the server decodes the frame by slicing it in place into
+	// pooled arena memory (no JSON, no base64, 0 allocs/op when warm)
+	// and replies with a frame that DecodeResponseFrame unpacks.
+	frame, err := server.EncodeRequestFrame(&server.SolveRequest{
+		Fp: sr.Fp, Lower: &lower, B: [][]float64{b},
+	})
+	if err != nil {
+		return err
+	}
+	wr, err := postFrame(baseURL, frame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("binary frame:      x[0]=%.6f (bit-identical: %v, %d bytes on the wire)\n",
+		wr.X[0][0], wr.X[0][0] == sr.X[0][0], len(frame))
+
+	// 4. Concurrent clients on one structure: requests arriving within
 	// the coalescing window share a single executor pass.
 	const clients = 8
 	var wg sync.WaitGroup
@@ -114,7 +133,7 @@ func run() error {
 	wg.Wait()
 	fmt.Printf("concurrent burst:  per-request pass sharing (fused counts): %v\n", fused)
 
-	// 4. Observability: the JSON stats snapshot and a few metric lines.
+	// 5. Observability: the JSON stats snapshot and a few metric lines.
 	stats := srv.Stats()
 	fmt.Printf("\nstats: plan cache hit rate %.1f%%, coalescing rate %.1f%% (%d passes for %d requests)\n",
 		100*stats.CacheHitRate, 100*stats.Coalesce.Rate, stats.Coalesce.Passes, stats.Coalesce.Requests)
@@ -163,4 +182,26 @@ func post(baseURL string, req *server.SolveRequest) (*server.SolveResponse, erro
 		return nil, err
 	}
 	return &sr, nil
+}
+
+// postFrame posts an encoded request frame and decodes the frame reply
+// — the whole binary client fits in a dozen lines.
+func postFrame(baseURL string, frame []byte) (*server.WireResponse, error) {
+	resp, err := http.Post(baseURL+"/v1/trisolve", server.FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	wr, err := server.DecodeResponseFrame(buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, wr.ErrMsg)
+	}
+	return wr, nil
 }

@@ -1,0 +1,157 @@
+package arena
+
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
+
+// buddy is a classic binary buddy allocator over one contiguous byte
+// region: blocks are powers of two between minOrder and maxOrder, an
+// allocation splits the smallest sufficient free block down to fit, and
+// a free merges the block with its buddy (offset ^ size) repeatedly
+// while the buddy is also free. It is the slab source behind the arena
+// pool — the split/merge free-list shape keeps the region from
+// fragmenting under mixed request sizes, while the arenas on top give
+// the warm path pure pointer-bump allocation.
+//
+// buddy is not safe for concurrent use; Pool serializes access.
+type buddy struct {
+	region   []byte
+	minOrder uint
+	maxOrder uint
+	// free[o-minOrder] holds the start offsets of free blocks of order o.
+	free [][]int
+	// orderAt tracks the order of every live block (free or allocated) by
+	// start offset; freeAt marks which of those are free. Together they
+	// answer the two questions split/merge needs: "how big is the block
+	// at this offset" and "is my buddy free at my order".
+	orderAt map[int]uint
+	freeAt  map[int]bool
+}
+
+// newBuddyRegion allocates an 8-byte-aligned backing region. Go slice
+// allocations of []uint64 are guaranteed 8-aligned, which the typed
+// views over arena memory rely on.
+func newBuddyRegion(size int) []byte {
+	words := make([]uint64, size/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+}
+
+// newBuddy builds an allocator over a region of regionBytes (rounded up
+// to a power of two) with minBlock granularity (also a power of two).
+func newBuddy(regionBytes, minBlock int) *buddy {
+	if minBlock < 64 {
+		minBlock = 64
+	}
+	minBlock = 1 << uint(bits.Len(uint(minBlock-1)))
+	if regionBytes < minBlock {
+		regionBytes = minBlock
+	}
+	regionBytes = 1 << uint(bits.Len(uint(regionBytes-1)))
+	b := &buddy{
+		region:   newBuddyRegion(regionBytes),
+		minOrder: uint(bits.TrailingZeros(uint(minBlock))),
+		maxOrder: uint(bits.TrailingZeros(uint(regionBytes))),
+		orderAt:  make(map[int]uint),
+		freeAt:   make(map[int]bool),
+	}
+	b.free = make([][]int, b.maxOrder-b.minOrder+1)
+	b.orderAt[0] = b.maxOrder
+	b.freeAt[0] = true
+	b.free[b.maxOrder-b.minOrder] = append(b.free[b.maxOrder-b.minOrder], 0)
+	return b
+}
+
+// orderFor returns the smallest order whose block holds n bytes.
+func (b *buddy) orderFor(n int) uint {
+	o := uint(bits.Len(uint(n - 1)))
+	if n <= 1 {
+		o = 0
+	}
+	if o < b.minOrder {
+		o = b.minOrder
+	}
+	return o
+}
+
+// alloc returns a block of at least n bytes and its region offset, or
+// ok=false when no free block is large enough (the caller falls back to
+// the heap and counts an overflow).
+func (b *buddy) alloc(n int) (block []byte, off int, ok bool) {
+	want := b.orderFor(n)
+	if want > b.maxOrder {
+		return nil, 0, false
+	}
+	// Find the smallest free order that fits, splitting halves back onto
+	// the free lists on the way down.
+	o := want
+	for o <= b.maxOrder && len(b.free[o-b.minOrder]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return nil, 0, false
+	}
+	list := b.free[o-b.minOrder]
+	off = list[len(list)-1]
+	b.free[o-b.minOrder] = list[:len(list)-1]
+	delete(b.freeAt, off)
+	for o > want {
+		o--
+		half := off + (1 << o)
+		b.orderAt[half] = o
+		b.freeAt[half] = true
+		b.free[o-b.minOrder] = append(b.free[o-b.minOrder], half)
+	}
+	b.orderAt[off] = want
+	return b.region[off : off+(1<<want) : off+(1<<want)], off, true
+}
+
+// freeBlock returns the block starting at off to the free lists, merging
+// with its buddy as long as the buddy is free at the same order.
+func (b *buddy) freeBlock(off int) {
+	o, ok := b.orderAt[off]
+	if !ok || b.freeAt[off] {
+		panic(fmt.Sprintf("arena: freeing unallocated buddy block at offset %d", off))
+	}
+	for o < b.maxOrder {
+		bud := off ^ (1 << o)
+		if !b.freeAt[bud] || b.orderAt[bud] != o {
+			break
+		}
+		// Merge: remove the buddy from its free list and coalesce.
+		b.removeFree(bud, o)
+		delete(b.orderAt, bud)
+		delete(b.orderAt, off)
+		if bud < off {
+			off = bud
+		}
+		o++
+		b.orderAt[off] = o
+	}
+	b.freeAt[off] = true
+	b.free[o-b.minOrder] = append(b.free[o-b.minOrder], off)
+}
+
+// removeFree drops offset off from the order-o free list.
+func (b *buddy) removeFree(off int, o uint) {
+	list := b.free[o-b.minOrder]
+	for i, v := range list {
+		if v == off {
+			list[i] = list[len(list)-1]
+			b.free[o-b.minOrder] = list[:len(list)-1]
+			delete(b.freeAt, off)
+			return
+		}
+	}
+	panic(fmt.Sprintf("arena: buddy free list corrupt at order %d offset %d", o, off))
+}
+
+// freeBytes sums the bytes on the free lists.
+func (b *buddy) freeBytes() int {
+	total := 0
+	for i, list := range b.free {
+		total += len(list) << (b.minOrder + uint(i))
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package arena
+
+import "testing"
+
+// TestBuddySplitMerge allocates down through the orders and frees back
+// up, asserting the region coalesces to a single max-order block.
+func TestBuddySplitMerge(t *testing.T) {
+	b := newBuddy(1<<16, 1<<10)
+	if got := b.freeBytes(); got != 1<<16 {
+		t.Fatalf("fresh region free bytes = %d, want %d", got, 1<<16)
+	}
+
+	// A min-order allocation splits the root block all the way down:
+	// one free block remains at every intermediate order.
+	_, off0, ok := b.alloc(1 << 10)
+	if !ok {
+		t.Fatal("alloc failed on fresh region")
+	}
+	if got, want := b.freeBytes(), 1<<16-1<<10; got != want {
+		t.Fatalf("free bytes after split = %d, want %d", got, want)
+	}
+
+	// A second small allocation should take the buddy produced by the
+	// split, not split a fresh large block.
+	_, off1, ok := b.alloc(1 << 10)
+	if !ok {
+		t.Fatal("second alloc failed")
+	}
+	if off0^(1<<10) != off1 {
+		t.Fatalf("second alloc at %d, want buddy of %d", off1, off0)
+	}
+
+	// Freeing both merges back to the full region.
+	b.freeBlock(off0)
+	b.freeBlock(off1)
+	if got := b.freeBytes(); got != 1<<16 {
+		t.Fatalf("free bytes after merge = %d, want %d", got, 1<<16)
+	}
+	if len(b.free[b.maxOrder-b.minOrder]) != 1 {
+		t.Fatalf("region did not coalesce to a single max-order block")
+	}
+}
+
+// TestBuddyExhaustion fills the region with min-order blocks, verifies
+// further allocation fails cleanly, then frees everything and checks
+// full coalescing.
+func TestBuddyExhaustion(t *testing.T) {
+	b := newBuddy(1<<14, 1<<10)
+	var offs []int
+	for {
+		_, off, ok := b.alloc(1 << 10)
+		if !ok {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) != 16 {
+		t.Fatalf("allocated %d min blocks, want 16", len(offs))
+	}
+	if _, _, ok := b.alloc(1); ok {
+		t.Fatal("alloc succeeded on exhausted region")
+	}
+	// Free in an interleaved order to exercise merges at several levels.
+	for _, i := range []int{0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15} {
+		b.freeBlock(offs[i])
+	}
+	if got := b.freeBytes(); got != 1<<14 {
+		t.Fatalf("free bytes after freeing all = %d, want %d", got, 1<<14)
+	}
+	if len(b.free[b.maxOrder-b.minOrder]) != 1 {
+		t.Fatal("region did not coalesce after full free")
+	}
+}
+
+// TestBuddyOversize asks for more than the region and expects a clean
+// failure, plus success for an exact-region-size request.
+func TestBuddyOversize(t *testing.T) {
+	b := newBuddy(1<<14, 1<<10)
+	if _, _, ok := b.alloc(1<<14 + 1); ok {
+		t.Fatal("oversize alloc succeeded")
+	}
+	blk, off, ok := b.alloc(1 << 14)
+	if !ok || len(blk) != 1<<14 {
+		t.Fatalf("whole-region alloc: ok=%v len=%d", ok, len(blk))
+	}
+	b.freeBlock(off)
+	if got := b.freeBytes(); got != 1<<14 {
+		t.Fatalf("free bytes = %d, want %d", got, 1<<14)
+	}
+}
+
+// TestBuddyDoubleFree pins the panic on freeing a block twice.
+func TestBuddyDoubleFree(t *testing.T) {
+	b := newBuddy(1<<14, 1<<10)
+	_, off, ok := b.alloc(1 << 10)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	b.freeBlock(off)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.freeBlock(off)
+}
+
+// TestBuddyAlignment checks every handed-out block is 8-aligned, which
+// the typed views require.
+func TestBuddyAlignment(t *testing.T) {
+	b := newBuddy(1<<14, 1<<10)
+	for {
+		blk, _, ok := b.alloc(1 << 10)
+		if !ok {
+			break
+		}
+		if !Aligned8(blk) {
+			t.Fatal("buddy block not 8-aligned")
+		}
+	}
+}

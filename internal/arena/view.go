@@ -1,0 +1,74 @@
+package arena
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// hostLittleEndian is computed once at init. The zero-copy typed views
+// reinterpret little-endian wire bytes in place, which is only correct
+// on a little-endian host; big-endian hosts take the element-wise
+// decode fallback in the frame codec.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// HostLittleEndian reports whether in-place typed views over
+// little-endian wire bytes are valid on this host.
+func HostLittleEndian() bool { return hostLittleEndian }
+
+// Aligned8 reports whether the slice's backing array starts on an
+// 8-byte boundary (vacuously true when empty).
+func Aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// viewFloat64s reinterprets an 8-aligned byte slice as float64s without
+// copying. len(b) must be a multiple of 8.
+func viewFloat64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	checkView(b, 8)
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// viewInt32s reinterprets a 4-aligned byte slice as int32s without
+// copying. len(b) must be a multiple of 4.
+func viewInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	checkView(b, 4)
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// viewUint64s reinterprets an 8-aligned byte slice as uint64s without
+// copying. len(b) must be a multiple of 8.
+func viewUint64s(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	checkView(b, 8)
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// ViewFloat64s is the exported zero-copy float64 view, used by the
+// frame codec over validated frame sections. Callers must have checked
+// alignment and host endianness; misuse panics rather than corrupting.
+func ViewFloat64s(b []byte) []float64 { return viewFloat64s(b) }
+
+// ViewInt32s is the exported zero-copy int32 view.
+func ViewInt32s(b []byte) []int32 { return viewInt32s(b) }
+
+// ViewUint64s is the exported zero-copy uint64 view.
+func ViewUint64s(b []byte) []uint64 { return viewUint64s(b) }
+
+func checkView(b []byte, elem int) {
+	p := uintptr(unsafe.Pointer(&b[0]))
+	if p%uintptr(elem) != 0 || len(b)%elem != 0 {
+		panic(fmt.Sprintf("arena: misaligned %d-byte view (addr %%%d=%d, len %d)",
+			elem, elem, p%uintptr(elem), len(b)))
+	}
+}

@@ -25,9 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"iter"
 	"runtime"
-	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -189,15 +187,11 @@ func runPhase(rc *runControl, idxs []int32, body Body) (ran int64) {
 }
 
 // runSequentialOrder executes an explicit index order on one processor
-// with cancellation checks and panic capture.
-func runSequentialOrder(ctx context.Context, order []int32, body Body) (Metrics, error) {
-	return runSeq(ctx, slices.Values(order), body)
-}
-
-// runSeq is the shared single-processor execution loop: it runs body for
-// each yielded index, polling the context between indices (only when it is
-// cancellable) and converting a body panic into a *PanicError.
-func runSeq(ctx context.Context, indices iter.Seq[int32], body Body) (m Metrics, err error) {
+// with cancellation checks and panic capture. The loop is written
+// directly (not over an iter.Seq): a range-over-func loop body is a
+// closure over the function's locals, which heap-allocates on every
+// call — garbage the serving warm path is gated against.
+func runSequentialOrder(ctx context.Context, order []int32, body Body) (m Metrics, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r}
@@ -205,7 +199,7 @@ func runSeq(ctx context.Context, indices iter.Seq[int32], body Body) (m Metrics,
 	}()
 	done := ctx.Done()
 	executed := int64(0)
-	for i := range indices {
+	for _, i := range order {
 		if done != nil {
 			select {
 			case <-done:

@@ -198,14 +198,30 @@ func (sequentialStrategy) Execute(ctx context.Context, s *schedule.Schedule, _ *
 	return runSequentialCtx(ctx, s.N, body)
 }
 
-func runSequentialCtx(ctx context.Context, n int, body Body) (Metrics, error) {
-	return runSeq(ctx, func(yield func(int32) bool) {
-		for i := int32(0); int(i) < n; i++ {
-			if !yield(i) {
-				return
+// runSequentialCtx runs body for i = 0..n-1 with cancellation checks
+// and panic capture. Like runSequentialOrder it loops directly rather
+// than over an iter.Seq, which would heap-allocate the loop-body
+// closure on every call.
+func runSequentialCtx(ctx context.Context, n int, body Body) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	done := ctx.Done()
+	executed := int64(0)
+	for i := int32(0); int(i) < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return Metrics{P: 1, Executed: executed}, ctx.Err()
+			default:
 			}
 		}
-	}, body)
+		body(i)
+		executed++
+	}
+	return Metrics{P: 1, Executed: executed}, nil
 }
 
 // --- pre-scheduled --------------------------------------------------------

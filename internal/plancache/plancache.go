@@ -184,6 +184,17 @@ func (c *Cache[K, V]) runBuild(e *entry[K, V], build func() (V, error)) (v V, er
 	return v, err
 }
 
+// NoteHit counts a lookup served without touching the cache — a caller
+// holding its own memoized reference to a cached value (the serving
+// tier's bound-solver memo does this). The memo is a hit in every sense
+// the counter exists to measure: a plan lookup answered without the
+// inspector.
+func (c *Cache[K, V]) NoteHit() {
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache[K, V]) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"doconsider/internal/arena"
+	"doconsider/internal/sparse"
+)
+
+// The binary wire path. POST /v1/trisolve with Content-Type
+// application/x-doconsider-frame (see frame.go for the format) decodes
+// by slicing the request frame, solves through the coalescer's
+// zero-alloc prepared-submit path, and encodes the response into arena
+// memory the solver already wrote the solutions into. A warm
+// fp-resubmission request — the shape this server is built around —
+// performs zero heap allocations from frame bytes to response bytes
+// (the gated BenchmarkBinaryRequest/fp-warm pins this; the HTTP
+// transport around it allocates per request as net/http always does).
+
+// reqState is the pooled per-request state of the binary path: the
+// request arena plus reusable decode scratch. sync.Pool recycles the
+// struct; the arena pool recycles the memory.
+type reqState struct {
+	arena *arena.Arena
+	req   wireRequest
+	sects []frameSection
+	creq  coReq
+}
+
+// getReqState pairs pooled scratch with a fresh request arena.
+func (s *Server) getReqState() *reqState {
+	st := s.reqPool.Get().(*reqState)
+	st.arena = s.arenas.Get()
+	return st
+}
+
+// putReqState releases the handler's arena reference and recycles the
+// scratch. A detached pass may still hold its own arena reference; the
+// arena returns to the pool when the last reference drops.
+func (s *Server) putReqState(st *reqState) {
+	st.arena.Release()
+	st.arena = nil
+	st.req.reset()
+	st.creq = coReq{}
+	s.reqPool.Put(st)
+}
+
+// isFrameRequest reports whether the request selected the binary
+// protocol. Parameters after the media type are tolerated.
+func isFrameRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == FrameContentType {
+		return true
+	}
+	return len(ct) > len(FrameContentType) && ct[:len(FrameContentType)] == FrameContentType &&
+		(ct[len(FrameContentType)] == ';' || ct[len(FrameContentType)] == ' ')
+}
+
+// handleTrisolveBinary serves one binary-frame request. Admission
+// control already ran in handleTrisolve.
+func (s *Server) handleTrisolveBinary(w http.ResponseWriter, r *http.Request) {
+	st := s.getReqState()
+	defer s.putReqState(st)
+	body, err := readFrameBody(r, st.arena)
+	if err != nil {
+		writeFrame(w, http.StatusBadRequest, encodeErrorFrame(http.StatusBadRequest, "bad frame body: "+err.Error()))
+		return
+	}
+	// The transport owns the default deadline; a timeout section can only
+	// tighten it (unlike JSON's timeout_ms, which replaces the default —
+	// the README documents the difference).
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	frame, status := s.SolveFrame(ctx, body, st)
+	writeFrame(w, status, frame)
+}
+
+// writeFrame emits a response frame.
+func writeFrame(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", FrameContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(frame)
+}
+
+// readFrameBody reads the request body into arena memory: one
+// ReadFull into an exact-size buffer when Content-Length is declared,
+// a geometric-growth loop otherwise. Both are bounded by
+// MaxFrameBytes, mirroring the JSON path's MaxBytesReader.
+func readFrameBody(r *http.Request, a *arena.Arena) ([]byte, error) {
+	if r.ContentLength > MaxFrameBytes {
+		return nil, fmt.Errorf("frame has %d bytes, limit %d", r.ContentLength, MaxFrameBytes)
+	}
+	if r.ContentLength >= 0 {
+		buf := a.Bytes(int(r.ContentLength))
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := a.Bytes(64 << 10)
+	total := 0
+	for {
+		if total == len(buf) {
+			next := a.Bytes(2 * len(buf))
+			copy(next, buf[:total])
+			buf = next
+		}
+		n, err := r.Body.Read(buf[total:])
+		total += n
+		if total > MaxFrameBytes {
+			return nil, fmt.Errorf("frame exceeds %d bytes", MaxFrameBytes)
+		}
+		if err == io.EOF {
+			return buf[:total], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SolveFrame executes one binary request frame end to end — decode,
+// factor resolution, solve, response encode — and returns the response
+// frame with its HTTP status. The response bytes live in st's arena
+// (valid until putReqState) on success, on the heap for error frames.
+// ctx carries the transport deadline; a timeout section tightens it.
+// This is the boundary the 0 allocs/op gate measures: on a warm
+// fp-resubmission (factor hot, arena pooled, solver memoized, no
+// timeout section) the call performs no heap allocations.
+func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byte, int) {
+	q := &st.req
+	if err := parseRequestFrame(in, st.arena, q, st.sects); err != nil {
+		return errorFrame(http.StatusBadRequest, "bad frame: "+err.Error())
+	}
+	l, fp, hint, err := s.resolveFrameFactor(q, st.arena)
+	if err != nil {
+		if errors.Is(err, errUnknownFactor) {
+			return errorFrame(http.StatusNotFound, err.Error())
+		}
+		return errorFrame(http.StatusBadRequest, err.Error())
+	}
+	if q.k == 0 {
+		return errorFrame(http.StatusBadRequest, "request has no right-hand sides")
+	}
+	rowLen := len(q.rhsFlat) / q.k
+	bs := st.arena.Rows(q.k)
+	for j := 0; j < q.k; j++ {
+		bs[j] = q.rhsFlat[j*rowLen : (j+1)*rowLen : (j+1)*rowLen]
+	}
+	if err := validateRHS(bs, l.N, s.cfg.MaxBatch); err != nil {
+		return errorFrame(http.StatusBadRequest, err.Error())
+	}
+	if q.timeoutMs > 0 {
+		const maxTimeoutMs = 24 * 60 * 60 * 1000
+		ms := q.timeoutMs
+		if ms > maxTimeoutMs {
+			ms = maxTimeoutMs
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+
+	frame, lo, xs := newResponseFrame(st.arena, q.k, l.N)
+	creq := &st.creq
+	*creq = coReq{l: l, lower: q.lower, xs: xs, bs: bs, hint: hint}
+	// The pass writes solutions straight into the response frame; give
+	// it its own arena reference in case it outlives this handler.
+	st.arena.Retain()
+	creq.held = st.arena
+	info, err := s.co.SubmitInto(ctx, creq)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return errorFrame(http.StatusGatewayTimeout, "solve deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			return errorFrame(http.StatusServiceUnavailable, "request cancelled")
+		default:
+			return errorFrame(http.StatusInternalServerError, err.Error())
+		}
+	}
+	return finishResponseFrame(frame, lo, xs, fp, info), http.StatusOK
+}
+
+func errorFrame(status int, msg string) ([]byte, int) {
+	return encodeErrorFrame(status, msg), status
+}
+
+// resolveFrameFactor is resolveFactor for decoded frames. The warm fp
+// path goes through the hot-factor table and allocates nothing; inline
+// and drift forms are cold paths sharing the JSON machinery's
+// validation and registration helpers.
+func (s *Server) resolveFrameFactor(q *wireRequest, a *arena.Arena) (*sparse.CSR, uint64, *driftHint, error) {
+	forms := 0
+	if q.hasFp {
+		forms++
+	}
+	if q.hasBaseFp {
+		forms++
+	}
+	inline := q.n != 0 || q.rowPtr != nil || q.colIdx != nil || q.val != nil
+	if inline {
+		forms++
+	}
+	if forms > 1 {
+		return nil, 0, nil, errors.New("request carries more than one of: a factor, fp, base_fp; send one")
+	}
+	if len(q.edits) > 0 && !q.hasBaseFp {
+		return nil, 0, nil, errors.New("edits require base_fp")
+	}
+	switch {
+	case q.hasFp:
+		l, err := s.frameFactorByFp(q.fp, q.lower)
+		return l, q.fp, nil, err
+	case q.hasBaseFp:
+		return s.resolveFrameDrifted(q)
+	case !inline:
+		return nil, 0, nil, errors.New("request carries no factor (inline matrix, fp or base_fp)")
+	}
+	// Inline factor: validate on the zero-copy views, then clone out of
+	// the frame memory before registering — the cache outlives the
+	// request arena.
+	wire := sparse.View(q.n, q.rowPtr, q.colIdx, q.val)
+	if err := validateFactor(wire, q.lower); err != nil {
+		return nil, 0, nil, err
+	}
+	l, fp, release := s.registerFactor(wire.Clone(), q.lower)
+	release() // factors need no pin: eviction is a no-op Close, see below
+	s.hotInsert(fp, q.lower, l)
+	return l, fp, nil, nil
+}
+
+// frameFactorByFp resolves a resubmitted fingerprint: hot table first
+// (no allocation), factor cache second. No pin is taken — a
+// cachedFactor's Close is a no-op and the returned *CSR keeps the
+// values alive through the solve, so eviction during the solve is
+// harmless. The hot table may briefly serve a factor the cache has
+// evicted; that is the same answer a request a moment earlier would
+// have gotten, for a factor identified by its content.
+func (s *Server) frameFactorByFp(fp uint64, lower bool) (*sparse.CSR, error) {
+	if l := s.hotLookup(fp, lower); l != nil {
+		// The ring serves what the cache would have: count the hit so
+		// factor-cache telemetry stays truthful for binary traffic.
+		s.factors.NoteHit()
+		return l, nil
+	}
+	h, err := s.factors.Get(fp, func() (cachedFactor, error) {
+		return cachedFactor{}, errUnknownFactor
+	})
+	if err != nil {
+		return nil, err
+	}
+	cf := h.Value()
+	_ = h.Release()
+	if cf.lower != lower {
+		return nil, fmt.Errorf("factor %016x was registered for lower=%v", fp, cf.lower)
+	}
+	s.hotInsert(fp, lower, cf.l)
+	return cf.l, nil
+}
+
+// resolveFrameDrifted is resolveDrifted for decoded frames.
+func (s *Server) resolveFrameDrifted(q *wireRequest) (*sparse.CSR, uint64, *driftHint, error) {
+	if len(q.edits) == 0 {
+		return nil, 0, nil, errors.New("base_fp requires edits (use fp to resubmit unchanged)")
+	}
+	base, err := s.frameFactorByFp(q.baseFp, q.lower)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	l, err := base.ApplyRowEdits(q.edits)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	rows := make([]int32, 0, len(q.edits))
+	for _, e := range q.edits {
+		rows = append(rows, e.Row)
+	}
+	if err := validateFactorRows(l, rows, q.lower); err != nil {
+		return nil, 0, nil, err
+	}
+	hint := &driftHint{baseStructFp: base.StructureFingerprint(), rows: rows}
+	l, fp, release := s.registerFactor(l, q.lower)
+	release()
+	s.hotInsert(fp, q.lower, l)
+	return l, fp, hint, nil
+}
+
+// hotFactorCap sizes the hot-factor table: a short ring scanned under a
+// mutex, sized for the working set of a warm serving mix.
+const hotFactorCap = 8
+
+type hotFactor struct {
+	fp    uint64
+	lower bool
+	l     *sparse.CSR
+}
+
+// hotLookup scans the hot-factor ring. Zero allocations.
+func (s *Server) hotLookup(fp uint64, lower bool) *sparse.CSR {
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	for i := range s.hot {
+		if s.hot[i].fp == fp && s.hot[i].lower == lower && s.hot[i].l != nil {
+			return s.hot[i].l
+		}
+	}
+	return nil
+}
+
+// hotInsert records a resolved factor, overwriting the oldest slot. A
+// fingerprint collision (fp 0 from registerFactor) is never cached.
+func (s *Server) hotInsert(fp uint64, lower bool, l *sparse.CSR) {
+	if fp == 0 {
+		return
+	}
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	for i := range s.hot {
+		if s.hot[i].fp == fp && s.hot[i].lower == lower {
+			s.hot[i].l = l
+			return
+		}
+	}
+	s.hot[s.hotNext] = hotFactor{fp: fp, lower: lower, l: l}
+	s.hotNext = (s.hotNext + 1) % hotFactorCap
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"doconsider/internal/sparse"
+)
+
+// postFrame sends a binary request frame and decodes the response
+// frame.
+func postFrame(t *testing.T, url string, frame []byte) (int, *WireResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/trisolve", FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != FrameContentType {
+		t.Fatalf("response content type %q, want %q", ct, FrameContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := DecodeResponseFrame(body)
+	if err != nil {
+		t.Fatalf("decoding response frame (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, wr
+}
+
+// postJSONReq sends a SolveRequest as JSON and decodes the reply.
+func postJSONReq(t *testing.T, url string, req *SolveRequest) (int, *SolveResponse) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/trisolve", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SolveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, &sr
+}
+
+// checkSameSolutions requires bit-identical solution batches.
+func checkSameSolutions(t *testing.T, shape string, jx, bx [][]float64) {
+	t.Helper()
+	if len(jx) != len(bx) {
+		t.Fatalf("%s: JSON returned %d solutions, binary %d", shape, len(jx), len(bx))
+	}
+	for j := range jx {
+		if len(jx[j]) != len(bx[j]) {
+			t.Fatalf("%s: solution %d lengths differ: %d vs %d", shape, j, len(jx[j]), len(bx[j]))
+		}
+		for i := range jx[j] {
+			if math.Float64bits(jx[j][i]) != math.Float64bits(bx[j][i]) {
+				t.Fatalf("%s: solution %d row %d: JSON %x, binary %x",
+					shape, j, i, jx[j][i], bx[j][i])
+			}
+		}
+	}
+}
+
+// TestBinaryDifferential drives every request shape through both wire
+// encodings against one server and requires byte-identical solutions
+// and matching fingerprints. The two paths share the solver but not
+// the decode, factor resolution or response encode — this test is what
+// makes the binary path's zero-copy shortcuts safe to trust.
+func TestBinaryDifferential(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 2, CoalesceWindow: 0})
+	l := testFactor(12)
+	lower := true
+	n := l.N
+
+	shapes := []struct {
+		name string
+		req  func(fp string) *SolveRequest
+	}{
+		{"inline", func(string) *SolveRequest {
+			return &SolveRequest{N: n, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+				Lower: &lower, B: [][]float64{randVec(n, 1)}}
+		}},
+		{"multi-rhs", func(string) *SolveRequest {
+			return &SolveRequest{N: n, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+				Lower: &lower, B: [][]float64{randVec(n, 2), randVec(n, 3), randVec(n, 4)}}
+		}},
+		{"fp-resubmit", func(fp string) *SolveRequest {
+			return &SolveRequest{Fp: fp, Lower: &lower, B: [][]float64{randVec(n, 5)}}
+		}},
+		{"drift", func(fp string) *SolveRequest {
+			return &SolveRequest{BaseFp: fp, Lower: &lower,
+				Edits: []sparse.RowEdit{{Row: int32(n - 1),
+					Insert: []sparse.EditEntry{{Col: 0, Val: -0.25}}}},
+				B: [][]float64{randVec(n, 6)}}
+		}},
+		{"timeout", func(fp string) *SolveRequest {
+			return &SolveRequest{Fp: fp, Lower: &lower, B: [][]float64{randVec(n, 7)},
+				TimeoutMs: 30_000}
+		}},
+	}
+
+	fp := ""
+	for _, sh := range shapes {
+		req := sh.req(fp)
+		jsonStatus, jr := postJSONReq(t, ts.URL, req)
+		if jsonStatus != http.StatusOK {
+			t.Fatalf("%s: JSON status %d", sh.name, jsonStatus)
+		}
+		frame, err := EncodeRequestFrame(req)
+		if err != nil {
+			t.Fatalf("%s: %v", sh.name, err)
+		}
+		binStatus, br := postFrame(t, ts.URL, frame)
+		if binStatus != http.StatusOK {
+			t.Fatalf("%s: binary status %d: %s", sh.name, binStatus, br.ErrMsg)
+		}
+		checkSameSolutions(t, sh.name, jr.X, br.X)
+		if jr.Fp != br.Fp {
+			t.Fatalf("%s: JSON fp %q, binary fp %q", sh.name, jr.Fp, br.Fp)
+		}
+		if sh.name == "inline" {
+			if jr.Fp == "" {
+				t.Fatal("inline request returned no fingerprint")
+			}
+			fp = jr.Fp
+		}
+	}
+}
+
+// TestBinaryErrorEquivalence drives the error paths through both
+// encodings: same request defect, same HTTP status.
+func TestBinaryErrorEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 2, CoalesceWindow: 0, MaxBatch: 4})
+	l := testFactor(8)
+	lower := true
+	n := l.N
+
+	// Zero the first diagonal entry: row 0 of a lower factor is just the
+	// diagonal.
+	noDiag := l.Clone()
+	noDiag.Val[0] = 0
+
+	cases := []struct {
+		name string
+		req  *SolveRequest
+		want int
+	}{
+		{"zero-diagonal", &SolveRequest{N: n, RowPtr: noDiag.RowPtr, ColIdx: noDiag.ColIdx,
+			Val: noDiag.Val, Lower: &lower, B: [][]float64{randVec(n, 1)}}, 400},
+		{"no-rhs", &SolveRequest{N: n, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+			Lower: &lower}, 400},
+		{"batch-too-wide", &SolveRequest{N: n, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+			Lower: &lower, B: [][]float64{randVec(n, 1), randVec(n, 2), randVec(n, 3),
+				randVec(n, 4), randVec(n, 5)}}, 400},
+		{"fp-and-inline", &SolveRequest{N: n, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+			Fp: "1234", Lower: &lower, B: [][]float64{randVec(n, 1)}}, 400},
+		{"edits-without-base", &SolveRequest{Fp: "1234",
+			Edits: []sparse.RowEdit{{Row: 0}}, Lower: &lower, B: [][]float64{randVec(n, 1)}}, 400},
+		{"unknown-fp", &SolveRequest{Fp: "00000000deadbeef", Lower: &lower,
+			B: [][]float64{randVec(n, 1)}}, 404},
+		{"unknown-base-fp", &SolveRequest{BaseFp: "00000000deadbeef", Lower: &lower,
+			Edits: []sparse.RowEdit{{Row: 0, Insert: []sparse.EditEntry{{Col: 0, Val: 1}}}},
+			B:     [][]float64{randVec(n, 1)}}, 404},
+	}
+	for _, tc := range cases {
+		jsonStatus, _ := postJSONReq(t, ts.URL, tc.req)
+		if jsonStatus != tc.want {
+			t.Errorf("%s: JSON status %d, want %d", tc.name, jsonStatus, tc.want)
+		}
+		frame, err := EncodeRequestFrame(tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		binStatus, br := postFrame(t, ts.URL, frame)
+		if binStatus != tc.want {
+			t.Errorf("%s: binary status %d (%s), want %d", tc.name, binStatus, br.ErrMsg, tc.want)
+		}
+		if binStatus != 200 && br.Status != tc.want {
+			t.Errorf("%s: error frame carries status %d, want %d", tc.name, br.Status, tc.want)
+		}
+	}
+}
+
+// TestBinaryAdmission429 verifies the shed path answers binary requests
+// with a binary 429 frame, equivalently to the JSON path.
+func TestBinaryAdmission429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	_, finish := stallRequest(t, ts.URL, body)
+	defer finish()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inFlight.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	lower := true
+	frame, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/trisolve", FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity binary request: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestBinaryArenaLeak is the lifecycle integration check: after a mixed
+// binary workload completes and the server drains, every request arena
+// has returned to the pool.
+func TestBinaryArenaLeak(t *testing.T) {
+	s, err := New(Config{Procs: 2, CoalesceWindow: 2 * time.Millisecond, CoalesceWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	l := testFactor(10)
+	lower := true
+	inline, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, wr := postFrame(t, ts.URL, inline)
+	if status != 200 {
+		t.Fatalf("inline warmup: status %d: %s", status, wr.ErrMsg)
+	}
+	resub, err := EncodeRequestFrame(&SolveRequest{Fp: wr.Fp, Lower: &lower,
+		B: [][]float64{randVec(l.N, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, iters = 6, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				frame := resub
+				if i%10 == 0 {
+					frame = inline
+				}
+				resp, err := http.Post(ts.URL+"/v1/trisolve", FrameContentType, bytes.NewReader(frame))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("worker %d iter %d: status %d", w, i, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.arenas.Stats()
+	if st.Outstanding != 0 {
+		t.Fatalf("%d arenas still outstanding after drain: %+v", st.Outstanding, st)
+	}
+	if st.Gets != st.Releases {
+		t.Fatalf("arena gets %d != releases %d after drain: %+v", st.Gets, st.Releases, st)
+	}
+	if st.Gets < workers*iters {
+		t.Fatalf("arena pool saw %d gets, expected at least %d", st.Gets, workers*iters)
+	}
+}
+
+// TestSolveFrameZeroAlloc pins the tentpole end to end below the HTTP
+// transport: a warm fp-resubmission through SolveFrame — frame decode,
+// hot-factor lookup, coalescer fast path, bound solve, response encode
+// — performs zero heap allocations.
+func TestSolveFrameZeroAlloc(t *testing.T) {
+	s, frame := warmBinaryServer(t, 16)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		st := s.getReqState()
+		out, status := s.SolveFrame(ctx, frame, st)
+		if status != 200 {
+			t.Fatalf("status %d", status)
+		}
+		_ = out
+		s.putReqState(st)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm binary request = %v allocs/op, want 0", allocs)
+	}
+}
+
+// warmBinaryServer builds a solo-pass server, registers a mesh factor
+// through the binary path and returns a warm fp-resubmission frame.
+func warmBinaryServer(tb testing.TB, mesh int) (*Server, []byte) {
+	tb.Helper()
+	s, err := New(Config{Procs: 2, CoalesceWindow: 0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Shutdown(context.Background()) })
+	l := testFactor(mesh)
+	lower := true
+	inline, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := context.Background()
+	st := s.getReqState()
+	out, status := s.SolveFrame(ctx, inline, st)
+	if status != 200 {
+		tb.Fatalf("inline warmup status %d", status)
+	}
+	wr, err := DecodeResponseFrame(out)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.putReqState(st)
+	if wr.Fp == "" {
+		tb.Fatal("warmup returned no fingerprint")
+	}
+	frame, err := EncodeRequestFrame(&SolveRequest{Fp: wr.Fp, Lower: &lower,
+		B: [][]float64{randVec(l.N, 2)}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// One warm pass so the solver memo and hot-factor table are primed.
+	st = s.getReqState()
+	if _, status := s.SolveFrame(ctx, frame, st); status != 200 {
+		tb.Fatalf("resubmit warmup status %d", status)
+	}
+	s.putReqState(st)
+	return s, frame
+}
+
+// BenchmarkBinaryRequest measures the binary wire path. The fp-warm
+// case is the tentpole benchmark: a warm fingerprint resubmission from
+// frame bytes to response bytes, gated by CI at exactly 0 allocs/op.
+func BenchmarkBinaryRequest(b *testing.B) {
+	b.Run("fp-warm", func(b *testing.B) {
+		s, frame := warmBinaryServer(b, 16)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := s.getReqState()
+			_, status := s.SolveFrame(ctx, frame, st)
+			if status != 200 {
+				b.Fatalf("status %d", status)
+			}
+			s.putReqState(st)
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		s, frame := warmBinaryServer(b, 16)
+		h := s.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/trisolve", bytes.NewReader(frame))
+			req.Header.Set("Content-Type", FrameContentType)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}

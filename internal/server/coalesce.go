@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"doconsider/internal/arena"
 	"doconsider/internal/executor"
 	"doconsider/internal/sparse"
 	"doconsider/internal/trisolve"
@@ -39,13 +40,36 @@ type SolveInfo struct {
 // coReq is one request waiting in (or executed by) the coalescer.
 type coReq struct {
 	l        *sparse.CSR
+	lower    bool
 	xs, bs   [][]float64
 	hint     *driftHint // plan-repair ancestor, when the request drifted
 	deadline time.Time  // caller ctx deadline; zero = none
 	group    *coGroup   // the pending group this request joined, if any
-	done     chan struct{}
-	err      error
-	info     SolveInfo
+	// held is the request arena's pass reference (binary wire path):
+	// released exactly once, when the pass wakes the request or the
+	// request withdraws — whichever happens — so a detached fused pass
+	// can keep writing xs after the submitting handler has returned.
+	held *arena.Arena
+	done chan struct{}
+	err  error
+	info SolveInfo
+	solo [1]*coReq // member-slice scratch for the solo path
+}
+
+// soloScratch returns a one-member slice over the request's own scratch
+// array, so the solo path builds its member list without allocating.
+func (r *coReq) soloScratch() []*coReq {
+	r.solo[0] = r
+	return r.solo[:]
+}
+
+// release drops the pass reference, once.
+func (r *coReq) releaseHeld() {
+	if r.held != nil {
+		a := r.held
+		r.held = nil
+		a.Release()
+	}
 }
 
 // coGroup is a window of requests accumulating toward one fused pass.
@@ -92,6 +116,11 @@ type Coalescer struct {
 	blocked  int                 // requests waiting on sealed passes
 	draining bool
 	wg       sync.WaitGroup // outstanding fused-pass goroutines
+
+	// memo holds a bound BatchSolver per hot factor for the
+	// single-member fast path; see boundSolver.
+	memoMu sync.Mutex
+	memo   []memoEntry
 
 	requests *Counter
 	passes   *Counter
@@ -160,18 +189,33 @@ func (c *Coalescer) planOpts() ([]trisolve.Option, error) {
 // runs to completion (under the coalescer's base context) but the caller
 // still returns promptly with ctx.Err().
 func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs [][]float64, hint *driftHint) ([][]float64, SolveInfo, error) {
-	c.requests.Add(uint64(1))
-	key := coalesceKey{fp: l.StructureFingerprint(), n: l.N, lower: lower}
 	xs := make([][]float64, len(bs))
 	for j := range xs {
 		xs[j] = make([]float64, l.N)
 	}
-	req := &coReq{l: l, xs: xs, bs: bs, hint: hint, done: make(chan struct{})}
+	req := &coReq{l: l, lower: lower, xs: xs, bs: bs, hint: hint}
+	info, err := c.submit(ctx, req)
+	return xs, info, err
+}
+
+// SubmitInto is Submit with caller-owned request state: the solutions
+// land in req.xs (the binary wire path points them into the response
+// frame so the solver writes results in place), and req itself is
+// pooled by the caller. req.held, when set, is the request arena's pass
+// reference — see coReq. On the warm solo path this performs no heap
+// allocations.
+func (c *Coalescer) SubmitInto(ctx context.Context, req *coReq) (SolveInfo, error) {
+	return c.submit(ctx, req)
+}
+
+func (c *Coalescer) submit(ctx context.Context, req *coReq) (SolveInfo, error) {
+	c.requests.Add(uint64(1))
+	key := coalesceKey{fp: req.l.StructureFingerprint(), n: req.l.N, lower: req.lower}
 	if d, ok := ctx.Deadline(); ok {
 		req.deadline = d
 	}
 
-	if c.window <= 0 || c.maxWidth <= 1 || len(bs) >= c.maxWidth {
+	if c.window <= 0 || c.maxWidth <= 1 || len(req.bs) >= c.maxWidth {
 		// Fusion disabled or the request alone fills a pass: run solo,
 		// synchronously, with the request's own deadline driving RunCtx.
 		return c.submitSolo(ctx, key, req)
@@ -182,8 +226,11 @@ func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs []
 		c.mu.Unlock()
 		return c.submitSolo(ctx, key, req)
 	}
+	// Window path: the request parks and may be woken by a detached
+	// pass goroutine, which needs a wake channel.
+	req.done = make(chan struct{})
 	g := c.pending[key]
-	if g != nil && g.width+len(bs) > c.maxWidth {
+	if g != nil && g.width+len(req.bs) > c.maxWidth {
 		// Width-cap overflow: seal the full window now (it executes as
 		// its own pass) and start a fresh one for this request.
 		c.sealLocked(g)
@@ -195,7 +242,7 @@ func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs []
 		g.timer = time.AfterFunc(c.window, func() { c.flushGroup(g) })
 	}
 	g.members = append(g.members, req)
-	g.width += len(bs)
+	g.width += len(req.bs)
 	req.group = g
 	c.parked++
 	if g.width >= c.maxWidth {
@@ -207,31 +254,31 @@ func (c *Coalescer) Submit(ctx context.Context, l *sparse.CSR, lower bool, bs []
 
 	select {
 	case <-req.done:
-		return req.xs, req.info, req.err
+		return req.info, req.err
 	case <-ctx.Done():
 		c.withdraw(req)
 		select {
 		case <-req.done:
 			// The pass had already started (or finished) when the context
 			// fired; the results are valid, so return them.
-			return req.xs, req.info, req.err
+			return req.info, req.err
 		default:
-			return nil, SolveInfo{}, ctx.Err()
+			return SolveInfo{}, ctx.Err()
 		}
 	}
 }
 
 // submitSolo runs req as its own synchronous pass, counted as blocked so
 // quiescence detection knows it can no longer join a window.
-func (c *Coalescer) submitSolo(ctx context.Context, key coalesceKey, req *coReq) ([][]float64, SolveInfo, error) {
+func (c *Coalescer) submitSolo(ctx context.Context, key coalesceKey, req *coReq) (SolveInfo, error) {
 	c.mu.Lock()
 	c.blocked++
 	c.running[key]++
 	c.sealIfQuiescentLocked()
 	c.mu.Unlock()
-	c.execute(ctx, key, []*coReq{req})
+	c.execute(ctx, key, req.soloScratch())
 	c.passDone(key, 1)
-	return req.xs, req.info, req.err
+	return req.info, req.err
 }
 
 // passDone retires one finished pass for key: its waiters are no
@@ -267,6 +314,9 @@ func (c *Coalescer) withdraw(req *coReq) {
 			g.members = append(g.members[:i], g.members[i+1:]...)
 			g.width -= len(req.bs)
 			c.parked--
+			// The pass will never see this request; drop its arena
+			// reference here (still under c.mu, so seal cannot race).
+			req.releaseHeld()
 			break
 		}
 	}
@@ -368,9 +418,52 @@ func (c *Coalescer) passCtx(members []*coReq) (context.Context, context.CancelFu
 // row-sharing). Fused members' done channels are closed even on error,
 // each carrying the pass error.
 func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coReq) {
+	var metrics executor.Metrics
+	var err error
+	strategy := ""
+	width := 0
+	for _, m := range members {
+		width += len(m.bs)
+	}
+	if len(members) == 1 && members[0].hint == nil {
+		// Single-member fast path: solve through the memoized bound
+		// solver for this factor — no group assembly, no plan lease, no
+		// per-call body closure. This is the shape of the warm
+		// fp-resubmission path, and it runs allocation-free.
+		m := members[0]
+		var sv *trisolve.BatchSolver
+		if sv, strategy, err = c.boundSolver(m.l, key.lower); err == nil {
+			metrics, err = sv.Solve(ctx, m.xs, m.bs)
+		}
+	} else {
+		metrics, strategy, err = c.executeGroup(ctx, key, members)
+	}
+
+	c.passes.Inc()
+	c.widthH.Observe(float64(width))
+	if len(members) > 1 {
+		c.fusedC.Add(uint64(len(members)))
+		c.maxFused.Max(int64(len(members)))
+	} else {
+		c.soloC.Inc()
+	}
+	info := SolveInfo{Fused: len(members), Width: width, Strategy: strategy, Metrics: metrics}
+	for _, m := range members {
+		m.err = err
+		m.info = info
+		m.releaseHeld()
+		if m.done != nil {
+			close(m.done)
+		}
+	}
+}
+
+// executeGroup is the fused (or drift-hinted) pass body: members merge
+// into BatchProblems by factor identity and run as one SolveGroup pass
+// under a freshly leased plan.
+func (c *Coalescer) executeGroup(ctx context.Context, key coalesceKey, members []*coReq) (executor.Metrics, string, error) {
 	group := make([]trisolve.BatchProblem, 0, len(members))
 	byFactor := make(map[*sparse.CSR]int, len(members))
-	width := 0
 	for _, m := range members {
 		if j, ok := byFactor[m.l]; ok {
 			group[j].Xs = append(group[j].Xs, m.xs...)
@@ -383,7 +476,6 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 				Bs: append(make([][]float64, 0, len(m.bs)), m.bs...),
 			})
 		}
-		width += len(m.bs)
 	}
 	var metrics executor.Metrics
 	strategy := ""
@@ -407,20 +499,91 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 			}
 		}
 	}
+	return metrics, strategy, err
+}
 
-	c.passes.Inc()
-	c.widthH.Observe(float64(width))
-	if len(members) > 1 {
-		c.fusedC.Add(uint64(len(members)))
-		c.maxFused.Max(int64(len(members)))
-	} else {
-		c.soloC.Inc()
+// memoCap bounds the factor-bound solver memo. Eight covers the hot
+// factors of a serving mix without pinning evicted plans for long.
+const memoCap = 8
+
+// memoEntry is one factor's bound solver: a leased plan (kept open, so
+// the lease pins the skeleton in the plan cache) plus the BatchSolver
+// bound to it.
+type memoEntry struct {
+	l      *sparse.CSR
+	lower  bool
+	plan   *trisolve.Plan
+	solver *trisolve.BatchSolver
+	name   string // plan.Kind.String(), resolved once
+}
+
+// boundSolver returns the memoized bound solver for (l, lower),
+// building and memoizing it on first use. Factor identity (the pointer)
+// keys the memo: the server's by-fingerprint cache hands out one
+// resident *CSR per content fingerprint, and factor values are
+// immutable once cached, so a pointer hit guarantees the solver's
+// precomputed state is current. A warm hit costs a mutex and a short
+// linear scan — no allocation.
+func (c *Coalescer) boundSolver(l *sparse.CSR, lower bool) (*trisolve.BatchSolver, string, error) {
+	c.memoMu.Lock()
+	for i := range c.memo {
+		e := &c.memo[i]
+		if e.l == l && e.lower == lower {
+			sv, name := e.solver, e.name
+			c.memoMu.Unlock()
+			// The memo answered a plan lookup the inspector did not run
+			// for; keep the cache's hit-rate telemetry truthful about it.
+			c.cache.NoteHit()
+			return sv, name, nil
+		}
 	}
-	info := SolveInfo{Fused: len(members), Width: width, Strategy: strategy, Metrics: metrics}
-	for _, m := range members {
-		m.err = err
-		m.info = info
-		close(m.done)
+	c.memoMu.Unlock()
+
+	// Miss: lease a plan outside the memo lock (plan building can be
+	// expensive) and publish it, racing peers resolved by a re-check.
+	opts, err := c.planOpts()
+	if err != nil {
+		return nil, "", err
+	}
+	plan, err := c.cache.Get(l, lower, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	entry := memoEntry{l: l, lower: lower, plan: plan, solver: plan.Bind(), name: plan.Kind.String()}
+	c.memoMu.Lock()
+	for i := range c.memo {
+		e := &c.memo[i]
+		if e.l == l && e.lower == lower {
+			sv, name := e.solver, e.name
+			c.memoMu.Unlock()
+			_ = plan.Close() // lost the race; drop the extra lease
+			return sv, name, nil
+		}
+	}
+	var evicted *trisolve.Plan
+	if len(c.memo) >= memoCap {
+		evicted = c.memo[0].plan
+		copy(c.memo, c.memo[1:])
+		c.memo[len(c.memo)-1] = entry
+	} else {
+		c.memo = append(c.memo, entry)
+	}
+	c.memoMu.Unlock()
+	if evicted != nil {
+		_ = evicted.Close()
+	}
+	return entry.solver, entry.name, nil
+}
+
+// releaseMemo drops every memoized plan lease. Called when the
+// coalescer drains; solves in flight have already completed.
+func (c *Coalescer) releaseMemo() {
+	c.memoMu.Lock()
+	memo := c.memo
+	c.memo = nil
+	c.memoMu.Unlock()
+	for i := range memo {
+		_ = memo[i].plan.Close()
 	}
 }
 
@@ -452,6 +615,7 @@ func (c *Coalescer) BeginDrain() {
 func (c *Coalescer) Drain() {
 	c.BeginDrain()
 	c.wg.Wait()
+	c.releaseMemo()
 }
 
 // DrainCtx is Drain bounded by ctx: it returns ctx.Err() if passes are
@@ -466,6 +630,7 @@ func (c *Coalescer) DrainCtx(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		c.releaseMemo()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

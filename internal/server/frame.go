@@ -1,0 +1,704 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"doconsider/internal/arena"
+	"doconsider/internal/sparse"
+)
+
+// Binary wire protocol ("DCWF" frames).
+//
+// POST /v1/trisolve with Content-Type application/x-doconsider-frame
+// carries the request as one versioned, length-prefixed binary frame
+// instead of JSON. All integers and floats are little-endian. A frame
+// is:
+//
+//	header (24 bytes)
+//	  [0:4)   magic "DCWF"
+//	  [4]     version (1)
+//	  [5]     flags: bit0 = lower (forward solve)
+//	  [6:8)   section count (uint16)
+//	  [8:16)  total frame length in bytes (uint64, must equal the body)
+//	  [16:24) reserved, zero
+//	section table (16 bytes per section, immediately after the header)
+//	  [0:2)   section type (uint16)
+//	  [2:4)   reserved, zero
+//	  [4:8)   element count (uint32, meaning per type)
+//	  [8:12)  payload byte offset from frame start (uint32, 8-aligned)
+//	  [12:16) payload byte length (uint32)
+//	payloads (8-aligned, within [header+table, total length))
+//
+// Section types and payloads:
+//
+//	1 dim      count = n; no payload
+//	2 rowptr   count = n+1 int32s
+//	3 colidx   count = nnz int32s
+//	4 val      count = nnz float64s
+//	5 rhs      count = k vectors; payload k*n float64s, row-major
+//	6 fp       resubmit fingerprint; payload one uint64
+//	7 base_fp  drift base fingerprint; payload one uint64
+//	8 edits    count = edit records (layout below)
+//	9 timeout  count = timeout in ms; no payload
+//	10 solutions (response) count = k vectors; payload k*n float64s
+//	11 fp        (response) payload one uint64
+//	12 info      (response) payload fused uint32, width uint32, executed int64
+//	13 strategy  (response) count = byte length; UTF-8 payload
+//	14 error     (response) count = HTTP status; UTF-8 message payload
+//
+// One edit record (section 8): a 16-byte header {row int32, inserts
+// int32, deletes int32, reserved int32}, the insert column int32s, the
+// delete column int32s, zero padding to the next 8-byte boundary, then
+// the insert value float64s. Records follow each other back to back.
+//
+// On a little-endian host an 8-aligned request buffer decodes by
+// slicing: rowptr/colidx/val/rhs become typed views over the frame
+// bytes with no element-wise copy (the factor is cloned only when it
+// enters the by-fingerprint cache — the cold path). Big-endian hosts
+// and misaligned buffers fall back to element-wise decoding into arena
+// memory; the wire format itself is always little-endian.
+
+// FrameContentType is the Content-Type that selects the binary wire
+// protocol on POST /v1/trisolve.
+const FrameContentType = "application/x-doconsider-frame"
+
+// MaxFrameBytes bounds a request frame, mirroring the 64 MiB
+// MaxBytesReader bound on the JSON path.
+const MaxFrameBytes = 64 << 20
+
+const (
+	frameMagic      = "DCWF"
+	frameVersion    = 1
+	frameHeaderLen  = 24
+	frameSectionLen = 16
+	flagLower       = 1 << 0
+
+	maxFrameSections = 32
+)
+
+// Section types.
+const (
+	secDim       = 1
+	secRowPtr    = 2
+	secColIdx    = 3
+	secVal       = 4
+	secRHS       = 5
+	secFp        = 6
+	secBaseFp    = 7
+	secEdits     = 8
+	secTimeout   = 9
+	secSolutions = 10
+	secRespFp    = 11
+	secInfo      = 12
+	secStrategy  = 13
+	secError     = 14
+)
+
+var (
+	errFrameTooShort = errors.New("frame shorter than header")
+	errFrameMagic    = errors.New("bad frame magic")
+)
+
+// frameSection is one decoded section-table entry.
+type frameSection struct {
+	typ    uint16
+	count  uint32
+	off    uint32
+	length uint32
+}
+
+// parseSections validates the frame envelope — magic, version, declared
+// length, table bounds, payload bounds and alignment — and returns the
+// flags byte and the section table. It never panics or reads past the
+// buffer on any input (FuzzFrameDecode pins this).
+func parseSections(buf []byte, sects []frameSection) (flags byte, _ []frameSection, err error) {
+	if len(buf) < frameHeaderLen {
+		return 0, nil, errFrameTooShort
+	}
+	if string(buf[0:4]) != frameMagic {
+		return 0, nil, errFrameMagic
+	}
+	if buf[4] != frameVersion {
+		return 0, nil, fmt.Errorf("unsupported frame version %d (want %d)", buf[4], frameVersion)
+	}
+	flags = buf[5]
+	nsect := int(binary.LittleEndian.Uint16(buf[6:8]))
+	total := binary.LittleEndian.Uint64(buf[8:16])
+	if total != uint64(len(buf)) {
+		return 0, nil, fmt.Errorf("frame declares %d bytes, body has %d", total, len(buf))
+	}
+	if nsect > maxFrameSections {
+		return 0, nil, fmt.Errorf("frame has %d sections, limit %d", nsect, maxFrameSections)
+	}
+	tableEnd := uint64(frameHeaderLen) + uint64(nsect)*frameSectionLen
+	if tableEnd > uint64(len(buf)) {
+		return 0, nil, fmt.Errorf("section table (%d entries) exceeds frame", nsect)
+	}
+	sects = sects[:0]
+	for i := 0; i < nsect; i++ {
+		e := buf[frameHeaderLen+i*frameSectionLen:]
+		s := frameSection{
+			typ:    binary.LittleEndian.Uint16(e[0:2]),
+			count:  binary.LittleEndian.Uint32(e[4:8]),
+			off:    binary.LittleEndian.Uint32(e[8:12]),
+			length: binary.LittleEndian.Uint32(e[12:16]),
+		}
+		if s.length > 0 {
+			if s.off%8 != 0 {
+				return 0, nil, fmt.Errorf("section %d payload offset %d not 8-aligned", s.typ, s.off)
+			}
+			if uint64(s.off) < tableEnd || uint64(s.off)+uint64(s.length) > uint64(len(buf)) {
+				return 0, nil, fmt.Errorf("section %d payload [%d,%d) outside frame", s.typ, s.off, uint64(s.off)+uint64(s.length))
+			}
+		} else {
+			// An empty payload carries no bytes; normalize its offset so
+			// decoders can slice buf[s.off:s.off+s.length] unconditionally.
+			s.off = 0
+		}
+		sects = append(sects, s)
+	}
+	return flags, sects, nil
+}
+
+// wireRequest is a decoded request frame. The slices are views into the
+// frame buffer (or arena copies on hosts without zero-copy), valid for
+// the lifetime of the request arena.
+type wireRequest struct {
+	lower     bool
+	n         int
+	rowPtr    []int32
+	colIdx    []int32
+	val       []float64
+	rhsFlat   []float64 // k*n row-major
+	k         int
+	fp        uint64
+	hasFp     bool
+	baseFp    uint64
+	hasBaseFp bool
+	edits     []sparse.RowEdit
+	timeoutMs int
+}
+
+// reset clears a pooled wireRequest for reuse.
+func (q *wireRequest) reset() {
+	*q = wireRequest{}
+}
+
+// sectionInt32s decodes an int32 payload: a zero-copy view on
+// little-endian hosts with aligned buffers, an arena copy otherwise.
+func sectionInt32s(payload []byte, a *arena.Arena) []int32 {
+	if arena.HostLittleEndian() && arena.Aligned8(payload) {
+		return arena.ViewInt32s(payload)
+	}
+	out := a.Int32s(len(payload) / 4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out
+}
+
+// sectionFloat64s decodes a float64 payload the same way.
+func sectionFloat64s(payload []byte, a *arena.Arena) []float64 {
+	if arena.HostLittleEndian() && arena.Aligned8(payload) {
+		return arena.ViewFloat64s(payload)
+	}
+	out := a.Float64s(len(payload) / 8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out
+}
+
+// parseRequestFrame decodes a request frame into req. Numeric sections
+// become views into buf where the host allows (see sectionInt32s), so
+// req must not outlive buf or the arena. sects is caller-provided
+// scratch to keep the warm path allocation-free.
+func parseRequestFrame(buf []byte, a *arena.Arena, req *wireRequest, sects []frameSection) error {
+	if len(buf) > MaxFrameBytes {
+		return fmt.Errorf("frame has %d bytes, limit %d", len(buf), MaxFrameBytes)
+	}
+	flags, sects, err := parseSections(buf, sects)
+	if err != nil {
+		return err
+	}
+	req.reset()
+	req.lower = flags&flagLower != 0
+	seen := uint32(0)
+	for _, s := range sects {
+		if s.typ >= 32 {
+			return fmt.Errorf("unknown section type %d", s.typ)
+		}
+		if seen&(1<<s.typ) != 0 {
+			return fmt.Errorf("duplicate section type %d", s.typ)
+		}
+		seen |= 1 << s.typ
+		payload := buf[s.off : uint64(s.off)+uint64(s.length)]
+		switch s.typ {
+		case secDim:
+			if s.count == 0 || s.count > math.MaxInt32 {
+				return fmt.Errorf("dim section: n=%d out of range", s.count)
+			}
+			req.n = int(s.count)
+		case secRowPtr:
+			if uint64(s.length) != 4*uint64(s.count) {
+				return fmt.Errorf("rowptr section: %d bytes for %d entries", s.length, s.count)
+			}
+			req.rowPtr = sectionInt32s(payload, a)
+		case secColIdx:
+			if uint64(s.length) != 4*uint64(s.count) {
+				return fmt.Errorf("colidx section: %d bytes for %d entries", s.length, s.count)
+			}
+			req.colIdx = sectionInt32s(payload, a)
+		case secVal:
+			if uint64(s.length) != 8*uint64(s.count) {
+				return fmt.Errorf("val section: %d bytes for %d entries", s.length, s.count)
+			}
+			req.val = sectionFloat64s(payload, a)
+		case secRHS:
+			if s.count == 0 {
+				return errors.New("rhs section: zero vectors")
+			}
+			if s.length%8 != 0 || uint64(s.length) < 8*uint64(s.count) ||
+				uint64(s.length/8)%uint64(s.count) != 0 {
+				return fmt.Errorf("rhs section: %d bytes do not divide into %d vectors", s.length, s.count)
+			}
+			req.k = int(s.count)
+			req.rhsFlat = sectionFloat64s(payload, a)
+		case secFp:
+			if s.length != 8 {
+				return fmt.Errorf("fp section: %d bytes, want 8", s.length)
+			}
+			req.fp = binary.LittleEndian.Uint64(payload)
+			req.hasFp = true
+		case secBaseFp:
+			if s.length != 8 {
+				return fmt.Errorf("base_fp section: %d bytes, want 8", s.length)
+			}
+			req.baseFp = binary.LittleEndian.Uint64(payload)
+			req.hasBaseFp = true
+		case secEdits:
+			edits, err := parseEdits(payload, s.count)
+			if err != nil {
+				return err
+			}
+			req.edits = edits
+		case secTimeout:
+			req.timeoutMs = int(s.count)
+		default:
+			return fmt.Errorf("unknown section type %d", s.typ)
+		}
+	}
+	return nil
+}
+
+// parseEdits decodes the drift edit records. Drift requests materialize
+// a new factor anyway (the cold path), so this decoder favors bounds
+// clarity over zero-copy and allocates ordinary slices.
+func parseEdits(payload []byte, count uint32) ([]sparse.RowEdit, error) {
+	// Every record occupies at least its 16-byte header; a count the
+	// payload cannot hold is rejected before it sizes any allocation.
+	if count > math.MaxInt32 || uint64(count)*16 > uint64(len(payload)) {
+		return nil, fmt.Errorf("edits section: count %d exceeds %d payload bytes", count, len(payload))
+	}
+	edits := make([]sparse.RowEdit, 0, count)
+	off := 0
+	for e := uint32(0); e < count; e++ {
+		if off+16 > len(payload) {
+			return nil, fmt.Errorf("edits section: record %d header exceeds payload", e)
+		}
+		row := int32(binary.LittleEndian.Uint32(payload[off:]))
+		nIns := int64(int32(binary.LittleEndian.Uint32(payload[off+4:])))
+		nDel := int64(int32(binary.LittleEndian.Uint32(payload[off+8:])))
+		off += 16
+		if nIns < 0 || nDel < 0 {
+			return nil, fmt.Errorf("edits section: record %d has negative counts", e)
+		}
+		need := 4 * (nIns + nDel)
+		need += (8 - need%8) % 8
+		need += 8 * nIns
+		if int64(off)+need > int64(len(payload)) {
+			return nil, fmt.Errorf("edits section: record %d body exceeds payload", e)
+		}
+		ed := sparse.RowEdit{Row: row}
+		if nIns > 0 {
+			ed.Insert = make([]sparse.EditEntry, nIns)
+		}
+		for i := range ed.Insert {
+			ed.Insert[i].Col = int32(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+		if nDel > 0 {
+			ed.Delete = make([]int32, nDel)
+		}
+		for i := range ed.Delete {
+			ed.Delete[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+		off += (8 - off%8) % 8
+		for i := range ed.Insert {
+			ed.Insert[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+		edits = append(edits, ed)
+	}
+	return edits, nil
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// respLayout is the fixed layout of a success response frame for k
+// solutions of length n: solutions, fp (always present; patched to the
+// zero fingerprint on a collision), info, and a strategy section with
+// strategyReserve bytes reserved (the count field is patched to the
+// actual name length).
+const strategyReserve = 24
+
+type respLayout struct {
+	total    int
+	solOff   int
+	fpOff    int
+	infoOff  int
+	stratOff int
+	k, n     int
+}
+
+func responseLayout(k, n int) respLayout {
+	var lo respLayout
+	lo.k, lo.n = k, n
+	off := frameHeaderLen + 4*frameSectionLen
+	lo.solOff = off
+	off += align8(8 * k * n)
+	lo.fpOff = off
+	off += 8
+	lo.infoOff = off
+	off += 16
+	lo.stratOff = off
+	off += strategyReserve
+	lo.total = off
+	return lo
+}
+
+// newResponseFrame lays a success frame out in arena memory and returns
+// it with the solution row views aimed into the solutions section, so
+// the solver writes results directly into the response bytes. The
+// header, table and reserved regions are fully written here — arena
+// memory is recycled across requests and must never leak stale bytes
+// onto the wire.
+func newResponseFrame(a *arena.Arena, k, n int) ([]byte, respLayout, [][]float64) {
+	lo := responseLayout(k, n)
+	buf := a.Bytes(lo.total)
+	writeFrameHeader(buf, 0, 4, uint64(lo.total))
+	writeSection(buf, 0, secSolutions, uint32(k), uint32(lo.solOff), uint32(8*k*n))
+	writeSection(buf, 1, secRespFp, 0, uint32(lo.fpOff), 8)
+	writeSection(buf, 2, secInfo, 0, uint32(lo.infoOff), 16)
+	writeSection(buf, 3, secStrategy, 0, uint32(lo.stratOff), 0)
+	// Zero the pad after the solutions payload and the strategy reserve;
+	// every other byte up to total is written by the sections above or by
+	// the solve/finish steps.
+	for i := lo.solOff + 8*k*n; i < lo.fpOff; i++ {
+		buf[i] = 0
+	}
+	for i := lo.stratOff; i < lo.total; i++ {
+		buf[i] = 0
+	}
+	solBytes := buf[lo.solOff : lo.solOff+8*k*n]
+	var xs [][]float64
+	if arena.HostLittleEndian() {
+		flat := arena.ViewFloat64s(solBytes)
+		xs = a.Rows(k)
+		for j := 0; j < k; j++ {
+			xs[j] = flat[j*n : (j+1)*n : (j+1)*n]
+		}
+	} else {
+		// Big-endian host: solve into arena vectors, byte-swap in finish.
+		xs = a.Rows(k)
+		for j := 0; j < k; j++ {
+			xs[j] = a.Float64s(n)
+		}
+	}
+	return buf, lo, xs
+}
+
+// finishResponseFrame patches the fingerprint, info and strategy
+// sections after the solve. On big-endian hosts it also serializes the
+// solutions into the frame.
+func finishResponseFrame(buf []byte, lo respLayout, xs [][]float64, fp uint64, info SolveInfo) []byte {
+	if !arena.HostLittleEndian() {
+		sol := buf[lo.solOff:]
+		for j, x := range xs {
+			for i, v := range x {
+				binary.LittleEndian.PutUint64(sol[8*(j*lo.n+i):], math.Float64bits(v))
+			}
+		}
+	}
+	binary.LittleEndian.PutUint64(buf[lo.fpOff:], fp)
+	binary.LittleEndian.PutUint32(buf[lo.infoOff:], uint32(info.Fused))
+	binary.LittleEndian.PutUint32(buf[lo.infoOff+4:], uint32(info.Width))
+	binary.LittleEndian.PutUint64(buf[lo.infoOff+8:], uint64(info.Metrics.Executed))
+	strat := info.Strategy
+	if len(strat) > strategyReserve {
+		strat = strat[:strategyReserve]
+	}
+	copy(buf[lo.stratOff:], strat)
+	// Patch the strategy section's count and length to the actual name.
+	e := buf[frameHeaderLen+3*frameSectionLen:]
+	binary.LittleEndian.PutUint32(e[4:8], uint32(len(strat)))
+	binary.LittleEndian.PutUint32(e[12:16], uint32(len(strat)))
+	return buf
+}
+
+// writeFrameHeader fills the 24-byte header (version, flags, section
+// count, total length, zeroed reserve).
+func writeFrameHeader(buf []byte, flags byte, nsect int, total uint64) {
+	copy(buf[0:4], frameMagic)
+	buf[4] = frameVersion
+	buf[5] = flags
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(nsect))
+	binary.LittleEndian.PutUint64(buf[8:16], total)
+	for i := 16; i < 24; i++ {
+		buf[i] = 0
+	}
+}
+
+// writeSection fills section-table entry i.
+func writeSection(buf []byte, i int, typ uint16, count, off, length uint32) {
+	e := buf[frameHeaderLen+i*frameSectionLen:]
+	binary.LittleEndian.PutUint16(e[0:2], typ)
+	binary.LittleEndian.PutUint16(e[2:4], 0)
+	binary.LittleEndian.PutUint32(e[4:8], count)
+	binary.LittleEndian.PutUint32(e[8:12], off)
+	binary.LittleEndian.PutUint32(e[12:16], length)
+}
+
+// encodeErrorFrame builds an error response frame: section 14 with the
+// HTTP status in the count field and the message as payload.
+func encodeErrorFrame(status int, msg string) []byte {
+	payOff := frameHeaderLen + frameSectionLen
+	total := payOff + align8(len(msg))
+	buf := make([]byte, total)
+	writeFrameHeader(buf, 0, 1, uint64(total))
+	writeSection(buf, 0, secError, uint32(status), uint32(payOff), uint32(len(msg)))
+	copy(buf[payOff:], msg)
+	return buf
+}
+
+// EncodeRequestFrame serializes a SolveRequest as a binary request
+// frame. It is the client-side encoder used by loadgen, the examples
+// and the differential tests; the server only decodes request frames.
+// Exactly one of the factor forms (inline matrix, Fp, BaseFp+Edits)
+// should be set, mirroring the JSON rules; B carries the right-hand
+// sides (B64 is a JSON-ism and is rejected here).
+func EncodeRequestFrame(req *SolveRequest) ([]byte, error) {
+	if len(req.B64) > 0 {
+		return nil, errors.New("binary frames carry RHS in B, not B64")
+	}
+	type sec struct {
+		typ    uint16
+		count  uint32
+		length int
+		write  func(b []byte)
+	}
+	var secs []sec
+	if req.N != 0 || req.RowPtr != nil || req.ColIdx != nil || req.Val != nil {
+		secs = append(secs,
+			sec{typ: secDim, count: uint32(req.N)},
+			sec{typ: secRowPtr, count: uint32(len(req.RowPtr)), length: 4 * len(req.RowPtr),
+				write: func(b []byte) { putInt32s(b, req.RowPtr) }},
+			sec{typ: secColIdx, count: uint32(len(req.ColIdx)), length: 4 * len(req.ColIdx),
+				write: func(b []byte) { putInt32s(b, req.ColIdx) }},
+			sec{typ: secVal, count: uint32(len(req.Val)), length: 8 * len(req.Val),
+				write: func(b []byte) { putFloat64s(b, req.Val) }},
+		)
+	}
+	if req.Fp != "" {
+		fp, err := parseHexFp(req.Fp)
+		if err != nil {
+			return nil, err
+		}
+		secs = append(secs, sec{typ: secFp, length: 8,
+			write: func(b []byte) { binary.LittleEndian.PutUint64(b, fp) }})
+	}
+	if req.BaseFp != "" {
+		fp, err := parseHexFp(req.BaseFp)
+		if err != nil {
+			return nil, err
+		}
+		secs = append(secs, sec{typ: secBaseFp, length: 8,
+			write: func(b []byte) { binary.LittleEndian.PutUint64(b, fp) }})
+	}
+	if len(req.Edits) > 0 {
+		length := editsWireLen(req.Edits)
+		secs = append(secs, sec{typ: secEdits, count: uint32(len(req.Edits)), length: length,
+			write: func(b []byte) { putEdits(b, req.Edits) }})
+	}
+	if len(req.B) > 0 {
+		n := len(req.B[0])
+		length := 8 * len(req.B) * n
+		secs = append(secs, sec{typ: secRHS, count: uint32(len(req.B)), length: length,
+			write: func(b []byte) {
+				for j, row := range req.B {
+					putFloat64s(b[8*j*n:], row)
+				}
+			}})
+	}
+	if req.TimeoutMs > 0 {
+		secs = append(secs, sec{typ: secTimeout, count: uint32(req.TimeoutMs)})
+	}
+
+	off := frameHeaderLen + len(secs)*frameSectionLen
+	offs := make([]int, len(secs))
+	for i := range secs {
+		offs[i] = off
+		off += align8(secs[i].length)
+	}
+	buf := make([]byte, off)
+	var flags byte
+	if req.Lower == nil || *req.Lower {
+		flags |= flagLower
+	}
+	writeFrameHeader(buf, flags, len(secs), uint64(off))
+	for i, s := range secs {
+		o := offs[i]
+		if s.length == 0 {
+			o = 0
+		}
+		writeSection(buf, i, s.typ, s.count, uint32(o), uint32(s.length))
+		if s.write != nil {
+			s.write(buf[offs[i] : offs[i]+s.length])
+		}
+	}
+	return buf, nil
+}
+
+func parseHexFp(hexFp string) (uint64, error) {
+	var fp uint64
+	if _, err := fmt.Sscanf(hexFp, "%x", &fp); err != nil {
+		return 0, fmt.Errorf("malformed fingerprint %q", hexFp)
+	}
+	return fp, nil
+}
+
+func putInt32s(b []byte, v []int32) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+}
+
+func putFloat64s(b []byte, v []float64) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+}
+
+func editsWireLen(edits []sparse.RowEdit) int {
+	total := 0
+	for _, e := range edits {
+		rec := 16 + 4*(len(e.Insert)+len(e.Delete))
+		rec = align8(rec)
+		rec += 8 * len(e.Insert)
+		total += rec
+	}
+	return total
+}
+
+func putEdits(b []byte, edits []sparse.RowEdit) {
+	off := 0
+	for _, e := range edits {
+		binary.LittleEndian.PutUint32(b[off:], uint32(e.Row))
+		binary.LittleEndian.PutUint32(b[off+4:], uint32(len(e.Insert)))
+		binary.LittleEndian.PutUint32(b[off+8:], uint32(len(e.Delete)))
+		binary.LittleEndian.PutUint32(b[off+12:], 0)
+		off += 16
+		for _, in := range e.Insert {
+			binary.LittleEndian.PutUint32(b[off:], uint32(in.Col))
+			off += 4
+		}
+		for _, d := range e.Delete {
+			binary.LittleEndian.PutUint32(b[off:], uint32(d))
+			off += 4
+		}
+		for off%8 != 0 {
+			b[off] = 0
+			off++
+		}
+		for _, in := range e.Insert {
+			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(in.Val))
+			off += 8
+		}
+	}
+}
+
+// WireResponse is a decoded binary response frame (client side).
+type WireResponse struct {
+	X        [][]float64
+	Fp       string // hex, empty when the server returned no fingerprint
+	Fused    int
+	Width    int
+	Strategy string
+	Executed int64
+	// Status/ErrMsg are set when the frame is an error response.
+	Status int
+	ErrMsg string
+}
+
+// DecodeResponseFrame parses a binary response frame. It copies the
+// solutions out of the buffer (clients keep results after the
+// connection buffer is reused), so it does not require alignment.
+func DecodeResponseFrame(buf []byte) (*WireResponse, error) {
+	_, sects, err := parseSections(buf, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp := &WireResponse{}
+	var solPayload []byte
+	var solCount uint32
+	for _, s := range sects {
+		payload := buf[s.off : uint64(s.off)+uint64(s.length)]
+		switch s.typ {
+		case secSolutions:
+			if s.count == 0 || s.length%8 != 0 || uint64(s.length) < 8*uint64(s.count) ||
+				uint64(s.length/8)%uint64(s.count) != 0 {
+				return nil, fmt.Errorf("solutions section: %d bytes for %d vectors", s.length, s.count)
+			}
+			solPayload, solCount = payload, s.count
+		case secRespFp:
+			if s.length != 8 {
+				return nil, fmt.Errorf("fp section: %d bytes, want 8", s.length)
+			}
+			if fp := binary.LittleEndian.Uint64(payload); fp != 0 {
+				resp.Fp = fmt.Sprintf("%016x", fp)
+			}
+		case secInfo:
+			if s.length != 16 {
+				return nil, fmt.Errorf("info section: %d bytes, want 16", s.length)
+			}
+			resp.Fused = int(binary.LittleEndian.Uint32(payload))
+			resp.Width = int(binary.LittleEndian.Uint32(payload[4:]))
+			resp.Executed = int64(binary.LittleEndian.Uint64(payload[8:]))
+		case secStrategy:
+			resp.Strategy = string(payload)
+		case secError:
+			resp.Status = int(s.count)
+			resp.ErrMsg = string(payload)
+		default:
+			return nil, fmt.Errorf("unknown response section type %d", s.typ)
+		}
+	}
+	if solPayload != nil {
+		k := int(solCount)
+		n := len(solPayload) / 8 / k
+		resp.X = make([][]float64, k)
+		for j := 0; j < k; j++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = math.Float64frombits(binary.LittleEndian.Uint64(solPayload[8*(j*n+i):]))
+			}
+			resp.X[j] = row
+		}
+	}
+	return resp, nil
+}

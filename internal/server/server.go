@@ -23,9 +23,11 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"doconsider/internal/arena"
 	"doconsider/internal/executor"
 	"doconsider/internal/plancache"
 	"doconsider/internal/sparse"
@@ -163,7 +165,10 @@ type StatsResponse struct {
 	CacheHitRate  float64         `json:"cache_hit_rate"`
 	FactorCache   plancache.Stats `json:"factor_cache"`
 	Coalesce      CoalesceStats   `json:"coalesce"`
-	Planner       PlannerStats    `json:"planner"`
+	// Arena reports the binary wire path's pooled request memory: arenas
+	// outstanding/idle, slab grows and buddy-region overflows.
+	Arena   arena.Stats  `json:"arena"`
+	Planner PlannerStats `json:"planner"`
 	// Delta reports the near-miss repair outcomes for drifting
 	// structures: plan misses served by repairing a resident ancestor
 	// instead of a cold re-inspection.
@@ -210,6 +215,15 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
+	// Binary wire path state: the request-arena pool, the pooled decode
+	// scratch, and the hot-factor ring serving warm fp lookups without
+	// touching the allocating factor-cache handle path.
+	arenas  *arena.Pool
+	reqPool sync.Pool
+	hotMu   sync.Mutex
+	hot     [hotFactorCap]hotFactor
+	hotNext int
+
 	inFlight *Gauge
 	accepted *Counter
 	shed     *Counter
@@ -241,6 +255,10 @@ func New(cfg Config) (*Server, error) {
 		baseCtx: baseCtx,
 		cancel:  cancel,
 		start:   time.Now(),
+		arenas:  arena.NewPool(arena.Config{}),
+	}
+	s.reqPool.New = func() any {
+		return &reqState{sects: make([]frameSection, 0, maxFrameSections)}
 	}
 	s.inFlight = reg.Gauge("loops_http_in_flight", "solve requests currently admitted", nil)
 	// The in-flight hook lets the coalescer seal windows early the moment
@@ -307,6 +325,24 @@ func New(cfg Config) (*Server, error) {
 		name := k.String()
 		reg.GaugeFunc("loops_planner_decisions", "plan builds by chosen strategy", Labels{{"strategy", name}},
 			func() float64 { return float64(cache.DecisionCounts()[name]) })
+	}
+
+	// Binary wire path arena-pool counters.
+	arenas := s.arenas
+	for _, as := range []struct {
+		name string
+		f    func(arena.Stats) float64
+	}{
+		{"outstanding", func(st arena.Stats) float64 { return float64(st.Outstanding) }},
+		{"idle", func(st arena.Stats) float64 { return float64(st.Idle) }},
+		{"gets", func(st arena.Stats) float64 { return float64(st.Gets) }},
+		{"releases", func(st arena.Stats) float64 { return float64(st.Releases) }},
+		{"grows", func(st arena.Stats) float64 { return float64(st.Grows) }},
+		{"overflows", func(st arena.Stats) float64 { return float64(st.Overflows) }},
+	} {
+		f := as.f
+		reg.GaugeFunc("loops_arena", "request arena pool counters by event", Labels{{"event", as.name}},
+			func() float64 { return f(arenas.Stats()) })
 	}
 
 	s.solveEP = newEndpointMetrics(reg, "trisolve")
@@ -420,6 +456,7 @@ func (s *Server) Stats() StatsResponse {
 		CacheHitRate:  cs.HitRate(),
 		FactorCache:   s.factors.Stats(),
 		Coalesce:      s.co.Stats(),
+		Arena:         s.arenas.Stats(),
 		Delta:         s.cache.DeltaStats(),
 		Supernode:     s.cache.SupernodeStats(),
 		Planner: PlannerStats{
@@ -453,6 +490,12 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		s.co.Nudge()
 	}()
 	s.accepted.Inc()
+
+	// The binary protocol shares the endpoint: content type selects it.
+	if isFrameRequest(r) {
+		s.handleTrisolveBinary(w, r)
+		return
+	}
 
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -721,8 +764,21 @@ func buildFactor(req *SolveRequest, lower bool) (*sparse.CSR, error) {
 		return nil, fmt.Errorf("n must be >= 1, got %d", req.N)
 	}
 	l := &sparse.CSR{N: req.N, M: req.N, RowPtr: req.RowPtr, ColIdx: req.ColIdx, Val: req.Val}
-	if err := l.CheckWellFormed(); err != nil {
+	if err := validateFactor(l, lower); err != nil {
 		return nil, err
+	}
+	return l, nil
+}
+
+// validateFactor checks a wire factor in place (both wire encodings
+// funnel here): well formed, triangular in the requested direction,
+// full nonzero diagonal.
+func validateFactor(l *sparse.CSR, lower bool) error {
+	if l.N < 1 {
+		return fmt.Errorf("n must be >= 1, got %d", l.N)
+	}
+	if err := l.CheckWellFormed(); err != nil {
+		return err
 	}
 	for i := 0; i < l.N; i++ {
 		cols, vals := l.Row(i)
@@ -731,20 +787,20 @@ func buildFactor(req *SolveRequest, lower bool) (*sparse.CSR, error) {
 			switch {
 			case int(c) == i:
 				if vals[k] == 0 {
-					return nil, fmt.Errorf("zero diagonal at row %d", i)
+					return fmt.Errorf("zero diagonal at row %d", i)
 				}
 				hasDiag = true
 			case lower && int(c) > i:
-				return nil, fmt.Errorf("row %d has upper entry %d in a forward solve", i, c)
+				return fmt.Errorf("row %d has upper entry %d in a forward solve", i, c)
 			case !lower && int(c) < i:
-				return nil, fmt.Errorf("row %d has lower entry %d in a backward solve", i, c)
+				return fmt.Errorf("row %d has lower entry %d in a backward solve", i, c)
 			}
 		}
 		if !hasDiag {
-			return nil, fmt.Errorf("missing diagonal at row %d", i)
+			return fmt.Errorf("missing diagonal at row %d", i)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // validateFactorRows checks the triangularity and diagonal invariants

@@ -54,6 +54,19 @@ func New(n, m, nnz int) *CSR {
 	}
 }
 
+// View returns an n×n matrix over the given slices without copying.
+//
+// The matrix borrows the slices: it stays valid exactly as long as the
+// backing memory does, and the caller owns that lifetime. The binary
+// wire path points views straight into a pooled request buffer, so a
+// viewed matrix must not be retained past the request — anything that
+// outlives the buffer (a cache, a plan, a response) must hold a Clone.
+// The usual CSR invariants (sorted columns, immutable pattern) are the
+// caller's to guarantee; CheckWellFormed verifies the structural ones.
+func View(n int, rowPtr, colIdx []int32, val []float64) *CSR {
+	return &CSR{N: n, M: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
 // Assemble builds a CSR matrix from triplets. Duplicate (row, col) entries
 // are summed, matching the usual finite-difference assembly convention.
 // Entries outside the n×m bounds yield an error.

@@ -535,6 +535,10 @@ func (pc *PlanCache) DecisionCounts() map[string]uint64 {
 // Stats returns the cache effectiveness counters.
 func (pc *PlanCache) Stats() plancache.Stats { return pc.c.Stats() }
 
+// NoteHit counts a plan lookup served from a caller-held memo of a
+// leased plan — still a lookup the inspector did not run for.
+func (pc *PlanCache) NoteHit() { pc.c.NoteHit() }
+
 // Len returns the number of resident plan skeletons.
 func (pc *PlanCache) Len() int { return pc.c.Len() }
 

@@ -1,0 +1,195 @@
+package trisolve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"doconsider/internal/executor"
+)
+
+// BatchSolver binds a plan to pre-resolved solve state — the reciprocal
+// diagonal and one executor body closure — so repeated batched solves
+// allocate nothing. Plan.SolveBatchCtx builds the reciprocal diagonal
+// and a fresh body closure on every call, which is fine per plan
+// construction but is heap traffic on a serving warm path; a
+// BatchSolver pays both once. This is safe because the factor values
+// behind a plan are treated as immutable (the serving tier caches
+// factors by content fingerprint), so the reciprocal diagonal cannot go
+// stale.
+//
+// The per-call vectors are installed into solver fields read by the
+// bound body under a mutex, which serializes Solve calls on one solver.
+// The serving coalescer already executes at most one pass per factor at
+// a time, so the serialization costs nothing there; independent callers
+// wanting concurrent solves bind one solver each.
+//
+// Arithmetic is bit-identical to Plan.SolveBatchCtx: the bodies below
+// mirror the batch bodies of batch.go and fused.go operation for
+// operation, only reading xs/bs through the solver instead of a
+// per-call closure.
+type BatchSolver struct {
+	p       *Plan
+	invDiag []float64
+	body    executor.Body
+
+	mu sync.Mutex
+	xs [][]float64
+	bs [][]float64
+}
+
+// Bind builds a BatchSolver over the plan. The solver borrows the plan:
+// the caller must keep the plan open (not Close it) for as long as the
+// solver is in use.
+func (p *Plan) Bind() *BatchSolver {
+	s := &BatchSolver{p: p, invDiag: invDiagonal(p.L)}
+	switch {
+	case p.fused != nil && p.Lower:
+		s.body = s.fusedForwardBody()
+	case p.fused != nil:
+		s.body = s.fusedBackwardBody()
+	case p.Lower:
+		s.body = s.forwardBody()
+	default:
+		s.body = s.backwardBody()
+	}
+	return s
+}
+
+// Solve runs one batched pass writing solution j to xs[j], exactly as
+// Plan.SolveBatchCtx would, with zero allocations on the success path.
+func (s *BatchSolver) Solve(ctx context.Context, xs, bs [][]float64) (executor.Metrics, error) {
+	if len(xs) != len(bs) {
+		return executor.Metrics{}, fmt.Errorf("trisolve: batch has %d solutions but %d right-hand sides", len(xs), len(bs))
+	}
+	if len(xs) == 0 {
+		return executor.Metrics{}, nil
+	}
+	n := s.p.L.N
+	for j := range xs {
+		if len(xs[j]) != n || len(bs[j]) != n {
+			return executor.Metrics{}, fmt.Errorf("trisolve: batch vector %d has length %d/%d, want %d", j, len(xs[j]), len(bs[j]), n)
+		}
+	}
+	s.mu.Lock()
+	s.xs, s.bs = xs, bs
+	m, err := s.p.strat.Execute(ctx, s.p.Sched, s.p.Deps, s.body)
+	s.xs, s.bs = nil, nil
+	s.mu.Unlock()
+	return s.p.rowMetrics(m, err), err
+}
+
+// forwardBody mirrors ForwardBatchBody with the reciprocal diagonal
+// precomputed and the vectors read from the solver.
+func (s *BatchSolver) forwardBody() executor.Body {
+	l := s.p.L
+	inv := s.invDiag
+	return func(i int32) {
+		cols, vals := l.Row(int(i))
+		vals = vals[:len(cols)] // hoist the bounds check out of the loops
+		for j := range s.xs {
+			x, b := s.xs[j], s.bs[j]
+			acc := b[i]
+			for k, c := range cols {
+				if c != i {
+					acc -= vals[k] * x[c]
+				}
+			}
+			x[i] = acc * inv[i]
+		}
+	}
+}
+
+// backwardBody mirrors BackwardBatchBody.
+func (s *BatchSolver) backwardBody() executor.Body {
+	u := s.p.L
+	inv := s.invDiag
+	n := u.N
+	return func(k int32) {
+		i := n - 1 - int(k)
+		cols, vals := u.Row(i)
+		vals = vals[:len(cols)] // hoist the bounds check out of the loops
+		for j := range s.xs {
+			x, b := s.xs[j], s.bs[j]
+			acc := b[i]
+			for q, c := range cols {
+				if int(c) != i {
+					acc -= vals[q] * x[c]
+				}
+			}
+			x[i] = acc * inv[i]
+		}
+	}
+}
+
+// fusedForwardBody mirrors fusedExec.forwardBatchBody.
+func (s *BatchSolver) fusedForwardBody() executor.Body {
+	l := s.p.L
+	fx := s.p.fused
+	inv := s.invDiag
+	rp, ci, vals := l.RowPtr, l.ColIdx, l.Val
+	np, dp := fx.part.RowPtr, fx.diagPos
+	return func(u int32) {
+		for r := np[u]; r < np[u+1]; r++ {
+			d := dp[r]
+			cols := ci[rp[r]:d]
+			vs := vals[rp[r]:d]
+			vs = vs[:len(cols)]
+			var cols2 []int32
+			var vs2 []float64
+			if start := d + 1; start < rp[r+1] {
+				cols2 = ci[start:rp[r+1]]
+				vs2 = vals[start:rp[r+1]]
+				vs2 = vs2[:len(cols2)]
+			}
+			for j := range s.xs {
+				x, b := s.xs[j], s.bs[j]
+				acc := b[r]
+				for k, c := range cols {
+					acc -= vs[k] * x[c]
+				}
+				for k, c := range cols2 {
+					acc -= vs2[k] * x[c]
+				}
+				x[r] = acc * inv[r]
+			}
+		}
+	}
+}
+
+// fusedBackwardBody mirrors fusedExec.backwardBatchBody.
+func (s *BatchSolver) fusedBackwardBody() executor.Body {
+	uM := s.p.L
+	fx := s.p.fused
+	inv := s.invDiag
+	n := uM.N
+	rp, ci, vals := uM.RowPtr, uM.ColIdx, uM.Val
+	np, dp := fx.part.RowPtr, fx.diagPos
+	return func(u int32) {
+		for k := np[u]; k < np[u+1]; k++ {
+			i := int32(n-1) - k
+			d := dp[i]
+			cols := ci[rp[i]:d]
+			vs := vals[rp[i]:d]
+			vs = vs[:len(cols)]
+			var cols2 []int32
+			var vs2 []float64
+			if start := d + 1; start < rp[i+1] {
+				cols2 = ci[start:rp[i+1]]
+				vs2 = vals[start:rp[i+1]]
+				vs2 = vs2[:len(cols2)]
+			}
+			for j := range s.xs {
+				x, b := s.xs[j], s.bs[j]
+				acc := b[i]
+				for q, c := range cols {
+					acc -= vs[q] * x[c]
+				}
+				for q, c := range cols2 {
+					acc -= vs2[q] * x[c]
+				}
+				x[i] = acc * inv[i]
+			}
+		}
+	}
+}

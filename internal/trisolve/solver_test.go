@@ -1,0 +1,125 @@
+package trisolve
+
+import (
+	"context"
+	"testing"
+
+	"doconsider/internal/executor"
+	"doconsider/internal/stencil"
+)
+
+// TestBatchSolverBitIdentical checks a bound solver against
+// Plan.SolveBatch for every direction × fusion × kind combination: the
+// bodies must perform the same operations in the same order, so the
+// results are bit-for-bit equal.
+func TestBatchSolverBitIdentical(t *testing.T) {
+	const k = 3
+	for _, lower := range []bool{true, false} {
+		for _, fuse := range []FuseMode{FuseOff, FuseForce} {
+			tri := stencil.Laplace2D(25, 25).LowerWithDiag()
+			if !lower {
+				tri = tri.Transpose()
+			}
+			n := tri.N
+			plan, err := NewPlan(tri, lower, WithProcs(4), WithKind(executor.Pooled), WithFusion(fuse))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fuse == FuseForce && plan.fused == nil {
+				t.Fatalf("lower=%v: FuseForce produced a row-wise plan", lower)
+			}
+			xs := make([][]float64, k)
+			bs := make([][]float64, k)
+			want := make([][]float64, k)
+			for j := 0; j < k; j++ {
+				bs[j] = randRHS(n, int64(7*j+1))
+				xs[j] = make([]float64, n)
+				want[j] = make([]float64, n)
+			}
+			if _, err := plan.SolveBatch(want, bs); err != nil {
+				t.Fatal(err)
+			}
+			s := plan.Bind()
+			m, err := s.Solve(context.Background(), xs, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Executed != int64(n) {
+				t.Fatalf("lower=%v fuse=%v: executed %d rows, want %d", lower, fuse, m.Executed, n)
+			}
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					if xs[j][i] != want[j][i] {
+						t.Fatalf("lower=%v fuse=%v rhs %d row %d: solver %x, SolveBatch %x",
+							lower, fuse, j, i, xs[j][i], want[j][i])
+					}
+				}
+			}
+			// Reuse: a second solve through the same bound body must match a
+			// fresh SolveBatch on new right-hand sides.
+			for j := 0; j < k; j++ {
+				bs[j] = randRHS(n, int64(100+j))
+			}
+			if _, err := plan.SolveBatch(want, bs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Solve(context.Background(), xs, bs); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					if xs[j][i] != want[j][i] {
+						t.Fatalf("lower=%v fuse=%v reuse rhs %d row %d: solver %x, SolveBatch %x",
+							lower, fuse, j, i, xs[j][i], want[j][i])
+					}
+				}
+			}
+			plan.Close()
+		}
+	}
+}
+
+func TestBatchSolverShapeErrors(t *testing.T) {
+	tri := stencil.Laplace2D(8, 8).LowerWithDiag()
+	plan, err := NewPlan(tri, true, WithProcs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	s := plan.Bind()
+	n := tri.N
+	good := make([]float64, n)
+	if _, err := s.Solve(context.Background(), [][]float64{good}, nil); err == nil {
+		t.Error("mismatched xs/bs lengths accepted")
+	}
+	if _, err := s.Solve(context.Background(), [][]float64{good}, [][]float64{make([]float64, n-1)}); err == nil {
+		t.Error("short right-hand side accepted")
+	}
+	if m, err := s.Solve(context.Background(), nil, nil); err != nil || m.Executed != 0 {
+		t.Errorf("empty batch: metrics=%+v err=%v", m, err)
+	}
+}
+
+// TestBatchSolverZeroAlloc pins the solver's purpose: a warm pooled
+// solve through a bound solver performs zero heap allocations.
+func TestBatchSolverZeroAlloc(t *testing.T) {
+	tri := stencil.Laplace2D(20, 20).LowerWithDiag()
+	plan, err := NewPlan(tri, true, WithProcs(2), WithKind(executor.Pooled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	s := plan.Bind()
+	n := tri.N
+	xs := [][]float64{make([]float64, n)}
+	bs := [][]float64{randRHS(n, 3)}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Solve(ctx, xs, bs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bound solve = %v allocs/op, want 0", allocs)
+	}
+}
