@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doconsider/internal/obs"
 	"doconsider/internal/problems"
 	"doconsider/internal/server"
 	"doconsider/internal/sparse"
@@ -44,6 +45,7 @@ type loadgenConfig struct {
 	driftRate  float64       // probability a request structurally drifts its problem
 	driftEdits int           // row edits per drift step
 	wire       string        // wireJSON (default when empty) or wireBinary
+	trace      bool          // fetch /v1/trace after the run and report per-stage latency
 	quiet      bool          // suppress the progress header
 }
 
@@ -63,14 +65,16 @@ type loadgenReport struct {
 	cacheHitRate   float64
 	passes, shed   uint64
 	serverRequests uint64
-	repairs        uint64            // plan misses served by delta repair
-	repairFalls    uint64            // repair attempts that rebuilt instead
-	plannerKind    string            // server's configured kind ("auto" = adaptive)
-	plannerCounts  map[string]uint64 // plan builds by chosen strategy
-	superPlans     uint64            // fused plan builds this run
-	superRows      uint64            // rows those plans cover
-	superFusedRows uint64            // rows inside width >= 2 supernodes
-	superMaxWidth  int               // widest supernode the cache has seen
+	repairs        uint64               // plan misses served by delta repair
+	repairFalls    uint64               // repair attempts that rebuilt instead
+	plannerKind    string               // server's configured kind ("auto" = adaptive)
+	plannerCounts  map[string]uint64    // plan builds by chosen strategy
+	superPlans     uint64               // fused plan builds this run
+	superRows      uint64               // rows those plans cover
+	superFusedRows uint64               // rows inside width >= 2 supernodes
+	superMaxWidth  int                  // widest supernode the cache has seen
+	stageMs        map[string][]float64 // per-stage millisecond samples from /v1/trace (-trace)
+	traceDropped   uint64               // traces the server's ring dropped under contention
 }
 
 // throughput returns completed solves per second (requests x batch).
@@ -162,6 +166,31 @@ func fetchStats(client *http.Client, baseURL string) (server.StatsResponse, bool
 		return st, false
 	}
 	return st, true
+}
+
+// fetchTraces pulls up to limit completed traces from the server's ring
+// and buckets their per-stage millisecond samples by stage name.
+// Failures are soft, like fetchStats.
+func fetchTraces(client *http.Client, baseURL string, limit int) (map[string][]float64, uint64, bool) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/trace?limit=%d", baseURL, limit))
+	if err != nil {
+		return nil, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, false
+	}
+	var tl server.TraceListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		return nil, 0, false
+	}
+	stages := make(map[string][]float64)
+	for _, tr := range tl.Traces {
+		for stage, ms := range tr.Stages {
+			stages[stage] = append(stages[stage], ms)
+		}
+	}
+	return stages, tl.Dropped, true
 }
 
 // loadgen drives the server at cfg.baseURL and returns the aggregated
@@ -313,6 +342,12 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		rep.superRows = after.Supernode.Rows - before.Supernode.Rows
 		rep.superFusedRows = after.Supernode.FusedRows - before.Supernode.FusedRows
 		rep.superMaxWidth = after.Supernode.MaxWidth
+	}
+	if cfg.trace {
+		if stages, dropped, ok := fetchTraces(client, cfg.baseURL, cfg.requests); ok {
+			rep.stageMs = stages
+			rep.traceDropped = dropped
+		}
 	}
 	return rep, nil
 }
@@ -533,6 +568,43 @@ func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
 				rep.superPlans, rep.superFusedRows, rep.superRows, rep.superMaxWidth)
 		}
 	}
+	printStageTable(w, rep)
+}
+
+// printStageTable renders the per-stage server-side latency percentiles
+// collected from /v1/trace under -trace, in pipeline order.
+func printStageTable(w io.Writer, rep *loadgenReport) {
+	if len(rep.stageMs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  stages (server-side, from /v1/trace):\n")
+	fmt.Fprintf(w, "    %-10s %10s %10s %10s %10s\n", "stage", "p50", "p90", "p99", "max")
+	for i := 0; i < obs.NumStages; i++ {
+		name := obs.Stage(i).String()
+		ms := rep.stageMs[name]
+		if len(ms) == 0 {
+			continue
+		}
+		sort.Float64s(ms)
+		fmt.Fprintf(w, "    %-10s %8.3fms %8.3fms %8.3fms %8.3fms\n", name,
+			pctMs(ms, 0.50), pctMs(ms, 0.90), pctMs(ms, 0.99), ms[len(ms)-1])
+	}
+	if rep.traceDropped > 0 {
+		fmt.Fprintf(w, "    (%d traces dropped by the server's ring under contention)\n", rep.traceDropped)
+	}
+}
+
+// pctMs returns the q-quantile of an ascending-sorted sample, mirroring
+// loadgenReport.percentile for raw milliseconds.
+func pctMs(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // formatPlannerCounts renders per-strategy plan-build counts sorted by

@@ -64,6 +64,8 @@ func run(args []string) error {
 	driftRate := fs.Float64("drift-rate", 0, "serve/loadgen: probability a request structurally drifts its problem (base_fp+edits)")
 	driftEdits := fs.Int("drift-edits", 4, "serve/loadgen: row edits per drift step")
 	wire := fs.String("wire", wireJSON, "loadgen: wire format, json or binary (zero-copy frames)")
+	trace := fs.Bool("trace", false, "loadgen: fetch /v1/trace after the run and print per-stage latency percentiles")
+	debugAddr := fs.String("debug-addr", "", "server: pprof/runtime debug listener address (empty disables)")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -133,9 +135,9 @@ func run(args []string) error {
 			return err
 		}
 		return runServer(os.Stdout, serverConfig{
-			addr: *addr, procs: serveProcs(fs, *procs), kind: kind, cacheCap: *cacheCap,
-			window: *window, width: *width, maxInFlight: *maxInFlight, maxBatch: *maxBatch,
-			timeout: *reqTimeout, drainWait: 30 * time.Second,
+			addr: *addr, debugAddr: *debugAddr, procs: serveProcs(fs, *procs), kind: kind,
+			cacheCap: *cacheCap, window: *window, width: *width, maxInFlight: *maxInFlight,
+			maxBatch: *maxBatch, timeout: *reqTimeout, drainWait: 30 * time.Second,
 		}, nil)
 	case "loadgen":
 		target := *addr
@@ -145,7 +147,7 @@ func run(args []string) error {
 		rep, err := loadgen(os.Stdout, loadgenConfig{
 			baseURL: "http://" + target, clients: *clients, requests: *requests,
 			batch: *batch, seed: *seed, timeout: *reqTimeout,
-			driftRate: *driftRate, driftEdits: *driftEdits, wire: *wire,
+			driftRate: *driftRate, driftEdits: *driftEdits, wire: *wire, trace: *trace,
 		})
 		if err != nil {
 			return err

@@ -2,19 +2,24 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"doconsider/internal/obs"
 	"doconsider/internal/server"
 )
 
 // serverConfig parameterizes the `loops server` network mode.
 type serverConfig struct {
 	addr        string
+	debugAddr   string // pprof/runtime debug listener; "" disables
 	procs       int
 	kind        string
 	cacheCap    int
@@ -53,7 +58,25 @@ func runServer(w io.Writer, cfg serverConfig, stop <-chan struct{}) error {
 	}
 	fmt.Fprintf(w, "server: listening on %s (%d procs/plan, %s executor, window %s, width %d, max in-flight %d)\n",
 		s.Addr(), cfg.procs, cfg.kind, cfg.window, cfg.width, cfg.maxInFlight)
-	fmt.Fprintf(w, "server: POST /v1/trisolve, GET /v1/stats /healthz /metrics\n")
+	fmt.Fprintf(w, "server: POST /v1/trisolve, GET /v1/stats /v1/trace /v1/trace/slowest /healthz /metrics\n")
+
+	// The debug listener is a separate port on purpose: pprof endpoints
+	// can stall the world and must not share the serving mux or its
+	// admission control.
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		ln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("server: debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: obs.DebugHandler()}
+		go func() {
+			if err := debugSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(w, "server: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(w, "server: debug listener on %s (GET /debug/pprof/ /debug/runtime)\n", ln.Addr())
+	}
 
 	if stop == nil {
 		sig := make(chan os.Signal, 1)
@@ -67,6 +90,9 @@ func runServer(w io.Writer, cfg serverConfig, stop <-chan struct{}) error {
 	fmt.Fprintf(w, "server: draining (up to %s)...\n", cfg.drainWait)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Close() // nothing to drain: profiles are best-effort
+	}
 	if err := s.Shutdown(ctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}

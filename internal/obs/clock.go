@@ -1,0 +1,80 @@
+package obs
+
+import "sync/atomic"
+
+// LevelClock accumulates executor time per wavefront level during one
+// sampled pass. It is fixed-size and allocation-free: the executor's
+// timed body calls Add from worker goroutines (hence the atomics), and
+// the server copies the result into the request's Trace afterwards.
+// It implements trisolve.LevelClock.
+type LevelClock struct {
+	levels [MaxLevels]atomic.Int64
+	max    atomic.Int64 // 1 + highest level seen, i.e. the level count
+}
+
+// Reset clears the clock for reuse (callers guarantee no pass is
+// running).
+func (c *LevelClock) Reset() {
+	for i := range c.levels {
+		c.levels[i].Store(0)
+	}
+	c.max.Store(0)
+}
+
+// Add charges ns of executor time to level. Levels at or beyond
+// MaxLevels fold into the last slot; the true level count is still
+// tracked. Safe for concurrent use by executor workers.
+func (c *LevelClock) Add(level int32, ns int64) {
+	if level < 0 {
+		return
+	}
+	n := int64(level) + 1
+	for {
+		m := c.max.Load()
+		if n <= m || c.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	if level >= MaxLevels {
+		level = MaxLevels - 1
+	}
+	c.levels[level].Add(ns)
+}
+
+// Levels returns the observed level count (may exceed MaxLevels; the
+// stored timings then fold the tail into the last slot).
+func (c *LevelClock) Levels() int { return int(c.max.Load()) }
+
+// FillTrace copies the accumulated level timings into t and marks it
+// sampled.
+func (c *LevelClock) FillTrace(t *Trace) {
+	t.Sampled = true
+	t.NumLevels = int32(c.max.Load())
+	for i := range c.levels {
+		t.LevelNs[i] = c.levels[i].Load()
+	}
+}
+
+// Sampler decides, lock-free, whether a request gets per-level timing:
+// every Nth call samples. A nil Sampler or every <= 0 never samples;
+// every == 1 samples every request.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a sampler firing every `every` calls.
+func NewSampler(every int) *Sampler {
+	if every <= 0 {
+		return &Sampler{}
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this call is a sampled one.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}

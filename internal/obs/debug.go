@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime, read
+// from runtime/metrics. It backs both the /metrics runtime gauges and
+// the debug listener's /debug/runtime endpoint, so the two can never
+// disagree about what they measure.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapBytes      uint64  `json:"heap_bytes"`       // live heap objects
+	TotalBytes     uint64  `json:"total_bytes"`      // all runtime-managed memory
+	GCCycles       uint64  `json:"gc_cycles"`        // completed GC cycles
+	GCPauseSeconds float64 `json:"gc_pause_seconds"` // cumulative stop-the-world pause
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	NumCPU         int     `json:"num_cpu"`
+}
+
+// runtimeSamples is the fixed runtime/metrics sample set ReadRuntime
+// reads. The names are stable across Go releases; a name a runtime
+// does not know comes back KindBad and reads as zero.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// ReadRuntime samples the runtime. It allocates (scrape path only) —
+// callers on hot paths should not use it.
+func ReadRuntime() RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	out := RuntimeStats{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.Goroutines = int(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.HeapBytes = s.Value.Uint64()
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.TotalBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				out.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				out.GCPauseSeconds = histogramSum(s.Value.Float64Histogram())
+			}
+		}
+	}
+	return out
+}
+
+// histogramSum estimates the cumulative value of a runtime
+// Float64Histogram by weighting each bucket's count with its midpoint
+// (runtime pause histograms have finite interior buckets; unbounded
+// edge buckets fall back to their finite side).
+func histogramSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			continue
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		if mid < 0 {
+			mid = 0
+		}
+		sum += mid * float64(count)
+	}
+	return sum
+}
+
+// DebugHandler returns the profiling/debug mux the CLI mounts on its
+// -debug-addr listener: the full net/http/pprof suite plus a JSON
+// runtime snapshot. It is kept off the serving mux on purpose — pprof
+// endpoints can stall the world and must never share a port with
+// production traffic or its admission control.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ReadRuntime())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("doconsider debug listener\n\n" +
+			"  /debug/pprof/          profile index\n" +
+			"  /debug/pprof/profile   CPU profile (?seconds=N)\n" +
+			"  /debug/pprof/heap      heap profile\n" +
+			"  /debug/pprof/trace     execution trace (?seconds=N)\n" +
+			"  /debug/runtime         runtime snapshot (JSON)\n"))
+	})
+	return mux
+}

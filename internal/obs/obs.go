@@ -1,0 +1,216 @@
+// Package obs is the request-scoped observability layer: a
+// zero-allocation span recorder stamped as a request flows through the
+// serving pipeline (admission → decode → factor resolution → coalescer
+// → plan cache → delta repair → executor → encode), a lock-free ring
+// the completed traces land in, per-wavefront-level execution clocks
+// sampled at a configurable rate, and the pprof/runtime debug handler
+// the CLI mounts on a separate listener.
+//
+// The design constraint is the serving tier's warm binary path: the
+// whole record-stamp-publish cycle must perform no heap allocations, so
+// a Trace is a fixed-size, pointer-free struct (pooled alongside the
+// request arena by the server), the strategy name is an inline byte
+// array, and level timings accumulate into a fixed array of atomics.
+// Readers copy traces out of the ring by value; only the HTTP rendering
+// layer ever turns them into heap-allocated JSON.
+package obs
+
+import "time"
+
+// Stage indexes the pipeline segments a trace attributes latency to.
+// Every nanosecond between Begin and Finish lands in exactly one stage
+// (Lap and AttributeSubmit partition the timeline), so the per-stage
+// durations of a finished trace sum to its total by construction —
+// /metrics, /v1/stats and /v1/trace can never disagree.
+type Stage uint8
+
+const (
+	// StageAdmission covers the method/drain/in-flight checks.
+	StageAdmission Stage = iota
+	// StageDecode covers wire decode and right-hand-side validation.
+	StageDecode
+	// StageFactor covers factor resolution: hot ring, by-fingerprint
+	// cache, inline build+validation, or drift materialization.
+	StageFactor
+	// StageCoalesce is time spent waiting in (or for) a coalescer
+	// window or a sealed pass, excluding the pass's own plan+execute.
+	StageCoalesce
+	// StagePlan covers the plan-cache lookup and, on a miss, the
+	// inspector run and planner pricing (minus any repair time).
+	StagePlan
+	// StageRepair is the delta-repair portion of a plan-cache miss.
+	StageRepair
+	// StageExecute is the executor pass itself.
+	StageExecute
+	// StageEncode covers response framing and serialization.
+	StageEncode
+
+	// NumStages is the stage count; Trace.Stages is indexed by Stage.
+	NumStages = int(StageEncode) + 1
+)
+
+var stageNames = [NumStages]string{
+	"admission", "decode", "factor", "coalesce",
+	"plan", "repair", "execute", "encode",
+}
+
+// String returns the stable metric-label name of the stage.
+func (s Stage) String() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames returns the stage names in Stage order (for label
+// registration and table rendering).
+func StageNames() [NumStages]string { return stageNames }
+
+// Wire identifies the wire format a traced request arrived on.
+type Wire uint8
+
+const (
+	WireJSON Wire = iota
+	WireBinary
+)
+
+// String returns the stable metric-label name of the wire.
+func (w Wire) String() string {
+	if w == WireBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// MaxLevels bounds the per-wavefront-level timing array carried by a
+// sampled trace. Levels beyond the bound accumulate into the last
+// bucket; NumLevels still reports the true level count.
+const MaxLevels = 48
+
+// StrategyLen bounds the inline executor-strategy name (matches the
+// binary wire format's strategy reserve).
+const StrategyLen = 24
+
+// Trace is one request's span record. It is fixed-size and
+// pointer-free so the server can pool it with the request scratch and
+// the ring can copy it by value — no allocation anywhere on the path.
+//
+// The stamping protocol: Begin resets the trace and starts the lap
+// clock; each Lap(stage) charges the time since the previous stamp to
+// that stage; AttributeSubmit splits the coalescer round-trip into
+// wait/plan/repair/execute using the pass's own measurements; Finish
+// charges the final lap and freezes TotalNs. Because every lap charges
+// its full duration to some stage, StageSum() == TotalNs for a
+// finished trace.
+type Trace struct {
+	ID      uint64
+	Start   time.Time
+	TotalNs int64
+	Wire    Wire
+	Sampled bool // carries per-level timings in LevelNs
+	Status  int32
+	N       int32 // factor dimension
+	Batch   int32 // right-hand sides in this request
+	Fused   int32 // requests that shared the executor pass
+	Width   int32 // total right-hand sides in the pass
+
+	StratLen int32
+	Strat    [StrategyLen]byte
+
+	Stages [NumStages]int64 // nanoseconds per stage
+
+	// NumLevels is the true wavefront level count of a sampled pass;
+	// LevelNs holds per-level executor time for the first MaxLevels
+	// levels (the tail folds into the last slot).
+	NumLevels int32
+	LevelNs   [MaxLevels]int64
+
+	mark time.Time // lap clock: time of the previous stamp
+}
+
+// Begin resets the trace in place and starts its lap clock at now.
+func (t *Trace) Begin(wire Wire, now time.Time) {
+	*t = Trace{Wire: wire, Start: now, mark: now}
+}
+
+// Active reports whether the trace has been Begun (used by entry points
+// that may be called directly, without the HTTP handler's Begin).
+func (t *Trace) Active() bool { return !t.Start.IsZero() }
+
+// Lap charges the time since the previous stamp to stage.
+func (t *Trace) Lap(s Stage) {
+	now := time.Now()
+	t.Stages[s] += now.Sub(t.mark).Nanoseconds()
+	t.mark = now
+}
+
+// AttributeSubmit charges the lap since the previous stamp — the full
+// coalescer round-trip — across coalesce-wait, plan, repair and
+// execute. planNs and execNs are the pass's own measurements (taken on
+// the pass goroutine for fused windows); repairNs is the delta-repair
+// share of planNs. The segments are clamped to partition the lap
+// exactly, so StageSum still equals TotalNs even when a fused pass's
+// timings overlap this request's wait asymmetrically.
+func (t *Trace) AttributeSubmit(planNs, repairNs, execNs int64) {
+	now := time.Now()
+	lap := now.Sub(t.mark).Nanoseconds()
+	t.mark = now
+	if lap < 0 {
+		lap = 0
+	}
+	if execNs < 0 {
+		execNs = 0
+	}
+	if execNs > lap {
+		execNs = lap
+	}
+	if planNs < 0 {
+		planNs = 0
+	}
+	if planNs > lap-execNs {
+		planNs = lap - execNs
+	}
+	if repairNs < 0 {
+		repairNs = 0
+	}
+	if repairNs > planNs {
+		repairNs = planNs
+	}
+	t.Stages[StageExecute] += execNs
+	t.Stages[StagePlan] += planNs - repairNs
+	t.Stages[StageRepair] += repairNs
+	t.Stages[StageCoalesce] += lap - planNs - execNs
+}
+
+// SetInfo records the pass shape without allocating (the strategy name
+// is copied into the inline array, truncated at StrategyLen).
+func (t *Trace) SetInfo(n, batch, fused, width int, strategy string) {
+	t.N = int32(n)
+	t.Batch = int32(batch)
+	t.Fused = int32(fused)
+	t.Width = int32(width)
+	t.StratLen = int32(copy(t.Strat[:], strategy))
+}
+
+// Strategy returns the recorded strategy name. It allocates; reader
+// side only.
+func (t *Trace) Strategy() string { return string(t.Strat[:t.StratLen]) }
+
+// Finish charges the final lap to stage and freezes the total and
+// status. After Finish, StageSum() == TotalNs.
+func (t *Trace) Finish(s Stage, status int) {
+	now := time.Now()
+	t.Stages[s] += now.Sub(t.mark).Nanoseconds()
+	t.mark = now
+	t.TotalNs = now.Sub(t.Start).Nanoseconds()
+	t.Status = int32(status)
+}
+
+// StageSum returns the summed per-stage nanoseconds.
+func (t *Trace) StageSum() int64 {
+	var sum int64
+	for _, ns := range t.Stages {
+		sum += ns
+	}
+	return sum
+}

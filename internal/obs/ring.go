@@ -1,0 +1,85 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity, lock-free trace buffer. Writers claim a
+// slot by advancing an atomic position and take it with a CAS; a slot a
+// reader is momentarily copying is skipped for the next one, so Put
+// never blocks and never allocates. Readers copy traces out by value
+// under the same per-slot CAS, so no torn trace is ever observed and
+// the race detector sees a clean happens-before edge on every slot.
+//
+// Under a full-capacity collision burst (every probed slot busy) a
+// trace is dropped — acceptable for telemetry, counted by Dropped.
+type Ring struct {
+	mask    uint64
+	pos     atomic.Uint64
+	dropped atomic.Uint64
+	slots   []ringSlot
+}
+
+type ringSlot struct {
+	busy    atomic.Uint32
+	written bool // set on first Put, read/written only while busy is held
+	tr      Trace
+}
+
+// putProbes bounds how many claimed slots one Put will try before
+// dropping the trace.
+const putProbes = 4
+
+// NewRing returns a ring holding at least size traces (rounded up to a
+// power of two, minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n *= 2
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Dropped returns how many traces were discarded because every probed
+// slot was mid-copy.
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }
+
+// Put records a completed trace by value. It never blocks: a slot held
+// by a concurrent reader is skipped, and after putProbes contended
+// slots the trace is dropped.
+func (r *Ring) Put(t *Trace) {
+	for i := 0; i < putProbes; i++ {
+		s := &r.slots[(r.pos.Add(1)-1)&r.mask]
+		if s.busy.CompareAndSwap(0, 1) {
+			s.tr = *t
+			s.written = true
+			s.busy.Store(0)
+			return
+		}
+	}
+	r.dropped.Add(1)
+}
+
+// Snapshot copies out up to max recorded traces, approximately newest
+// first (concurrent writers make the order advisory; sort by Start or
+// TotalNs for a stable view). max <= 0 means the whole ring.
+func (r *Ring) Snapshot(max int) []Trace {
+	n := len(r.slots)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]Trace, 0, max)
+	end := r.pos.Load()
+	for k := uint64(0); k < uint64(n) && len(out) < max; k++ {
+		s := &r.slots[(end-1-k)&r.mask]
+		if !s.busy.CompareAndSwap(0, 1) {
+			continue // writer mid-copy; its trace is newer than our walk anyway
+		}
+		if s.written {
+			out = append(out, s.tr)
+		}
+		s.busy.Store(0)
+	}
+	return out
+}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"doconsider/internal/arena"
+	"doconsider/internal/obs"
 	"doconsider/internal/sparse"
+	"doconsider/internal/trisolve"
 )
 
 // The binary wire path. POST /v1/trisolve with Content-Type
@@ -30,6 +32,15 @@ type reqState struct {
 	req   wireRequest
 	sects []frameSection
 	creq  coReq
+	// Trace state rides in the pooled struct so stamping and level
+	// sampling add no per-request allocations on the warm path.
+	tr     obs.Trace
+	lc     obs.LevelClock
+	bstats trisolve.BuildStats
+	// leaked marks state an abandoned pass may still reference (the
+	// handler gave up on a cancelled submit while the pass kept its
+	// *coReq); such state must be surrendered to the GC, not recycled.
+	leaked bool
 }
 
 // getReqState pairs pooled scratch with a fresh request arena.
@@ -45,8 +56,17 @@ func (s *Server) getReqState() *reqState {
 func (s *Server) putReqState(st *reqState) {
 	st.arena.Release()
 	st.arena = nil
+	if st.leaked {
+		// A detached pass may still write st.creq, st.bstats and st.lc;
+		// recycling the struct would hand those writes to an unrelated
+		// request. Cancellation is rare — let the GC collect it once the
+		// pass drops its pointer.
+		return
+	}
 	st.req.reset()
 	st.creq = coReq{}
+	st.tr = obs.Trace{}
+	st.bstats = trisolve.BuildStats{}
 	s.reqPool.Put(st)
 }
 
@@ -62,15 +82,19 @@ func isFrameRequest(r *http.Request) bool {
 }
 
 // handleTrisolveBinary serves one binary-frame request. Admission
-// control already ran in handleTrisolve.
-func (s *Server) handleTrisolveBinary(w http.ResponseWriter, r *http.Request) {
+// control already ran in handleTrisolve; t0 is that handler's entry
+// time, so the trace's admission stage covers the shared front door.
+func (s *Server) handleTrisolveBinary(w http.ResponseWriter, r *http.Request, t0 time.Time) {
 	st := s.getReqState()
 	defer s.putReqState(st)
+	st.tr.Begin(obs.WireBinary, t0)
+	st.tr.Lap(obs.StageAdmission)
 	body, err := readFrameBody(r, st.arena)
 	if err != nil {
 		writeFrame(w, http.StatusBadRequest, encodeErrorFrame(http.StatusBadRequest, "bad frame body: "+err.Error()))
 		return
 	}
+	st.tr.Lap(obs.StageDecode)
 	// The transport owns the default deadline; a timeout section can only
 	// tighten it (unlike JSON's timeout_ms, which replaces the default —
 	// the README documents the difference).
@@ -131,12 +155,29 @@ func readFrameBody(r *http.Request, a *arena.Arena) ([]byte, error) {
 // ctx carries the transport deadline; a timeout section tightens it.
 // This is the boundary the 0 allocs/op gate measures: on a warm
 // fp-resubmission (factor hot, arena pooled, solver memoized, no
-// timeout section) the call performs no heap allocations.
+// timeout section) the call performs no heap allocations — including
+// trace publication, which this wrapper performs so the gate covers it.
 func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byte, int) {
+	if !st.tr.Active() {
+		// Direct callers (tests, benchmarks) skip handleTrisolveBinary;
+		// their traces start here.
+		st.tr.Begin(obs.WireBinary, time.Now())
+	}
+	frame, status := s.solveFrame(ctx, in, st)
+	s.tracer.publish(&st.tr, obs.StageEncode, status)
+	return frame, status
+}
+
+func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byte, int) {
 	q := &st.req
 	if err := parseRequestFrame(in, st.arena, q, st.sects); err != nil {
 		return errorFrame(http.StatusBadRequest, "bad frame: "+err.Error())
 	}
+	st.tr.ID = q.traceID
+	if !q.hasTrace || q.traceID == 0 {
+		st.tr.ID = s.tracer.nextID()
+	}
+	st.tr.Lap(obs.StageDecode)
 	l, fp, hint, err := s.resolveFrameFactor(q, st.arena)
 	if err != nil {
 		if errors.Is(err, errUnknownFactor) {
@@ -144,6 +185,7 @@ func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 		}
 		return errorFrame(http.StatusBadRequest, err.Error())
 	}
+	st.tr.Lap(obs.StageFactor)
 	if q.k == 0 {
 		return errorFrame(http.StatusBadRequest, "request has no right-hand sides")
 	}
@@ -155,6 +197,7 @@ func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 	if err := validateRHS(bs, l.N, s.cfg.MaxBatch); err != nil {
 		return errorFrame(http.StatusBadRequest, err.Error())
 	}
+	st.tr.Lap(obs.StageDecode)
 	if q.timeoutMs > 0 {
 		const maxTimeoutMs = 24 * 60 * 60 * 1000
 		ms := q.timeoutMs
@@ -167,24 +210,38 @@ func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 	}
 
 	frame, lo, xs := newResponseFrame(st.arena, q.k, l.N)
+	st.tr.Lap(obs.StageEncode)
 	creq := &st.creq
 	*creq = coReq{l: l, lower: q.lower, xs: xs, bs: bs, hint: hint}
+	st.bstats = trisolve.BuildStats{}
+	creq.bstats = &st.bstats
+	if s.tracer.sampler.Sample() {
+		// Level sampling: the pooled clock is installed for this request
+		// only; the timed executor body is memoized per solver, so even a
+		// sample-every-request configuration allocates nothing warm.
+		st.lc.Reset()
+		creq.lc = &st.lc
+	}
 	// The pass writes solutions straight into the response frame; give
 	// it its own arena reference in case it outlives this handler.
 	st.arena.Retain()
 	creq.held = st.arena
 	info, err := s.co.SubmitInto(ctx, creq)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			return errorFrame(http.StatusGatewayTimeout, "solve deadline exceeded")
-		case errors.Is(err, context.Canceled):
-			return errorFrame(http.StatusServiceUnavailable, "request cancelled")
-		default:
-			return errorFrame(http.StatusInternalServerError, err.Error())
-		}
+		// The pass behind an abandoned submit may still be running with
+		// our *coReq: don't read the shared observability fields, and
+		// mark the pooled state so it is leaked rather than recycled.
+		st.leaked = true
+		st.tr.AttributeSubmit(0, 0, 0)
+		code, msg := solveErrorStatus(err)
+		return errorFrame(code, msg)
 	}
-	return finishResponseFrame(frame, lo, xs, fp, info), http.StatusOK
+	st.tr.AttributeSubmit(info.PlanNs, st.bstats.RepairNs, info.ExecNs)
+	st.tr.SetInfo(l.N, q.k, info.Fused, info.Width, info.Strategy)
+	if creq.lc != nil {
+		st.lc.FillTrace(&st.tr)
+	}
+	return finishResponseFrame(frame, lo, xs, fp, info, st.tr.ID), http.StatusOK
 }
 
 func errorFrame(status int, msg string) ([]byte, int) {

@@ -318,11 +318,37 @@ func TestSolveFrameZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSolveFrameZeroAllocSampled is TestSolveFrameZeroAlloc with level
+// sampling on every request: the pooled per-level clock and the
+// solver's memoized timed body must not cost the warm path its 0
+// allocs/op.
+func TestSolveFrameZeroAllocSampled(t *testing.T) {
+	s, frame := warmBinaryServerCfg(t, 16, Config{Procs: 2, CoalesceWindow: 0, TraceSampleEvery: 1})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		st := s.getReqState()
+		out, status := s.SolveFrame(ctx, frame, st)
+		if status != 200 {
+			t.Fatalf("status %d", status)
+		}
+		_ = out
+		s.putReqState(st)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm sampled binary request = %v allocs/op, want 0", allocs)
+	}
+}
+
 // warmBinaryServer builds a solo-pass server, registers a mesh factor
 // through the binary path and returns a warm fp-resubmission frame.
 func warmBinaryServer(tb testing.TB, mesh int) (*Server, []byte) {
+	return warmBinaryServerCfg(tb, mesh, Config{Procs: 2, CoalesceWindow: 0})
+}
+
+// warmBinaryServerCfg is warmBinaryServer with a caller-chosen Config.
+func warmBinaryServerCfg(tb testing.TB, mesh int, cfg Config) (*Server, []byte) {
 	tb.Helper()
-	s, err := New(Config{Procs: 2, CoalesceWindow: 0})
+	s, err := New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -368,6 +394,24 @@ func warmBinaryServer(tb testing.TB, mesh int) (*Server, []byte) {
 func BenchmarkBinaryRequest(b *testing.B) {
 	b.Run("fp-warm", func(b *testing.B) {
 		s, frame := warmBinaryServer(b, 16)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := s.getReqState()
+			_, status := s.SolveFrame(ctx, frame, st)
+			if status != 200 {
+				b.Fatalf("status %d", status)
+			}
+			s.putReqState(st)
+		}
+	})
+	b.Run("fp-warm-sampled", func(b *testing.B) {
+		// Per-wavefront-level timing on every request: the pooled level
+		// clock and the solver's memoized timed body must keep the warm
+		// path at 0 allocs/op (gated by CI's allocs_budget alongside
+		// fp-warm).
+		s, frame := warmBinaryServerCfg(b, 16, Config{Procs: 2, CoalesceWindow: 0, TraceSampleEvery: 1})
 		ctx := context.Background()
 		b.ReportAllocs()
 		b.ResetTimer()

@@ -35,6 +35,13 @@ type SolveInfo struct {
 	Width    int    // total right-hand sides in the pass
 	Strategy string // executor strategy the pass ran under (planner-chosen for "auto")
 	Metrics  executor.Metrics
+	// PlanNs/ExecNs are the pass's own latency split, measured on the
+	// pass goroutine: plan resolution (memo/cache lookup and, on a
+	// miss, the build) and the executor run itself. A traced request
+	// subtracts them from its submit round-trip to expose pure
+	// coalescing wait.
+	PlanNs int64
+	ExecNs int64
 }
 
 // coReq is one request waiting in (or executed by) the coalescer.
@@ -54,6 +61,14 @@ type coReq struct {
 	err  error
 	info SolveInfo
 	solo [1]*coReq // member-slice scratch for the solo path
+	// Observability (optional, both nil-safe): lc receives per-level
+	// executor timing when this request was chosen for level sampling
+	// (honored on the single-member memoized fast path — the warm shape
+	// level timing exists for; group passes run unclocked); bstats
+	// receives the plan build-cost breakdown when this request's pass
+	// triggers a build.
+	lc     trisolve.LevelClock
+	bstats *trisolve.BuildStats
 }
 
 // soloScratch returns a one-member slice over the request's own scratch
@@ -425,18 +440,30 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 	for _, m := range members {
 		width += len(m.bs)
 	}
+	var planNs, execNs int64
 	if len(members) == 1 && members[0].hint == nil {
 		// Single-member fast path: solve through the memoized bound
 		// solver for this factor — no group assembly, no plan lease, no
 		// per-call body closure. This is the shape of the warm
-		// fp-resubmission path, and it runs allocation-free.
+		// fp-resubmission path, and it runs allocation-free (the stage
+		// stamps below are two clock reads).
 		m := members[0]
 		var sv *trisolve.BatchSolver
-		if sv, strategy, err = c.boundSolver(m.l, key.lower); err == nil {
-			metrics, err = sv.Solve(ctx, m.xs, m.bs)
+		t0 := time.Now()
+		if sv, strategy, err = c.boundSolver(m.l, key.lower, m.bstats); err == nil {
+			t1 := time.Now()
+			planNs = t1.Sub(t0).Nanoseconds()
+			if m.lc != nil {
+				metrics, err = sv.SolveTimed(ctx, m.xs, m.bs, m.lc)
+			} else {
+				metrics, err = sv.Solve(ctx, m.xs, m.bs)
+			}
+			execNs = time.Since(t1).Nanoseconds()
+		} else {
+			planNs = time.Since(t0).Nanoseconds()
 		}
 	} else {
-		metrics, strategy, err = c.executeGroup(ctx, key, members)
+		metrics, strategy, planNs, execNs, err = c.executeGroup(ctx, key, members)
 	}
 
 	c.passes.Inc()
@@ -447,7 +474,8 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 	} else {
 		c.soloC.Inc()
 	}
-	info := SolveInfo{Fused: len(members), Width: width, Strategy: strategy, Metrics: metrics}
+	info := SolveInfo{Fused: len(members), Width: width, Strategy: strategy, Metrics: metrics,
+		PlanNs: planNs, ExecNs: execNs}
 	for _, m := range members {
 		m.err = err
 		m.info = info
@@ -461,7 +489,7 @@ func (c *Coalescer) execute(ctx context.Context, key coalesceKey, members []*coR
 // executeGroup is the fused (or drift-hinted) pass body: members merge
 // into BatchProblems by factor identity and run as one SolveGroup pass
 // under a freshly leased plan.
-func (c *Coalescer) executeGroup(ctx context.Context, key coalesceKey, members []*coReq) (executor.Metrics, string, error) {
+func (c *Coalescer) executeGroup(ctx context.Context, key coalesceKey, members []*coReq) (metrics executor.Metrics, strategy string, planNs, execNs int64, err error) {
 	group := make([]trisolve.BatchProblem, 0, len(members))
 	byFactor := make(map[*sparse.CSR]int, len(members))
 	for _, m := range members {
@@ -477,9 +505,9 @@ func (c *Coalescer) executeGroup(ctx context.Context, key coalesceKey, members [
 			})
 		}
 	}
-	var metrics executor.Metrics
-	strategy := ""
-	opts, err := c.planOpts()
+	t0 := time.Now()
+	var opts []trisolve.Option
+	opts, err = c.planOpts()
 	if err == nil {
 		// Any member's drift hint serves the whole pass: fused members
 		// share the structure, and the repair happens at most once inside
@@ -490,16 +518,31 @@ func (c *Coalescer) executeGroup(ctx context.Context, key coalesceKey, members [
 				break
 			}
 		}
+		// The first member carrying a build-stats sink receives the pass's
+		// plan build-cost breakdown (filled only when the cache actually
+		// builds; a hit leaves it zero).
+		for _, m := range members {
+			if m.bstats != nil {
+				opts = append(opts, trisolve.WithBuildStats(m.bstats))
+				break
+			}
+		}
 		var plan *trisolve.Plan
 		if plan, err = c.cache.Get(members[0].l, key.lower, opts...); err == nil {
 			strategy = plan.Kind.String()
+			t1 := time.Now()
+			planNs = t1.Sub(t0).Nanoseconds()
 			metrics, err = plan.SolveGroupCtx(ctx, group)
+			execNs = time.Since(t1).Nanoseconds()
 			if cerr := plan.Close(); err == nil {
 				err = cerr
 			}
 		}
 	}
-	return metrics, strategy, err
+	if planNs == 0 {
+		planNs = time.Since(t0).Nanoseconds()
+	}
+	return metrics, strategy, planNs, execNs, err
 }
 
 // memoCap bounds the factor-bound solver memo. Eight covers the hot
@@ -523,8 +566,9 @@ type memoEntry struct {
 // resident *CSR per content fingerprint, and factor values are
 // immutable once cached, so a pointer hit guarantees the solver's
 // precomputed state is current. A warm hit costs a mutex and a short
-// linear scan — no allocation.
-func (c *Coalescer) boundSolver(l *sparse.CSR, lower bool) (*trisolve.BatchSolver, string, error) {
+// linear scan — no allocation. bstats, when non-nil, receives the plan
+// build-cost breakdown if the miss path actually builds a plan.
+func (c *Coalescer) boundSolver(l *sparse.CSR, lower bool, bstats *trisolve.BuildStats) (*trisolve.BatchSolver, string, error) {
 	c.memoMu.Lock()
 	for i := range c.memo {
 		e := &c.memo[i]
@@ -544,6 +588,9 @@ func (c *Coalescer) boundSolver(l *sparse.CSR, lower bool) (*trisolve.BatchSolve
 	opts, err := c.planOpts()
 	if err != nil {
 		return nil, "", err
+	}
+	if bstats != nil {
+		opts = append(opts, trisolve.WithBuildStats(bstats))
 	}
 	plan, err := c.cache.Get(l, lower, opts...)
 	if err != nil {

@@ -48,6 +48,8 @@ import (
 //	12 info      (response) payload fused uint32, width uint32, executed int64
 //	13 strategy  (response) count = byte length; UTF-8 payload
 //	14 error     (response) count = HTTP status; UTF-8 message payload
+//	15 trace_id  client-chosen trace ID to propagate; payload one uint64
+//	16 trace_id  (response) payload one uint64 (echoed or server-assigned)
 //
 // One edit record (section 8): a 16-byte header {row int32, inserts
 // int32, deletes int32, reserved int32}, the insert column int32s, the
@@ -81,20 +83,22 @@ const (
 
 // Section types.
 const (
-	secDim       = 1
-	secRowPtr    = 2
-	secColIdx    = 3
-	secVal       = 4
-	secRHS       = 5
-	secFp        = 6
-	secBaseFp    = 7
-	secEdits     = 8
-	secTimeout   = 9
-	secSolutions = 10
-	secRespFp    = 11
-	secInfo      = 12
-	secStrategy  = 13
-	secError     = 14
+	secDim         = 1
+	secRowPtr      = 2
+	secColIdx      = 3
+	secVal         = 4
+	secRHS         = 5
+	secFp          = 6
+	secBaseFp      = 7
+	secEdits       = 8
+	secTimeout     = 9
+	secSolutions   = 10
+	secRespFp      = 11
+	secInfo        = 12
+	secStrategy    = 13
+	secError       = 14
+	secTraceID     = 15
+	secRespTraceID = 16
 )
 
 var (
@@ -180,6 +184,8 @@ type wireRequest struct {
 	hasBaseFp bool
 	edits     []sparse.RowEdit
 	timeoutMs int
+	traceID   uint64
+	hasTrace  bool
 }
 
 // reset clears a pooled wireRequest for reuse.
@@ -287,6 +293,12 @@ func parseRequestFrame(buf []byte, a *arena.Arena, req *wireRequest, sects []fra
 			req.edits = edits
 		case secTimeout:
 			req.timeoutMs = int(s.count)
+		case secTraceID:
+			if s.length != 8 {
+				return fmt.Errorf("trace_id section: %d bytes, want 8", s.length)
+			}
+			req.traceID = binary.LittleEndian.Uint64(payload)
+			req.hasTrace = true
 		default:
 			return fmt.Errorf("unknown section type %d", s.typ)
 		}
@@ -352,9 +364,9 @@ func align8(n int) int { return (n + 7) &^ 7 }
 
 // respLayout is the fixed layout of a success response frame for k
 // solutions of length n: solutions, fp (always present; patched to the
-// zero fingerprint on a collision), info, and a strategy section with
-// strategyReserve bytes reserved (the count field is patched to the
-// actual name length).
+// zero fingerprint on a collision), info, a trace ID, and a strategy
+// section with strategyReserve bytes reserved (the count field is
+// patched to the actual name length).
 const strategyReserve = 24
 
 type respLayout struct {
@@ -362,6 +374,7 @@ type respLayout struct {
 	solOff   int
 	fpOff    int
 	infoOff  int
+	tidOff   int
 	stratOff int
 	k, n     int
 }
@@ -369,13 +382,15 @@ type respLayout struct {
 func responseLayout(k, n int) respLayout {
 	var lo respLayout
 	lo.k, lo.n = k, n
-	off := frameHeaderLen + 4*frameSectionLen
+	off := frameHeaderLen + 5*frameSectionLen
 	lo.solOff = off
 	off += align8(8 * k * n)
 	lo.fpOff = off
 	off += 8
 	lo.infoOff = off
 	off += 16
+	lo.tidOff = off
+	off += 8
 	lo.stratOff = off
 	off += strategyReserve
 	lo.total = off
@@ -391,11 +406,12 @@ func responseLayout(k, n int) respLayout {
 func newResponseFrame(a *arena.Arena, k, n int) ([]byte, respLayout, [][]float64) {
 	lo := responseLayout(k, n)
 	buf := a.Bytes(lo.total)
-	writeFrameHeader(buf, 0, 4, uint64(lo.total))
+	writeFrameHeader(buf, 0, 5, uint64(lo.total))
 	writeSection(buf, 0, secSolutions, uint32(k), uint32(lo.solOff), uint32(8*k*n))
 	writeSection(buf, 1, secRespFp, 0, uint32(lo.fpOff), 8)
 	writeSection(buf, 2, secInfo, 0, uint32(lo.infoOff), 16)
 	writeSection(buf, 3, secStrategy, 0, uint32(lo.stratOff), 0)
+	writeSection(buf, 4, secRespTraceID, 0, uint32(lo.tidOff), 8)
 	// Zero the pad after the solutions payload and the strategy reserve;
 	// every other byte up to total is written by the sections above or by
 	// the solve/finish steps.
@@ -423,10 +439,10 @@ func newResponseFrame(a *arena.Arena, k, n int) ([]byte, respLayout, [][]float64
 	return buf, lo, xs
 }
 
-// finishResponseFrame patches the fingerprint, info and strategy
-// sections after the solve. On big-endian hosts it also serializes the
-// solutions into the frame.
-func finishResponseFrame(buf []byte, lo respLayout, xs [][]float64, fp uint64, info SolveInfo) []byte {
+// finishResponseFrame patches the fingerprint, info, trace-ID and
+// strategy sections after the solve. On big-endian hosts it also
+// serializes the solutions into the frame.
+func finishResponseFrame(buf []byte, lo respLayout, xs [][]float64, fp uint64, info SolveInfo, tid uint64) []byte {
 	if !arena.HostLittleEndian() {
 		sol := buf[lo.solOff:]
 		for j, x := range xs {
@@ -436,6 +452,7 @@ func finishResponseFrame(buf []byte, lo respLayout, xs [][]float64, fp uint64, i
 		}
 	}
 	binary.LittleEndian.PutUint64(buf[lo.fpOff:], fp)
+	binary.LittleEndian.PutUint64(buf[lo.tidOff:], tid)
 	binary.LittleEndian.PutUint32(buf[lo.infoOff:], uint32(info.Fused))
 	binary.LittleEndian.PutUint32(buf[lo.infoOff+4:], uint32(info.Width))
 	binary.LittleEndian.PutUint64(buf[lo.infoOff+8:], uint64(info.Metrics.Executed))
@@ -548,6 +565,14 @@ func EncodeRequestFrame(req *SolveRequest) ([]byte, error) {
 	if req.TimeoutMs > 0 {
 		secs = append(secs, sec{typ: secTimeout, count: uint32(req.TimeoutMs)})
 	}
+	if req.TraceID != "" {
+		tid, err := parseHexFp(req.TraceID)
+		if err != nil {
+			return nil, fmt.Errorf("malformed trace_id %q", req.TraceID)
+		}
+		secs = append(secs, sec{typ: secTraceID, length: 8,
+			write: func(b []byte) { binary.LittleEndian.PutUint64(b, tid) }})
+	}
 
 	off := frameHeaderLen + len(secs)*frameSectionLen
 	offs := make([]int, len(secs))
@@ -640,6 +665,7 @@ type WireResponse struct {
 	Width    int
 	Strategy string
 	Executed int64
+	TraceID  string // hex, empty when the server sent no trace ID
 	// Status/ErrMsg are set when the frame is an error response.
 	Status int
 	ErrMsg string
@@ -681,6 +707,13 @@ func DecodeResponseFrame(buf []byte) (*WireResponse, error) {
 			resp.Executed = int64(binary.LittleEndian.Uint64(payload[8:]))
 		case secStrategy:
 			resp.Strategy = string(payload)
+		case secRespTraceID:
+			if s.length != 8 {
+				return nil, fmt.Errorf("trace_id section: %d bytes, want 8", s.length)
+			}
+			if tid := binary.LittleEndian.Uint64(payload); tid != 0 {
+				resp.TraceID = fmt.Sprintf("%016x", tid)
+			}
 		case secError:
 			resp.Status = int(s.count)
 			resp.ErrMsg = string(payload)

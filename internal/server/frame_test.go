@@ -262,13 +262,14 @@ func TestResponseFrameRoundTrip(t *testing.T) {
 	out := finishResponseFrame(buf, lo, xs, 0xfeed, SolveInfo{
 		Fused: 2, Width: 5, Strategy: "pooled",
 		Metrics: executor.Metrics{Executed: 123},
-	})
+	}, 0xabc123)
 	resp, err := DecodeResponseFrame(out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Fp != "000000000000feed" || resp.Fused != 2 || resp.Width != 5 ||
-		resp.Strategy != "pooled" || resp.Executed != 123 || resp.Status != 0 {
+		resp.Strategy != "pooled" || resp.Executed != 123 || resp.Status != 0 ||
+		resp.TraceID != "0000000000abc123" {
 		t.Fatalf("decoded response wrong: %+v", resp)
 	}
 	for j := 0; j < k; j++ {
@@ -283,12 +284,12 @@ func TestResponseFrameRoundTrip(t *testing.T) {
 	// oversized strategy name must be truncated, not overrun its reserve.
 	buf, lo, xs = newResponseFrame(a, 1, 1)
 	xs[0][0] = 1
-	out = finishResponseFrame(buf, lo, xs, 0, SolveInfo{Strategy: strings.Repeat("s", 99)})
+	out = finishResponseFrame(buf, lo, xs, 0, SolveInfo{Strategy: strings.Repeat("s", 99)}, 0)
 	resp, err = DecodeResponseFrame(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Fp != "" || len(resp.Strategy) != strategyReserve {
+	if resp.Fp != "" || len(resp.Strategy) != strategyReserve || resp.TraceID != "" {
 		t.Fatalf("collision/truncation response wrong: %+v", resp)
 	}
 }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"math"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -73,6 +75,128 @@ func TestRegistryPrometheusExposition(t *testing.T) {
 			t.Errorf("exposition missing %q:\n%s", want, text)
 		}
 	}
+}
+
+// TestHistogramRenderEmpty pins the exposition of a histogram that has
+// never been observed: every bucket (including +Inf), the sum and the
+// count must render as zeros rather than being omitted — scrapers
+// difference counters and need the series present from the first
+// scrape.
+func TestHistogramRenderEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty_seconds", "never observed", Labels{{"stage", "idle"}}, []float64{0.1, 1})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`empty_seconds_bucket{stage="idle",le="0.1"} 0`,
+		`empty_seconds_bucket{stage="idle",le="1"} 0`,
+		`empty_seconds_bucket{stage="idle",le="+Inf"} 0`,
+		`empty_seconds_sum{stage="idle"} 0`,
+		`empty_seconds_count{stage="idle"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("empty histogram exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHistogramInfBucket pins the overflow bucket: observations beyond
+// every finite bound must land only in +Inf, count toward count/sum,
+// and report an infinite quantile (there is no finite upper bound to
+// answer with).
+func TestHistogramInfBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.MaxFloat64)
+	h.Observe(2)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("overflow quantile = %v, want +Inf", got)
+	}
+	reg := NewRegistry()
+	hr := reg.Histogram("inf_seconds", "overflow", nil, []float64{1})
+	hr.Observe(2)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `inf_seconds_bucket{le="1"} 0`) ||
+		!strings.Contains(text, `inf_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("overflow exposition wrong:\n%s", text)
+	}
+}
+
+// TestHistogramConcurrentObserveWhileRender hammers a histogram from
+// writer goroutines while the registry renders, and checks every
+// rendered snapshot is internally consistent: cumulative buckets must
+// be monotone and the +Inf bucket must equal the count. Run under
+// -race this also pins the exposition path against data races.
+func TestHistogramConcurrentObserveWhileRender(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("churn_seconds", "concurrent", nil, []float64{0.1, 1, 10})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.05, 0.5, 5, 50}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(vals[(i+w)%len(vals)])
+			}
+		}(w)
+	}
+	for iter := 0; iter < 50; iter++ {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var prev, infBucket, count float64
+		haveInf, haveCount := false, false
+		for _, line := range strings.Split(sb.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, "churn_seconds_bucket{"):
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					t.Fatalf("bad bucket line %q: %v", line, err)
+				}
+				if v < prev {
+					t.Fatalf("cumulative buckets not monotone:\n%s", sb.String())
+				}
+				prev = v
+				if strings.Contains(line, `le="+Inf"`) {
+					infBucket, haveInf = v, true
+				}
+			case strings.HasPrefix(line, "churn_seconds_count "):
+				v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if err != nil {
+					t.Fatalf("bad count line %q: %v", line, err)
+				}
+				count, haveCount = v, true
+			}
+		}
+		if !haveInf || !haveCount {
+			t.Fatalf("render missing histogram series:\n%s", sb.String())
+		}
+		// Observe bumps the bucket before the count and render reads
+		// buckets before count, so the bucket total may lead the count
+		// by at most one in-flight observation per writer — never more.
+		if infBucket > count+4 {
+			t.Fatalf("+Inf bucket %v leads count %v by more than the writer count", infBucket, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestWithLE(t *testing.T) {

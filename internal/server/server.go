@@ -29,6 +29,7 @@ import (
 
 	"doconsider/internal/arena"
 	"doconsider/internal/executor"
+	"doconsider/internal/obs"
 	"doconsider/internal/plancache"
 	"doconsider/internal/sparse"
 	"doconsider/internal/trisolve"
@@ -51,6 +52,14 @@ type Config struct {
 	MaxInFlight    int           // admission bound on concurrent solves (default 64)
 	MaxBatch       int           // max RHS per request (default 64)
 	DefaultTimeout time.Duration // per-request deadline when none given (default 30s)
+	// TraceRing sizes the completed-trace ring served by /v1/trace
+	// (default max(256, 4*MaxInFlight), rounded up to a power of two).
+	TraceRing int
+	// TraceSampleEvery picks every Nth solve request for per-wavefront-
+	// level executor timing (default 64; negative disables level
+	// sampling). Stage stamps and the trace ring are always on — sampling
+	// gates only the per-level clock inside the executor hot loop.
+	TraceSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 64
 	}
 	return c
 }
@@ -113,6 +125,7 @@ type SolveRequest struct {
 	B         [][]float64      `json:"b,omitempty"`
 	B64       [][]byte         `json:"b_b64,omitempty"` // RHS as base64 little-endian float64 packing
 	TimeoutMs int              `json:"timeout_ms,omitempty"`
+	TraceID   string           `json:"trace_id,omitempty"` // client-chosen trace ID (hex uint64), echoed in the response
 }
 
 // SolveResponse is the POST /v1/trisolve reply. Solutions come back in
@@ -128,6 +141,7 @@ type SolveResponse struct {
 	Width    int         `json:"width"`    // total RHS in the pass
 	Strategy string      `json:"strategy"` // executor strategy of the pass (planner-chosen for "auto")
 	Executed int64       `json:"executed"` // loop bodies run by the pass
+	TraceID  string      `json:"trace_id"` // this request's trace ID (hex); look it up in /v1/trace
 }
 
 // Solutions returns the response's solution batch in either encoding.
@@ -177,6 +191,11 @@ type StatsResponse struct {
 	// plan builds: node counts, widths and the fused-row fraction
 	// (internal/supernode).
 	Supernode trisolve.SupernodeStats `json:"supernode"`
+	// Stages summarizes per-pipeline-stage latency, derived from the
+	// same stamps that feed /v1/trace and doconsider_stage_seconds.
+	Stages []StageStat `json:"stages"`
+	// TracesDropped counts completed traces lost to ring contention.
+	TracesDropped uint64 `json:"traces_dropped"`
 }
 
 // cachedFactor is a factor resident in the by-fingerprint cache, tagged
@@ -224,13 +243,17 @@ type Server struct {
 	hot     [hotFactorCap]hotFactor
 	hotNext int
 
-	inFlight *Gauge
-	accepted *Counter
-	shed     *Counter
-	solveEP  *endpointMetrics
-	statsEP  *endpointMetrics
-	healthEP *endpointMetrics
-	metricEP *endpointMetrics
+	tracer *tracer
+
+	inFlight    *Gauge
+	accepted    *Counter
+	shed        *Counter
+	solveJSONEP *endpointMetrics // /v1/trisolve, JSON wire
+	solveBinEP  *endpointMetrics // /v1/trisolve, binary (DCWF) wire
+	statsEP     *endpointMetrics
+	healthEP    *endpointMetrics
+	metricEP    *endpointMetrics
+	traceEP     *endpointMetrics
 }
 
 // New builds a server from cfg (zero fields take defaults). It fails
@@ -345,17 +368,44 @@ func New(cfg Config) (*Server, error) {
 			func() float64 { return f(arenas.Stats()) })
 	}
 
-	s.solveEP = newEndpointMetrics(reg, "trisolve")
+	s.tracer = newTracer(reg, cfg)
+	registerBuildMetrics(reg, s.start)
+
+	// The solve endpoint is instrumented per wire format so the JSON and
+	// binary protocols are directly comparable in /metrics: ring-served
+	// binary requests land in the same histogram families, under
+	// wire="binary", measured at the same wrapper boundary as JSON.
+	s.solveJSONEP = newEndpointMetricsWire(reg, "trisolve", "json")
+	s.solveBinEP = newEndpointMetricsWire(reg, "trisolve", "binary")
 	s.statsEP = newEndpointMetrics(reg, "stats")
 	s.healthEP = newEndpointMetrics(reg, "healthz")
 	s.metricEP = newEndpointMetrics(reg, "metrics")
+	s.traceEP = newEndpointMetrics(reg, "trace")
 
-	s.mux.HandleFunc("/v1/trisolve", s.solveEP.wrap(s.handleTrisolve))
+	s.mux.HandleFunc("/v1/trisolve", s.wrapSolve(s.handleTrisolve))
 	s.mux.HandleFunc("/v1/stats", s.statsEP.wrap(s.handleStats))
 	s.mux.HandleFunc("/healthz", s.healthEP.wrap(s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.metricEP.wrap(s.handleMetrics))
+	s.mux.HandleFunc("/v1/trace", s.traceEP.wrap(s.handleTrace))
+	s.mux.HandleFunc("/v1/trace/slowest", s.traceEP.wrap(s.handleTraceSlowest))
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s, nil
+}
+
+// wrapSolve instruments /v1/trisolve by wire format: the Content-Type
+// that selects the binary protocol also selects its metrics, so both
+// wires are observed identically at the same boundary.
+func (s *Server) wrapSolve(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ep := s.solveJSONEP
+		if isFrameRequest(r) {
+			ep = s.solveBinEP
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		ep.observe(rec.code, time.Since(t0))
+	}
 }
 
 // Handler returns the server's HTTP handler (for tests and in-process
@@ -459,6 +509,8 @@ func (s *Server) Stats() StatsResponse {
 		Arena:         s.arenas.Stats(),
 		Delta:         s.cache.DeltaStats(),
 		Supernode:     s.cache.SupernodeStats(),
+		Stages:        s.tracer.stageStats(),
+		TracesDropped: s.tracer.ring.Dropped(),
 		Planner: PlannerStats{
 			Kind:      s.cfg.Kind,
 			Counts:    s.cache.DecisionCounts(),
@@ -468,6 +520,7 @@ func (s *Server) Stats() StatsResponse {
 }
 
 func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -493,9 +546,17 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 
 	// The binary protocol shares the endpoint: content type selects it.
 	if isFrameRequest(r) {
-		s.handleTrisolveBinary(w, r)
+		s.handleTrisolveBinary(w, r, t0)
 		return
 	}
+
+	// The trace starts at the handler's first instruction; requests
+	// rejected before the solve pipeline (bad body, unknown factor) are
+	// not traced — traces describe solves, error rates live in the
+	// endpoint counters.
+	var tr obs.Trace
+	tr.Begin(obs.WireJSON, t0)
+	tr.Lap(obs.StageAdmission)
 
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -503,6 +564,16 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	tr.ID = s.tracer.nextID()
+	if req.TraceID != "" {
+		tid, err := strconv.ParseUint(req.TraceID, 16, 64)
+		if err != nil || tid == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed trace_id %q", req.TraceID))
+			return
+		}
+		tr.ID = tid
+	}
+	tr.Lap(obs.StageDecode)
 	lower := req.Lower == nil || *req.Lower
 	l, fp, release, hint, err := s.resolveFactor(&req, lower)
 	if err != nil {
@@ -514,6 +585,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	tr.Lap(obs.StageFactor)
 	bs, binaryRHS, err := decodeRHS(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -523,6 +595,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr.Lap(obs.StageDecode)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -539,21 +612,35 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	xs, info, err := s.co.Submit(ctx, l, lower, bs, hint)
+	xs := make([][]float64, len(bs))
+	for j := range xs {
+		xs[j] = make([]float64, l.N)
+	}
+	var bstats trisolve.BuildStats
+	creq := coReq{l: l, lower: lower, xs: xs, bs: bs, hint: hint, bstats: &bstats}
+	if s.tracer.sampler.Sample() {
+		creq.lc = new(obs.LevelClock)
+	}
+	info, err := s.co.SubmitInto(ctx, &creq)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
-		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "request cancelled")
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
-		}
+		// An abandoned (cancelled/timed-out) member's pass may still be
+		// running and writing into creq's observability fields: charge
+		// the whole wait to the coalesce stage and leave them unread.
+		tr.AttributeSubmit(0, 0, 0)
+		code, msg := solveErrorStatus(err)
+		s.tracer.publish(&tr, obs.StageEncode, code)
+		writeError(w, code, msg)
 		return
+	}
+	tr.AttributeSubmit(info.PlanNs, bstats.RepairNs, info.ExecNs)
+	tr.SetInfo(l.N, len(bs), info.Fused, info.Width, info.Strategy)
+	if lc, ok := creq.lc.(*obs.LevelClock); ok {
+		lc.FillTrace(&tr)
 	}
 	resp := SolveResponse{
 		Fused: info.Fused, Width: info.Width, Strategy: info.Strategy,
 		Executed: info.Metrics.Executed,
+		TraceID:  fmt.Sprintf("%016x", tr.ID),
 	}
 	if fp != 0 {
 		resp.Fp = fmt.Sprintf("%016x", fp)
@@ -567,6 +654,19 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		resp.X = xs
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.tracer.publish(&tr, obs.StageEncode, http.StatusOK)
+}
+
+// solveErrorStatus maps a coalescer submit error to its HTTP reply.
+func solveErrorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "solve deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "request cancelled"
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
 }
 
 // decodeRHS resolves the request's right-hand sides from whichever
@@ -872,21 +972,31 @@ type endpointMetrics struct {
 // newEndpointMetrics pre-registers the status codes the handlers emit so
 // the exposition is stable from the first scrape.
 func newEndpointMetrics(reg *Registry, endpoint string) *endpointMetrics {
+	return newEndpointMetricsLabeled(reg, endpoint, Labels{{"endpoint", endpoint}})
+}
+
+// newEndpointMetricsWire is newEndpointMetrics with a wire-format label,
+// for endpoints that speak more than one protocol.
+func newEndpointMetricsWire(reg *Registry, endpoint, wire string) *endpointMetrics {
+	return newEndpointMetricsLabeled(reg, endpoint, Labels{{"endpoint", endpoint}, {"wire", wire}})
+}
+
+func newEndpointMetricsLabeled(reg *Registry, endpoint string, base Labels) *endpointMetrics {
 	m := &endpointMetrics{
 		reg:      reg,
 		endpoint: endpoint,
 		hist: reg.Histogram("loops_http_request_seconds", "request latency by endpoint",
-			Labels{{"endpoint", endpoint}}, DefaultLatencyBuckets),
+			base, DefaultLatencyBuckets),
 		codes: make(map[int]*Counter),
 	}
 	for _, code := range []int{200, 400, 404, 405, 429, 500, 503, 504} {
 		m.codes[code] = reg.Counter("loops_http_requests_total", "requests by endpoint and status code",
-			Labels{{"endpoint", endpoint}, {"code", fmt.Sprint(code)}})
+			append(append(Labels{}, base...), [2]string{"code", fmt.Sprint(code)}))
 	}
 	// Catch-all for codes outside the pre-registered set; the map is
 	// read-only after construction so observe stays lock-free.
 	m.codes[0] = reg.Counter("loops_http_requests_total", "requests by endpoint and status code",
-		Labels{{"endpoint", endpoint}, {"code", "other"}})
+		append(append(Labels{}, base...), [2]string{"code", "other"}))
 	return m
 }
 

@@ -469,12 +469,17 @@ func TestServerHealthAndMetrics(t *testing.T) {
 		`loops_plan_cache{event="hits"}`,
 		"loops_plan_cache_hit_rate",
 		"loops_http_in_flight",
-		`loops_http_requests_total{endpoint="trisolve",code="200"} 1`,
-		`loops_http_request_seconds_bucket{endpoint="trisolve",le="+Inf"} 1`,
-		`loops_http_request_seconds_count{endpoint="trisolve"} 1`,
+		`loops_http_requests_total{endpoint="trisolve",wire="json",code="200"} 1`,
+		`loops_http_request_seconds_bucket{endpoint="trisolve",wire="json",le="+Inf"} 1`,
+		`loops_http_request_seconds_count{endpoint="trisolve",wire="json"} 1`,
+		`loops_http_request_seconds_count{endpoint="trisolve",wire="binary"} 0`,
 		"loops_coalesce_passes_total 1",
 		"loops_admission_accepted_total 1",
 		"# TYPE loops_http_request_seconds histogram",
+		`doconsider_stage_seconds_count{stage="execute"} 1`,
+		"doconsider_build_info{",
+		"doconsider_process_uptime_seconds",
+		"doconsider_go_goroutines",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)

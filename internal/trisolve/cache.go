@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"doconsider/internal/delta"
 	"doconsider/internal/executor"
@@ -215,10 +216,27 @@ func (pc *PlanCache) Get(t *sparse.CSR, lower bool, opts ...Option) (*Plan, erro
 		}
 	}
 	h, err := pc.c.Get(key, func() (*planSkeleton, error) {
+		// Build-cost attribution: the repair attempt (successful or not)
+		// and the inspector run are timed separately so a traced request
+		// can tell "waiting on delta repair" from "waiting on a cold
+		// inspection". Only the singleflight builder reaches this closure;
+		// coalesced peers observe the time as plan-stage waiting.
+		t0 := time.Now()
 		if sk := pc.tryRepair(t, lower, cfg, key); sk != nil {
+			if bs := cfg.buildStats; bs != nil {
+				bs.RepairNs += time.Since(t0).Nanoseconds()
+				bs.Repaired = true
+			}
 			return sk, nil
 		}
+		if bs := cfg.buildStats; bs != nil {
+			bs.RepairNs += time.Since(t0).Nanoseconds()
+		}
+		t1 := time.Now()
 		ins, err := inspect(t, lower, cfg)
+		if bs := cfg.buildStats; bs != nil {
+			bs.InspectNs += time.Since(t1).Nanoseconds()
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"doconsider/internal/executor"
+	"doconsider/internal/wavefront"
 )
 
 // BatchSolver binds a plan to pre-resolved solve state — the reciprocal
@@ -33,9 +35,27 @@ type BatchSolver struct {
 	invDiag []float64
 	body    executor.Body
 
+	// Timed execution state (SolveTimed): a prebuilt wrapper body that
+	// charges each scheduled index's runtime to its wavefront level on
+	// the installed clock. Built lazily on the first timed solve — the
+	// level map and the wrapper closure are the only allocations, and
+	// they happen once per solver — so sampled solves on a warm solver
+	// stay allocation-free.
+	timed   executor.Body
+	levelOf []int32    // scheduled index -> wavefront level
+	clock   LevelClock // per-call, installed under mu like xs/bs
+
 	mu sync.Mutex
 	xs [][]float64
 	bs [][]float64
+}
+
+// LevelClock receives per-wavefront-level executor time from a timed
+// solve. Implementations must be safe for concurrent Add calls — the
+// executor invokes the timed body from its worker goroutines.
+// internal/obs.LevelClock is the serving tier's implementation.
+type LevelClock interface {
+	Add(level int32, ns int64)
 }
 
 // Bind builds a BatchSolver over the plan. The solver borrows the plan:
@@ -56,25 +76,78 @@ func (p *Plan) Bind() *BatchSolver {
 	return s
 }
 
-// Solve runs one batched pass writing solution j to xs[j], exactly as
-// Plan.SolveBatchCtx would, with zero allocations on the success path.
-func (s *BatchSolver) Solve(ctx context.Context, xs, bs [][]float64) (executor.Metrics, error) {
+// checkBatch validates a batch's shape against the plan.
+func (s *BatchSolver) checkBatch(xs, bs [][]float64) error {
 	if len(xs) != len(bs) {
-		return executor.Metrics{}, fmt.Errorf("trisolve: batch has %d solutions but %d right-hand sides", len(xs), len(bs))
-	}
-	if len(xs) == 0 {
-		return executor.Metrics{}, nil
+		return fmt.Errorf("trisolve: batch has %d solutions but %d right-hand sides", len(xs), len(bs))
 	}
 	n := s.p.L.N
 	for j := range xs {
 		if len(xs[j]) != n || len(bs[j]) != n {
-			return executor.Metrics{}, fmt.Errorf("trisolve: batch vector %d has length %d/%d, want %d", j, len(xs[j]), len(bs[j]), n)
+			return fmt.Errorf("trisolve: batch vector %d has length %d/%d, want %d", j, len(xs[j]), len(bs[j]), n)
 		}
+	}
+	return nil
+}
+
+// Solve runs one batched pass writing solution j to xs[j], exactly as
+// Plan.SolveBatchCtx would, with zero allocations on the success path.
+func (s *BatchSolver) Solve(ctx context.Context, xs, bs [][]float64) (executor.Metrics, error) {
+	if err := s.checkBatch(xs, bs); err != nil {
+		return executor.Metrics{}, err
+	}
+	if len(xs) == 0 {
+		return executor.Metrics{}, nil
 	}
 	s.mu.Lock()
 	s.xs, s.bs = xs, bs
 	m, err := s.p.strat.Execute(ctx, s.p.Sched, s.p.Deps, s.body)
 	s.xs, s.bs = nil, nil
+	s.mu.Unlock()
+	return s.p.rowMetrics(m, err), err
+}
+
+// SolveTimed is Solve with per-wavefront-level timing: each scheduled
+// index's runtime (a row for row-wise plans, a fused supernode for
+// supernodal ones) is charged to its level on clock. The arithmetic is
+// byte-identical to Solve — the timed body wraps the same bound body.
+// The first timed solve on a solver builds the level map and wrapper
+// (two allocations, once); every later call allocates nothing, so
+// level sampling at any rate keeps the serving warm path at 0
+// allocs/op.
+func (s *BatchSolver) SolveTimed(ctx context.Context, xs, bs [][]float64, clock LevelClock) (executor.Metrics, error) {
+	if clock == nil {
+		return s.Solve(ctx, xs, bs)
+	}
+	if err := s.checkBatch(xs, bs); err != nil {
+		return executor.Metrics{}, err
+	}
+	if len(xs) == 0 {
+		return executor.Metrics{}, nil
+	}
+	s.mu.Lock()
+	if s.timed == nil {
+		// p.Deps is in scheduled-index space for every plan shape (unit
+		// deps when fused, iteration deps otherwise), so its wavefront
+		// levels index exactly what the executor body receives.
+		lv, err := wavefront.Compute(s.p.Deps)
+		if err != nil {
+			s.mu.Unlock()
+			return executor.Metrics{}, err
+		}
+		s.levelOf = lv
+		inner := s.body
+		s.timed = func(i int32) {
+			t0 := time.Now()
+			inner(i)
+			s.clock.Add(s.levelOf[i], time.Since(t0).Nanoseconds())
+		}
+	}
+	s.clock = clock
+	s.xs, s.bs = xs, bs
+	m, err := s.p.strat.Execute(ctx, s.p.Sched, s.p.Deps, s.timed)
+	s.xs, s.bs = nil, nil
+	s.clock = nil
 	s.mu.Unlock()
 	return s.p.rowMetrics(m, err), err
 }

@@ -183,6 +183,10 @@ type planConfig struct {
 	// the ancestor diff scan.
 	hintFp   uint64
 	hintRows []int32
+	// buildStats, when non-nil, receives the cost breakdown of the plan
+	// build this lookup triggered (PlanCache only; advisory, never part
+	// of the cache key).
+	buildStats *BuildStats
 }
 
 // adaptive reports whether the planner should choose the executor.
@@ -278,6 +282,27 @@ func WithFusion(m FuseMode) Option { return func(c *planConfig) { c.fuse = m } }
 // very edits. Plain NewPlan ignores the hint.
 func WithDriftHint(baseFp uint64, rows []int32) Option {
 	return func(c *planConfig) { c.hintFp, c.hintRows = baseFp, rows }
+}
+
+// BuildStats breaks down where a PlanCache lookup's build time went,
+// for request-scoped latency attribution in the serving tier. A cache
+// hit leaves it zero; a miss fills RepairNs with the delta-repair
+// attempt's cost (successful or fallen back) and InspectNs with the
+// full inspector run when one happened.
+type BuildStats struct {
+	RepairNs  int64 // time inside the near-miss repair attempt
+	InspectNs int64 // time inside full inspection (0 when repaired)
+	Repaired  bool  // the skeleton was obtained by delta repair
+}
+
+// WithBuildStats directs a PlanCache lookup to record its build-cost
+// breakdown into bs. Advisory: it never enters the cache key, and only
+// the caller whose lookup actually runs the singleflight build sees
+// nonzero numbers (peers coalesced onto that build spend their time
+// waiting, which their own request clocks capture). Plain NewPlan
+// ignores it.
+func WithBuildStats(bs *BuildStats) Option {
+	return func(c *planConfig) { c.buildStats = bs }
 }
 
 // buildPlanConfig resolves options against the defaults shared by NewPlan
