@@ -47,6 +47,38 @@ type loadgenConfig struct {
 	wire       string        // wireJSON (default when empty) or wireBinary
 	trace      bool          // fetch /v1/trace after the run and report per-stage latency
 	quiet      bool          // suppress the progress header
+	tenants    int           // adversarial multi-tenant mix: tenant 0 latency-class, rest batch (0 disables)
+	tag        tenantTag     // per-client tenant identity; set on goroutine-local copies, not shared
+}
+
+// tenantTag is the per-client tenant identity in -tenants mode. The zero
+// tag means untagged traffic (the server files it under its default
+// tenant), which keeps single-tenant runs byte-identical to before.
+type tenantTag struct {
+	name  string
+	class string // "latency" or "batch"; "" defaults to batch server-side
+}
+
+// tenantTagFor maps a client to its tenant in the adversarial mix:
+// clients are dealt round-robin across cfg.tenants tenants, tenant 0 is
+// the lone latency-class tenant and the rest flood as batch class.
+func (cfg *loadgenConfig) tenantTagFor(clientID int) tenantTag {
+	if cfg.tenants < 2 {
+		return tenantTag{}
+	}
+	ti := clientID % cfg.tenants
+	if ti == 0 {
+		return tenantTag{name: "lat-0", class: "latency"}
+	}
+	return tenantTag{name: fmt.Sprintf("batch-%d", ti), class: "batch"}
+}
+
+// headerValue renders the tag in X-Doconsider-Tenant form.
+func (tag tenantTag) headerValue() string {
+	if tag.class == "" {
+		return tag.name
+	}
+	return tag.name + ";class=" + tag.class
 }
 
 // loadgenReport aggregates one load-generation run.
@@ -65,16 +97,41 @@ type loadgenReport struct {
 	cacheHitRate   float64
 	passes, shed   uint64
 	serverRequests uint64
-	repairs        uint64               // plan misses served by delta repair
-	repairFalls    uint64               // repair attempts that rebuilt instead
-	plannerKind    string               // server's configured kind ("auto" = adaptive)
-	plannerCounts  map[string]uint64    // plan builds by chosen strategy
-	superPlans     uint64               // fused plan builds this run
-	superRows      uint64               // rows those plans cover
-	superFusedRows uint64               // rows inside width >= 2 supernodes
-	superMaxWidth  int                  // widest supernode the cache has seen
-	stageMs        map[string][]float64 // per-stage millisecond samples from /v1/trace (-trace)
-	traceDropped   uint64               // traces the server's ring dropped under contention
+	repairs        uint64                      // plan misses served by delta repair
+	repairFalls    uint64                      // repair attempts that rebuilt instead
+	plannerKind    string                      // server's configured kind ("auto" = adaptive)
+	plannerCounts  map[string]uint64           // plan builds by chosen strategy
+	superPlans     uint64                      // fused plan builds this run
+	superRows      uint64                      // rows those plans cover
+	superFusedRows uint64                      // rows inside width >= 2 supernodes
+	superMaxWidth  int                         // widest supernode the cache has seen
+	stageMs        map[string][]float64        // per-stage millisecond samples from /v1/trace (-trace)
+	traceDropped   uint64                      // traces the server's ring dropped under contention
+	perTenant      map[string]*tenantRunReport // -tenants mode: client-side per-tenant breakdown
+	tenantStats    []server.TenantStats        // server-side per-tenant snapshot after the run
+}
+
+// tenantRunReport is one tenant's client-side slice of the run.
+type tenantRunReport struct {
+	class     string
+	ok        int
+	refused   int
+	failed    int
+	latencies []time.Duration
+}
+
+func pctDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // throughput returns completed solves per second (requests x batch).
@@ -213,6 +270,9 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.tenants != 0 && cfg.tenants < 2 {
+		return nil, fmt.Errorf("loadgen: -tenants needs at least 2 tenants (1 latency + >=1 batch), got %d", cfg.tenants)
+	}
 	if !cfg.quiet {
 		wire := cfg.wire
 		if wire == "" {
@@ -220,6 +280,9 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		}
 		fmt.Fprintf(w, "loadgen: %d clients, %d requests, batch %d over %d problems (%s wire) -> %s\n",
 			cfg.clients, cfg.requests, cfg.batch, len(tmpl), wire, cfg.baseURL)
+		if cfg.tenants >= 2 {
+			fmt.Fprintf(w, "loadgen: adversarial tenant mix: 1 latency tenant (lat-0) vs %d batch tenants\n", cfg.tenants-1)
+		}
 	}
 	client := &http.Client{Timeout: cfg.timeout}
 
@@ -247,12 +310,19 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	var next atomic.Int64
 	var mu sync.Mutex
 	rep := &loadgenReport{}
+	if cfg.tenants >= 2 {
+		rep.perTenant = make(map[string]*tenantRunReport)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
 		go func(clientID int) {
 			defer wg.Done()
+			// Goroutine-local copy: the tag rides in the config so the
+			// poster call chain (template -> request -> wire) stays intact.
+			ccfg := cfg
+			ccfg.tag = cfg.tenantTagFor(clientID)
 			rng := rand.New(rand.NewSource(cfg.seed + int64(clientID)))
 			for {
 				reqID := int(next.Add(1)) - 1
@@ -270,27 +340,45 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 				var err error
 				attempted, fellBack := false, false
 				if drift {
-					sr, status, msg, attempted, fellBack, err = driftTemplate(client, &cfg, t, b, rng)
+					sr, status, msg, attempted, fellBack, err = driftTemplate(client, &ccfg, t, b, rng)
 				} else {
-					sr, status, msg, err = postTemplate(client, &cfg, t, b)
+					sr, status, msg, err = postTemplate(client, &ccfg, t, b)
 				}
 				lat := time.Since(t0)
 				mu.Lock()
+				var trep *tenantRunReport
+				if rep.perTenant != nil {
+					trep = rep.perTenant[ccfg.tag.name]
+					if trep == nil {
+						trep = &tenantRunReport{class: ccfg.tag.class}
+						rep.perTenant[ccfg.tag.name] = trep
+					}
+				}
 				switch {
 				case err != nil:
 					rep.failed++
+					if trep != nil {
+						trep.failed++
+					}
 					if rep.failMsg == "" {
 						rep.failMsg = err.Error()
 					}
 				case status == http.StatusOK:
 					if len(sr.X)+len(sr.X64) != cfg.batch {
 						rep.failed++
+						if trep != nil {
+							trep.failed++
+						}
 						if rep.failMsg == "" {
 							rep.failMsg = fmt.Sprintf("200 with %d solutions, want %d", len(sr.X)+len(sr.X64), cfg.batch)
 						}
 					} else {
 						rep.ok++
 						rep.latencies = append(rep.latencies, lat)
+						if trep != nil {
+							trep.ok++
+							trep.latencies = append(trep.latencies, lat)
+						}
 						if sr.Fused > 1 {
 							rep.fused++
 						}
@@ -303,8 +391,14 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 					}
 				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
 					rep.refused++
+					if trep != nil {
+						trep.refused++
+					}
 				default:
 					rep.failed++
+					if trep != nil {
+						trep.failed++
+					}
 					if rep.failMsg == "" {
 						rep.failMsg = fmt.Sprintf("status %d: %s", status, msg)
 					}
@@ -316,9 +410,14 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 	wg.Wait()
 	rep.elapsed = time.Since(start)
 	sort.Slice(rep.latencies, func(i, j int) bool { return rep.latencies[i] < rep.latencies[j] })
+	for _, trep := range rep.perTenant {
+		lat := trep.latencies
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	}
 
 	if after, ok := fetchStats(client, cfg.baseURL); ok && beforeOK {
 		rep.statsOK = true
+		rep.tenantStats = after.Tenants
 		rep.cacheHitRate = after.CacheHitRate
 		rep.shed = after.Shed - before.Shed
 		rep.passes = after.Coalesce.Passes - before.Coalesce.Passes
@@ -373,8 +472,11 @@ func randomBatch(rng *rand.Rand, k, n int) [][]float64 {
 // response, the server's error message and no error (transport problems
 // are the error path).
 func postSolveRequest(client *http.Client, cfg *loadgenConfig, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+	if cfg.tag.name != "" {
+		req.Tenant, req.Class = cfg.tag.name, cfg.tag.class
+	}
 	if cfg.wire == wireBinary {
-		return postSolveFrame(client, cfg.baseURL, req)
+		return postSolveFrame(client, cfg, req)
 	}
 	if len(req.B) > 0 {
 		req.B64 = packBatch(req.B)
@@ -384,7 +486,15 @@ func postSolveRequest(client *http.Client, cfg *loadgenConfig, req *server.Solve
 	if err != nil {
 		return nil, 0, "", err
 	}
-	resp, err := client.Post(cfg.baseURL+"/v1/trisolve", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest("POST", cfg.baseURL+"/v1/trisolve", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if cfg.tag.name != "" {
+		hreq.Header.Set(server.TenantHeader, cfg.tag.headerValue())
+	}
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return nil, 0, "", err
 	}
@@ -416,13 +526,23 @@ func packBatch(b [][]float64) [][]byte {
 // frame reply into the JSON response shape, so the rest of the load
 // generator is wire-agnostic. Errors raised before the server's frame
 // handler takes over (admission 429, drain 503) arrive as JSON bodies;
-// the Content-Type header says which decoder applies.
-func postSolveFrame(client *http.Client, baseURL string, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
+// the Content-Type header says which decoder applies. The tenant rides
+// twice on purpose: the header drives admission (read before the body)
+// and the frame's tenant section attributes the solve after decode.
+func postSolveFrame(client *http.Client, cfg *loadgenConfig, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
 	body, err := server.EncodeRequestFrame(req)
 	if err != nil {
 		return nil, 0, "", err
 	}
-	resp, err := client.Post(baseURL+"/v1/trisolve", server.FrameContentType, bytes.NewReader(body))
+	hreq, err := http.NewRequest("POST", cfg.baseURL+"/v1/trisolve", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, "", err
+	}
+	hreq.Header.Set("Content-Type", server.FrameContentType)
+	if cfg.tag.name != "" {
+		hreq.Header.Set(server.TenantHeader, cfg.tag.headerValue())
+	}
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return nil, 0, "", err
 	}
@@ -568,7 +688,39 @@ func printLoadgenReport(w io.Writer, rep *loadgenReport, batch int) {
 				rep.superPlans, rep.superFusedRows, rep.superRows, rep.superMaxWidth)
 		}
 	}
+	printTenantTable(w, rep)
 	printStageTable(w, rep)
+}
+
+// printTenantTable renders the -tenants adversarial-mix breakdown: the
+// client-side view (ok/refused and latency percentiles per tenant) plus
+// the server's own per-tenant shed counts when /v1/stats was reachable.
+func printTenantTable(w io.Writer, rep *loadgenReport) {
+	if len(rep.perTenant) == 0 {
+		return
+	}
+	names := make([]string, 0, len(rep.perTenant))
+	for name := range rep.perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	shed := make(map[string]uint64, len(rep.tenantStats))
+	for _, ts := range rep.tenantStats {
+		shed[ts.Name] = ts.Shed
+	}
+	fmt.Fprintf(w, "  tenants:\n")
+	fmt.Fprintf(w, "    %-10s %-8s %6s %8s %8s %10s %10s\n", "tenant", "class", "ok", "refused", "failed", "p50", "p99")
+	for _, name := range names {
+		t := rep.perTenant[name]
+		shedNote := ""
+		if n, known := shed[name]; known && rep.statsOK {
+			shedNote = fmt.Sprintf("  (server shed %d)", n)
+		}
+		fmt.Fprintf(w, "    %-10s %-8s %6d %8d %8d %10s %10s%s\n",
+			name, t.class, t.ok, t.refused, t.failed,
+			pctDur(t.latencies, 0.50).Round(time.Microsecond),
+			pctDur(t.latencies, 0.99).Round(time.Microsecond), shedNote)
+	}
 }
 
 // printStageTable renders the per-stage server-side latency percentiles

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"doconsider/internal/machine"
@@ -66,6 +68,12 @@ func run(args []string) error {
 	wire := fs.String("wire", wireJSON, "loadgen: wire format, json or binary (zero-copy frames)")
 	trace := fs.Bool("trace", false, "loadgen: fetch /v1/trace after the run and print per-stage latency percentiles")
 	debugAddr := fs.String("debug-addr", "", "server: pprof/runtime debug listener address (empty disables)")
+	tenants := fs.Int("tenants", 0, "loadgen: adversarial tenant mix: tenant 0 latency-class, rest flooding batch (0 disables, else >= 2)")
+	tenantWeights := fs.String("tenant-weights", "", "server: per-tenant DRR weights, e.g. lat-0=8,batch-1=1 (unlisted tenants weigh 1)")
+	tenantQuota := fs.Int("tenant-quota", 0, "server: per-tenant in-flight quota; over-quota requests shed 429 (0 = unlimited)")
+	tenantQueue := fs.Int("tenant-queue", 0, "server: per-tenant per-class admission queue depth (0 = default 16, negative sheds immediately)")
+	tenantMax := fs.Int("tenant-max", 0, "server: tenant metric-cardinality cap; overflow pools into \"other\" (0 = default 32)")
+	latencyWindow := fs.Duration("latency-window", 0, "server: coalescing window for latency-class requests (0 = coalesce-window/8, negative disables)")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -83,6 +91,15 @@ func run(args []string) error {
 		return err
 	}
 	if err := validateWireFlag(exp, *wire); err != nil {
+		usage(fs)
+		return err
+	}
+	if err := validateTenantsFlag(exp, *tenants); err != nil {
+		usage(fs)
+		return err
+	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
 		usage(fs)
 		return err
 	}
@@ -136,8 +153,11 @@ func run(args []string) error {
 		}
 		return runServer(os.Stdout, serverConfig{
 			addr: *addr, debugAddr: *debugAddr, procs: serveProcs(fs, *procs), kind: kind,
-			cacheCap: *cacheCap, window: *window, width: *width, maxInFlight: *maxInFlight,
+			cacheCap: *cacheCap, window: *window, latencyWindow: *latencyWindow,
+			width: *width, maxInFlight: *maxInFlight,
 			maxBatch: *maxBatch, timeout: *reqTimeout, drainWait: 30 * time.Second,
+			tenantWeights: weights, tenantQuota: *tenantQuota,
+			tenantQueue: *tenantQueue, tenantMax: *tenantMax,
 		}, nil)
 	case "loadgen":
 		target := *addr
@@ -148,6 +168,7 @@ func run(args []string) error {
 			baseURL: "http://" + target, clients: *clients, requests: *requests,
 			batch: *batch, seed: *seed, timeout: *reqTimeout,
 			driftRate: *driftRate, driftEdits: *driftEdits, wire: *wire, trace: *trace,
+			tenants: *tenants,
 		})
 		if err != nil {
 			return err
@@ -209,6 +230,41 @@ func validateWireFlag(exp, wire string) error {
 		return nil
 	}
 	return fmt.Errorf("usage: -wire must be %s or %s, got %q", wireJSON, wireBinary, wire)
+}
+
+// validateTenantsFlag rejects degenerate adversarial mixes: the mode
+// exists to pit one latency tenant against flooding batch tenants, so a
+// single tenant is meaningless (plain loadgen already covers it).
+func validateTenantsFlag(exp string, tenants int) error {
+	if exp != "loadgen" {
+		return nil
+	}
+	if tenants != 0 && tenants < 2 {
+		return fmt.Errorf("usage: -tenants must be 0 (off) or >= 2 (1 latency + >=1 batch), got %d", tenants)
+	}
+	return nil
+}
+
+// parseTenantWeights parses the -tenant-weights flag, a comma-separated
+// name=weight list. Weights must be positive integers; unlisted tenants
+// default to weight 1 server-side.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("usage: -tenant-weights entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("usage: -tenant-weights weight for %q must be a positive integer, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // validateDriftFlags bounds the drifting-workload knobs: a drift rate is

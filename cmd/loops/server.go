@@ -18,29 +18,39 @@ import (
 
 // serverConfig parameterizes the `loops server` network mode.
 type serverConfig struct {
-	addr        string
-	debugAddr   string // pprof/runtime debug listener; "" disables
-	procs       int
-	kind        string
-	cacheCap    int
-	window      time.Duration
-	width       int
-	maxInFlight int
-	maxBatch    int
-	timeout     time.Duration
-	drainWait   time.Duration
+	addr          string
+	debugAddr     string // pprof/runtime debug listener; "" disables
+	procs         int
+	kind          string
+	cacheCap      int
+	window        time.Duration
+	latencyWindow time.Duration // coalescing window for latency-class requests (0 = window/8)
+	width         int
+	maxInFlight   int
+	maxBatch      int
+	timeout       time.Duration
+	drainWait     time.Duration
+	tenantWeights map[string]int // per-tenant DRR weights (nil = everyone weight 1)
+	tenantQuota   int            // per-tenant in-flight quota (0 = unlimited)
+	tenantQueue   int            // per-tenant per-class admission queue depth
+	tenantMax     int            // tenant cardinality cap before pooling into "other"
 }
 
 func (c serverConfig) serverOptions() server.Config {
 	return server.Config{
-		Procs:          c.procs,
-		Kind:           c.kind,
-		CacheCap:       c.cacheCap,
-		CoalesceWindow: c.window,
-		CoalesceWidth:  c.width,
-		MaxInFlight:    c.maxInFlight,
-		MaxBatch:       c.maxBatch,
-		DefaultTimeout: c.timeout,
+		Procs:                 c.procs,
+		Kind:                  c.kind,
+		CacheCap:              c.cacheCap,
+		CoalesceWindow:        c.window,
+		CoalesceLatencyWindow: c.latencyWindow,
+		CoalesceWidth:         c.width,
+		MaxInFlight:           c.maxInFlight,
+		MaxBatch:              c.maxBatch,
+		DefaultTimeout:        c.timeout,
+		TenantWeights:         c.tenantWeights,
+		TenantQuota:           c.tenantQuota,
+		TenantQueue:           c.tenantQueue,
+		TenantMax:             c.tenantMax,
 	}
 }
 

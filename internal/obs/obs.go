@@ -91,6 +91,11 @@ const MaxLevels = 48
 // binary wire format's strategy reserve).
 const StrategyLen = 24
 
+// TenantLen bounds the inline tenant name carried by a trace. Wire
+// tenant names may be longer (up to the server's limit); the trace
+// keeps a truncated copy — enough to attribute, still pointer-free.
+const TenantLen = 24
+
 // Trace is one request's span record. It is fixed-size and
 // pointer-free so the server can pool it with the request scratch and
 // the ring can copy it by value — no allocation anywhere on the path.
@@ -116,6 +121,12 @@ type Trace struct {
 
 	StratLen int32
 	Strat    [StrategyLen]byte
+
+	// Tenant attribution: the requesting tenant's name (inline,
+	// truncated at TenantLen) and priority class (0 batch, 1 latency).
+	TenLen int32
+	Ten    [TenantLen]byte
+	Class  uint8
 
 	Stages [NumStages]int64 // nanoseconds per stage
 
@@ -195,6 +206,23 @@ func (t *Trace) SetInfo(n, batch, fused, width int, strategy string) {
 // Strategy returns the recorded strategy name. It allocates; reader
 // side only.
 func (t *Trace) Strategy() string { return string(t.Strat[:t.StratLen]) }
+
+// SetTenant records the tenant name and class without allocating.
+func (t *Trace) SetTenant(name string, class uint8) {
+	t.TenLen = int32(copy(t.Ten[:], name))
+	t.Class = class
+}
+
+// SetTenantBytes is SetTenant for a byte-slice name (the binary wire
+// path attributes from a view into the request frame).
+func (t *Trace) SetTenantBytes(name []byte, class uint8) {
+	t.TenLen = int32(copy(t.Ten[:], name))
+	t.Class = class
+}
+
+// Tenant returns the recorded tenant name. It allocates; reader side
+// only.
+func (t *Trace) Tenant() string { return string(t.Ten[:t.TenLen]) }
 
 // Finish charges the final lap to stage and freezes the total and
 // status. After Finish, StageSum() == TotalNs.

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionFixture builds an admission controller plus a tenant
+// registry on a shared metrics registry, the way Server.New wires them.
+func admissionFixture(t *testing.T, cfg Config) (*admission, *tenantRegistry) {
+	t.Helper()
+	if cfg.TenantMax == 0 {
+		cfg.TenantMax = 32
+	}
+	reg := NewRegistry()
+	tr := newTenantRegistry(reg, cfg)
+	return newAdmission(cfg, reg), tr
+}
+
+// waitQueued polls until tenant t has n parked waiters.
+func waitQueued(t *testing.T, a *admission, ten *tenantState, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queuedOf(ten) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %s queue depth %d, want %d", ten.name, a.queuedOf(ten), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionImmediateGrant checks the uncontended path: capacity
+// admits directly, Release frees the slot, and the gauge counts only
+// admitted requests.
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 2, TenantQueue: 4})
+	ten := reg.resolve("solo")
+	for i := 0; i < 2; i++ {
+		if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
+			t.Fatalf("admit %d: result %d, want admitOK", i, res)
+		}
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Fatalf("inFlight = %d, want 2", got)
+	}
+	a.Release(ten)
+	a.Release(ten)
+	if got := a.inFlight(); got != 0 {
+		t.Fatalf("inFlight after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionWeightedFairness parks six waiters each for a weight-3
+// and a weight-1 tenant behind a full server and checks the grant order
+// follows deficit round-robin: the heavy tenant gets three grants per
+// rotation, the light one gets one.
+func TestAdmissionWeightedFairness(t *testing.T) {
+	a, reg := admissionFixture(t, Config{
+		MaxInFlight:   1,
+		TenantQueue:   16,
+		TenantWeights: map[string]int{"heavy": 3, "light": 1},
+	})
+	heavy, light := reg.resolve("heavy"), reg.resolve("light")
+	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
+		t.Fatal("holder not admitted")
+	}
+
+	const perTenant = 6
+	order := make(chan string, 2*perTenant)
+	var wg sync.WaitGroup
+	park := func(ten *tenantState) {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, _ := a.Admit(context.Background(), ten, ClassBatch)
+				if res != admitOK {
+					t.Errorf("tenant %s: result %d, want admitOK", ten.name, res)
+					return
+				}
+				// Send before Release: capacity 1 serializes grants, so the
+				// channel receives names in grant order.
+				order <- ten.name
+				a.Release(ten)
+			}()
+		}
+	}
+	park(heavy)
+	park(light)
+	waitQueued(t, a, heavy, perTenant)
+	waitQueued(t, a, light, perTenant)
+
+	a.Release(reg.def)
+	wg.Wait()
+	close(order)
+	var names []string
+	for name := range order {
+		names = append(names, name)
+	}
+	if len(names) != 2*perTenant {
+		t.Fatalf("granted %d waiters, want %d", len(names), 2*perTenant)
+	}
+	count := func(upTo int) (heavyN int) {
+		for _, n := range names[:upTo] {
+			if n == "heavy" {
+				heavyN++
+			}
+		}
+		return heavyN
+	}
+	// One full rotation grants heavy 3 and light 1 regardless of which
+	// tenant joined the ring first; heavy's 6 waiters drain within two
+	// rotations while light still has 4 parked.
+	if got := count(4); got != 3 {
+		t.Fatalf("first rotation: heavy got %d of 4 grants, want 3 (order %v)", got, names)
+	}
+	if got := count(8); got != 6 {
+		t.Fatalf("first two rotations: heavy got %d of 8 grants, want 6 (order %v)", got, names)
+	}
+}
+
+// TestAdmissionLatencyBeforeBatch parks batch waiters of one tenant and
+// then a latency waiter of another; the first freed slot must go to the
+// latency-class waiter even though it enqueued last.
+func TestAdmissionLatencyBeforeBatch(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 16})
+	bulk, snappy := reg.resolve("bulk"), reg.resolve("snappy")
+	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
+		t.Fatal("holder not admitted")
+	}
+	order := make(chan string, 3)
+	var wg sync.WaitGroup
+	admitOne := func(ten *tenantState, class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _ := a.Admit(context.Background(), ten, class)
+			if res != admitOK {
+				t.Errorf("tenant %s: result %d, want admitOK", ten.name, res)
+				return
+			}
+			order <- ten.name
+			a.Release(ten)
+		}()
+	}
+	admitOne(bulk, ClassBatch)
+	admitOne(bulk, ClassBatch)
+	waitQueued(t, a, bulk, 2)
+	admitOne(snappy, ClassLatency)
+	waitQueued(t, a, snappy, 1)
+
+	a.Release(reg.def)
+	wg.Wait()
+	close(order)
+	var names []string
+	for name := range order {
+		names = append(names, name)
+	}
+	if len(names) != 3 || names[0] != "snappy" {
+		t.Fatalf("grant order %v, want snappy first", names)
+	}
+}
+
+// TestAdmissionQuotaShed pins a tenant at its concurrency quota with
+// queueing disabled and checks the overflow is classified as a quota
+// shed, not a capacity shed, and that Release reopens the quota.
+func TestAdmissionQuotaShed(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 8, TenantQueue: -1, TenantQuota: 1})
+	ten := reg.resolve("capped")
+	if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
+		t.Fatal("first request not admitted")
+	}
+	if res, retry := a.Admit(context.Background(), ten, ClassBatch); res != admitShedQuota || retry < 1 {
+		t.Fatalf("over-quota request: result %d retry %d, want admitShedQuota with retry >= 1", res, retry)
+	}
+	// Other tenants are untouched by the quota.
+	other := reg.resolve("free")
+	if res, _ := a.Admit(context.Background(), other, ClassBatch); res != admitOK {
+		t.Fatal("other tenant blocked by a stranger's quota")
+	}
+	a.Release(ten)
+	if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
+		t.Fatal("request after release not admitted")
+	}
+}
+
+// TestAdmissionQueueOverflow fills a tenant's queue behind a saturated
+// server and checks the next arrival sheds with a capacity
+// classification.
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 2})
+	ten := reg.resolve("bursty")
+	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
+		t.Fatal("holder not admitted")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if res, _ := a.Admit(context.Background(), ten, ClassBatch); res == admitOK {
+				a.Release(ten)
+			}
+		}()
+	}
+	waitQueued(t, a, ten, 2)
+	if res, retry := a.Admit(context.Background(), ten, ClassBatch); res != admitShedCapacity || retry < 1 {
+		t.Fatalf("overflow request: result %d retry %d, want admitShedCapacity with retry >= 1", res, retry)
+	}
+	a.Release(reg.def)
+	wg.Wait()
+}
+
+// TestAdmissionCancelWhileQueued cancels a parked waiter's context and
+// checks it returns admitCancelled and leaves the queue clean.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 4})
+	ten := reg.resolve("impatient")
+	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
+		t.Fatal("holder not admitted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan admitResult, 1)
+	go func() {
+		res, _ := a.Admit(ctx, ten, ClassBatch)
+		got <- res
+	}()
+	waitQueued(t, a, ten, 1)
+	cancel()
+	if res := <-got; res != admitCancelled {
+		t.Fatalf("cancelled waiter: result %d, want admitCancelled", res)
+	}
+	if q := a.queuedOf(ten); q != 0 {
+		t.Fatalf("queue depth after cancel = %d, want 0", q)
+	}
+	if v := a.queued.Value(); v != 0 {
+		t.Fatalf("queued gauge after cancel = %d, want 0", v)
+	}
+	a.Release(reg.def)
+}
+
+// TestAdmissionDrainWakesWaiters checks drain rejects parked waiters
+// and future arrivals with the draining outcome.
+func TestAdmissionDrainWakesWaiters(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 4})
+	ten := reg.resolve("late")
+	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
+		t.Fatal("holder not admitted")
+	}
+	got := make(chan admitResult, 1)
+	go func() {
+		res, _ := a.Admit(context.Background(), ten, ClassBatch)
+		got <- res
+	}()
+	waitQueued(t, a, ten, 1)
+	a.drain()
+	if res := <-got; res != admitDraining {
+		t.Fatalf("parked waiter at drain: result %d, want admitDraining", res)
+	}
+	if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitDraining {
+		t.Fatal("post-drain arrival not rejected as draining")
+	}
+	a.Release(reg.def)
+}
+
+// TestRetryAfterDerivation pins the Retry-After arithmetic: work ahead
+// of the caller times the observed per-request drain interval, rounded
+// up and clamped to [1s, 60s], with the old constant 1 as the
+// no-signal fallback.
+func TestRetryAfterDerivation(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 4, TenantQueue: -1})
+	ten := reg.resolve("shed")
+
+	check := func(drainNs float64, total, waiters, want int) {
+		t.Helper()
+		a.mu.Lock()
+		a.drainNsPerReq = drainNs
+		a.total = total
+		a.waiters = waiters
+		got := a.retryAfterLocked(ten)
+		a.total, a.waiters = 0, 0
+		a.mu.Unlock()
+		if got != want {
+			t.Fatalf("retryAfter(drain=%gns, total=%d, waiters=%d) = %d, want %d",
+				drainNs, total, waiters, got, want)
+		}
+	}
+	check(0, 3, 3, 1)      // no drain signal yet: old constant
+	check(2e9, 1, 2, 8)    // 4 ahead x 2s/req
+	check(2e9, 0, 0, 2)    // just the caller itself
+	check(0.3e9, 0, 0, 1)  // sub-second rounds up to the 1s floor
+	check(30e9, 4, 20, 60) // clamped at a minute
+}
+
+// TestRetryAfterTracksDrainRate drives real releases through the
+// controller and checks the EWMA picks up a drain-rate signal.
+func TestRetryAfterTracksDrainRate(t *testing.T) {
+	a, reg := admissionFixture(t, Config{MaxInFlight: 2, TenantQueue: -1})
+	ten := reg.resolve("drip")
+	for i := 0; i < 3; i++ {
+		if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
+			t.Fatalf("admit %d failed", i)
+		}
+		time.Sleep(2 * time.Millisecond)
+		a.Release(ten)
+	}
+	a.mu.Lock()
+	drain := a.drainNsPerReq
+	a.mu.Unlock()
+	if drain <= 0 {
+		t.Fatal("drain-rate EWMA has no signal after three releases")
+	}
+}

@@ -63,7 +63,7 @@ func BenchmarkCoalescer(b *testing.B) {
 		reg := NewRegistry()
 		cache := trisolve.NewPlanCache(4)
 		defer cache.Close()
-		c := NewCoalescer(context.Background(), cache, reg, window, clients, 2, executor.Pooled.String(), nil)
+		c := NewCoalescer(context.Background(), cache, reg, window, window, clients, 2, executor.Pooled.String(), nil)
 		defer c.Drain()
 		bs := make([][]float64, clients)
 		for i := range bs {

@@ -37,6 +37,12 @@ type reqState struct {
 	tr     obs.Trace
 	lc     obs.LevelClock
 	bstats trisolve.BuildStats
+	// Tenant attribution: set from the header by the HTTP handler,
+	// overridden by the frame's tenant section once decoded; direct
+	// SolveFrame callers get the default tenant. Pointer reads and
+	// counter increments only — no allocation on the warm path.
+	tenant *tenantState
+	class  Class
 	// leaked marks state an abandoned pass may still reference (the
 	// handler gave up on a cancelled submit while the pass kept its
 	// *coReq); such state must be surrendered to the GC, not recycled.
@@ -67,6 +73,8 @@ func (s *Server) putReqState(st *reqState) {
 	st.creq = coReq{}
 	st.tr = obs.Trace{}
 	st.bstats = trisolve.BuildStats{}
+	st.tenant = nil
+	st.class = ClassBatch
 	s.reqPool.Put(st)
 }
 
@@ -84,14 +92,20 @@ func isFrameRequest(r *http.Request) bool {
 // handleTrisolveBinary serves one binary-frame request. Admission
 // control already ran in handleTrisolve; t0 is that handler's entry
 // time, so the trace's admission stage covers the shared front door.
-func (s *Server) handleTrisolveBinary(w http.ResponseWriter, r *http.Request, t0 time.Time) {
+// ten/class are the header-resolved identity admission used; the
+// frame's tenant section, when present, overrides them for
+// attribution.
+func (s *Server) handleTrisolveBinary(w http.ResponseWriter, r *http.Request, t0 time.Time,
+	ten *tenantState, class Class) {
 	st := s.getReqState()
 	defer s.putReqState(st)
+	st.tenant = ten
+	st.class = class
 	st.tr.Begin(obs.WireBinary, t0)
 	st.tr.Lap(obs.StageAdmission)
 	body, err := readFrameBody(r, st.arena)
 	if err != nil {
-		writeFrame(w, http.StatusBadRequest, encodeErrorFrame(http.StatusBadRequest, "bad frame body: "+err.Error()))
+		writeFrame(w, http.StatusBadRequest, encodeErrorFrame(http.StatusBadRequest, "bad frame body: "+err.Error(), 0))
 		return
 	}
 	st.tr.Lap(obs.StageDecode)
@@ -163,31 +177,45 @@ func (s *Server) SolveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 		// their traces start here.
 		st.tr.Begin(obs.WireBinary, time.Now())
 	}
+	if st.tenant == nil {
+		st.tenant = s.tenants.def
+	}
 	frame, status := s.solveFrame(ctx, in, st)
 	s.tracer.publish(&st.tr, obs.StageEncode, status)
+	// Tenant accounting is inside the 0 allocs/op boundary: a counter
+	// increment and a histogram observe, both lock-free.
+	st.tenant.observe(st.class, st.tr.TotalNs)
 	return frame, status
 }
 
 func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byte, int) {
 	q := &st.req
 	if err := parseRequestFrame(in, st.arena, q, st.sects); err != nil {
-		return errorFrame(http.StatusBadRequest, "bad frame: "+err.Error())
+		return errorFrame(http.StatusBadRequest, "bad frame: "+err.Error(), st.tr.ID)
 	}
 	st.tr.ID = q.traceID
 	if !q.hasTrace || q.traceID == 0 {
 		st.tr.ID = s.tracer.nextID()
 	}
+	if q.hasTenant {
+		// The frame names its tenant: authoritative for attribution (the
+		// header the handler resolved drove admission, which is already
+		// done). A known tenant resolves with no allocation.
+		st.tenant = s.tenants.resolveBytes(q.tenant)
+		st.class = q.class
+	}
+	st.tr.SetTenant(st.tenant.name, byte(st.class))
 	st.tr.Lap(obs.StageDecode)
 	l, fp, hint, err := s.resolveFrameFactor(q, st.arena)
 	if err != nil {
 		if errors.Is(err, errUnknownFactor) {
-			return errorFrame(http.StatusNotFound, err.Error())
+			return errorFrame(http.StatusNotFound, err.Error(), st.tr.ID)
 		}
-		return errorFrame(http.StatusBadRequest, err.Error())
+		return errorFrame(http.StatusBadRequest, err.Error(), st.tr.ID)
 	}
 	st.tr.Lap(obs.StageFactor)
 	if q.k == 0 {
-		return errorFrame(http.StatusBadRequest, "request has no right-hand sides")
+		return errorFrame(http.StatusBadRequest, "request has no right-hand sides", st.tr.ID)
 	}
 	rowLen := len(q.rhsFlat) / q.k
 	bs := st.arena.Rows(q.k)
@@ -195,9 +223,15 @@ func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 		bs[j] = q.rhsFlat[j*rowLen : (j+1)*rowLen : (j+1)*rowLen]
 	}
 	if err := validateRHS(bs, l.N, s.cfg.MaxBatch); err != nil {
-		return errorFrame(http.StatusBadRequest, err.Error())
+		return errorFrame(http.StatusBadRequest, err.Error(), st.tr.ID)
 	}
 	st.tr.Lap(obs.StageDecode)
+	if q.timeoutMs < 0 {
+		// Mirror the JSON path: a negative timeout is rejected, not
+		// silently ignored (the count field decodes as signed int32).
+		return errorFrame(http.StatusBadRequest,
+			fmt.Sprintf("timeout must not be negative, got %dms", q.timeoutMs), st.tr.ID)
+	}
 	if q.timeoutMs > 0 {
 		const maxTimeoutMs = 24 * 60 * 60 * 1000
 		ms := q.timeoutMs
@@ -212,7 +246,7 @@ func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 	frame, lo, xs := newResponseFrame(st.arena, q.k, l.N)
 	st.tr.Lap(obs.StageEncode)
 	creq := &st.creq
-	*creq = coReq{l: l, lower: q.lower, xs: xs, bs: bs, hint: hint}
+	*creq = coReq{l: l, lower: q.lower, xs: xs, bs: bs, hint: hint, class: st.class}
 	st.bstats = trisolve.BuildStats{}
 	creq.bstats = &st.bstats
 	if s.tracer.sampler.Sample() {
@@ -234,7 +268,7 @@ func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 		st.leaked = true
 		st.tr.AttributeSubmit(0, 0, 0)
 		code, msg := solveErrorStatus(err)
-		return errorFrame(code, msg)
+		return errorFrame(code, msg, st.tr.ID)
 	}
 	st.tr.AttributeSubmit(info.PlanNs, st.bstats.RepairNs, info.ExecNs)
 	st.tr.SetInfo(l.N, q.k, info.Fused, info.Width, info.Strategy)
@@ -244,8 +278,8 @@ func (s *Server) solveFrame(ctx context.Context, in []byte, st *reqState) ([]byt
 	return finishResponseFrame(frame, lo, xs, fp, info, st.tr.ID), http.StatusOK
 }
 
-func errorFrame(status int, msg string) ([]byte, int) {
-	return encodeErrorFrame(status, msg), status
+func errorFrame(status int, msg string, tid uint64) ([]byte, int) {
+	return encodeErrorFrame(status, msg, tid), status
 }
 
 // resolveFrameFactor is resolveFactor for decoded frames. The warm fp

@@ -201,13 +201,15 @@ func TestBinaryErrorEquivalence(t *testing.T) {
 // TestBinaryAdmission429 verifies the shed path answers binary requests
 // with a binary 429 frame, equivalently to the JSON path.
 func TestBinaryAdmission429(t *testing.T) {
-	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1})
+	// TenantQueue: -1 restores the pre-tenant immediate-shed behavior this
+	// test pins (with queueing on, the second request would park instead).
+	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 	_, finish := stallRequest(t, ts.URL, body)
 	defer finish()
 	deadline := time.Now().Add(5 * time.Second)
-	for s.inFlight.Value() < 1 && time.Now().Before(deadline) {
+	for s.adm.inFlight() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	lower := true
@@ -345,6 +347,60 @@ func warmBinaryServer(tb testing.TB, mesh int) (*Server, []byte) {
 	return warmBinaryServerCfg(tb, mesh, Config{Procs: 2, CoalesceWindow: 0})
 }
 
+// TestBinaryTenantWarmZeroAlloc pins the tentpole allocation contract:
+// the warm binary fast path stays at exactly 0 allocs/op with tenant
+// accounting on — resolving the frame's tenant section, stamping the
+// trace and observing the per-tenant counters and histogram.
+func TestBinaryTenantWarmZeroAlloc(t *testing.T) {
+	s, frame := warmBinaryServer(t, 16)
+	lower := true
+	wr, err := DecodeResponseFrame(mustSolveOnce(t, s, frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tframe, err := EncodeRequestFrame(&SolveRequest{Fp: wr.Fp, Lower: &lower,
+		B: [][]float64{randVec(16*16, 9)}, Tenant: "acme", Class: "latency"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// First tenant-tagged request creates the tenant (allocates); the
+	// steady state must not.
+	st := s.getReqState()
+	if _, status := s.SolveFrame(ctx, tframe, st); status != 200 {
+		t.Fatalf("tenant warmup status %d", status)
+	}
+	s.putReqState(st)
+	allocs := testing.AllocsPerRun(100, func() {
+		st := s.getReqState()
+		_, status := s.SolveFrame(ctx, tframe, st)
+		if status != 200 {
+			t.Fatalf("status %d", status)
+		}
+		s.putReqState(st)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm tenant-tagged binary request = %v allocs/op, want 0", allocs)
+	}
+	if got := s.tenants.resolve("acme").classReq[ClassLatency].Value(); got < 100 {
+		t.Fatalf("tenant accounting saw %d requests, want >= 100", got)
+	}
+}
+
+// mustSolveOnce runs one frame through the server and returns the raw
+// response frame bytes.
+func mustSolveOnce(tb testing.TB, s *Server, frame []byte) []byte {
+	tb.Helper()
+	st := s.getReqState()
+	out, status := s.SolveFrame(context.Background(), frame, st)
+	if status != 200 {
+		tb.Fatalf("status %d", status)
+	}
+	resp := append([]byte(nil), out...)
+	s.putReqState(st)
+	return resp
+}
+
 // warmBinaryServerCfg is warmBinaryServer with a caller-chosen Config.
 func warmBinaryServerCfg(tb testing.TB, mesh int, cfg Config) (*Server, []byte) {
 	tb.Helper()
@@ -418,6 +474,39 @@ func BenchmarkBinaryRequest(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			st := s.getReqState()
 			_, status := s.SolveFrame(ctx, frame, st)
+			if status != 200 {
+				b.Fatalf("status %d", status)
+			}
+			s.putReqState(st)
+		}
+	})
+	b.Run("fp-warm-tenant", func(b *testing.B) {
+		// The warm path with tenant accounting on: the frame carries a
+		// tenant section, so every iteration resolves the tenant, stamps
+		// the trace and feeds the per-tenant counters and histogram. The
+		// allocs_budget gate pins this at 0 allocs/op alongside fp-warm.
+		s, frame := warmBinaryServer(b, 16)
+		lower := true
+		wr, err := DecodeResponseFrame(mustSolveOnce(b, s, frame))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tframe, err := EncodeRequestFrame(&SolveRequest{Fp: wr.Fp, Lower: &lower,
+			B: [][]float64{randVec(16*16, 9)}, Tenant: "acme", Class: "latency"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		st := s.getReqState()
+		if _, status := s.SolveFrame(ctx, tframe, st); status != 200 {
+			b.Fatalf("tenant warmup status %d", status)
+		}
+		s.putReqState(st)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := s.getReqState()
+			_, status := s.SolveFrame(ctx, tframe, st)
 			if status != 200 {
 				b.Fatalf("status %d", status)
 			}

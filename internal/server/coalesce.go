@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"doconsider/internal/arena"
@@ -21,12 +22,15 @@ import (
 // per-request cost gets to pure arithmetic.
 
 // coalesceKey groups requests that can share an executor pass: same
-// sparsity fingerprint, same dimension, same solve direction. (The plan
-// configuration — procs, executor kind — is server-global.)
+// sparsity fingerprint, same dimension, same solve direction, same
+// priority class — a latency-class request is never parked in (or
+// sealed behind) a batch window. (The plan configuration — procs,
+// executor kind — is server-global.)
 type coalesceKey struct {
 	fp    uint64
 	n     int
 	lower bool
+	class Class
 }
 
 // SolveInfo describes how one request was executed.
@@ -48,6 +52,7 @@ type SolveInfo struct {
 type coReq struct {
 	l        *sparse.CSR
 	lower    bool
+	class    Class // priority class; part of the coalescing key
 	xs, bs   [][]float64
 	hint     *driftHint // plan-repair ancestor, when the request drifted
 	deadline time.Time  // caller ctx deadline; zero = none
@@ -116,7 +121,11 @@ type CoalesceStats struct {
 // that could still join — so all pending windows seal immediately
 // instead of stalling closed-loop clients for the full window.
 type Coalescer struct {
-	window   time.Duration
+	// windows holds the per-class base batching windows (batch, latency).
+	// They are upper bounds: windowFor shrinks a class's effective window
+	// toward zero when its observed arrival rate could not fill a pass.
+	windows  [numClasses]time.Duration
+	arrival  [numClasses]arrivalRate
 	maxWidth int // cap on total RHS per fused pass
 	procs    int
 	kind     string // executor kind registry name, or KindAuto for planner choice
@@ -151,13 +160,16 @@ type Coalescer struct {
 // loops_coalesce_* families; reg may not be nil. inflight, when non-nil,
 // reports the solve requests currently admitted by the caller and
 // enables quiescence-based early sealing.
+// latencyWindow is the batching window for latency-class requests
+// (usually a small fraction of window; <= 0 disables latency-class
+// coalescing entirely).
 func NewCoalescer(baseCtx context.Context, cache *trisolve.PlanCache, reg *Registry,
-	window time.Duration, maxWidth, procs int, kind string, inflight func() int64) *Coalescer {
+	window, latencyWindow time.Duration, maxWidth, procs int, kind string, inflight func() int64) *Coalescer {
 	if maxWidth < 1 {
 		maxWidth = 1
 	}
-	return &Coalescer{
-		window:   window,
+	c := &Coalescer{
+		windows:  [numClasses]time.Duration{ClassBatch: window, ClassLatency: latencyWindow},
 		maxWidth: maxWidth,
 		procs:    procs,
 		kind:     kind,
@@ -173,6 +185,63 @@ func NewCoalescer(baseCtx context.Context, cache *trisolve.PlanCache, reg *Regis
 		widthH:   reg.Histogram("loops_coalesce_pass_width", "right-hand sides per executor pass", nil, WidthBuckets),
 		maxFused: reg.Gauge("loops_coalesce_max_fused", "largest request count fused into one pass", nil),
 	}
+	for cl := 0; cl < numClasses; cl++ {
+		cl := Class(cl)
+		reg.GaugeFunc("loops_coalesce_window_ns", "effective load-adaptive coalescing window by class",
+			Labels{{"class", cl.String()}}, func() float64 { return float64(c.windowFor(cl)) })
+	}
+	return c
+}
+
+// arrivalRate tracks one class's inter-arrival interval as a lock-free
+// EWMA (0.75 old / 0.25 new). Racing stores lose an update, never
+// corrupt the estimate — it is an adaptation signal, not accounting.
+type arrivalRate struct {
+	lastNs atomic.Int64 // UnixNano of the previous arrival; 0 = none yet
+	ivNs   atomic.Int64 // EWMA inter-arrival nanoseconds; 0 = no signal
+}
+
+func (r *arrivalRate) note(nowNs int64) {
+	last := r.lastNs.Swap(nowNs)
+	if last == 0 {
+		return
+	}
+	iv := nowNs - last
+	if iv < 0 {
+		return
+	}
+	old := r.ivNs.Load()
+	if old == 0 {
+		r.ivNs.Store(iv)
+		return
+	}
+	r.ivNs.Store(old - old/4 + iv/4)
+}
+
+// windowFor returns class's effective batching window: the configured
+// base, shrunk when the observed arrival rate could not fill a pass
+// within it. expected = base/interval estimates the arrivals one full
+// window would collect; at >= 2 the full window pays for itself, at
+// <= 0.5 waiting buys nothing (run solo), and the ramp between is
+// linear. Before any arrival signal exists the base applies — a burst
+// after idle still coalesces.
+func (c *Coalescer) windowFor(class Class) time.Duration {
+	base := c.windows[class]
+	if base <= 0 {
+		return 0
+	}
+	iv := c.arrival[class].ivNs.Load()
+	if iv <= 0 {
+		return base
+	}
+	expected := float64(base) / float64(iv)
+	switch {
+	case expected >= 2:
+		return base
+	case expected <= 0.5:
+		return 0
+	}
+	return time.Duration(float64(base) * (expected - 0.5) / 1.5)
 }
 
 // planOpts returns the plan-cache options the coalescer's passes use:
@@ -225,14 +294,18 @@ func (c *Coalescer) SubmitInto(ctx context.Context, req *coReq) (SolveInfo, erro
 
 func (c *Coalescer) submit(ctx context.Context, req *coReq) (SolveInfo, error) {
 	c.requests.Add(uint64(1))
-	key := coalesceKey{fp: req.l.StructureFingerprint(), n: req.l.N, lower: req.lower}
+	key := coalesceKey{fp: req.l.StructureFingerprint(), n: req.l.N, lower: req.lower, class: req.class}
 	if d, ok := ctx.Deadline(); ok {
 		req.deadline = d
 	}
+	c.arrival[req.class].note(time.Now().UnixNano())
+	window := c.windowFor(req.class)
 
-	if c.window <= 0 || c.maxWidth <= 1 || len(req.bs) >= c.maxWidth {
-		// Fusion disabled or the request alone fills a pass: run solo,
-		// synchronously, with the request's own deadline driving RunCtx.
+	if window <= 0 || c.maxWidth <= 1 || len(req.bs) >= c.maxWidth {
+		// Fusion disabled for this class (configured off, or the arrival
+		// rate says waiting buys nothing) or the request alone fills a
+		// pass: run solo, synchronously, with the request's own deadline
+		// driving RunCtx.
 		return c.submitSolo(ctx, key, req)
 	}
 
@@ -254,7 +327,9 @@ func (c *Coalescer) submit(ctx context.Context, req *coReq) (SolveInfo, error) {
 	if g == nil {
 		g = &coGroup{key: key}
 		c.pending[key] = g
-		g.timer = time.AfterFunc(c.window, func() { c.flushGroup(g) })
+		// The window in force at group creation rules the whole group:
+		// later arrivals shorten future groups, not this one.
+		g.timer = time.AfterFunc(window, func() { c.flushGroup(g) })
 	}
 	g.members = append(g.members, req)
 	g.width += len(req.bs)

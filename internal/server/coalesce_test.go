@@ -43,7 +43,7 @@ func newTestCoalescer(t *testing.T, window time.Duration, width int) *Coalescer 
 	t.Helper()
 	reg := NewRegistry()
 	cache := trisolve.NewPlanCache(8)
-	c := NewCoalescer(context.Background(), cache, reg, window, width, 2, executor.Pooled.String(), nil)
+	c := NewCoalescer(context.Background(), cache, reg, window, window, width, 2, executor.Pooled.String(), nil)
 	t.Cleanup(func() {
 		c.Drain()
 		cache.Close()
@@ -311,7 +311,7 @@ func TestCoalesceQuiescentSeal(t *testing.T) {
 	reg := NewRegistry()
 	cache := trisolve.NewPlanCache(8)
 	defer cache.Close()
-	c := NewCoalescer(context.Background(), cache, reg, 10*time.Second, 64, 2,
+	c := NewCoalescer(context.Background(), cache, reg, 10*time.Second, 10*time.Second, 64, 2,
 		executor.Pooled.String(), inflight.Load)
 	defer c.Drain()
 	l := testFactor(10)

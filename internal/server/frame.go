@@ -50,6 +50,8 @@ import (
 //	14 error     (response) count = HTTP status; UTF-8 message payload
 //	15 trace_id  client-chosen trace ID to propagate; payload one uint64
 //	16 trace_id  (response) payload one uint64 (echoed or server-assigned)
+//	17 tenant    count = class (0 batch, 1 latency); payload tenant name
+//	             (UTF-8, 1-64 bytes of [A-Za-z0-9._-])
 //
 // One edit record (section 8): a 16-byte header {row int32, inserts
 // int32, deletes int32, reserved int32}, the insert column int32s, the
@@ -99,6 +101,7 @@ const (
 	secError       = 14
 	secTraceID     = 15
 	secRespTraceID = 16
+	secTenant      = 17
 )
 
 var (
@@ -186,6 +189,9 @@ type wireRequest struct {
 	timeoutMs int
 	traceID   uint64
 	hasTrace  bool
+	tenant    []byte // view into the frame; empty when no tenant section
+	class     Class
+	hasTenant bool
 }
 
 // reset clears a pooled wireRequest for reuse.
@@ -292,13 +298,26 @@ func parseRequestFrame(buf []byte, a *arena.Arena, req *wireRequest, sects []fra
 			}
 			req.edits = edits
 		case secTimeout:
-			req.timeoutMs = int(s.count)
+			// The count field is a signed millisecond value on the wire so a
+			// client bug that encodes a negative timeout is visible here and
+			// rejected by the handler, mirroring the JSON path.
+			req.timeoutMs = int(int32(s.count))
 		case secTraceID:
 			if s.length != 8 {
 				return fmt.Errorf("trace_id section: %d bytes, want 8", s.length)
 			}
 			req.traceID = binary.LittleEndian.Uint64(payload)
 			req.hasTrace = true
+		case secTenant:
+			if err := validateTenantNameBytes(payload); err != nil {
+				return fmt.Errorf("tenant section: %w", err)
+			}
+			if s.count >= numClasses {
+				return fmt.Errorf("tenant section: unknown class %d", s.count)
+			}
+			req.tenant = payload
+			req.class = Class(s.count)
+			req.hasTenant = true
 		default:
 			return fmt.Errorf("unknown section type %d", s.typ)
 		}
@@ -492,14 +511,20 @@ func writeSection(buf []byte, i int, typ uint16, count, off, length uint32) {
 }
 
 // encodeErrorFrame builds an error response frame: section 14 with the
-// HTTP status in the count field and the message as payload.
-func encodeErrorFrame(status int, msg string) []byte {
-	payOff := frameHeaderLen + frameSectionLen
-	total := payOff + align8(len(msg))
+// HTTP status in the count field and the message as payload, plus a
+// response trace-ID section so rejected requests are correlatable with
+// /v1/trace (tid 0 means the request never got an ID — decoders treat
+// it as absent).
+func encodeErrorFrame(status int, msg string, tid uint64) []byte {
+	payOff := frameHeaderLen + 2*frameSectionLen
+	tidOff := payOff + align8(len(msg))
+	total := tidOff + 8
 	buf := make([]byte, total)
-	writeFrameHeader(buf, 0, 1, uint64(total))
+	writeFrameHeader(buf, 0, 2, uint64(total))
 	writeSection(buf, 0, secError, uint32(status), uint32(payOff), uint32(len(msg)))
+	writeSection(buf, 1, secRespTraceID, 0, uint32(tidOff), 8)
 	copy(buf[payOff:], msg)
+	binary.LittleEndian.PutUint64(buf[tidOff:], tid)
 	return buf
 }
 
@@ -562,8 +587,23 @@ func EncodeRequestFrame(req *SolveRequest) ([]byte, error) {
 				}
 			}})
 	}
-	if req.TimeoutMs > 0 {
-		secs = append(secs, sec{typ: secTimeout, count: uint32(req.TimeoutMs)})
+	if req.TimeoutMs != 0 {
+		// Encode negative values faithfully (int32 on the wire): the server
+		// rejects them with 400, and hiding them client-side would mask the
+		// bug the rejection exists to surface.
+		secs = append(secs, sec{typ: secTimeout, count: uint32(int32(req.TimeoutMs))})
+	}
+	if req.Tenant != "" {
+		class, err := ParseClass(req.Class)
+		if req.Class == "" {
+			class, err = ClassBatch, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tenant := req.Tenant
+		secs = append(secs, sec{typ: secTenant, count: uint32(class), length: len(tenant),
+			write: func(b []byte) { copy(b, tenant) }})
 	}
 	if req.TraceID != "" {
 		tid, err := parseHexFp(req.TraceID)

@@ -296,7 +296,7 @@ func TestResponseFrameRoundTrip(t *testing.T) {
 
 // TestErrorFrameRoundTrip checks the error envelope.
 func TestErrorFrameRoundTrip(t *testing.T) {
-	resp, err := DecodeResponseFrame(encodeErrorFrame(404, "no such factor"))
+	resp, err := DecodeResponseFrame(encodeErrorFrame(404, "no such factor", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(inline)
 	f.Add(fp)
 	f.Add(drift)
-	f.Add(encodeErrorFrame(400, "bad"))
+	f.Add(encodeErrorFrame(400, "bad", 7))
 	f.Add([]byte(frameMagic))
 	f.Add(inline[:frameHeaderLen])
 

@@ -1,0 +1,543 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postTenant posts a JSON solve request with a tenant header and
+// returns the status, the decoded error body (non-200) and the
+// Retry-After header value.
+func postTenant(t *testing.T, url, tenantHeader string, body []byte) (int, errorResponse, string) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/trisolve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantHeader != "" {
+		req.Header.Set(TenantHeader, tenantHeader)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e errorResponse
+	if resp.StatusCode != http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("status %d with undecodable error body: %v", resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode, e, resp.Header.Get("Retry-After")
+}
+
+// postFrameHdr is postFrame plus response headers.
+func postFrameHdr(t *testing.T, url string, frame []byte) (int, *WireResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/trisolve", FrameContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != FrameContentType {
+		t.Fatalf("response content type %q, want %q", ct, FrameContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := DecodeResponseFrame(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding response frame (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, wr, resp.Header
+}
+
+// TestNegativeTimeoutRejectedBothWires pins the bugfix for silently
+// ignored negative timeouts: both the JSON timeout_ms field and the
+// DCWF timeout section must reject a negative value with 400.
+func TestNegativeTimeoutRejectedBothWires(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1})
+	l := testFactor(8)
+	lower := true
+	req := &SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
+		Lower: &lower, B: [][]float64{randVec(l.N, 1)}, TimeoutMs: -5}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, e, _ := postTenant(t, ts.URL, "", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("JSON negative timeout: status %d, want 400", status)
+	}
+	if e.Error == "" {
+		t.Fatal("JSON negative timeout: empty error message")
+	}
+
+	frame, err := EncodeRequestFrame(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bstatus, wr := postFrame(t, ts.URL, frame)
+	if bstatus != http.StatusBadRequest {
+		t.Fatalf("binary negative timeout: status %d, want 400", bstatus)
+	}
+	if wr.ErrMsg == "" {
+		t.Fatal("binary negative timeout: empty error message")
+	}
+}
+
+// TestShedResponseBothWires pins the honest-shedding contract of a 429:
+// a derived Retry-After header on both wires (satellite of the
+// hard-coded "Retry-After: 1" bug), a trace_id echo in the error body,
+// an admission-stage stamped trace in the ring, and the shed counted in
+// the per-wire endpoint metrics.
+func TestShedResponseBothWires(t *testing.T) {
+	// TenantQueue: -1 disables queueing so the second request sheds
+	// immediately instead of parking.
+	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	_, finish := stallRequest(t, ts.URL, body)
+	defer finish()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.inFlight() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// JSON wire.
+	status, e, retry := postTenant(t, ts.URL, "shedme", body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("JSON shed: status %d, want 429", status)
+	}
+	if n, err := strconv.Atoi(retry); err != nil || n < 1 {
+		t.Fatalf("JSON shed: Retry-After %q, want an integer >= 1", retry)
+	}
+	if len(e.TraceID) != 16 {
+		t.Fatalf("JSON shed: trace_id %q, want 16 hex digits", e.TraceID)
+	}
+
+	// Binary wire: the regression this pins is the binary path shedding
+	// without a Retry-After (and without any frame body at all).
+	lower := true
+	frame, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bstatus, wr, hdr := postFrameHdr(t, ts.URL, frame)
+	if bstatus != http.StatusTooManyRequests {
+		t.Fatalf("binary shed: status %d, want 429", bstatus)
+	}
+	if n, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || n < 1 {
+		t.Fatalf("binary shed: Retry-After %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+	if wr.ErrMsg == "" || len(wr.TraceID) != 16 {
+		t.Fatalf("binary shed: error frame = msg %q trace %q, want both populated", wr.ErrMsg, wr.TraceID)
+	}
+
+	// Both sheds are traced with the whole rejection charged to the
+	// admission stage, carrying the tenant that was refused.
+	traces := s.tracer.ring.Snapshot(0)
+	seen := map[string]bool{}
+	for i := range traces {
+		tr := &traces[i]
+		if tr.Status != http.StatusTooManyRequests {
+			continue
+		}
+		tj := traceJSON(tr)
+		if tj.Stages["admission"] != tj.TotalMs {
+			t.Fatalf("shed trace (%s): admission stage %.3fms of %.3fms total, want all of it",
+				tj.Wire, tj.Stages["admission"], tj.TotalMs)
+		}
+		seen[tj.Wire] = true
+		if tj.Wire == "json" {
+			if tj.Tenant != "shedme" || tj.Class != "batch" {
+				t.Fatalf("JSON shed trace tenant/class = %q/%q, want shedme/batch", tj.Tenant, tj.Class)
+			}
+			if tj.TraceID != e.TraceID {
+				t.Fatalf("JSON shed trace id %q, body echoed %q", tj.TraceID, e.TraceID)
+			}
+		}
+	}
+	if !seen["json"] || !seen["binary"] {
+		t.Fatalf("shed traces by wire = %v, want both json and binary", seen)
+	}
+
+	// And the per-wire endpoint metrics counted them.
+	if got := s.solveJSONEP.codes[429].Value(); got != 1 {
+		t.Fatalf("JSON endpoint 429 counter = %d, want 1", got)
+	}
+	if got := s.solveBinEP.codes[429].Value(); got != 1 {
+		t.Fatalf("binary endpoint 429 counter = %d, want 1", got)
+	}
+	if got := s.solveBinEP.hist.Count(); got < 1 {
+		t.Fatal("binary endpoint latency histogram did not observe the shed")
+	}
+
+	// Tenant accounting: the JSON shed was attributed to its tenant.
+	if got := s.tenants.resolve("shedme").shed.Value(); got != 1 {
+		t.Fatalf("tenant shed counter = %d, want 1", got)
+	}
+}
+
+// TestDraining503EchoesTraceID pins the drain-path trace contract on
+// both wires: a 503 carries a trace_id and lands in the ring with the
+// admission stamp.
+func TestDraining503EchoesTraceID(t *testing.T) {
+	s, ts := newTestServer(t, Config{Procs: 1})
+	s.draining.Store(true)
+	defer s.draining.Store(false)
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	status, e, _ := postTenant(t, ts.URL, "", body)
+	if status != http.StatusServiceUnavailable || len(e.TraceID) != 16 {
+		t.Fatalf("JSON drain: status %d trace %q, want 503 with a trace id", status, e.TraceID)
+	}
+	lower := true
+	frame, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bstatus, wr := postFrame(t, ts.URL, frame)
+	if bstatus != http.StatusServiceUnavailable || len(wr.TraceID) != 16 {
+		t.Fatalf("binary drain: status %d trace %q, want 503 with a trace id", bstatus, wr.TraceID)
+	}
+	found := false
+	for _, tr := range s.tracer.ring.Snapshot(0) {
+		if tr.Status == http.StatusServiceUnavailable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no 503 trace in the ring")
+	}
+}
+
+// TestTenantHeaderRejectedBothWires checks malformed tenant headers are
+// rejected with 400 before any body is read, on both wires.
+func TestTenantHeaderRejectedBothWires(t *testing.T) {
+	_, ts := newTestServer(t, Config{Procs: 1})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	status, e, _ := postTenant(t, ts.URL, "bad tenant name", body)
+	if status != http.StatusBadRequest || e.Error == "" {
+		t.Fatalf("JSON bad tenant header: status %d error %q, want 400", status, e.Error)
+	}
+	lower := true
+	frame, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/trisolve", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", FrameContentType)
+	req.Header.Set(TenantHeader, "also;class=wat")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("binary bad tenant header: status %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != FrameContentType {
+		t.Fatalf("binary bad tenant header answered on the %q wire, want a frame", ct)
+	}
+}
+
+// TestTenantAttributionBothWires checks solves land in the right
+// tenant's stats: the JSON path from the header, the binary path from
+// the frame's tenant section (which overrides the header attribution).
+func TestTenantAttributionBothWires(t *testing.T) {
+	s, ts := newTestServer(t, Config{Procs: 1})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+	if status, _, _ := postTenant(t, ts.URL, "jsonten;class=latency", body); status != http.StatusOK {
+		t.Fatalf("JSON tenant solve: status %d", status)
+	}
+	lower := true
+	frame, err := EncodeRequestFrame(&SolveRequest{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx,
+		Val: l.Val, Lower: &lower, B: [][]float64{randVec(l.N, 1)},
+		Tenant: "binten", Class: "latency"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := postFrame(t, ts.URL, frame); status != http.StatusOK {
+		t.Fatalf("binary tenant solve: status %d", status)
+	}
+	st := s.Stats()
+	byName := map[string]TenantStats{}
+	for _, ten := range st.Tenants {
+		byName[ten.Name] = ten
+	}
+	if got := byName["jsonten"]; got.LatencyRequests != 1 {
+		t.Fatalf("jsonten stats = %+v, want one latency request", got)
+	}
+	if got := byName["binten"]; got.LatencyRequests != 1 {
+		t.Fatalf("binten stats = %+v, want one latency request", got)
+	}
+	if _, ok := byName[DefaultTenant]; !ok {
+		t.Fatal("default tenant missing from stats")
+	}
+
+	// The per-tenant metric families render with {tenant} labels.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"loops_tenant_requests_total", `tenant="jsonten"`, `tenant="binten"`, "loops_admission_queued", "loops_coalesce_window_ns"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestCoalesceClassSeparation pins the tentpole isolation property: a
+// latency-class request never shares a group (or a window) with batch
+// traffic of the same structure, because the class is part of the
+// coalescing key.
+func TestCoalesceClassSeparation(t *testing.T) {
+	c := newTestCoalescer(t, 40*time.Millisecond, 64)
+	l := testFactor(10)
+
+	var wg sync.WaitGroup
+	infos := make([]SolveInfo, 3)
+	errs := make([]error, 3)
+	submit := func(i int, class Class, seed int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bs := [][]float64{randVec(l.N, seed)}
+			xs := [][]float64{make([]float64, l.N)}
+			req := &coReq{l: l, lower: true, class: class, xs: xs, bs: bs}
+			infos[i], errs[i] = c.SubmitInto(context.Background(), req)
+		}()
+	}
+	submit(0, ClassBatch, 1)
+	submit(1, ClassBatch, 2)
+	// Wait until both batch requests are parked in their window before
+	// the latency request arrives, so fusion would be possible if the
+	// class were not part of the key.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		parked := c.parked
+		c.mu.Unlock()
+		if parked == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	submit(2, ClassLatency, 3)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if infos[0].Fused != 2 || infos[1].Fused != 2 {
+		t.Fatalf("batch requests fused %d/%d, want 2/2", infos[0].Fused, infos[1].Fused)
+	}
+	if infos[2].Fused != 1 {
+		t.Fatalf("latency request fused with batch traffic (fused=%d), want a separate pass", infos[2].Fused)
+	}
+}
+
+// TestWindowForAdapts pins the load-adaptive window ramp: a fast
+// arrival stream keeps the full window, a trickle collapses it to zero
+// (run solo), and the midpoint interpolates linearly.
+func TestWindowForAdapts(t *testing.T) {
+	c := newTestCoalescer(t, 0, 64)
+	base := 1 * time.Millisecond
+	c.windows[ClassBatch] = base
+
+	set := func(ivNs int64) { c.arrival[ClassBatch].ivNs.Store(ivNs) }
+	set(0) // no signal yet: full window, so idle bursts still coalesce
+	if got := c.windowFor(ClassBatch); got != base {
+		t.Fatalf("no-signal window = %v, want %v", got, base)
+	}
+	set(int64(100 * time.Microsecond)) // 10 expected arrivals per window
+	if got := c.windowFor(ClassBatch); got != base {
+		t.Fatalf("fast-arrival window = %v, want %v", got, base)
+	}
+	set(int64(10 * time.Millisecond)) // 0.1 expected: waiting buys nothing
+	if got := c.windowFor(ClassBatch); got != 0 {
+		t.Fatalf("slow-arrival window = %v, want 0", got)
+	}
+	set(int64(800 * time.Microsecond)) // expected 1.25 -> base * (1.25-0.5)/1.5
+	want := time.Duration(float64(base) * 0.5)
+	if got := c.windowFor(ClassBatch); got != want {
+		t.Fatalf("midpoint window = %v, want %v", got, want)
+	}
+	if got := c.windowFor(ClassLatency); got != 0 {
+		t.Fatalf("latency window (configured 0) = %v, want 0", got)
+	}
+}
+
+// TestCoalesceDissolutionRace is the regression hammer for the
+// group-dissolution race: a lone waiter withdrawing (context cancel)
+// while its window timer fires concurrently must never schedule a
+// zero-member pass or resurrect a dissolved group. Run under -race in
+// CI; the invariant checks below catch logic (not just memory) races.
+func TestCoalesceDissolutionRace(t *testing.T) {
+	c := newTestCoalescer(t, 50*time.Microsecond, 64)
+	l := testFactor(6)
+	bs := [][]float64{randVec(l.N, 1)}
+
+	for i := 0; i < 400; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			// The request parks alone; the timer and the withdraw race.
+			_, _, _ = c.Submit(ctx, l, true, bs, nil)
+			close(done)
+		}()
+		if i%2 == 0 {
+			time.Sleep(30 * time.Microsecond) // land the cancel near the timer fire
+		}
+		cancel()
+		<-done
+	}
+	// Quiesce: every group either executed or dissolved; nothing leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		pending, parked := len(c.pending), c.parked
+		c.mu.Unlock()
+		if (pending == 0 && parked == 0) || time.Now().After(deadline) {
+			if pending != 0 || parked != 0 {
+				t.Fatalf("after hammer: %d pending groups, %d parked requests, want 0/0", pending, parked)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every pass that ran had at least one member: passes <= requests,
+	// and the width histogram never observed zero.
+	if got := c.widthH.Count(); got != c.passes.Value() {
+		t.Fatalf("width histogram count %d != passes %d", got, c.passes.Value())
+	}
+}
+
+// TestChaosTenantFairness is the adversarial-mix chaos test the CI race
+// matrix runs: one latency tenant against seven flooding batch tenants
+// over a small admission capacity, with a drain landing under fire. It
+// asserts liveness and honesty (every request is answered 200/429/503,
+// the latency tenant makes progress, shed accounting matches) rather
+// than wall-clock numbers, so it is meaningful under -race.
+func TestChaosTenantFairness(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Procs:          1,
+		MaxInFlight:    2,
+		TenantQueue:    4,
+		TenantQuota:    2,
+		CoalesceWindow: 500 * time.Microsecond,
+		TenantWeights:  map[string]int{"lat-0": 4},
+	})
+	l := testFactor(8)
+	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
+
+	const clients = 8
+	const perClient = 25
+	var ok, refused, failed [clients]int
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			hdr := fmt.Sprintf("batch-%d", cl)
+			if cl == 0 {
+				hdr = "lat-0;class=latency"
+			}
+			for i := 0; i < perClient; i++ {
+				req, err := http.NewRequest("POST", ts.URL+"/v1/trisolve", bytes.NewReader(body))
+				if err != nil {
+					failed[cl]++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(TenantHeader, hdr)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					failed[cl]++
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok[cl]++
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					refused[cl]++
+				default:
+					failed[cl]++
+				}
+				resp.Body.Close()
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	totalOK, totalFailed := 0, 0
+	for cl := 0; cl < clients; cl++ {
+		totalOK += ok[cl]
+		totalFailed += failed[cl]
+	}
+	if totalFailed != 0 {
+		t.Fatalf("%d requests failed with unexpected statuses", totalFailed)
+	}
+	if totalOK == 0 {
+		t.Fatal("no request succeeded under the chaos mix")
+	}
+	if ok[0] == 0 {
+		t.Fatal("the latency tenant was starved: zero successes against the batch flood")
+	}
+	st := s.Stats()
+	var acc, shed uint64
+	for _, ten := range st.Tenants {
+		acc += ten.Accepted
+		shed += ten.Shed
+	}
+	if acc != st.Accepted || shed != st.Shed {
+		t.Fatalf("per-tenant accounting (acc %d shed %d) disagrees with totals (acc %d shed %d)",
+			acc, shed, st.Accepted, st.Shed)
+	}
+
+	// Drain under (residual) fire: a request racing the drain is
+	// answered 503, and the drain completes.
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.draining.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	status, _, _ := postTenant(t, ts.URL, "lat-0;class=latency", body)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", status)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain under fire: %v", err)
+	}
+}

@@ -5,10 +5,20 @@
 // inspector/executor amortization of the paper exercised end to end by
 // many independent clients whose problems recur structurally.
 //
+// The service is multi-tenant: requests carry a tenant name and a
+// priority class (latency or batch) via the X-Doconsider-Tenant header
+// or the binary frame's tenant section. Admission is a weighted
+// deficit-round-robin queue across tenants with latency-class priority
+// and per-tenant concurrency quotas; the coalescer batches per class so
+// latency requests never wait out a wide batch window; and shedding is
+// honest — 429/503 responses derive Retry-After from the observed drain
+// rate, echo the trace id, and are attributed per tenant in stats,
+// metrics and traces.
+//
 // Endpoints:
 //
 //	POST /v1/trisolve  submit a CSR triangular factor + RHS batch
-//	GET  /v1/stats     JSON snapshot: cache, coalescer, admission
+//	GET  /v1/stats     JSON snapshot: cache, coalescer, admission, tenants
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      Prometheus text exposition
 package server
@@ -48,10 +58,29 @@ type Config struct {
 	CacheCap       int           // plan-cache capacity in skeletons (default 16)
 	FactorCacheCap int           // factors resubmittable by fingerprint (default 32)
 	CoalesceWindow time.Duration // batching window; 0 disables coalescing
-	CoalesceWidth  int           // max RHS per fused pass (default 64)
-	MaxInFlight    int           // admission bound on concurrent solves (default 64)
-	MaxBatch       int           // max RHS per request (default 64)
-	DefaultTimeout time.Duration // per-request deadline when none given (default 30s)
+	// CoalesceLatencyWindow is the batching window for latency-class
+	// requests (default CoalesceWindow/8; negative disables latency-class
+	// coalescing). Both windows are upper bounds: the coalescer shrinks
+	// them per class when the observed arrival rate cannot fill a pass.
+	CoalesceLatencyWindow time.Duration
+	CoalesceWidth         int           // max RHS per fused pass (default 64)
+	MaxInFlight           int           // admission bound on concurrent solves (default 64)
+	MaxBatch              int           // max RHS per request (default 64)
+	DefaultTimeout        time.Duration // per-request deadline when none given (default 30s)
+	// TenantWeights sets per-tenant admission weights (deficit-round-
+	// robin grants per rotation; default 1). Unlisted tenants weigh 1.
+	TenantWeights map[string]int
+	// TenantQuotas caps a tenant's concurrent admitted solves; unlisted
+	// tenants get TenantQuota. 0 means bounded only by MaxInFlight.
+	TenantQuotas map[string]int
+	TenantQuota  int
+	// TenantQueue bounds each tenant's per-class admission queue
+	// (default 16). Negative disables queueing: saturation sheds
+	// immediately, the pre-tenant behavior.
+	TenantQueue int
+	// TenantMax caps how many distinct tenants get their own accounting
+	// and metric series (default 32); the rest share the "other" tenant.
+	TenantMax int
 	// TraceRing sizes the completed-trace ring served by /v1/trace
 	// (default max(256, 4*MaxInFlight), rounded up to a power of two).
 	TraceRing int
@@ -77,6 +106,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceWidth <= 0 {
 		c.CoalesceWidth = 64
+	}
+	if c.CoalesceLatencyWindow == 0 {
+		c.CoalesceLatencyWindow = c.CoalesceWindow / 8
+	}
+	if c.CoalesceLatencyWindow < 0 {
+		c.CoalesceLatencyWindow = 0
+	}
+	if c.TenantQueue == 0 {
+		c.TenantQueue = 16
+	}
+	if c.TenantMax <= 0 {
+		c.TenantMax = 32
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 64
@@ -126,6 +167,11 @@ type SolveRequest struct {
 	B64       [][]byte         `json:"b_b64,omitempty"` // RHS as base64 little-endian float64 packing
 	TimeoutMs int              `json:"timeout_ms,omitempty"`
 	TraceID   string           `json:"trace_id,omitempty"` // client-chosen trace ID (hex uint64), echoed in the response
+	// Tenant/Class ride the X-Doconsider-Tenant header on the JSON wire
+	// and a tenant section on the binary wire; they are client-side
+	// fields for EncodeRequestFrame, never part of the JSON body.
+	Tenant string `json:"-"`
+	Class  string `json:"-"` // "latency" or "batch" (default)
 }
 
 // SolveResponse is the POST /v1/trisolve reply. Solutions come back in
@@ -191,6 +237,11 @@ type StatsResponse struct {
 	// plan builds: node counts, widths and the fused-row fraction
 	// (internal/supernode).
 	Supernode trisolve.SupernodeStats `json:"supernode"`
+	// Tenants breaks admission and latency down by tenant (weighted-fair
+	// admission, see Config.TenantWeights), sorted by name.
+	Tenants []TenantStats `json:"tenants"`
+	// Queued counts requests parked in admission queues right now.
+	Queued int64 `json:"queued"`
 	// Stages summarizes per-pipeline-stage latency, derived from the
 	// same stamps that feed /v1/trace and doconsider_stage_seconds.
 	Stages []StageStat `json:"stages"`
@@ -212,9 +263,11 @@ func (cachedFactor) Close() error { return nil }
 // failures inside the factor cache.
 var errUnknownFactor = errors.New("server: unknown factor fingerprint")
 
-// errorResponse is the JSON error envelope.
+// errorResponse is the JSON error envelope. Overload rejections carry
+// a trace ID so shed requests are correlatable with /v1/trace.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Server is the serving subsystem: plan cache, coalescer, metrics and
@@ -245,7 +298,11 @@ type Server struct {
 
 	tracer *tracer
 
-	inFlight    *Gauge
+	// Admission: weighted-fair per-tenant scheduling over MaxInFlight
+	// slots (see admission.go), plus the tenant registry behind it.
+	adm     *admission
+	tenants *tenantRegistry
+
 	accepted    *Counter
 	shed        *Counter
 	solveJSONEP *endpointMetrics // /v1/trisolve, JSON wire
@@ -283,11 +340,14 @@ func New(cfg Config) (*Server, error) {
 	s.reqPool.New = func() any {
 		return &reqState{sects: make([]frameSection, 0, maxFrameSections)}
 	}
-	s.inFlight = reg.Gauge("loops_http_in_flight", "solve requests currently admitted", nil)
+	s.tenants = newTenantRegistry(reg, cfg)
+	s.adm = newAdmission(cfg, reg)
 	// The in-flight hook lets the coalescer seal windows early the moment
-	// every admitted request is parked in one — see Coalescer.
-	s.co = NewCoalescer(baseCtx, cache, reg, cfg.CoalesceWindow, cfg.CoalesceWidth,
-		cfg.Procs, cfg.Kind, s.inFlight.Value)
+	// every admitted request is parked in one — see Coalescer. Admission
+	// waiters are not in flight: a parked request must not hold a window
+	// open.
+	s.co = NewCoalescer(baseCtx, cache, reg, cfg.CoalesceWindow, cfg.CoalesceLatencyWindow,
+		cfg.CoalesceWidth, cfg.Procs, cfg.Kind, s.adm.inFlight)
 	s.accepted = reg.Counter("loops_admission_accepted_total", "solve requests admitted", nil)
 	s.shed = reg.Counter("loops_admission_shed_total", "solve requests shed with 429", nil)
 	for _, cs := range []struct {
@@ -449,6 +509,7 @@ func (s *Server) Addr() string {
 // The plan cache is closed last. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.adm.drain()
 	s.co.BeginDrain()
 	var err error
 	if s.httpSrv != nil {
@@ -483,7 +544,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // waitInFlight blocks until no solve request is admitted, or ctx ends.
 func (s *Server) waitInFlight(ctx context.Context) error {
-	for s.inFlight.Value() > 0 {
+	for s.adm.inFlight() > 0 {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -496,11 +557,33 @@ func (s *Server) waitInFlight(ctx context.Context) error {
 // Stats assembles the /v1/stats snapshot.
 func (s *Server) Stats() StatsResponse {
 	cs := s.cache.Stats()
+	tens := s.tenants.snapshot()
+	tstats := make([]TenantStats, 0, len(tens))
+	var queued int64
+	for _, t := range tens {
+		q := s.adm.queuedOf(t)
+		queued += int64(q)
+		tstats = append(tstats, TenantStats{
+			Name:            t.name,
+			Weight:          t.weight,
+			Quota:           t.quota,
+			InFlight:        t.inFlightG.Value(),
+			Queued:          q,
+			Accepted:        t.accepted.Value(),
+			Shed:            t.shed.Value(),
+			LatencyRequests: t.classReq[ClassLatency].Value(),
+			BatchRequests:   t.classReq[ClassBatch].Value(),
+			P50Ms:           t.latH.Quantile(0.5) * 1e3,
+			P99Ms:           t.latH.Quantile(0.99) * 1e3,
+		})
+	}
 	return StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		InFlight:      s.inFlight.Value(),
+		InFlight:      s.adm.inFlight(),
 		Accepted:      s.accepted.Value(),
 		Shed:          s.shed.Value(),
+		Tenants:       tstats,
+		Queued:        queued,
 		Draining:      s.draining.Load(),
 		PlanCache:     cs,
 		CacheHitRate:  cs.HitRate(),
@@ -525,28 +608,55 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	// The binary protocol shares the endpoint: content type selects it.
+	binaryWire := isFrameRequest(r)
+	// Tenant identity comes from the header on both wires: admission
+	// runs before the body is read. A binary frame may also carry a
+	// tenant section, which overrides the attribution once decoded.
+	tenName, class, err := parseTenantHeader(r.Header.Get(TenantHeader))
+	if err != nil {
+		s.rejectWire(w, binaryWire, http.StatusBadRequest, err.Error())
 		return
 	}
-	// Admission control: bound the solves in flight; excess load is shed
-	// immediately with 429 instead of queueing without bound.
-	if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
-		s.inFlight.Add(-1)
-		s.shed.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server is at capacity")
+	ten := s.tenants.resolve(tenName)
+	if s.draining.Load() {
+		s.rejectOverload(w, binaryWire, t0, ten, class,
+			http.StatusServiceUnavailable, "server is draining", 0, false)
+		return
+	}
+	// Admission control: weighted fair queueing over MaxInFlight slots.
+	// Saturation beyond the tenant's queue — or its quota — is shed with
+	// 429 and a drain-rate-derived Retry-After instead of queueing
+	// without bound.
+	res, retry := s.adm.Admit(r.Context(), ten, class)
+	switch res {
+	case admitOK:
+	case admitDraining:
+		s.rejectOverload(w, binaryWire, t0, ten, class,
+			http.StatusServiceUnavailable, "server is draining", 0, false)
+		return
+	case admitCancelled:
+		s.rejectOverload(w, binaryWire, t0, ten, class,
+			http.StatusServiceUnavailable, "request cancelled", 0, false)
+		return
+	case admitShedQuota:
+		s.rejectOverload(w, binaryWire, t0, ten, class,
+			http.StatusTooManyRequests, "tenant is at its admission quota", retry, true)
+		return
+	default: // admitShedCapacity
+		s.rejectOverload(w, binaryWire, t0, ten, class,
+			http.StatusTooManyRequests, "server is at capacity", retry, true)
 		return
 	}
 	defer func() {
-		s.inFlight.Add(-1)
+		s.adm.Release(ten)
 		s.co.Nudge()
 	}()
 	s.accepted.Inc()
+	ten.accepted.Inc()
 
-	// The binary protocol shares the endpoint: content type selects it.
-	if isFrameRequest(r) {
-		s.handleTrisolveBinary(w, r, t0)
+	if binaryWire {
+		s.handleTrisolveBinary(w, r, t0, ten, class)
 		return
 	}
 
@@ -556,6 +666,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 	// endpoint counters.
 	var tr obs.Trace
 	tr.Begin(obs.WireJSON, t0)
+	tr.SetTenant(ten.name, byte(class))
 	tr.Lap(obs.StageAdmission)
 
 	var req SolveRequest
@@ -598,6 +709,14 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 	tr.Lap(obs.StageDecode)
 
 	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs < 0 {
+		// A negative timeout is a client bug (an already-expired deadline);
+		// silently ignoring it would run the solve the caller thinks it
+		// cancelled. Reject it the way the cmd/loops flag validation does.
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("timeout_ms must not be negative, got %d", req.TimeoutMs))
+		return
+	}
 	if req.TimeoutMs > 0 {
 		// Clamp before converting: a huge timeout_ms would overflow the
 		// int64 nanosecond Duration into a negative, already-expired
@@ -629,6 +748,7 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 		tr.AttributeSubmit(0, 0, 0)
 		code, msg := solveErrorStatus(err)
 		s.tracer.publish(&tr, obs.StageEncode, code)
+		ten.observe(class, tr.TotalNs)
 		writeError(w, code, msg)
 		return
 	}
@@ -655,6 +775,48 @@ func (s *Server) handleTrisolve(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, resp)
 	s.tracer.publish(&tr, obs.StageEncode, http.StatusOK)
+	ten.observe(class, tr.TotalNs)
+}
+
+// rejectWire writes a pre-admission rejection (e.g. a malformed tenant
+// header) in the wire format the request arrived on.
+func (s *Server) rejectWire(w http.ResponseWriter, binaryWire bool, status int, msg string) {
+	if binaryWire {
+		writeFrame(w, status, encodeErrorFrame(status, msg, 0))
+		return
+	}
+	writeError(w, status, msg)
+}
+
+// rejectOverload writes an overload/drain rejection on either wire. The
+// response echoes a freshly minted trace ID, the trace lands in the
+// ring with the whole rejection charged to the admission stage, and —
+// when shed is set — the global and per-tenant shed counters advance.
+// retry > 0 adds a Retry-After header (both wires: the binary protocol
+// still rides HTTP).
+func (s *Server) rejectOverload(w http.ResponseWriter, binaryWire bool, t0 time.Time,
+	ten *tenantState, class Class, status int, msg string, retry int, shed bool) {
+	if shed {
+		s.shed.Inc()
+		ten.shed.Inc()
+	}
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	}
+	wire := obs.WireJSON
+	if binaryWire {
+		wire = obs.WireBinary
+	}
+	var tr obs.Trace
+	tr.Begin(wire, t0)
+	tr.ID = s.tracer.nextID()
+	tr.SetTenant(ten.name, byte(class))
+	s.tracer.publish(&tr, obs.StageAdmission, status)
+	if binaryWire {
+		writeFrame(w, status, encodeErrorFrame(status, msg, tr.ID))
+		return
+	}
+	writeJSON(w, status, errorResponse{Error: msg, TraceID: fmt.Sprintf("%016x", tr.ID)})
 }
 
 // solveErrorStatus maps a coalescer submit error to its HTTP reply.

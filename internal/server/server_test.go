@@ -245,16 +245,18 @@ func stallRequest(t *testing.T, url string, body []byte) (done <-chan int, finis
 // the drain began still completes, and that post-drain traffic is
 // refused.
 func TestServerAdmissionControl(t *testing.T) {
-	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1})
+	// TenantQueue: -1 restores the pre-tenant immediate-shed behavior this
+	// test pins (with queueing on, the second request would park instead).
+	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 
 	first, finish := stallRequest(t, ts.URL, body)
 	deadline := time.Now().Add(5 * time.Second)
-	for s.inFlight.Value() < 1 && time.Now().Before(deadline) {
+	for s.adm.inFlight() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.inFlight.Value() < 1 {
+	if s.adm.inFlight() < 1 {
 		t.Fatal("first request never went in flight")
 	}
 

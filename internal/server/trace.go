@@ -77,6 +77,8 @@ type TraceJSON struct {
 	TraceID  string             `json:"trace_id"`
 	Start    time.Time          `json:"start"`
 	Wire     string             `json:"wire"`
+	Tenant   string             `json:"tenant,omitempty"`
+	Class    string             `json:"class,omitempty"`
 	Status   int                `json:"status"`
 	N        int                `json:"n,omitempty"`
 	Batch    int                `json:"batch,omitempty"`
@@ -95,6 +97,7 @@ func traceJSON(tr *obs.Trace) TraceJSON {
 		TraceID:  fmt.Sprintf("%016x", tr.ID),
 		Start:    tr.Start,
 		Wire:     tr.Wire.String(),
+		Tenant:   tr.Tenant(),
 		Status:   int(tr.Status),
 		N:        int(tr.N),
 		Batch:    int(tr.Batch),
@@ -103,6 +106,9 @@ func traceJSON(tr *obs.Trace) TraceJSON {
 		Strategy: tr.Strategy(),
 		TotalMs:  float64(tr.TotalNs) / 1e6,
 		Stages:   make(map[string]float64, obs.NumStages),
+	}
+	if out.Tenant != "" {
+		out.Class = Class(tr.Class).String()
 	}
 	for i := 0; i < obs.NumStages; i++ {
 		out.Stages[obs.Stage(i).String()] = float64(tr.Stages[i]) / 1e6
