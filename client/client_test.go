@@ -1,0 +1,428 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doconsider/internal/server"
+	"doconsider/internal/sparse"
+	"doconsider/internal/stencil"
+	"doconsider/internal/synthetic"
+)
+
+func testLower(m int) *sparse.CSR {
+	return stencil.Laplace2D(m, m).LowerWithDiag()
+}
+
+func testRHS(n int) [][]float64 {
+	b := make([][]float64, 2)
+	for j := range b {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(j*n+i%7) + 0.5
+		}
+		b[j] = v
+	}
+	return b
+}
+
+// startServer runs a real server for integration-shaped client tests.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestClientWireEquivalence solves the same problem over both wires and
+// requires bit-identical solutions and matching fingerprints — the two
+// encodings are one API.
+func TestClientWireEquivalence(t *testing.T) {
+	s := startServer(t, server.Config{Procs: 2})
+	ctx := context.Background()
+	l, b := testLower(6), testRHS(36)
+	lower := true
+	req := &Request{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val, Lower: &lower, B: b}
+
+	jc := New("http://" + s.Addr())
+	bc := New("http://"+s.Addr(), WithWire(WireBinary))
+	jr, err := jc.Solve(ctx, req)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	br, err := bc.Solve(ctx, req)
+	if err != nil {
+		t.Fatalf("binary: %v", err)
+	}
+	if jr.Fp == "" || jr.Fp != br.Fp {
+		t.Errorf("fingerprints: json %q, binary %q; want equal and non-empty", jr.Fp, br.Fp)
+	}
+	jx, err := jr.Solutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := br.Solutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jx) != len(bx) {
+		t.Fatalf("solution counts differ: %d vs %d", len(jx), len(bx))
+	}
+	for j := range jx {
+		for i := range jx[j] {
+			if jx[j][i] != bx[j][i] {
+				t.Fatalf("x[%d][%d]: json %v, binary %v", j, i, jx[j][i], bx[j][i])
+			}
+		}
+	}
+	if jr.TraceID == "" || br.TraceID == "" {
+		t.Errorf("trace IDs: json %q, binary %q; want both minted", jr.TraceID, br.TraceID)
+	}
+}
+
+// TestClientDoesNotMutateRequest pins the Do contract: packing B into
+// b_b64 happens on a copy, so a caller can resubmit the same request.
+func TestClientDoesNotMutateRequest(t *testing.T) {
+	s := startServer(t, server.Config{Procs: 1})
+	ctx := context.Background()
+	l := testLower(4)
+	lower := true
+	req := &Request{N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val, Lower: &lower, B: testRHS(16)}
+	c := New("http://" + s.Addr())
+	for i := 0; i < 2; i++ {
+		if _, err := c.Solve(ctx, req); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		if req.B == nil || req.B64 != nil {
+			t.Fatalf("solve %d mutated the caller's request: B=%v B64=%v", i, req.B == nil, req.B64 != nil)
+		}
+	}
+}
+
+// TestClientAPIErrorContract checks the typed error surface: a non-2xx
+// reply becomes an *APIError carrying status, message, trace ID and
+// Retry-After; a transport failure stays a *url.Error; StatusOf tells
+// them apart.
+func TestClientAPIErrorContract(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "shed", "trace_id": "t-9"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	lower := true
+	_, err := c.Do(context.Background(), &Request{Fp: "00000000000000aa", Lower: &lower, B: [][]float64{{1}}})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if ae.Status != 429 || ae.Msg != "shed" || ae.TraceID != "t-9" || ae.RetryAfter != 2*time.Second {
+		t.Errorf("APIError = %+v, want {429 shed t-9 2s}", ae)
+	}
+	if !ae.Overloaded() {
+		t.Error("429 must report Overloaded")
+	}
+	if StatusOf(err) != 429 {
+		t.Errorf("StatusOf = %d, want 429", StatusOf(err))
+	}
+
+	ts.Close() // now a transport error
+	_, err = c.Do(context.Background(), &Request{Fp: "00000000000000aa", Lower: &lower, B: [][]float64{{1}}})
+	var ue *url.Error
+	if !errors.As(err, &ue) {
+		t.Fatalf("transport err = %v (%T), want *url.Error", err, err)
+	}
+	if StatusOf(err) != 0 {
+		t.Errorf("StatusOf(transport) = %d, want 0", StatusOf(err))
+	}
+}
+
+// TestClientSolveRetriesOverload checks the retry policy: overload
+// replies are retried honoring Retry-After = 0-or-backoff semantics,
+// and a definitive 4xx is returned immediately.
+func TestClientSolveRetriesOverload(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"x":[[1]],"fp":"00000000000000bb"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	lower := true
+	resp, err := c.Solve(context.Background(), &Request{Fp: "00000000000000aa", Lower: &lower, B: [][]float64{{1}}})
+	if err != nil {
+		t.Fatalf("solve after retries: %v", err)
+	}
+	if resp.Fp != "00000000000000bb" {
+		t.Errorf("fp = %q", resp.Fp)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d attempts, want 3 (two sheds + success)", n)
+	}
+
+	// A 404 is not overload: no retry burn, immediate return.
+	hits.Store(100)
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"unknown fp"}`)
+	}))
+	defer notFound.Close()
+	nc := New(notFound.URL, WithRetry(3, time.Millisecond))
+	_, err = nc.Solve(context.Background(), &Request{Fp: "00000000000000aa", Lower: &lower, B: [][]float64{{1}}})
+	if StatusOf(err) != 404 {
+		t.Fatalf("err = %v, want 404", err)
+	}
+	if n := hits.Load(); n != 101 {
+		t.Errorf("404 burned %d attempts, want exactly 1", n-100)
+	}
+}
+
+// TestClientTenantHeader checks tenant stamping: client default,
+// per-request override, and the ForTenant derivation.
+func TestClientTenantHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(server.TenantHeader))
+		fmt.Fprint(w, `{"x":[[1]]}`)
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	lower := true
+	req := func() *Request { return &Request{Fp: "00000000000000aa", Lower: &lower, B: [][]float64{{1}}} }
+
+	c := New(ts.URL, WithTenant("acme", "latency"))
+	if _, err := c.Do(ctx, req()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "acme;class=latency" {
+		t.Errorf("default tenant header = %q", got.Load())
+	}
+
+	r := req()
+	r.Tenant, r.Class = "umbrella", ""
+	if _, err := c.Do(ctx, r); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "umbrella" {
+		t.Errorf("per-request override header = %q", got.Load())
+	}
+
+	if _, err := c.ForTenant("initech", "batch").Do(ctx, req()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "initech;class=batch" {
+		t.Errorf("ForTenant header = %q", got.Load())
+	}
+}
+
+// TestFactorLifecycle drives the recurring idiom end to end against a
+// real server: full registration, by-fp resubmission, 404 fallback
+// after the server loses the factor, and a drift step advancing the
+// fingerprint.
+func TestFactorLifecycle(t *testing.T) {
+	s := startServer(t, server.Config{Procs: 1})
+	ctx := context.Background()
+	c := New("http://" + s.Addr())
+	f := NewFactor(testLower(5), true)
+	b := testRHS(f.N())
+
+	if f.Fp() != "" {
+		t.Fatalf("fresh factor fp = %q, want empty", f.Fp())
+	}
+	r1, err := f.Solve(ctx, c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Fp() == "" || f.Fp() != r1.Fp {
+		t.Fatalf("fp not committed: factor %q, response %q", f.Fp(), r1.Fp)
+	}
+	if _, err := f.Solve(ctx, c, b); err != nil {
+		t.Fatalf("by-fp resubmission: %v", err)
+	}
+
+	// A fresh server has never seen the fingerprint: Factor.Solve must
+	// absorb the 404 with a full ship against the new address.
+	s2 := startServer(t, server.Config{Procs: 1})
+	c2 := New("http://" + s2.Addr())
+	if _, err := f.Solve(ctx, c2, b); err != nil {
+		t.Fatalf("fallback full ship on unknown server: %v", err)
+	}
+
+	// SolveFull never commits: state is unchanged by design.
+	before := f.Fp()
+	if _, err := f.SolveFull(ctx, c, b); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fp() != before {
+		t.Errorf("SolveFull moved the fingerprint %q -> %q", before, f.Fp())
+	}
+}
+
+// TestFactorDrift advances a registered factor with base_fp+edits and
+// checks the snapshot/commit discipline: the fingerprint moves with the
+// structure, and a drift against a server that lost the base falls
+// back to a full ship of the edited matrix.
+func TestFactorDrift(t *testing.T) {
+	s := startServer(t, server.Config{Procs: 1})
+	ctx := context.Background()
+	c := New("http://" + s.Addr())
+	f := NewFactor(testLower(6), true)
+	b := testRHS(f.N())
+
+	if _, err := f.Solve(ctx, c, b); err != nil {
+		t.Fatal(err)
+	}
+	st := f.State()
+	if st.Fp == "" || st.Cur == nil {
+		t.Fatalf("state after registration = %+v", st)
+	}
+	rng := rand.New(rand.NewSource(3))
+	edits := synthetic.DriftLower(rng, st.Cur, nil, 3, 0.3)
+	if len(edits) == 0 {
+		t.Skip("structure admits no drift edits")
+	}
+	resp, fellBack, err := f.Drift(ctx, c, st, edits, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fellBack {
+		t.Error("drift against the registering server should not fall back")
+	}
+	if resp.Fp == "" || resp.Fp == st.Fp {
+		t.Errorf("drift fp = %q (base %q), want a new fingerprint", resp.Fp, st.Fp)
+	}
+	if f.Fp() != resp.Fp {
+		t.Errorf("factor fp = %q, want committed drift fp %q", f.Fp(), resp.Fp)
+	}
+
+	// A server that never saw the base must trigger the full-ship
+	// fallback — same answer, honest fellBack flag.
+	s2 := startServer(t, server.Config{Procs: 1})
+	c2 := New("http://" + s2.Addr())
+	st2 := f.State()
+	edits2 := synthetic.DriftLower(rng, st2.Cur, nil, 2, 0.3)
+	if len(edits2) == 0 {
+		t.Skip("drifted structure admits no further edits")
+	}
+	if _, fellBack, err = f.Drift(ctx, c2, st2, edits2, b); err != nil {
+		t.Fatal(err)
+	}
+	if !fellBack {
+		t.Error("drift against a cold server must report the full-ship fallback")
+	}
+}
+
+// TestClientEndpoints covers the non-solve surface: Stats, Healthy,
+// GetJSON, PostJSON and the raw Post leg, against a real server.
+func TestClientEndpoints(t *testing.T) {
+	s := startServer(t, server.Config{Procs: 1})
+	ctx := context.Background()
+	c := New("http://" + s.Addr())
+
+	if got, want := c.BaseURL(), "http://"+s.Addr(); got != want {
+		t.Errorf("BaseURL = %q, want %q", got, want)
+	}
+	if c.Wire() != WireJSON {
+		t.Errorf("default wire = %q, want %q", c.Wire(), WireJSON)
+	}
+	if !c.Healthy(ctx) {
+		t.Error("running server reported unhealthy")
+	}
+	f := NewFactor(testLower(4), true)
+	if _, err := f.Solve(ctx, c, testRHS(f.N())); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted == 0 {
+		t.Errorf("stats report %d accepted requests after a solve", st.Accepted)
+	}
+
+	var plans server.ShardPlansResponse
+	if err := c.GetJSON(ctx, "/v1/shard/plans?limit=4", &plans); err != nil {
+		t.Fatal(err)
+	}
+	if len(plans.Plans) == 0 {
+		t.Fatal("shard enumeration is empty after a registration")
+	}
+	var sf server.ShardFactor
+	if err := c.GetJSON(ctx, "/v1/shard/factor?fp="+plans.Plans[0].Fp, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GetJSON(ctx, "/v1/shard/factor?fp=ffffffffffffffff", &sf); StatusOf(err) != 404 {
+		t.Errorf("unknown shard factor err = %v, want 404", err)
+	}
+
+	// Round-trip the factor into a second server via the raw JSON legs.
+	s2 := startServer(t, server.Config{Procs: 1})
+	c2 := New("http://" + s2.Addr())
+	if err := c2.PostJSON(ctx, "/v1/shard/warm", sf, nil); err != nil {
+		t.Fatalf("warm replay: %v", err)
+	}
+	lower := true
+	if _, err := c2.Solve(ctx, &Request{Fp: f.Fp(), Lower: &lower, B: testRHS(f.N())}); err != nil {
+		t.Errorf("by-fp solve after warm replay: %v", err)
+	}
+
+	// The raw Post leg relays a pre-encoded body untouched.
+	body, err := json.Marshal(&Request{Fp: f.Fp(), Lower: &lower, B: testRHS(f.N())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(ctx, "/v1/trisolve", "application/json", "acme", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("raw Post status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestClientOptions pins the constructor options and the APIError
+// rendering (both ends of the error contract are string-visible).
+func TestClientOptions(t *testing.T) {
+	hc := &http.Client{Timeout: 3 * time.Second}
+	c := New("http://example.invalid", WithTimeout(time.Second), WithHTTPClient(hc))
+	if c.BaseURL() != "http://example.invalid" {
+		t.Errorf("BaseURL = %q", c.BaseURL())
+	}
+	e := &APIError{Status: 503, Msg: "draining"}
+	if got := e.Error(); got != "server: status 503: draining" {
+		t.Errorf("APIError.Error() = %q", got)
+	}
+	if got := (&APIError{Status: 404}).Error(); got != "server: status 404" {
+		t.Errorf("bare APIError.Error() = %q", got)
+	}
+}

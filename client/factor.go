@@ -1,0 +1,154 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"doconsider/internal/sparse"
+)
+
+// Factor is the client-side handle for a recurring triangular factor:
+// it remembers the server-assigned content fingerprint after the first
+// full submission, resubmits by fingerprint thereafter, falls back to a
+// full ship when the server evicted the factor (404), and evolves the
+// structure with base_fp+edits drift requests — keeping the local
+// matrix and the stored fingerprint consistent under concurrent use.
+//
+// The lock is held only to snapshot and to commit, never across a
+// network round trip: concurrent drifts of one factor race freely and
+// the loser's local update is simply dropped (the server answered it
+// correctly either way), so fingerprint readers on the recurring path
+// block for pointer copies at most.
+type Factor struct {
+	lower bool
+
+	fp atomic.Pointer[string]
+
+	mu  sync.Mutex
+	cur *sparse.CSR
+}
+
+// NewFactor wraps a triangular CSR factor. The matrix is referenced,
+// not copied; drift steps replace it rather than mutate it in place.
+func NewFactor(l *sparse.CSR, lower bool) *Factor {
+	return &Factor{lower: lower, cur: l}
+}
+
+// State is a consistent snapshot of a Factor: the matrix and the
+// fingerprint that corresponds to it. Drift edits must be generated
+// against a snapshot (not separate Current()/Fp() reads) so a
+// concurrent drift cannot slide a newer base under old edits.
+type State struct {
+	Cur *sparse.CSR
+	Fp  string // "" until the factor has been registered server-side
+}
+
+// State snapshots the matrix/fingerprint pair under one critical
+// section.
+func (f *Factor) State() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := State{Cur: f.cur}
+	if fpp := f.fp.Load(); fpp != nil {
+		st.Fp = *fpp
+	}
+	return st
+}
+
+// Fp returns the last committed fingerprint ("" before registration).
+func (f *Factor) Fp() string {
+	if fpp := f.fp.Load(); fpp != nil {
+		return *fpp
+	}
+	return ""
+}
+
+// N returns the current dimension of the factor.
+func (f *Factor) N() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur.N
+}
+
+// Solve issues one solve for the factor: by fingerprint when one is
+// known (falling back to a full submission if the server evicted it),
+// otherwise shipping the full matrix and remembering the returned
+// fingerprint for next time.
+func (f *Factor) Solve(ctx context.Context, c *Client, b [][]float64) (*Response, error) {
+	lower := f.lower
+	if fpp := f.fp.Load(); fpp != nil {
+		resp, err := c.Solve(ctx, &Request{Fp: *fpp, Lower: &lower, B: b})
+		if StatusOf(err) != 404 {
+			return resp, err
+		}
+	}
+	f.mu.Lock()
+	cur := f.cur
+	f.mu.Unlock()
+	resp, err := c.Solve(ctx, &Request{
+		N: cur.N, RowPtr: cur.RowPtr, ColIdx: cur.ColIdx, Val: cur.Val,
+		Lower: &lower, B: b,
+	})
+	if err == nil && resp.Fp != "" {
+		// Commit only if no drift replaced the factor while we were on
+		// the wire — the stored fingerprint must always correspond to cur.
+		f.mu.Lock()
+		if f.cur == cur {
+			fp := resp.Fp
+			f.fp.Store(&fp)
+		}
+		f.mu.Unlock()
+	}
+	return resp, err
+}
+
+// SolveFull always ships the whole matrix and never commits a
+// fingerprint — the benchmark-honest mode for measuring cold-path
+// encode/decode cost.
+func (f *Factor) SolveFull(ctx context.Context, c *Client, b [][]float64) (*Response, error) {
+	f.mu.Lock()
+	cur := f.cur
+	f.mu.Unlock()
+	lower := f.lower
+	return c.Solve(ctx, &Request{
+		N: cur.N, RowPtr: cur.RowPtr, ColIdx: cur.ColIdx, Val: cur.Val,
+		Lower: &lower, B: b,
+	})
+}
+
+// Drift solves against a structurally edited version of the snapshot
+// st, shipping only base_fp+edits — the wire form of a refactorization
+// with a modified drop pattern. If the server no longer holds the base
+// (404) the full edited matrix is shipped instead and fellBack reports
+// it. On success the factor advances to the edited structure and the
+// server's new fingerprint, unless a concurrent drift got there first.
+//
+// The caller generates edits from st.Cur (see State); st.Fp must be
+// non-empty.
+func (f *Factor) Drift(ctx context.Context, c *Client, st State, edits []sparse.RowEdit, b [][]float64) (resp *Response, fellBack bool, err error) {
+	edited, err := st.Cur.ApplyRowEdits(edits)
+	if err != nil {
+		return nil, false, err
+	}
+	lower := f.lower
+	resp, err = c.Solve(ctx, &Request{BaseFp: st.Fp, Edits: edits, Lower: &lower, B: b})
+	if StatusOf(err) == 404 {
+		// Base evicted server-side: ship the drifted matrix whole.
+		fellBack = true
+		resp, err = c.Solve(ctx, &Request{
+			N: edited.N, RowPtr: edited.RowPtr, ColIdx: edited.ColIdx, Val: edited.Val,
+			Lower: &lower, B: b,
+		})
+	}
+	if err == nil && resp.Fp != "" {
+		f.mu.Lock()
+		if f.cur == st.Cur { // nobody drifted the factor while we were on the wire
+			f.cur = edited
+			fp := resp.Fp
+			f.fp.Store(&fp)
+		}
+		f.mu.Unlock()
+	}
+	return resp, fellBack, err
+}

@@ -204,7 +204,7 @@ var benchInvocations = [][]string{
 	{"-bench", ".",
 		"./internal/executor", "./internal/schedule", "./internal/trisolve",
 		"./internal/core", "./internal/plancache", "./internal/planner",
-		"./internal/server", "./internal/delta"},
+		"./internal/server", "./internal/delta", "./internal/router"},
 	{"-bench", "^BenchmarkRuntimeRepeatedRun$", "."},
 }
 

@@ -2,14 +2,15 @@ package main
 
 import (
 	"context"
-	"math/rand"
-	"net/http"
 	"strings"
 	"testing"
 	"time"
 
+	"doconsider/client"
 	"doconsider/internal/problems"
 	"doconsider/internal/server"
+	"doconsider/internal/synthetic"
+	"math/rand"
 )
 
 // TestServeDriftSmoke drives the in-process serving demo with a
@@ -33,11 +34,13 @@ func TestServeDriftSmoke(t *testing.T) {
 	}
 }
 
-// TestDriftTemplateNoEditsFallsThrough pins the degenerate drift paths
-// that once deadlocked: a template whose fingerprint is not yet known
-// (and one whose structure admits no drift) must fall through to a
-// plain request, not block on the template lock.
-func TestDriftTemplateNoEditsFallsThrough(t *testing.T) {
+// TestDriftFactorNoFingerprintFallsThrough pins the degenerate drift
+// path that once deadlocked: a factor whose fingerprint is not yet
+// known must fall through to a plain full submission (the loadgen
+// checks State().Fp before attempting a drift), complete without
+// blocking, and commit the returned fingerprint — after which a real
+// drift request round-trips.
+func TestDriftFactorNoFingerprintFallsThrough(t *testing.T) {
 	s, err := server.New(server.Config{Procs: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -51,34 +54,40 @@ func TestDriftTemplateNoEditsFallsThrough(t *testing.T) {
 		_ = s.Shutdown(ctx)
 	}()
 	p := problems.MustGet("5-PT")
-	tmpl := &solveTemplate{cur: p.L, wf: p.Wf} // fp never registered
-	cfg := loadgenConfig{
-		baseURL: "http://" + s.Addr(), clients: 1, requests: 1, batch: 1,
-		driftRate: 1, driftEdits: 3,
-	}
+	f := client.NewFactor(p.L, true) // fp never registered
+	cli := client.New("http://" + s.Addr())
 	rng := rand.New(rand.NewSource(9))
 	b := randomBatch(rng, 1, p.L.N)
 
-	done := make(chan error, 1)
-	go func() {
-		_, status, msg, attempted, fellBack, err := driftTemplate(http.DefaultClient, &cfg, tmpl, b, rng)
-		if err == nil && status != http.StatusOK {
-			t.Errorf("drift fall-through: status %d: %s", status, msg)
-		}
-		if attempted {
-			t.Error("fall-through wrongly counted as an attempted drift")
-		}
-		if fellBack {
-			t.Error("fall-through wrongly reported a 404 fallback")
-		}
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
-		}
-	case <-time.After(20 * time.Second):
-		t.Fatal("driftTemplate deadlocked on the degenerate (no-fingerprint) path")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if st := f.State(); st.Fp != "" {
+		t.Fatalf("fresh factor has fingerprint %q, want none", st.Fp)
+	}
+	resp, err := f.Solve(ctx, cli, b)
+	if err != nil {
+		t.Fatalf("fall-through full submission: %v", err)
+	}
+	if resp.Fp == "" || f.Fp() != resp.Fp {
+		t.Fatalf("fingerprint not committed: response %q, factor %q", resp.Fp, f.Fp())
+	}
+
+	// With the base registered, a real drift request round-trips and
+	// advances the factor to the server's new fingerprint.
+	st := f.State()
+	edits := synthetic.DriftLower(rng, st.Cur, p.Wf, 3, 0.3)
+	if len(edits) == 0 {
+		t.Skip("structure admits no drift with this seed")
+	}
+	dresp, fellBack, err := f.Drift(ctx, cli, st, edits, b)
+	if err != nil {
+		t.Fatalf("drift request: %v", err)
+	}
+	if fellBack {
+		t.Error("drift against a registered base fell back to a full ship")
+	}
+	if dresp.Fp == st.Fp || f.Fp() != dresp.Fp {
+		t.Fatalf("drift did not advance the fingerprint: base %q, response %q, factor %q",
+			st.Fp, dresp.Fp, f.Fp())
 	}
 }

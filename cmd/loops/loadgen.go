@@ -1,22 +1,21 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"doconsider/client"
 	"doconsider/internal/obs"
 	"doconsider/internal/problems"
 	"doconsider/internal/server"
-	"doconsider/internal/sparse"
 	"doconsider/internal/synthetic"
 )
 
@@ -49,6 +48,7 @@ type loadgenConfig struct {
 	quiet      bool          // suppress the progress header
 	tenants    int           // adversarial multi-tenant mix: tenant 0 latency-class, rest batch (0 disables)
 	tag        tenantTag     // per-client tenant identity; set on goroutine-local copies, not shared
+	noStats    bool          // skip /v1/stats deltas (cluster mode: the front door has router-level stats instead)
 }
 
 // tenantTag is the per-client tenant identity in -tenants mode. The zero
@@ -73,12 +73,13 @@ func (cfg *loadgenConfig) tenantTagFor(clientID int) tenantTag {
 	return tenantTag{name: fmt.Sprintf("batch-%d", ti), class: "batch"}
 }
 
-// headerValue renders the tag in X-Doconsider-Tenant form.
-func (tag tenantTag) headerValue() string {
-	if tag.class == "" {
-		return tag.name
+// clientFor derives the per-tenant client for the tag: untagged traffic
+// rides the shared base client unchanged.
+func (tag tenantTag) clientFor(base *client.Client) *client.Client {
+	if tag.name == "" {
+		return base
 	}
-	return tag.name + ";class=" + tag.class
+	return base.ForTenant(tag.name, tag.class)
 }
 
 // loadgenReport aggregates one load-generation run.
@@ -157,88 +158,41 @@ func (r *loadgenReport) percentile(q float64) time.Duration {
 	return r.latencies[i]
 }
 
-// solveTemplate is the per-problem state of the load generator. fp holds
-// the server-assigned content fingerprint once a full submission has
-// registered the factor; subsequent requests reference it instead of
-// re-shipping the matrix (shared across all clients — real tenants
-// recurring on one problem would do the same). Under -drift-rate the
-// factor itself evolves: drift steps edit cur's nonzero pattern and ship
-// only base_fp + edits, exactly like a refactorization with a modified
-// drop pattern. mu serializes drift steps per problem; fingerprint reads
-// on the recurring path stay lock-free.
-type solveTemplate struct {
-	fp atomic.Pointer[string]
-
-	mu  sync.Mutex
-	cur *sparse.CSR
-	wf  []int32 // wavefronts of cur; invariant under level-compatible drift
+// loadTemplate is the per-problem state of the load generator: a
+// client.Factor handle (which owns the fingerprint-resubmission and
+// drift discipline) plus the wavefronts drift-edit generation needs.
+// Templates are shared across all clients — real tenants recurring on
+// one problem would do the same.
+type loadTemplate struct {
+	f  *client.Factor
+	wf []int32 // wavefronts of the factor; invariant under level-compatible drift
 }
 
-// fullRequest builds a whole-matrix submission for the template's
-// current factor.
-func (t *solveTemplate) fullRequest() server.SolveRequest {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return fullRequestFor(t.cur)
-}
-
-func fullRequestFor(cur *sparse.CSR) server.SolveRequest {
-	lower := true
-	return server.SolveRequest{
-		N: cur.N, RowPtr: cur.RowPtr, ColIdx: cur.ColIdx, Val: cur.Val, Lower: &lower,
-	}
-}
-
-func (t *solveTemplate) n() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.cur.N
-}
-
-func loadgenTemplates(names []string) ([]*solveTemplate, error) {
-	tmpl := make([]*solveTemplate, len(names))
+func loadgenTemplates(names []string) ([]*loadTemplate, error) {
+	tmpl := make([]*loadTemplate, len(names))
 	for i, name := range names {
 		p, err := problems.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		tmpl[i] = &solveTemplate{cur: p.L, wf: p.Wf}
+		tmpl[i] = &loadTemplate{f: client.NewFactor(p.L, true), wf: p.Wf}
 	}
 	return tmpl, nil
 }
 
 // fetchStats reads /v1/stats; failures are soft (the server may already
 // be draining when the run ends).
-func fetchStats(client *http.Client, baseURL string) (server.StatsResponse, bool) {
-	var st server.StatsResponse
-	resp, err := client.Get(baseURL + "/v1/stats")
-	if err != nil {
-		return st, false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return st, false
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return st, false
-	}
-	return st, true
+func fetchStats(cli *client.Client) (server.StatsResponse, bool) {
+	st, err := cli.Stats(context.Background())
+	return st, err == nil
 }
 
 // fetchTraces pulls up to limit completed traces from the server's ring
 // and buckets their per-stage millisecond samples by stage name.
 // Failures are soft, like fetchStats.
-func fetchTraces(client *http.Client, baseURL string, limit int) (map[string][]float64, uint64, bool) {
-	resp, err := client.Get(fmt.Sprintf("%s/v1/trace?limit=%d", baseURL, limit))
-	if err != nil {
-		return nil, 0, false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, false
-	}
+func fetchTraces(cli *client.Client, limit int) (map[string][]float64, uint64, bool) {
 	var tl server.TraceListResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+	if err := cli.GetJSON(context.Background(), fmt.Sprintf("/v1/trace?limit=%d", limit), &tl); err != nil {
 		return nil, 0, false
 	}
 	stages := make(map[string][]float64)
@@ -284,28 +238,30 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 			fmt.Fprintf(w, "loadgen: adversarial tenant mix: 1 latency tenant (lat-0) vs %d batch tenants\n", cfg.tenants-1)
 		}
 	}
-	client := &http.Client{Timeout: cfg.timeout}
+	ctx := context.Background()
+	wireOpt := client.WireJSON
+	if cfg.wire == wireBinary {
+		wireOpt = client.WireBinary
+	}
+	cli := client.New(cfg.baseURL, client.WithWire(wireOpt), client.WithTimeout(cfg.timeout))
 
 	// Warmup (untimed): register every factor with a full submission so
 	// the timed run measures the recurring steady state — by-fingerprint
-	// requests over warm plan and factor caches.
+	// requests over warm plan and factor caches. Factor.Solve ships the
+	// full matrix (no fingerprint yet) and commits the returned one.
 	if !cfg.fullMatrix {
 		rng := rand.New(rand.NewSource(cfg.seed - 1))
 		for _, t := range tmpl {
-			req := t.fullRequest()
-			req.B = randomBatch(rng, 1, req.N)
-			sr, status, msg, err := postSolveRequest(client, &cfg, &req)
-			if err != nil {
+			if _, err := t.f.Solve(ctx, cli, randomBatch(rng, 1, t.f.N())); err != nil {
 				return nil, fmt.Errorf("loadgen: warmup: %w", err)
 			}
-			if status != http.StatusOK {
-				return nil, fmt.Errorf("loadgen: warmup got status %d: %s", status, msg)
-			}
-			fp := sr.Fp
-			t.fp.Store(&fp)
 		}
 	}
-	before, beforeOK := fetchStats(client, cfg.baseURL)
+	var before server.StatsResponse
+	beforeOK := false
+	if !cfg.noStats {
+		before, beforeOK = fetchStats(cli)
+	}
 
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -319,10 +275,10 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		wg.Add(1)
 		go func(clientID int) {
 			defer wg.Done()
-			// Goroutine-local copy: the tag rides in the config so the
-			// poster call chain (template -> request -> wire) stays intact.
-			ccfg := cfg
-			ccfg.tag = cfg.tenantTagFor(clientID)
+			// Per-tenant derived client: shares the base client's
+			// transport, adds the tenant identity to every request.
+			tag := cfg.tenantTagFor(clientID)
+			ccli := tag.clientFor(cli)
 			rng := rand.New(rand.NewSource(cfg.seed + int64(clientID)))
 			for {
 				reqID := int(next.Add(1)) - 1
@@ -330,40 +286,46 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 					return
 				}
 				t := tmpl[rng.Intn(len(tmpl))]
-				b := randomBatch(rng, cfg.batch, t.n())
+				b := randomBatch(rng, cfg.batch, t.f.N())
 				drift := cfg.driftRate > 0 && cfg.driftEdits > 0 && !cfg.fullMatrix &&
 					rng.Float64() < cfg.driftRate
 				t0 := time.Now()
-				var sr *server.SolveResponse
-				var status int
-				var msg string
+				var sr *client.Response
 				var err error
 				attempted, fellBack := false, false
-				if drift {
-					sr, status, msg, attempted, fellBack, err = driftTemplate(client, &ccfg, t, b, rng)
-				} else {
-					sr, status, msg, err = postTemplate(client, &ccfg, t, b)
+				switch {
+				case cfg.fullMatrix:
+					sr, err = t.f.SolveFull(ctx, ccli, b)
+				case drift:
+					// Snapshot and edit generation must use one consistent
+					// matrix/fingerprint pair (State), or a concurrent drift
+					// could slide a newer base under these edits.
+					st := t.f.State()
+					edits := synthetic.DriftLower(rng, st.Cur, t.wf, cfg.driftEdits, 0.3)
+					if len(edits) == 0 || st.Fp == "" {
+						// The structure admits no drift (or was never
+						// registered): plain recurring request.
+						sr, err = t.f.Solve(ctx, ccli, b)
+					} else {
+						attempted = true
+						sr, fellBack, err = t.f.Drift(ctx, ccli, st, edits, b)
+					}
+				default:
+					sr, err = t.f.Solve(ctx, ccli, b)
 				}
 				lat := time.Since(t0)
 				mu.Lock()
 				var trep *tenantRunReport
 				if rep.perTenant != nil {
-					trep = rep.perTenant[ccfg.tag.name]
+					trep = rep.perTenant[tag.name]
 					if trep == nil {
-						trep = &tenantRunReport{class: ccfg.tag.class}
-						rep.perTenant[ccfg.tag.name] = trep
+						trep = &tenantRunReport{class: tag.class}
+						rep.perTenant[tag.name] = trep
 					}
 				}
+				var ae *client.APIError
 				switch {
-				case err != nil:
-					rep.failed++
-					if trep != nil {
-						trep.failed++
-					}
-					if rep.failMsg == "" {
-						rep.failMsg = err.Error()
-					}
-				case status == http.StatusOK:
+				case err == nil:
 					if len(sr.X)+len(sr.X64) != cfg.batch {
 						rep.failed++
 						if trep != nil {
@@ -389,7 +351,7 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 							}
 						}
 					}
-				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+				case errors.As(err, &ae) && ae.Overloaded():
 					rep.refused++
 					if trep != nil {
 						trep.refused++
@@ -400,7 +362,7 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 						trep.failed++
 					}
 					if rep.failMsg == "" {
-						rep.failMsg = fmt.Sprintf("status %d: %s", status, msg)
+						rep.failMsg = err.Error()
 					}
 				}
 				mu.Unlock()
@@ -415,7 +377,7 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	}
 
-	if after, ok := fetchStats(client, cfg.baseURL); ok && beforeOK {
+	if after, ok := fetchStats(cli); ok && beforeOK {
 		rep.statsOK = true
 		rep.tenantStats = after.Tenants
 		rep.cacheHitRate = after.CacheHitRate
@@ -443,7 +405,7 @@ func loadgen(w io.Writer, cfg loadgenConfig) (*loadgenReport, error) {
 		rep.superMaxWidth = after.Supernode.MaxWidth
 	}
 	if cfg.trace {
-		if stages, dropped, ok := fetchTraces(client, cfg.baseURL, cfg.requests); ok {
+		if stages, dropped, ok := fetchTraces(cli, cfg.requests); ok {
 			rep.stageMs = stages
 			rep.traceDropped = dropped
 		}
@@ -465,198 +427,6 @@ func randomBatch(rng *rand.Rand, k, n int) [][]float64 {
 		bs[j] = row
 	}
 	return bs
-}
-
-// postSolveRequest posts one request over the configured wire format
-// and decodes a 200 reply; non-200 statuses are returned with a nil
-// response, the server's error message and no error (transport problems
-// are the error path).
-func postSolveRequest(client *http.Client, cfg *loadgenConfig, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
-	if cfg.tag.name != "" {
-		req.Tenant, req.Class = cfg.tag.name, cfg.tag.class
-	}
-	if cfg.wire == wireBinary {
-		return postSolveFrame(client, cfg, req)
-	}
-	if len(req.B) > 0 {
-		req.B64 = packBatch(req.B)
-		req.B = nil
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, 0, "", err
-	}
-	hreq, err := http.NewRequest("POST", cfg.baseURL+"/v1/trisolve", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, "", err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if cfg.tag.name != "" {
-		hreq.Header.Set(server.TenantHeader, cfg.tag.headerValue())
-	}
-	resp, err := client.Do(hreq)
-	if err != nil {
-		return nil, 0, "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, resp.StatusCode, e.Error, nil
-	}
-	var sr server.SolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, resp.StatusCode, "", err
-	}
-	return &sr, resp.StatusCode, "", nil
-}
-
-func packBatch(b [][]float64) [][]byte {
-	packed := make([][]byte, len(b))
-	for j, row := range b {
-		packed[j] = server.PackFloats(row)
-	}
-	return packed
-}
-
-// postSolveFrame posts one request as a binary frame and decodes the
-// frame reply into the JSON response shape, so the rest of the load
-// generator is wire-agnostic. Errors raised before the server's frame
-// handler takes over (admission 429, drain 503) arrive as JSON bodies;
-// the Content-Type header says which decoder applies. The tenant rides
-// twice on purpose: the header drives admission (read before the body)
-// and the frame's tenant section attributes the solve after decode.
-func postSolveFrame(client *http.Client, cfg *loadgenConfig, req *server.SolveRequest) (*server.SolveResponse, int, string, error) {
-	body, err := server.EncodeRequestFrame(req)
-	if err != nil {
-		return nil, 0, "", err
-	}
-	hreq, err := http.NewRequest("POST", cfg.baseURL+"/v1/trisolve", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, "", err
-	}
-	hreq.Header.Set("Content-Type", server.FrameContentType)
-	if cfg.tag.name != "" {
-		hreq.Header.Set(server.TenantHeader, cfg.tag.headerValue())
-	}
-	resp, err := client.Do(hreq)
-	if err != nil {
-		return nil, 0, "", err
-	}
-	defer resp.Body.Close()
-	if !strings.HasPrefix(resp.Header.Get("Content-Type"), server.FrameContentType) {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, resp.StatusCode, e.Error, nil
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, resp.StatusCode, "", err
-	}
-	wr, err := server.DecodeResponseFrame(raw)
-	if err != nil {
-		return nil, resp.StatusCode, "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, resp.StatusCode, wr.ErrMsg, nil
-	}
-	return &server.SolveResponse{
-		X: wr.X, Fp: wr.Fp, Fused: wr.Fused, Width: wr.Width,
-		Strategy: wr.Strategy, Executed: wr.Executed,
-	}, resp.StatusCode, "", nil
-}
-
-// postTemplate issues one solve for t: by fingerprint when one is known
-// (falling back to a full submission if the server evicted the factor),
-// otherwise shipping the full matrix and remembering the fingerprint.
-func postTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]float64) (*server.SolveResponse, int, string, error) {
-	lower := true
-	if !cfg.fullMatrix {
-		if fpp := t.fp.Load(); fpp != nil {
-			req := server.SolveRequest{Fp: *fpp, Lower: &lower, B: b}
-			sr, status, msg, err := postSolveRequest(client, cfg, &req)
-			if err != nil || status != http.StatusNotFound {
-				return sr, status, msg, err
-			}
-		}
-	}
-	t.mu.Lock()
-	cur := t.cur
-	t.mu.Unlock()
-	req := fullRequestFor(cur)
-	req.B = b
-	sr, status, msg, err := postSolveRequest(client, cfg, &req)
-	if err == nil && status == http.StatusOK && !cfg.fullMatrix && sr.Fp != "" {
-		// Commit only if no drift replaced the factor while we were on
-		// the wire — the stored fingerprint must always correspond to cur.
-		t.mu.Lock()
-		if t.cur == cur {
-			fp := sr.Fp
-			t.fp.Store(&fp)
-		}
-		t.mu.Unlock()
-	}
-	return sr, status, msg, err
-}
-
-// driftTemplate evolves the template's factor by a structural edit set
-// and solves against the drifted structure, shipping only base_fp +
-// edits — the wire form of a refactorization with a modified drop
-// pattern. attempted reports whether a drift request was actually sent
-// (the degenerate paths fall through to a plain recurring request). If
-// the server no longer holds the base (404) the full drifted matrix is
-// shipped instead (fellBack). The template lock is held only to
-// snapshot and to commit, never across the network round trip:
-// concurrent drifts of one problem race freely and the loser's local
-// update is simply dropped (the server answered it correctly either
-// way), so recurring-path readers block for pointer copies at most.
-func driftTemplate(client *http.Client, cfg *loadgenConfig, t *solveTemplate, b [][]float64, rng *rand.Rand) (sr *server.SolveResponse, status int, msg string, attempted, fellBack bool, err error) {
-	lower := true
-	t.mu.Lock()
-	// fp must be read in the same critical section as cur: a concurrent
-	// drift commit replaces both together, and edits generated from an
-	// old cur against a newer base fingerprint would be rejected by the
-	// server (e.g. deleting a column the other drift already removed).
-	cur, wf, fpp := t.cur, t.wf, t.fp.Load()
-	t.mu.Unlock()
-	edits := synthetic.DriftLower(rng, cur, wf, cfg.driftEdits, 0.3)
-	if len(edits) == 0 || fpp == nil {
-		// The structure admits no drift (or was never registered): plain
-		// recurring request.
-		sr, status, msg, err = postTemplate(client, cfg, t, b)
-		return sr, status, msg, false, false, err
-	}
-	edited, aerr := cur.ApplyRowEdits(edits)
-	if aerr != nil {
-		return nil, 0, "", false, false, aerr
-	}
-	req := server.SolveRequest{BaseFp: *fpp, Edits: edits, Lower: &lower, B: b}
-	sr, status, msg, err = postSolveRequest(client, cfg, &req)
-	if err == nil && status == http.StatusNotFound {
-		// Base evicted server-side: ship the drifted matrix whole.
-		fellBack = true
-		full := server.SolveRequest{
-			N: edited.N, RowPtr: edited.RowPtr, ColIdx: edited.ColIdx, Val: edited.Val,
-			Lower: &lower, B: b,
-		}
-		sr, status, msg, err = postSolveRequest(client, cfg, &full)
-	}
-	if err == nil && status == http.StatusOK && sr.Fp != "" {
-		t.mu.Lock()
-		if t.cur == cur { // nobody drifted the template while we were on the wire
-			t.cur = edited // wf is invariant under level-compatible drift
-			fp := sr.Fp
-			t.fp.Store(&fp)
-		}
-		t.mu.Unlock()
-	}
-	return sr, status, msg, true, fellBack, err
 }
 
 // printLoadgenReport renders the report in the serve/loadgen output style.

@@ -8,22 +8,29 @@
 //
 // Experiments: summary, fig9, table1, table2, table3, table4, table5,
 // fig12, fig13, model, timego, calibrate, numa, gantt, chunks, serve,
-// server, loadgen, all.
+// server, router, cluster, loadgen, all.
 //
-// The serving trio exercises the paper's amortization argument under
+// The serving commands exercise the paper's amortization argument under
 // multi-tenant load:
 //
 //   - server: serve the trisolve HTTP API (internal/server) on a network
 //     address, with request coalescing, admission control and /metrics.
-//   - loadgen: drive a running server with concurrent clients over the
-//     recurring problem suite; report throughput, latency percentiles
-//     and the server's coalescing and cache-hit rates.
+//   - router: the distributed tier's front door (internal/router) —
+//     consistent-hash solve traffic across -backends replicas with
+//     drift-chain affinity and warm plan handoff on rebalance.
+//   - cluster: a self-contained multi-replica deployment — N in-process
+//     replicas on loopback ports behind a front door on -addr.
+//   - loadgen: drive a running server (or front door) with concurrent
+//     clients over the recurring problem suite; report throughput,
+//     latency percentiles and the server's coalescing and cache-hit
+//     rates. -cluster N spins up an in-process cluster to drive.
 //   - serve: the in-process demo — the same server package on a loopback
 //     port, driven by the same loadgen, with a -compare baseline that
 //     disables coalescing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +41,9 @@ import (
 	"doconsider/internal/machine"
 	"doconsider/internal/model"
 	"doconsider/internal/problems"
+	"doconsider/internal/router"
 	"doconsider/internal/schedule"
+	"doconsider/internal/server"
 	"doconsider/internal/tables"
 )
 
@@ -74,6 +83,12 @@ func run(args []string) error {
 	tenantQueue := fs.Int("tenant-queue", 0, "server: per-tenant per-class admission queue depth (0 = default 16, negative sheds immediately)")
 	tenantMax := fs.Int("tenant-max", 0, "server: tenant metric-cardinality cap; overflow pools into \"other\" (0 = default 32)")
 	latencyWindow := fs.Duration("latency-window", 0, "server: coalescing window for latency-class requests (0 = coalesce-window/8, negative disables)")
+	hotFactors := fs.Int("hot-factors", 0, "server: hot-factor ring capacity for warm binary fp lookups (0 = default 8)")
+	backends := fs.String("backends", "", "router: comma-separated replica addresses (host:port)")
+	replicas := fs.Int("replicas", 2, "cluster: in-process replica count")
+	clusterN := fs.Int("cluster", 0, "loadgen: spin up an in-process N-replica cluster and drive its front door (0 = use -addr)")
+	vnodes := fs.Int("vnodes", 0, "router/cluster: virtual nodes per backend (0 = default 64)")
+	warmLimit := fs.Int("warm-limit", 0, "router/cluster: hot fingerprints handed off per losing replica on rebalance (0 = default 32)")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -154,22 +169,80 @@ func run(args []string) error {
 		return runServer(os.Stdout, serverConfig{
 			addr: *addr, debugAddr: *debugAddr, procs: serveProcs(fs, *procs), kind: kind,
 			cacheCap: *cacheCap, window: *window, latencyWindow: *latencyWindow,
-			width: *width, maxInFlight: *maxInFlight,
+			width: *width, maxInFlight: *maxInFlight, hotFactors: *hotFactors,
 			maxBatch: *maxBatch, timeout: *reqTimeout, drainWait: 30 * time.Second,
 			tenantWeights: weights, tenantQuota: *tenantQuota,
 			tenantQueue: *tenantQueue, tenantMax: *tenantMax,
+		}, nil)
+	case "router":
+		backendList, err := parseBackends(*backends)
+		if err != nil {
+			return err
+		}
+		return runRouter(os.Stdout, routerCmdConfig{
+			addr: *addr, backends: backendList, vnodes: *vnodes,
+			warmLimit: *warmLimit, drainWait: 30 * time.Second,
+		}, nil)
+	case "cluster":
+		kind, err := parseKind(*kindName)
+		if err != nil {
+			return err
+		}
+		return runCluster(os.Stdout, clusterCmdConfig{
+			addr: *addr, replicas: *replicas,
+			server: serverConfig{
+				procs: serveProcs(fs, *procs), kind: kind,
+				cacheCap: *cacheCap, window: *window, latencyWindow: *latencyWindow,
+				width: *width, maxInFlight: *maxInFlight, hotFactors: *hotFactors,
+				maxBatch: *maxBatch, timeout: *reqTimeout, drainWait: 30 * time.Second,
+				tenantWeights: weights, tenantQuota: *tenantQuota,
+				tenantQueue: *tenantQueue, tenantMax: *tenantMax,
+			},
 		}, nil)
 	case "loadgen":
 		target := *addr
 		if target != "" && target[0] == ':' {
 			target = "127.0.0.1" + target
 		}
+		baseURL := "http://" + target
+		var cl *router.Cluster
+		if *clusterN > 0 {
+			// In-process cluster mode: the scaling demo. The replicas and
+			// the front door live in this process; the loadgen drives the
+			// front door exactly as it would a remote one.
+			kind, err := parseKind(*kindName)
+			if err != nil {
+				return err
+			}
+			cl, err = router.NewCluster(*clusterN, server.Config{
+				Procs: serveProcs(fs, *procs), Kind: kind, CacheCap: *cacheCap,
+				MaxBatch: *maxBatch, DefaultTimeout: *reqTimeout,
+				Coalesce: server.CoalesceConfig{Window: *window, LatencyWindow: *latencyWindow, Width: *width},
+			}, router.Config{VNodes: *vnodes, WarmLimit: *warmLimit}, "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			baseURL = cl.URL()
+			fmt.Printf("loadgen: in-process cluster of %d replicas behind %s\n", *clusterN, baseURL)
+		}
 		rep, err := loadgen(os.Stdout, loadgenConfig{
-			baseURL: "http://" + target, clients: *clients, requests: *requests,
+			baseURL: baseURL, clients: *clients, requests: *requests,
 			batch: *batch, seed: *seed, timeout: *reqTimeout,
 			driftRate: *driftRate, driftEdits: *driftEdits, wire: *wire, trace: *trace,
-			tenants: *tenants,
+			tenants: *tenants, noStats: cl != nil,
 		})
+		if cl != nil {
+			st := cl.Router().Stats()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			cerr := cl.Close(ctx)
+			cancel()
+			if err == nil && cerr != nil {
+				err = cerr
+			}
+			if err == nil {
+				printRouterStats(os.Stdout, st)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -285,8 +358,26 @@ func validateDriftFlags(exp string, rate float64, edits int) error {
 }
 
 func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|serve|server|loadgen|all> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: loops <summary|fig9|table1|table2|table3|table4|table5|fig12|fig13|model|timego|calibrate|numa|gantt|chunks|serve|server|router|cluster|loadgen|all> [flags]")
 	fs.PrintDefaults()
+}
+
+// parseBackends splits the -backends list, rejecting empty entries (a
+// stray comma would silently shrink the ring).
+func parseBackends(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("usage: router requires -backends host:port[,host:port...]")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("usage: -backends contains an empty address in %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // serveProcs caps the -procs default for real goroutine execution: the

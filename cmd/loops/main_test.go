@@ -100,3 +100,18 @@ func TestDriftFlagValidation(t *testing.T) {
 		t.Errorf("summary rejected irrelevant drift flags: %v", err)
 	}
 }
+
+func TestParseTenantWeights(t *testing.T) {
+	got, err := parseTenantWeights("acme=3, beta=1")
+	if err != nil || got["acme"] != 3 || got["beta"] != 1 || len(got) != 2 {
+		t.Fatalf("parseTenantWeights = %v, %v", got, err)
+	}
+	if got, err := parseTenantWeights(""); err != nil || got != nil {
+		t.Fatalf("empty weights = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"acme", "=3", "acme=zero", "acme=0", "acme=-1"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("accepted malformed -tenant-weights %q", bad)
+		}
+	}
+}

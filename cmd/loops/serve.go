@@ -92,12 +92,11 @@ func serve(w io.Writer, cfg serveConfig) error {
 // report plus the server's final stats snapshot.
 func runServePass(w io.Writer, cfg serveConfig, window time.Duration) (*loadgenReport, server.StatsResponse, error) {
 	s, err := server.New(server.Config{
-		Procs:          cfg.procs,
-		Kind:           cfg.kind,
-		CacheCap:       cfg.cacheCap,
-		CoalesceWindow: window,
-		CoalesceWidth:  cfg.width,
-		MaxBatch:       cfg.maxBatch,
+		Procs:    cfg.procs,
+		Kind:     cfg.kind,
+		CacheCap: cfg.cacheCap,
+		MaxBatch: cfg.maxBatch,
+		Coalesce: server.CoalesceConfig{Window: window, Width: cfg.width},
 	})
 	if err != nil {
 		return nil, server.StatsResponse{}, err

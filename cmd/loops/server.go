@@ -28,6 +28,7 @@ type serverConfig struct {
 	width         int
 	maxInFlight   int
 	maxBatch      int
+	hotFactors    int // hot-factor ring capacity (0 = server default)
 	timeout       time.Duration
 	drainWait     time.Duration
 	tenantWeights map[string]int // per-tenant DRR weights (nil = everyone weight 1)
@@ -38,19 +39,26 @@ type serverConfig struct {
 
 func (c serverConfig) serverOptions() server.Config {
 	return server.Config{
-		Procs:                 c.procs,
-		Kind:                  c.kind,
-		CacheCap:              c.cacheCap,
-		CoalesceWindow:        c.window,
-		CoalesceLatencyWindow: c.latencyWindow,
-		CoalesceWidth:         c.width,
-		MaxInFlight:           c.maxInFlight,
-		MaxBatch:              c.maxBatch,
-		DefaultTimeout:        c.timeout,
-		TenantWeights:         c.tenantWeights,
-		TenantQuota:           c.tenantQuota,
-		TenantQueue:           c.tenantQueue,
-		TenantMax:             c.tenantMax,
+		Procs:          c.procs,
+		Kind:           c.kind,
+		CacheCap:       c.cacheCap,
+		HotFactorCap:   c.hotFactors,
+		MaxBatch:       c.maxBatch,
+		DefaultTimeout: c.timeout,
+		Admission: server.AdmissionConfig{
+			MaxInFlight: c.maxInFlight,
+			Queue:       c.tenantQueue,
+		},
+		Coalesce: server.CoalesceConfig{
+			Window:        c.window,
+			LatencyWindow: c.latencyWindow,
+			Width:         c.width,
+		},
+		Tenant: server.TenantConfig{
+			Weights: c.tenantWeights,
+			Quota:   c.tenantQuota,
+			Max:     c.tenantMax,
+		},
 	}
 }
 

@@ -24,11 +24,10 @@ func TestServerLoadgenIntegration(t *testing.T) {
 	// quickly to overlap — correct behavior, but not the machinery this
 	// test exists to exercise.
 	s, err := server.New(server.Config{
-		Procs:          2,
-		Kind:           "pooled",
-		CacheCap:       8,
-		CoalesceWindow: 20 * time.Millisecond,
-		CoalesceWidth:  64,
+		Procs:    2,
+		Kind:     "pooled",
+		CacheCap: 8,
+		Coalesce: server.CoalesceConfig{Window: 20 * time.Millisecond, Width: 64},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,10 +120,9 @@ func TestServerLoadgenIntegration(t *testing.T) {
 // back once the run drains.
 func TestServerLoadgenBinaryWire(t *testing.T) {
 	s, err := server.New(server.Config{
-		Procs:          2,
-		CacheCap:       8,
-		CoalesceWindow: 2 * time.Millisecond,
-		CoalesceWidth:  16,
+		Procs:    2,
+		CacheCap: 8,
+		Coalesce: server.CoalesceConfig{Window: 2 * time.Millisecond, Width: 16},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -43,6 +43,17 @@
 // trisolve.WithFusion force or disable it; see the "Supernodal
 // execution" section of README.md.
 //
+// Serving scales out behind a consistent-hash front door
+// (internal/router, `loops router` / `loops cluster`): requests route
+// by structural fingerprint so each replica's plan cache stays hot for
+// its shard, drift chains keep their affinity, and ring rebalances
+// hand hot plan skeletons to the gaining replica instead of
+// cold-starting it. The exported client package is the one typed HTTP
+// client for both wire formats — by-fingerprint resubmission, drift
+// requests, tenant identity and honest-backoff retry — consumed by the
+// load generator, the examples and the router's backend leg alike. See
+// the "Cluster serving" section of README.md.
+//
 // The implementation lives under internal/; see README.md for the package
 // map, DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this

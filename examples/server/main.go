@@ -1,18 +1,18 @@
 // Server is a runnable client walkthrough of the serving subsystem: it
 // starts the trisolve server in-process on a loopback port (exactly what
-// `loops server` serves on a real address), then acts as a client —
-// submitting a factor with a full request, resubmitting it by content
-// fingerprint with packed right-hand sides, resubmitting once more over
-// the zero-copy binary frame protocol, firing concurrent requests to
-// show cross-request coalescing, and finally scraping /v1/stats and
-// /metrics. Point baseURL at a remote `loops server` to run the same
-// client over the network.
+// `loops server` serves on a real address), then acts as a client
+// through the exported client package — submitting a factor with a full
+// request, resubmitting it by content fingerprint, resubmitting once
+// more over the zero-copy binary frame protocol, firing concurrent
+// requests to show cross-request coalescing, and finally scraping
+// /v1/stats and /metrics. Point baseURL at a remote `loops server` (or
+// a `loops router` front door — same surface) to run the same client
+// over the network.
 package main
 
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"doconsider/client"
 	"doconsider/internal/ilu"
 	"doconsider/internal/server"
 	"doconsider/internal/stencil"
@@ -34,9 +35,8 @@ func main() {
 
 func run() error {
 	srv, err := server.New(server.Config{
-		Procs:          2,
-		CoalesceWindow: 5 * time.Millisecond,
-		CoalesceWidth:  32,
+		Procs:    2,
+		Coalesce: server.CoalesceConfig{Window: 5 * time.Millisecond, Width: 32},
 	})
 	if err != nil {
 		return err
@@ -46,6 +46,12 @@ func run() error {
 	}
 	baseURL := "http://" + srv.Addr()
 	fmt.Printf("server listening on %s\n\n", srv.Addr())
+	ctx := context.Background()
+
+	// The typed client owns all request encoding: one for the JSON wire,
+	// one for the DCWF binary frame wire. Both speak to the same server.
+	cli := client.New(baseURL)
+	bcli := client.New(baseURL, client.WithWire(client.WireBinary))
 
 	// The factor: L from the zero-fill factorization of a 63x63 mesh —
 	// the paper's 5-PT workload.
@@ -66,22 +72,25 @@ func run() error {
 	}
 
 	// 1. Full submission: ship the CSR structure + values + one RHS.
-	lower := true
-	full := server.SolveRequest{
-		N: l.N, RowPtr: l.RowPtr, ColIdx: l.ColIdx, Val: l.Val,
-		Lower: &lower, B: [][]float64{b},
+	// Factor wraps the recurring-traffic idiom — first Solve registers
+	// the matrix and remembers the server's content fingerprint.
+	f := client.NewFactor(l, true)
+	sr, err := f.Solve(ctx, cli, [][]float64{b})
+	if err != nil {
+		return err
 	}
-	sr, err := post(baseURL, &full)
+	x1, err := sr.Solutions()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("full submission:   n=%d nnz=%d -> x[0]=%.6f, factor fingerprint %s\n",
-		l.N, l.NNZ(), sr.X[0][0], sr.Fp)
+		l.N, l.NNZ(), x1[0][0], sr.Fp)
 
-	// 2. Recurring traffic: resubmit by fingerprint with packed RHS —
-	// no matrix on the wire, no JSON float parsing.
-	byFp := server.SolveRequest{Fp: sr.Fp, Lower: &lower, B64: [][]byte{server.PackFloats(b)}}
-	sr2, err := post(baseURL, &byFp)
+	// 2. Recurring traffic: resubmit by fingerprint — no matrix on the
+	// wire, and the client packs the RHS as base64 floats (no JSON float
+	// parsing server-side). Factor falls back to a full ship by itself
+	// if the server has evicted the factor.
+	sr2, err := f.Solve(ctx, cli, [][]float64{b})
 	if err != nil {
 		return err
 	}
@@ -89,25 +98,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("by fingerprint:    x[0]=%.6f (bit-identical: %v)\n", xs[0][0], xs[0][0] == sr.X[0][0])
+	fmt.Printf("by fingerprint:    x[0]=%.6f (bit-identical: %v)\n", xs[0][0], xs[0][0] == x1[0][0])
 
-	// 3. The binary wire protocol: the same by-fingerprint request as a
-	// zero-copy frame. server.EncodeRequestFrame is the client-side
-	// encoder; the server decodes the frame by slicing it in place into
-	// pooled arena memory (no JSON, no base64, 0 allocs/op when warm)
-	// and replies with a frame that DecodeResponseFrame unpacks.
-	frame, err := server.EncodeRequestFrame(&server.SolveRequest{
-		Fp: sr.Fp, Lower: &lower, B: [][]float64{b},
-	})
+	// 3. The binary wire protocol: the same by-fingerprint request over
+	// a zero-copy DCWF frame — same client API, different Wire option.
+	// The server decodes the frame by slicing it in place into pooled
+	// arena memory (no JSON, no base64, 0 allocs/op when warm).
+	sr3, err := f.Solve(ctx, bcli, [][]float64{b})
 	if err != nil {
 		return err
 	}
-	wr, err := postFrame(baseURL, frame)
+	x3, err := sr3.Solutions()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("binary frame:      x[0]=%.6f (bit-identical: %v, %d bytes on the wire)\n",
-		wr.X[0][0], wr.X[0][0] == sr.X[0][0], len(frame))
+	fmt.Printf("binary frame:      x[0]=%.6f (bit-identical: %v)\n",
+		x3[0][0], x3[0][0] == x1[0][0])
 
 	// 4. Concurrent clients on one structure: requests arriving within
 	// the coalescing window share a single executor pass.
@@ -123,8 +129,7 @@ func run() error {
 			for i := range rhs {
 				rhs[i] = rng.Float64()
 			}
-			req := server.SolveRequest{Fp: sr.Fp, Lower: &lower, B64: [][]byte{server.PackFloats(rhs)}}
-			resp, err := post(baseURL, &req)
+			resp, err := f.Solve(ctx, cli, [][]float64{rhs})
 			if err == nil {
 				fused[c] = resp.Fused
 			}
@@ -134,7 +139,10 @@ func run() error {
 	fmt.Printf("concurrent burst:  per-request pass sharing (fused counts): %v\n", fused)
 
 	// 5. Observability: the JSON stats snapshot and a few metric lines.
-	stats := srv.Stats()
+	stats, err := cli.Stats(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("\nstats: plan cache hit rate %.1f%%, coalescing rate %.1f%% (%d passes for %d requests)\n",
 		100*stats.CacheHitRate, 100*stats.Coalesce.Rate, stats.Coalesce.Passes, stats.Coalesce.Requests)
 	resp, err := http.Get(baseURL + "/metrics")
@@ -155,53 +163,7 @@ func run() error {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return srv.Shutdown(ctx)
-}
-
-func post(baseURL string, req *server.SolveRequest) (*server.SolveResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.Post(baseURL+"/v1/trisolve", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
-	}
-	var sr server.SolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, err
-	}
-	return &sr, nil
-}
-
-// postFrame posts an encoded request frame and decodes the frame reply
-// — the whole binary client fits in a dozen lines.
-func postFrame(baseURL string, frame []byte) (*server.WireResponse, error) {
-	resp, err := http.Post(baseURL+"/v1/trisolve", server.FrameContentType, bytes.NewReader(frame))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, err
-	}
-	wr, err := server.DecodeResponseFrame(buf.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, wr.ErrMsg)
-	}
-	return wr, nil
+	return srv.Shutdown(sctx)
 }

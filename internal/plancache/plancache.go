@@ -195,6 +195,46 @@ func (c *Cache[K, V]) NoteHit() {
 	c.mu.Unlock()
 }
 
+// Keys returns up to limit resident keys, most recently used first
+// (limit <= 0 means all). Entries still being built are included — a
+// key's presence means a caller wanted it, which is what hotness
+// enumeration (the sharded tier's warm handoff) needs. The snapshot is
+// point-in-time: keys may be evicted before the caller acts on them.
+func (c *Cache[K, V]) Keys(limit int) []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	keys := make([]K, 0, n)
+	for e := c.lru.front; e != nil && len(keys) < n; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}
+
+// Peek returns a handle to a built, resident entry without counting a
+// hit or refreshing its LRU position — an observer's read, not a
+// caller's. It reports false for absent keys and for entries whose
+// build is still in flight (Peek never blocks). The handle pins the
+// value like Get's and must be Released.
+func (c *Cache[K, V]) Peek(key K) (*Handle[K, V], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.built {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	e.refs++
+	return &Handle[K, V]{c: c, e: e}, true
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache[K, V]) Stats() Stats {
 	c.mu.Lock()

@@ -1,0 +1,73 @@
+package router
+
+import "sync"
+
+// affinityMap pins fingerprints to replicas outside the ring's say-so.
+// Drift chains create it: a base_fp+edits request is served on the
+// shard owning the BASE fingerprint, and the repaired factor registers
+// there under a NEW fingerprint that would hash anywhere. Pinning the
+// new fingerprint keeps the whole chain — and every later by-fp
+// resubmission of it — on the replica that already holds the plans.
+//
+// The map is bounded: at capacity, the oldest pin is overwritten
+// (FIFO). A dropped pin is not a correctness event — the request falls
+// back to ring routing and the target replica rebuilds the plan.
+type affinityMap struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[uint64]string
+	fifo []uint64
+	next int
+}
+
+func newAffinityMap(cap int) *affinityMap {
+	return &affinityMap{
+		cap:  cap,
+		m:    make(map[uint64]string, cap),
+		fifo: make([]uint64, 0, cap),
+	}
+}
+
+func (a *affinityMap) get(fp uint64) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	addr, ok := a.m[fp]
+	return addr, ok
+}
+
+func (a *affinityMap) put(fp uint64, addr string) {
+	if a.cap == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, exists := a.m[fp]; exists {
+		a.m[fp] = addr
+		return
+	}
+	if len(a.fifo) < a.cap {
+		a.fifo = append(a.fifo, fp)
+	} else {
+		delete(a.m, a.fifo[a.next])
+		a.fifo[a.next] = fp
+		a.next = (a.next + 1) % a.cap
+	}
+	a.m[fp] = addr
+}
+
+// dropAddr removes every pin pointing at a departed replica.
+func (a *affinityMap) dropAddr(addr string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for fp, v := range a.m {
+		if v == addr {
+			delete(a.m, fp)
+		}
+	}
+}
+
+func (a *affinityMap) size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.m)
+}

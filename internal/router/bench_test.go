@@ -1,0 +1,76 @@
+package router
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"doconsider/internal/server"
+)
+
+// BenchmarkRouteKey measures the front door's per-request decode cost:
+// extracting the routing fingerprint from a warm by-fp resubmission on
+// each wire. The binary path is an exact zero-allocation contract (the
+// section table is pooled); the JSON path pays one SolveRequest decode.
+func BenchmarkRouteKey(b *testing.B) {
+	lower := true
+	rhs := make([]float64, 64)
+	for i := range rhs {
+		rhs[i] = float64(i) + 0.5
+	}
+	req := &server.SolveRequest{Fp: "00000000deadbeef", Lower: &lower, B: [][]float64{rhs}}
+	frame, err := server.EncodeRequestFrame(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jsonBody, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("fp-binary", func(b *testing.B) {
+		// One warm call first: the section-table scratch pool fills on
+		// first use, and that one-time allocation must not bill the
+		// measured loop at -benchtime 1x.
+		if _, _, err := server.RouteKey(frame, true); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := server.RouteKey(frame, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fp-json", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := server.RouteKey(jsonBody, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRingLookup measures the consistent-hash step at production
+// topology (8 backends x 64 vnodes). Zero allocations: the sorted point
+// list is immutable and lookups are a binary search.
+func BenchmarkRingLookup(b *testing.B) {
+	addrs := make([]string, 8)
+	for i := range addrs {
+		addrs[i] = "10.0.0." + string(rune('1'+i)) + ":9000"
+	}
+	r := newRing(addrs, 64)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.lookup(keys[i&1023])
+	}
+}

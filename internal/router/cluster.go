@@ -1,0 +1,180 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"doconsider/internal/server"
+)
+
+// Cluster is an in-process multi-replica deployment: N trisolve servers
+// on loopback ports behind one Router. It exists so the distributed
+// tier is exercisable in a single process — `loops cluster`, the
+// scaling demo (`loops loadgen -cluster`) and the chaos tests all run
+// on it, race detector and all.
+type Cluster struct {
+	scfg   server.Config
+	router *Router
+
+	mu      sync.Mutex
+	servers map[string]*server.Server // live replicas by address
+}
+
+// NewCluster starts replicas servers (each configured with scfg) and a
+// router over them listening on addr ("127.0.0.1:0" for an ephemeral
+// port). rcfg.Backends is filled in by the cluster; leave it nil.
+func NewCluster(replicas int, scfg server.Config, rcfg Config, addr string) (*Cluster, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("router: cluster needs at least 1 replica, got %d", replicas)
+	}
+	c := &Cluster{scfg: scfg, servers: make(map[string]*server.Server, replicas)}
+	addrs := make([]string, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		s, addr, err := c.startReplica()
+		if err != nil {
+			c.stopAll()
+			return nil, err
+		}
+		c.servers[addr] = s
+		addrs = append(addrs, addr)
+	}
+	rcfg.Backends = addrs
+	rt, err := New(rcfg)
+	if err != nil {
+		c.stopAll()
+		return nil, err
+	}
+	if err := rt.Start(addr); err != nil {
+		c.stopAll()
+		return nil, err
+	}
+	c.router = rt
+	return c, nil
+}
+
+func (c *Cluster) startReplica() (*server.Server, string, error) {
+	s, err := server.New(c.scfg)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return nil, "", err
+	}
+	return s, s.Addr(), nil
+}
+
+// URL returns the router's base URL — the cluster's single front door.
+func (c *Cluster) URL() string { return "http://" + c.router.Addr() }
+
+// Router returns the front door for direct inspection.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Addrs returns the live replica addresses.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.servers))
+	for a := range c.servers {
+		addrs = append(addrs, a)
+	}
+	return addrs
+}
+
+// Replicas returns the live replica count.
+func (c *Cluster) Replicas() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.servers)
+}
+
+// Server returns a live replica by address (nil if killed or unknown).
+func (c *Cluster) Server(addr string) *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[addr]
+}
+
+// Kill hard-stops one replica and removes it from the ring — the crash
+// case. The server is shut down FIRST, so the router's warm handoff
+// finds nobody home and the departed keys rebuild cold on their new
+// shards (exactly what a real crash costs).
+func (c *Cluster) Kill(ctx context.Context, addr string) error {
+	c.mu.Lock()
+	s := c.servers[addr]
+	delete(c.servers, addr)
+	c.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("router: no live replica at %s", addr)
+	}
+	_ = s.Shutdown(ctx) // drain error is expected noise when killing under load
+	_, err := c.router.RemoveBackend(ctx, addr)
+	return err
+}
+
+// Drain gracefully removes one replica: warm handoff first (the replica
+// is still serving /v1/shard/* during the export), then ring cutover,
+// then shutdown.
+func (c *Cluster) Drain(ctx context.Context, addr string) error {
+	c.mu.Lock()
+	s := c.servers[addr]
+	c.mu.Unlock()
+	if s == nil {
+		return fmt.Errorf("router: no live replica at %s", addr)
+	}
+	if _, err := c.router.RemoveBackend(ctx, addr); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.servers, addr)
+	c.mu.Unlock()
+	return s.Shutdown(ctx)
+}
+
+// Rejoin starts a fresh replica and joins it to the ring; the router
+// pre-warms it from the losing replicas before cutover. Returns the new
+// replica's address.
+func (c *Cluster) Rejoin(ctx context.Context) (string, error) {
+	s, addr, err := c.startReplica()
+	if err != nil {
+		return "", err
+	}
+	if _, err := c.router.AddBackend(ctx, addr); err != nil {
+		sctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = s.Shutdown(sctx)
+		return "", err
+	}
+	c.mu.Lock()
+	c.servers[addr] = s
+	c.mu.Unlock()
+	return addr, nil
+}
+
+func (c *Cluster) stopAll() {
+	c.mu.Lock()
+	servers := c.servers
+	c.servers = make(map[string]*server.Server)
+	c.mu.Unlock()
+	for _, s := range servers {
+		_ = s.Shutdown(context.Background())
+	}
+}
+
+// Close shuts the router down, then every live replica.
+func (c *Cluster) Close(ctx context.Context) error {
+	var err error
+	if c.router != nil {
+		err = c.router.Shutdown(ctx)
+	}
+	c.mu.Lock()
+	servers := c.servers
+	c.servers = make(map[string]*server.Server)
+	c.mu.Unlock()
+	for _, s := range servers {
+		if serr := s.Shutdown(ctx); err == nil {
+			err = serr
+		}
+	}
+	return err
+}

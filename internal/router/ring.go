@@ -1,0 +1,143 @@
+// Package router is the distributed tier's stateless front door: it
+// consistent-hashes /v1/trisolve requests across a set of server
+// replicas by structural fingerprint, keeps drift chains on the replica
+// holding their base plan, and warm-hands-off hot plan skeletons when
+// the ring rebalances (replica join or leave) so cutover lands on warm
+// caches instead of cold starts.
+//
+// The router speaks both wire formats (JSON and DCWF frames) without
+// decoding request bodies beyond the routing key (server.RouteKey), and
+// passes backend replies through honestly — a 429/503 shed reaches the
+// caller with its Retry-After and trace ID intact. It exposes its own
+// /metrics and /v1/stats (per-backend routed/retried/failed counters,
+// ring topology, rebalance events) and /healthz (healthy while at least
+// one backend is).
+package router
+
+import (
+	"sort"
+
+	"doconsider/internal/fphash"
+)
+
+// ringPoint is one virtual node: a backend address hashed to a position
+// on the 64-bit ring.
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// ring is an immutable consistent-hash ring over backend addresses.
+// Immutability is the concurrency story: lookups take a snapshot
+// pointer and never see a half-built ring; membership changes build a
+// new ring (with/without) and swap it in.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	addrs  []string    // sorted member list
+}
+
+// vnodeHash positions virtual node i of a backend. The fingerprint hash
+// keeps the whole tier on one hash family — deterministic across
+// processes, so every router instance agrees on the topology.
+func vnodeHash(addr string, i int) uint64 {
+	h := uint64(fphash.Offset)
+	for j := 0; j < len(addr); j++ {
+		h = fphash.Mix(h, uint64(addr[j]))
+	}
+	h = fphash.Mix(h, uint64(i))
+	return fphash.Final(h)
+}
+
+// newRing builds a ring with vnodes virtual nodes per backend.
+// Duplicate addresses are collapsed.
+func newRing(addrs []string, vnodes int) *ring {
+	seen := make(map[string]bool, len(addrs))
+	members := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			members = append(members, a)
+		}
+	}
+	sort.Strings(members)
+	r := &ring{vnodes: vnodes, addrs: members}
+	r.points = make([]ringPoint, 0, len(members)*vnodes)
+	for _, a := range members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(a, i), addr: a})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr // total order for determinism
+	})
+	return r
+}
+
+// members returns the sorted backend list.
+func (r *ring) members() []string { return r.addrs }
+
+// size returns the member count.
+func (r *ring) size() int { return len(r.addrs) }
+
+// lookup returns the backend owning key: the first virtual node at or
+// clockwise of the key's ring position.
+func (r *ring) lookup(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].addr
+}
+
+// owners returns up to max distinct backends in ring order starting at
+// the key's owner — the failover sequence for the key.
+func (r *ring) owners(key uint64, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(r.addrs) {
+		max = len(r.addrs)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for n := 0; n < len(r.points) && len(out) < max; n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// with returns a new ring with addr added (or r itself if present).
+func (r *ring) with(addr string) *ring {
+	for _, a := range r.addrs {
+		if a == addr {
+			return r
+		}
+	}
+	return newRing(append(append([]string(nil), r.addrs...), addr), r.vnodes)
+}
+
+// without returns a new ring with addr removed (or r itself if absent).
+func (r *ring) without(addr string) *ring {
+	rest := make([]string, 0, len(r.addrs))
+	for _, a := range r.addrs {
+		if a != addr {
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == len(r.addrs) {
+		return r
+	}
+	return newRing(rest, r.vnodes)
+}

@@ -1,0 +1,127 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterminism checks that the ring is a pure function of its
+// member set: input order, duplicates, and build path (fresh vs
+// with/without) must not change any lookup. Every router instance has
+// to agree on the topology or the tier falls apart.
+func TestRingDeterminism(t *testing.T) {
+	addrs := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000", "10.0.0.4:9000"}
+	a := newRing(addrs, 64)
+	b := newRing([]string{addrs[2], addrs[0], addrs[3], addrs[1], addrs[0]}, 64)
+	c := newRing(addrs[:3], 64).with(addrs[3])
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		key := rng.Uint64()
+		if a.lookup(key) != b.lookup(key) || a.lookup(key) != c.lookup(key) {
+			t.Fatalf("key %#x: lookups disagree across build paths: %q %q %q",
+				key, a.lookup(key), b.lookup(key), c.lookup(key))
+		}
+	}
+	if a.size() != 4 || b.size() != 4 {
+		t.Fatalf("size = %d/%d, want 4 (duplicates must collapse)", a.size(), b.size())
+	}
+}
+
+// TestRingOwners checks the failover sequence: owners(key, max) starts
+// at lookup(key), never repeats a backend, and is capped by membership.
+func TestRingOwners(t *testing.T) {
+	r := newRing([]string{"a:1", "b:1", "c:1"}, 64)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		seq := r.owners(key, 3)
+		if len(seq) != 3 {
+			t.Fatalf("owners returned %d backends, want 3", len(seq))
+		}
+		if seq[0] != r.lookup(key) {
+			t.Fatalf("owners[0] = %q, lookup = %q", seq[0], r.lookup(key))
+		}
+		if seq[0] == seq[1] || seq[1] == seq[2] || seq[0] == seq[2] {
+			t.Fatalf("owners repeats a backend: %v", seq)
+		}
+	}
+	if got := r.owners(1, 10); len(got) != 3 {
+		t.Fatalf("owners capped at membership: got %d, want 3", len(got))
+	}
+	if got := newRing(nil, 64).owners(1, 3); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+}
+
+// TestRingRemapBound is the consistent-hashing contract the warm
+// handoff relies on: adding a backend moves keys ONLY onto the joiner,
+// removing one moves ONLY the keys it owned, and the moved fraction
+// stays near K/N (we allow 2x the ideal share for hash variance at 64
+// vnodes — a modulo-hash router would move ~(N-1)/N of all keys and
+// fail this by an order of magnitude).
+func TestRingRemapBound(t *testing.T) {
+	addrs := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000", "10.0.0.4:9000"}
+	old := newRing(addrs, 64)
+	const keys = 20000
+
+	joiner := "10.0.0.5:9000"
+	grown := old.with(joiner)
+	rng := rand.New(rand.NewSource(3))
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		was, now := old.lookup(key), grown.lookup(key)
+		if was != now {
+			moved++
+			if now != joiner {
+				t.Fatalf("key %#x moved %q -> %q on join; keys may only move to the joiner", key, was, now)
+			}
+		}
+	}
+	ideal := keys / (len(addrs) + 1)
+	if moved > 2*ideal {
+		t.Errorf("join moved %d of %d keys; ideal %d, bound %d", moved, keys, ideal, 2*ideal)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the joiner owns nothing")
+	}
+
+	leaver := addrs[1]
+	shrunk := old.without(leaver)
+	rng = rand.New(rand.NewSource(3))
+	moved = 0
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		was, now := old.lookup(key), shrunk.lookup(key)
+		if was != leaver {
+			if now != was {
+				t.Fatalf("key %#x owned by %q moved to %q on unrelated leave", key, was, now)
+			}
+			continue
+		}
+		moved++
+		if now == leaver {
+			t.Fatalf("key %#x still maps to departed backend %q", key, leaver)
+		}
+	}
+	ideal = keys / len(addrs)
+	if moved > 2*ideal {
+		t.Errorf("leave moved %d of %d keys; ideal %d, bound %d", moved, keys, ideal, 2*ideal)
+	}
+}
+
+// TestRingWithWithoutNoop checks the identity fast paths membership
+// changes rely on to detect no-ops.
+func TestRingWithWithoutNoop(t *testing.T) {
+	r := newRing([]string{"a:1", "b:1"}, 16)
+	if r.with("a:1") != r {
+		t.Error("with(existing) should return the same ring")
+	}
+	if r.without("zzz:1") != r {
+		t.Error("without(absent) should return the same ring")
+	}
+	if got := r.without("a:1").members(); len(got) != 1 || got[0] != "b:1" {
+		t.Errorf("without(a:1) members = %v, want [b:1]", got)
+	}
+}

@@ -1,0 +1,741 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doconsider/client"
+	"doconsider/internal/server"
+)
+
+// Config parameterizes the front door. The zero value plus a backend
+// list is serviceable; see withDefaults for the filled-in values.
+type Config struct {
+	Backends       []string      // replica addresses (host:port), at least one
+	VNodes         int           // virtual nodes per backend (default 64)
+	HealthInterval time.Duration // backend /healthz probe period (default 500ms)
+	Retries        int           // extra attempts after a connection failure (default 2)
+	RetryBackoff   time.Duration // base retry backoff, jittered and doubled per attempt (default 20ms)
+	AffinityCap    int           // drift-chain affinity entries (default 4096)
+	WarmLimit      int           // hot fingerprints handed off per losing replica on rebalance (default 32)
+	HTTPClient     *http.Client  // backend transport (default: dedicated pooled client)
+}
+
+// Validate rejects nonsensical configurations, naming the offending
+// field (the same contract as server.Config.Validate).
+func (c Config) Validate() error {
+	switch {
+	case len(c.Backends) == 0:
+		return errors.New("router: Config.Backends must name at least one replica")
+	case c.VNodes < 0:
+		return fmt.Errorf("router: Config.VNodes must be >= 0, got %d", c.VNodes)
+	case c.HealthInterval < 0:
+		return fmt.Errorf("router: Config.HealthInterval must be >= 0, got %v", c.HealthInterval)
+	case c.Retries < 0:
+		return fmt.Errorf("router: Config.Retries must be >= 0, got %d", c.Retries)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("router: Config.RetryBackoff must be >= 0, got %v", c.RetryBackoff)
+	case c.AffinityCap < 0:
+		return fmt.Errorf("router: Config.AffinityCap must be >= 0, got %d", c.AffinityCap)
+	case c.WarmLimit < 0:
+		return fmt.Errorf("router: Config.WarmLimit must be >= 0, got %d", c.WarmLimit)
+	}
+	for _, a := range c.Backends {
+		if a == "" {
+			return errors.New("router: Config.Backends contains an empty address")
+		}
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
+	if c.AffinityCap == 0 {
+		c.AffinityCap = 4096
+	}
+	if c.WarmLimit == 0 {
+		c.WarmLimit = 32
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}}
+	}
+	return c
+}
+
+// backend is one replica: its client (shared transport), health bit and
+// per-backend counters. Counters live here rather than in the metrics
+// registry so a replica can leave and rejoin without duplicating
+// registered series.
+type backend struct {
+	addr    string
+	cli     *client.Client
+	healthy atomic.Bool
+	routed  atomic.Uint64 // responses relayed from this backend
+	retried atomic.Uint64 // connection failures that moved the request on
+	failed  atomic.Uint64 // requests that exhausted retries here
+	stop    chan struct{} // closes the health loop
+}
+
+// BackendStats is one replica's row in the router's /v1/stats.
+type BackendStats struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Routed  uint64 `json:"routed"`
+	Retried uint64 `json:"retried"`
+	Failed  uint64 `json:"failed"`
+}
+
+// RebalanceEvent records one ring membership change and its warm
+// handoff: how many hot fingerprints remapped to the gaining replica
+// and how many were successfully pre-warmed before cutover.
+type RebalanceEvent struct {
+	Kind   string  `json:"kind"` // "join" or "leave"
+	Addr   string  `json:"addr"`
+	Moved  int     `json:"moved"`
+	Warmed int     `json:"warmed"`
+	Ms     float64 `json:"ms"`
+}
+
+// StatsResponse is the router's GET /v1/stats payload.
+type StatsResponse struct {
+	Backends     []BackendStats    `json:"backends"`
+	VNodes       int               `json:"vnodes"`
+	Requests     uint64            `json:"requests"`
+	BadRequests  uint64            `json:"bad_requests"`
+	NoBackend    uint64            `json:"no_backend"`
+	Retries      uint64            `json:"retries"`
+	Failures     uint64            `json:"failures"`
+	RouteKinds   map[string]uint64 `json:"route_kinds"`
+	AffinitySize int               `json:"affinity_size"`
+	AffinityHits uint64            `json:"affinity_hits"`
+	Rebalances   []RebalanceEvent  `json:"rebalances"`
+}
+
+// Router is the stateless front door. Create with New, serve with Start
+// (or mount Handler), stop with Shutdown. Membership changes go through
+// AddBackend/RemoveBackend, which run the warm handoff protocol before
+// cutting the ring over.
+type Router struct {
+	cfg     Config
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	ln      net.Listener
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	reg     *server.Registry
+
+	mu       sync.RWMutex // guards ring + backends membership
+	ring     *ring
+	backends map[string]*backend
+
+	affinity *affinityMap
+
+	requests     *server.Counter
+	badRequests  *server.Counter
+	noBackend    *server.Counter
+	retries      *server.Counter
+	failures     *server.Counter
+	affinityHits *server.Counter
+	rebalJoin    *server.Counter
+	rebalLeave   *server.Counter
+	routeKinds   [3]*server.Counter
+	latency      *server.Histogram
+
+	rebalMu    sync.Mutex
+	rebalances []RebalanceEvent
+}
+
+// maxBodyBytes bounds buffered request bodies: the binary wire is
+// already bounded by MaxFrameBytes; JSON carries base64/decimal
+// overhead on the same content, so it gets headroom.
+const maxBodyBytes = 4 * server.MaxFrameBytes
+
+// New builds a router over cfg.Backends. Backends start healthy and are
+// probed once Start (or Handler-mounted traffic) begins.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := server.NewRegistry()
+	rt := &Router{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		reg:      reg,
+		ring:     newRing(cfg.Backends, cfg.VNodes),
+		backends: make(map[string]*backend),
+		affinity: newAffinityMap(cfg.AffinityCap),
+
+		requests:     reg.Counter("router_requests_total", "Solve requests received by the front door.", nil),
+		badRequests:  reg.Counter("router_bad_requests_total", "Requests rejected before routing (malformed body).", nil),
+		noBackend:    reg.Counter("router_no_backend_total", "Requests dropped because no backend was reachable.", nil),
+		retries:      reg.Counter("router_retries_total", "Connection failures that moved a request to another attempt.", nil),
+		failures:     reg.Counter("router_failures_total", "Requests that exhausted every backend attempt.", nil),
+		affinityHits: reg.Counter("router_affinity_hits_total", "Requests routed by drift-chain affinity instead of the ring.", nil),
+		rebalJoin:    reg.Counter("router_rebalance_total", "Ring rebalances by kind.", server.Labels{{"kind", "join"}}),
+		rebalLeave:   reg.Counter("router_rebalance_total", "Ring rebalances by kind.", server.Labels{{"kind", "leave"}}),
+	}
+	for k := server.RouteFp; k <= server.RouteInline; k++ {
+		rt.routeKinds[k] = reg.Counter("router_route_kind_total",
+			"Requests by how they named their factor.", server.Labels{{"kind", k.String()}})
+	}
+	rt.latency = reg.Histogram("router_request_seconds", "Front-door request latency.",
+		nil, server.DefaultLatencyBuckets)
+	reg.GaugeFunc("router_backends", "Ring membership size.", nil, func() float64 {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		return float64(rt.ring.size())
+	})
+	reg.GaugeFunc("router_backends_healthy", "Backends currently passing health checks.", nil, func() float64 {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		n := 0
+		for _, b := range rt.backends {
+			if b.healthy.Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("router_affinity_entries", "Live drift-chain affinity entries.", nil, func() float64 {
+		return float64(rt.affinity.size())
+	})
+
+	for _, addr := range rt.ring.members() {
+		rt.backends[addr] = rt.newBackend(addr)
+	}
+
+	rt.mux.HandleFunc("/v1/trisolve", rt.handleSolve)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("/v1/cluster/join", rt.handleJoin)
+	rt.mux.HandleFunc("/v1/cluster/leave", rt.handleLeave)
+	rt.httpSrv = &http.Server{Handler: rt.mux}
+	return rt, nil
+}
+
+// newBackend builds the replica handle and starts its health loop.
+func (rt *Router) newBackend(addr string) *backend {
+	b := &backend{
+		addr: addr,
+		cli:  client.New("http://"+addr, client.WithHTTPClient(rt.cfg.HTTPClient)),
+		stop: make(chan struct{}),
+	}
+	b.healthy.Store(true) // optimistic: the first probe corrects this quickly
+	go rt.healthLoop(b)
+	return b
+}
+
+// healthLoop probes the backend's /healthz every HealthInterval. A
+// draining server answers 503 and is routed around before it refuses
+// solves.
+func (rt *Router) healthLoop(b *backend) {
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.baseCtx.Done():
+			return
+		case <-b.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(rt.baseCtx, rt.cfg.HealthInterval)
+			b.healthy.Store(b.cli.Healthy(ctx))
+			cancel()
+		}
+	}
+}
+
+// Handler returns the router's HTTP handler for mounting on an external
+// server.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Registry returns the router's metrics registry.
+func (rt *Router) Registry() *server.Registry { return rt.reg }
+
+// Start listens on addr and serves in a background goroutine, returning
+// once the listener is bound (Addr is valid immediately after).
+func (rt *Router) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	rt.ln = ln
+	go func() {
+		if err := rt.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // listener broke underneath us; observable as failed requests
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (rt *Router) Addr() string {
+	if rt.ln == nil {
+		return ""
+	}
+	return rt.ln.Addr().String()
+}
+
+// Shutdown stops serving and the health loops. It does not touch the
+// backends — they are independent processes.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	var err error
+	if rt.httpSrv != nil {
+		err = rt.httpSrv.Shutdown(ctx)
+	}
+	rt.cancel()
+	return err
+}
+
+// writeError mirrors the server's JSON error envelope so clients see
+// one error shape through the front door.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// handleSolve is the hot path: extract the routing key, pick the owning
+// replica (drift-chain affinity first, ring otherwise), forward the raw
+// body, and relay the reply verbatim — status, Retry-After and all.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	t0 := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return
+	}
+	contentType := r.Header.Get("Content-Type")
+	binaryWire := strings.HasPrefix(contentType, server.FrameContentType)
+	key, kind, err := server.RouteKey(body, binaryWire)
+	if err != nil {
+		rt.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rt.requests.Inc()
+	rt.routeKinds[kind].Inc()
+
+	candidates := rt.candidatesFor(key)
+	if len(candidates) == 0 {
+		rt.noBackend.Inc()
+		writeError(w, http.StatusServiceUnavailable, "no backends in the ring")
+		return
+	}
+	rt.forward(w, r, candidates, key, kind, contentType, binaryWire, body)
+	rt.latency.Observe(time.Since(t0).Seconds())
+}
+
+// candidatesFor returns the failover sequence for a key: the affinity
+// pin first (a drift-repaired fingerprint lives where its chain
+// started, not where the ring would hash it), then distinct ring owners
+// clockwise from the key. Healthy backends sort before unhealthy ones,
+// which are kept as a last resort — a stale health bit must not turn a
+// reachable replica into a dropped request.
+func (rt *Router) candidatesFor(key uint64) []*backend {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*backend, 0, 4)
+	if addr, ok := rt.affinity.get(key); ok {
+		if b := rt.backends[addr]; b != nil {
+			rt.affinityHits.Inc()
+			out = append(out, b)
+		}
+	}
+	for _, addr := range rt.ring.owners(key, 3) {
+		b := rt.backends[addr]
+		if b == nil {
+			continue
+		}
+		dup := false
+		for _, have := range out {
+			if have == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	// Stable partition: healthy first, preserving affinity/ring order
+	// within each class.
+	sorted := make([]*backend, 0, len(out))
+	for _, b := range out {
+		if b.healthy.Load() {
+			sorted = append(sorted, b)
+		}
+	}
+	for _, b := range out {
+		if !b.healthy.Load() {
+			sorted = append(sorted, b)
+		}
+	}
+	return sorted
+}
+
+// forward tries candidates in order with bounded jittered retries on
+// connection failure. Any HTTP response — including a 429/503 shed — is
+// relayed to the caller as-is; only transport errors move the request
+// to the next attempt.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, candidates []*backend,
+	key uint64, kind server.RouteKind, contentType string, binaryWire bool, body []byte) {
+	tenant := r.Header.Get(server.TenantHeader)
+	attempts := rt.cfg.Retries + 1
+	if attempts > len(candidates) {
+		attempts = len(candidates)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		b := candidates[i]
+		if i > 0 {
+			// Jittered backoff before the failover attempt: a thundering
+			// herd re-converging on one surviving replica in lockstep is
+			// how a brownout becomes an outage.
+			backoff := rt.cfg.RetryBackoff << (i - 1)
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			select {
+			case <-time.After(sleep):
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, "client gone during retry backoff")
+				return
+			}
+		}
+		resp, err := b.cli.Post(r.Context(), "/v1/trisolve", contentType, tenant, body)
+		if err != nil {
+			lastErr = err
+			b.healthy.Store(false) // fast negative; the health loop restores it
+			if i < attempts-1 {
+				b.retried.Add(1)
+				rt.retries.Inc()
+			} else {
+				b.failed.Add(1)
+			}
+			continue
+		}
+		rt.relay(w, resp, b, key, kind, binaryWire)
+		return
+	}
+	rt.failures.Inc()
+	msg := "no backend reachable"
+	if lastErr != nil {
+		msg = fmt.Sprintf("no backend reachable: %v", lastErr)
+	}
+	writeError(w, http.StatusBadGateway, msg)
+}
+
+// relay copies one backend response to the caller and, for successful
+// drift requests, pins the repaired fingerprint to the replica that
+// built it — the next by-fp resubmission of the drifted structure then
+// lands on the warm plan instead of hashing to an arbitrary shard.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, b *backend,
+	key uint64, kind server.RouteKind, binaryWire bool) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		b.failed.Add(1)
+		rt.failures.Inc()
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("reading backend response: %v", err))
+		return
+	}
+	b.routed.Add(1)
+	if resp.StatusCode == http.StatusOK && kind == server.RouteDrift {
+		if fp, ok := server.ResponseFp(body, binaryWire); ok {
+			rt.affinity.put(fp, b.addr)
+			rt.affinity.put(key, b.addr) // the base chain stays pinned across rebalances too
+		}
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// handleHealthz reports front-door health: 200 while at least one
+// backend is passing checks.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rt.mu.RLock()
+	healthy := 0
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	rt.mu.RUnlock()
+	if healthy == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no healthy backends")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the router's Prometheus exposition.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = rt.reg.WritePrometheus(w)
+}
+
+// Stats snapshots the router's counters and topology.
+func (rt *Router) Stats() StatsResponse {
+	rt.mu.RLock()
+	backends := make([]BackendStats, 0, len(rt.backends))
+	for _, addr := range rt.ring.members() {
+		b := rt.backends[addr]
+		if b == nil {
+			continue
+		}
+		backends = append(backends, BackendStats{
+			Addr:    b.addr,
+			Healthy: b.healthy.Load(),
+			Routed:  b.routed.Load(),
+			Retried: b.retried.Load(),
+			Failed:  b.failed.Load(),
+		})
+	}
+	vnodes := rt.ring.vnodes
+	rt.mu.RUnlock()
+	rt.rebalMu.Lock()
+	rebal := append([]RebalanceEvent(nil), rt.rebalances...)
+	rt.rebalMu.Unlock()
+	kinds := make(map[string]uint64, 3)
+	for k := server.RouteFp; k <= server.RouteInline; k++ {
+		kinds[k.String()] = rt.routeKinds[k].Value()
+	}
+	return StatsResponse{
+		Backends:     backends,
+		VNodes:       vnodes,
+		Requests:     rt.requests.Value(),
+		BadRequests:  rt.badRequests.Value(),
+		NoBackend:    rt.noBackend.Value(),
+		Retries:      rt.retries.Value(),
+		Failures:     rt.failures.Value(),
+		RouteKinds:   kinds,
+		AffinitySize: rt.affinity.size(),
+		AffinityHits: rt.affinityHits.Value(),
+		Rebalances:   rebal,
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rt.Stats())
+}
+
+// clusterChange is the /v1/cluster/join and /v1/cluster/leave body.
+type clusterChange struct {
+	Addr string `json:"addr"`
+}
+
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	rt.handleMembership(w, r, rt.AddBackend)
+}
+
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	rt.handleMembership(w, r, rt.RemoveBackend)
+}
+
+func (rt *Router) handleMembership(w http.ResponseWriter, r *http.Request,
+	change func(context.Context, string) (RebalanceEvent, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req clusterChange
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "addr required")
+		return
+	}
+	ev, err := change(r.Context(), req.Addr)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ev)
+}
+
+// recordRebalance appends the event to the bounded history (newest
+// last, capped at 64).
+func (rt *Router) recordRebalance(ev RebalanceEvent) {
+	rt.rebalMu.Lock()
+	rt.rebalances = append(rt.rebalances, ev)
+	if len(rt.rebalances) > 64 {
+		rt.rebalances = rt.rebalances[len(rt.rebalances)-64:]
+	}
+	rt.rebalMu.Unlock()
+}
+
+// AddBackend joins a replica to the ring. Before cutover, the router
+// asks each losing replica for its hot fingerprints (/v1/shard/plans),
+// exports the ones the new ring assigns to the joiner
+// (/v1/shard/factor) and replays them into it (/v1/shard/warm) — so the
+// joiner's first routed request finds its factor registered and its
+// plan built.
+func (rt *Router) AddBackend(ctx context.Context, addr string) (RebalanceEvent, error) {
+	t0 := time.Now()
+	rt.mu.RLock()
+	old := rt.ring
+	_, exists := rt.backends[addr]
+	rt.mu.RUnlock()
+	if exists {
+		return RebalanceEvent{}, fmt.Errorf("router: backend %s already in the ring", addr)
+	}
+	next := old.with(addr)
+	gain := rt.newBackend(addr)
+
+	moved, warmed := 0, 0
+	for _, loser := range old.members() {
+		rt.mu.RLock()
+		lb := rt.backends[loser]
+		rt.mu.RUnlock()
+		if lb == nil {
+			continue
+		}
+		plans := rt.shardPlans(ctx, lb)
+		for _, p := range plans {
+			fp, err := parseHexFp64(p.Fp)
+			if err != nil {
+				continue
+			}
+			// Only fingerprints this replica owns today and loses to the
+			// joiner move; everything else stays put (the K/N contract).
+			if old.lookup(fp) != loser || next.lookup(fp) != addr {
+				continue
+			}
+			moved++
+			if rt.warmOne(ctx, lb, gain, p) {
+				warmed++
+			}
+		}
+	}
+
+	rt.mu.Lock()
+	rt.ring = next
+	rt.backends[addr] = gain
+	rt.mu.Unlock()
+	rt.rebalJoin.Inc()
+	ev := RebalanceEvent{Kind: "join", Addr: addr, Moved: moved, Warmed: warmed,
+		Ms: float64(time.Since(t0).Nanoseconds()) / 1e6}
+	rt.recordRebalance(ev)
+	return ev, nil
+}
+
+// RemoveBackend removes a replica from the ring. If the replica is
+// still reachable its hot fingerprints are handed off to their new
+// owners before cutover; a dead replica (crash) just leaves, and its
+// keys rebuild cold on their new shards.
+func (rt *Router) RemoveBackend(ctx context.Context, addr string) (RebalanceEvent, error) {
+	t0 := time.Now()
+	rt.mu.RLock()
+	old := rt.ring
+	lb := rt.backends[addr]
+	rt.mu.RUnlock()
+	if lb == nil {
+		return RebalanceEvent{}, fmt.Errorf("router: backend %s not in the ring", addr)
+	}
+	if old.size() == 1 {
+		return RebalanceEvent{}, errors.New("router: refusing to remove the last backend")
+	}
+	next := old.without(addr)
+
+	moved, warmed := 0, 0
+	for _, p := range rt.shardPlans(ctx, lb) {
+		fp, err := parseHexFp64(p.Fp)
+		if err != nil {
+			continue
+		}
+		if old.lookup(fp) != addr {
+			continue
+		}
+		moved++
+		rt.mu.RLock()
+		gain := rt.backends[next.lookup(fp)]
+		rt.mu.RUnlock()
+		if gain != nil && rt.warmOne(ctx, lb, gain, p) {
+			warmed++
+		}
+	}
+
+	rt.mu.Lock()
+	rt.ring = next
+	delete(rt.backends, addr)
+	rt.mu.Unlock()
+	close(lb.stop)
+	rt.affinity.dropAddr(addr)
+	rt.rebalLeave.Inc()
+	ev := RebalanceEvent{Kind: "leave", Addr: addr, Moved: moved, Warmed: warmed,
+		Ms: float64(time.Since(t0).Nanoseconds()) / 1e6}
+	rt.recordRebalance(ev)
+	return ev, nil
+}
+
+// shardPlans enumerates a replica's hottest fingerprints, soft-failing
+// (a dead replica has nothing to hand off).
+func (rt *Router) shardPlans(ctx context.Context, b *backend) []server.ShardPlan {
+	var resp server.ShardPlansResponse
+	path := fmt.Sprintf("/v1/shard/plans?limit=%d", rt.cfg.WarmLimit)
+	if err := b.cli.GetJSON(ctx, path, &resp); err != nil {
+		return nil
+	}
+	return resp.Plans
+}
+
+// warmOne moves one factor: export from the loser, replay into the
+// gainer. Both legs soft-fail — a missed warm just means a cold first
+// request on the new shard, not an outage.
+func (rt *Router) warmOne(ctx context.Context, loser, gain *backend, p server.ShardPlan) bool {
+	var sf server.ShardFactor
+	if err := loser.cli.GetJSON(ctx, "/v1/shard/factor?fp="+p.Fp, &sf); err != nil {
+		return false
+	}
+	return gain.cli.PostJSON(ctx, "/v1/shard/warm", sf, nil) == nil
+}
+
+// parseHexFp64 parses a %016x fingerprint.
+func parseHexFp64(s string) (uint64, error) {
+	var fp uint64
+	_, err := fmt.Sscanf(s, "%x", &fp)
+	return fp, err
+}

@@ -1,0 +1,456 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doconsider/internal/server"
+)
+
+// fakeBackend is a scripted replica: /healthz answers 200, /v1/trisolve
+// runs the provided handler and counts hits.
+type fakeBackend struct {
+	ts    *httptest.Server
+	addr  string
+	hits  atomic.Int64
+	last  atomic.Value // last tenant header seen on /v1/trisolve
+	solve http.HandlerFunc
+}
+
+func newFakeBackend(t *testing.T, solve http.HandlerFunc) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{solve: solve}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/trisolve", func(w http.ResponseWriter, r *http.Request) {
+		fb.hits.Add(1)
+		fb.last.Store(r.Header.Get(server.TenantHeader))
+		fb.solve(w, r)
+	})
+	fb.ts = httptest.NewServer(mux)
+	fb.addr = strings.TrimPrefix(fb.ts.URL, "http://")
+	t.Cleanup(fb.ts.Close)
+	return fb
+}
+
+// newTestRouter mounts a router on an httptest server.
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := contextWithTimeout(5 * time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	})
+	return rt, ts
+}
+
+func fpBody(fp uint64) []byte {
+	return []byte(fmt.Sprintf(`{"fp":"%016x","b":[[1]]}`, fp))
+}
+
+func postSolve(t *testing.T, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/trisolve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRouterShedPassThrough checks the honest-shedding contract: a
+// backend 429 reaches the caller with its status, Retry-After, and body
+// (trace ID included) intact, and the tenant header rides through to
+// the backend for admission accounting.
+func TestRouterShedPassThrough(t *testing.T) {
+	const shedBody = `{"error":"shed under load","trace_id":"t-shed-1"}`
+	fb := newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, shedBody)
+	})
+	_, ts := newTestRouter(t, Config{Backends: []string{fb.addr}})
+
+	resp := postSolve(t, ts.URL, fpBody(42), map[string]string{
+		server.TenantHeader: "acme;class=latency",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 passed through", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want %q preserved", got, "3")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != shedBody {
+		t.Errorf("body = %q, want backend shed body verbatim", body)
+	}
+	if got := fb.last.Load(); got != "acme;class=latency" {
+		t.Errorf("backend saw tenant header %q, want %q", got, "acme;class=latency")
+	}
+}
+
+// TestRouterRetryFailover checks the bounded-retry path: a request
+// whose ring owner is unreachable fails over to the next owner, the
+// retry is counted, and the dead backend is marked unhealthy so later
+// requests skip it.
+func TestRouterRetryFailover(t *testing.T) {
+	live := newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"x":[[1]]}`)
+	})
+	// A dead backend: bind a port, then close it so connections refuse.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	rt, ts := newTestRouter(t, Config{
+		Backends: []string{dead, live.addr}, Retries: 2, RetryBackoff: time.Millisecond,
+		HealthInterval: time.Hour, // only the request path may flip health bits here
+	})
+
+	// A key owned by the dead backend must still resolve via failover.
+	r := newRing([]string{dead, live.addr}, 64)
+	rng := rand.New(rand.NewSource(7))
+	key := rng.Uint64()
+	for r.lookup(key) != dead {
+		key = rng.Uint64()
+	}
+	resp := postSolve(t, ts.URL, fpBody(key), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after failover", resp.StatusCode)
+	}
+	st := rt.Stats()
+	if st.Retries == 0 {
+		t.Error("no retry counted for a dead ring owner")
+	}
+	for _, b := range st.Backends {
+		if b.Addr == dead && b.Healthy {
+			t.Error("dead backend still marked healthy after a connection failure")
+		}
+	}
+
+	// The second request to the same key goes straight to the healthy
+	// backend — no new retries.
+	before := rt.Stats().Retries
+	resp = postSolve(t, ts.URL, fpBody(key), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request status = %d, want 200", resp.StatusCode)
+	}
+	if after := rt.Stats().Retries; after != before {
+		t.Errorf("healthy-first ordering should skip the dead backend without retries (got %d new)", after-before)
+	}
+}
+
+// TestRouterDriftAffinity checks drift-chain pinning: after a drift
+// request is repaired on shard A, a by-fp resubmission of the repaired
+// fingerprint routes back to A even when the ring hashes it to shard B.
+func TestRouterDriftAffinity(t *testing.T) {
+	// Both backends answer drift requests with the same repaired
+	// fingerprint; it is chosen below (before any request flows) so the
+	// ring maps it to B while the drift chain runs on A.
+	var repairedFp atomic.Uint64
+	mkBackend := func() *fakeBackend {
+		return newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"x":[[1]],"fp":"%016x"}`, repairedFp.Load())
+		})
+	}
+	a, b := mkBackend(), mkBackend()
+	r := newRing([]string{a.addr, b.addr}, 64)
+	var baseFp uint64
+	rng := rand.New(rand.NewSource(7))
+	for baseFp == 0 || repairedFp.Load() == 0 {
+		k := rng.Uint64()
+		if r.lookup(k) == a.addr && baseFp == 0 {
+			baseFp = k
+		}
+		if r.lookup(k) == b.addr && repairedFp.Load() == 0 {
+			repairedFp.Store(k)
+		}
+	}
+	rt, ts := newTestRouter(t, Config{Backends: []string{a.addr, b.addr}})
+
+	drift := []byte(fmt.Sprintf(`{"base_fp":"%016x","edits":[{"row":0,"val":[1]}],"b":[[1]]}`, baseFp))
+	resp := postSolve(t, ts.URL, drift, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drift status = %d, want 200", resp.StatusCode)
+	}
+	if a.hits.Load() != 1 || b.hits.Load() != 0 {
+		t.Fatalf("drift hit a=%d b=%d, want the base fingerprint's owner (a)", a.hits.Load(), b.hits.Load())
+	}
+
+	// The repaired fingerprint hashes to B, but the pin keeps it on A.
+	if got := r.lookup(repairedFp.Load()); got != b.addr {
+		t.Fatalf("test setup: repaired fp owned by %q, want b=%q", got, b.addr)
+	}
+	resp = postSolve(t, ts.URL, fpBody(repairedFp.Load()), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-fp status = %d, want 200", resp.StatusCode)
+	}
+	if a.hits.Load() != 2 || b.hits.Load() != 0 {
+		t.Errorf("by-fp resubmission hit a=%d b=%d, want affinity to pin it to a", a.hits.Load(), b.hits.Load())
+	}
+	st := rt.Stats()
+	if st.AffinityHits != 1 {
+		t.Errorf("AffinityHits = %d, want 1", st.AffinityHits)
+	}
+	if st.AffinitySize != 2 {
+		t.Errorf("AffinitySize = %d, want 2 (repaired fp + base chain)", st.AffinitySize)
+	}
+}
+
+// TestRouterBadRequests checks the reject-before-routing path.
+func TestRouterBadRequests(t *testing.T) {
+	fb := newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{}`)
+	})
+	rt, ts := newTestRouter(t, Config{Backends: []string{fb.addr}})
+
+	resp, err := http.Get(ts.URL + "/v1/trisolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	for _, body := range []string{"{not json", `{"b":[[1]]}`, `{"fp":"zz"}`} {
+		resp := postSolve(t, ts.URL, []byte(body), nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if st := rt.Stats(); st.BadRequests != 3 {
+		t.Errorf("BadRequests = %d, want 3", st.BadRequests)
+	}
+	if n := fb.hits.Load(); n != 0 {
+		t.Errorf("backend saw %d requests; malformed bodies must not burn a round trip", n)
+	}
+}
+
+// TestRouterMembershipEndpoints drives join/leave over HTTP and checks
+// the guard rails: duplicate join conflicts, removing the last backend
+// is refused.
+func TestRouterMembershipEndpoints(t *testing.T) {
+	a := newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) { io.WriteString(w, `{}`) })
+	b := newFakeBackend(t, func(w http.ResponseWriter, _ *http.Request) { io.WriteString(w, `{}`) })
+	rt, ts := newTestRouter(t, Config{Backends: []string{a.addr}})
+
+	post := func(path, addr string) int {
+		body, _ := json.Marshal(clusterChange{Addr: addr})
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/cluster/join", b.addr); code != http.StatusOK {
+		t.Fatalf("join = %d, want 200", code)
+	}
+	if code := post("/v1/cluster/join", b.addr); code != http.StatusConflict {
+		t.Errorf("duplicate join = %d, want 409", code)
+	}
+	if got := len(rt.Stats().Backends); got != 2 {
+		t.Fatalf("backends = %d after join, want 2", got)
+	}
+	if code := post("/v1/cluster/leave", b.addr); code != http.StatusOK {
+		t.Fatalf("leave = %d, want 200", code)
+	}
+	if code := post("/v1/cluster/leave", a.addr); code != http.StatusConflict {
+		t.Errorf("removing the last backend = %d, want 409", code)
+	}
+	st := rt.Stats()
+	if len(st.Rebalances) != 2 {
+		t.Fatalf("rebalance events = %d, want 2", len(st.Rebalances))
+	}
+	if st.Rebalances[0].Kind != "join" || st.Rebalances[1].Kind != "leave" {
+		t.Errorf("rebalance kinds = %s/%s, want join/leave", st.Rebalances[0].Kind, st.Rebalances[1].Kind)
+	}
+}
+
+func contextWithTimeout(d time.Duration) (ctx context.Context, cancel context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// TestRouterConfigValidate pins the config contract: every nonsensical
+// field is rejected by name, mirroring server.Config.Validate.
+func TestRouterConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Backends: []string{"a:1"}, VNodes: -1},
+		{Backends: []string{"a:1"}, HealthInterval: -time.Second},
+		{Backends: []string{"a:1"}, Retries: -1},
+		{Backends: []string{"a:1"}, RetryBackoff: -time.Second},
+		{Backends: []string{"a:1"}, AffinityCap: -1},
+		{Backends: []string{"a:1"}, WarmLimit: -1},
+		{Backends: []string{"a:1", ""}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated despite a nonsensical field: %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted invalid config %d", i)
+		}
+	}
+	if err := (Config{Backends: []string{"a:1"}}).Validate(); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+// TestRouterObservability covers the front door's own surface: /healthz
+// flips with backend health, /metrics carries the router families, and
+// /v1/stats is the JSON view of Stats().
+func TestRouterObservability(t *testing.T) {
+	fb := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"fp":"00000000000000aa","solutions":[[1]]}`)
+	})
+	rt, ts := newTestRouter(t, Config{Backends: []string{fb.addr}})
+	if rt.Registry() == nil {
+		t.Fatal("router has no metrics registry")
+	}
+
+	resp := postSolve(t, ts.URL, fpBody(0xaa), nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve through router = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz with a healthy backend = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"router_requests_total", "router_backends 1", "router_backends_healthy",
+		"router_affinity_entries", "router_request_seconds",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 || st.VNodes != 64 || len(st.Backends) != 1 || !st.Backends[0].Healthy {
+		t.Errorf("stats = %+v, want >=1 request over 1 healthy backend at 64 vnodes", st)
+	}
+}
+
+// TestRouterHealthzAllBackendsDown pins the front door's own liveness
+// contract: once every backend fails its checks, /healthz turns 503 so
+// an upstream balancer stops sending traffic here.
+func TestRouterHealthzAllBackendsDown(t *testing.T) {
+	_, ts := newTestRouter(t, Config{
+		Backends:       []string{"127.0.0.1:1"},
+		HealthInterval: 5 * time.Millisecond,
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz still %d with every backend down", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterMembershipBadRequests pins the join/leave input contract:
+// wrong method, malformed body and a missing addr are each rejected
+// before the ring is touched.
+func TestRouterMembershipBadRequests(t *testing.T) {
+	fb := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {})
+	rt, ts := newTestRouter(t, Config{Backends: []string{fb.addr}})
+	cases := []struct {
+		method, body string
+		want         int
+	}{
+		{http.MethodGet, "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "{not json", http.StatusBadRequest},
+		{http.MethodPost, `{}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+"/v1/cluster/join", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %q = %d, want %d", tc.method, tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	if got := len(rt.Stats().Backends); got != 1 {
+		t.Errorf("ring changed to %d backends on rejected membership requests", got)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // can hold regardless of its weight.
 //
 // Requests that cannot be admitted immediately wait in a short
-// per-tenant queue (Config.TenantQueue per class) instead of being
+// per-tenant queue (Config.Admission.Queue per class) instead of being
 // shed outright; the queue is what fairness is arbitrated over. When
 // the queue is full — or queueing is disabled — the request is shed
 // with a 429 whose Retry-After is derived from the observed drain rate
@@ -70,8 +70,8 @@ type admission struct {
 
 func newAdmission(cfg Config, reg *Registry) *admission {
 	return &admission{
-		capacity: cfg.MaxInFlight,
-		queueCap: cfg.TenantQueue,
+		capacity: cfg.Admission.MaxInFlight,
+		queueCap: cfg.Admission.Queue,
 		gauge:    reg.Gauge("loops_http_in_flight", "solve requests currently admitted", nil),
 		queued:   reg.Gauge("loops_admission_queued", "solve requests parked in admission queues", nil),
 	}

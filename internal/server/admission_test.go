@@ -11,8 +11,8 @@ import (
 // registry on a shared metrics registry, the way Server.New wires them.
 func admissionFixture(t *testing.T, cfg Config) (*admission, *tenantRegistry) {
 	t.Helper()
-	if cfg.TenantMax == 0 {
-		cfg.TenantMax = 32
+	if cfg.Tenant.Max == 0 {
+		cfg.Tenant.Max = 32
 	}
 	reg := NewRegistry()
 	tr := newTenantRegistry(reg, cfg)
@@ -35,7 +35,7 @@ func waitQueued(t *testing.T, a *admission, ten *tenantState, n int) {
 // admits directly, Release frees the slot, and the gauge counts only
 // admitted requests.
 func TestAdmissionImmediateGrant(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 2, TenantQueue: 4})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 2, Queue: 4}})
 	ten := reg.resolve("solo")
 	for i := 0; i < 2; i++ {
 		if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
@@ -58,9 +58,8 @@ func TestAdmissionImmediateGrant(t *testing.T) {
 // rotation, the light one gets one.
 func TestAdmissionWeightedFairness(t *testing.T) {
 	a, reg := admissionFixture(t, Config{
-		MaxInFlight:   1,
-		TenantQueue:   16,
-		TenantWeights: map[string]int{"heavy": 3, "light": 1},
+		Admission: AdmissionConfig{MaxInFlight: 1, Queue: 16},
+		Tenant:    TenantConfig{Weights: map[string]int{"heavy": 3, "light": 1}},
 	})
 	heavy, light := reg.resolve("heavy"), reg.resolve("light")
 	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
@@ -125,7 +124,7 @@ func TestAdmissionWeightedFairness(t *testing.T) {
 // then a latency waiter of another; the first freed slot must go to the
 // latency-class waiter even though it enqueued last.
 func TestAdmissionLatencyBeforeBatch(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 16})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 1, Queue: 16}})
 	bulk, snappy := reg.resolve("bulk"), reg.resolve("snappy")
 	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
 		t.Fatal("holder not admitted")
@@ -167,7 +166,7 @@ func TestAdmissionLatencyBeforeBatch(t *testing.T) {
 // queueing disabled and checks the overflow is classified as a quota
 // shed, not a capacity shed, and that Release reopens the quota.
 func TestAdmissionQuotaShed(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 8, TenantQueue: -1, TenantQuota: 1})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 8, Queue: -1}, Tenant: TenantConfig{Quota: 1}})
 	ten := reg.resolve("capped")
 	if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {
 		t.Fatal("first request not admitted")
@@ -190,7 +189,7 @@ func TestAdmissionQuotaShed(t *testing.T) {
 // server and checks the next arrival sheds with a capacity
 // classification.
 func TestAdmissionQueueOverflow(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 2})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 1, Queue: 2}})
 	ten := reg.resolve("bursty")
 	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
 		t.Fatal("holder not admitted")
@@ -216,7 +215,7 @@ func TestAdmissionQueueOverflow(t *testing.T) {
 // TestAdmissionCancelWhileQueued cancels a parked waiter's context and
 // checks it returns admitCancelled and leaves the queue clean.
 func TestAdmissionCancelWhileQueued(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 4})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 1, Queue: 4}})
 	ten := reg.resolve("impatient")
 	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
 		t.Fatal("holder not admitted")
@@ -244,7 +243,7 @@ func TestAdmissionCancelWhileQueued(t *testing.T) {
 // TestAdmissionDrainWakesWaiters checks drain rejects parked waiters
 // and future arrivals with the draining outcome.
 func TestAdmissionDrainWakesWaiters(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 1, TenantQueue: 4})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 1, Queue: 4}})
 	ten := reg.resolve("late")
 	if res, _ := a.Admit(context.Background(), reg.def, ClassBatch); res != admitOK {
 		t.Fatal("holder not admitted")
@@ -270,7 +269,7 @@ func TestAdmissionDrainWakesWaiters(t *testing.T) {
 // up and clamped to [1s, 60s], with the old constant 1 as the
 // no-signal fallback.
 func TestRetryAfterDerivation(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 4, TenantQueue: -1})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 4, Queue: -1}})
 	ten := reg.resolve("shed")
 
 	check := func(drainNs float64, total, waiters, want int) {
@@ -297,7 +296,7 @@ func TestRetryAfterDerivation(t *testing.T) {
 // TestRetryAfterTracksDrainRate drives real releases through the
 // controller and checks the EWMA picks up a drain-rate signal.
 func TestRetryAfterTracksDrainRate(t *testing.T) {
-	a, reg := admissionFixture(t, Config{MaxInFlight: 2, TenantQueue: -1})
+	a, reg := admissionFixture(t, Config{Admission: AdmissionConfig{MaxInFlight: 2, Queue: -1}})
 	ten := reg.resolve("drip")
 	for i := 0; i < 3; i++ {
 		if res, _ := a.Admit(context.Background(), ten, ClassBatch); res != admitOK {

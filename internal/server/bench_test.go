@@ -18,7 +18,7 @@ import (
 // — on a 16x16 mesh factor. CI gates its allocs/op: a regression here
 // means per-request garbage crept into the serving hot path.
 func BenchmarkServerTrisolveRequest(b *testing.B) {
-	s, err := New(Config{Procs: 2, CoalesceWindow: 0})
+	s, err := New(Config{Procs: 2, Coalesce: CoalesceConfig{Window: 0}})
 	if err != nil {
 		b.Fatal(err)
 	}

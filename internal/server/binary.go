@@ -382,10 +382,9 @@ func (s *Server) resolveFrameDrifted(q *wireRequest) (*sparse.CSR, uint64, *drif
 	return l, fp, hint, nil
 }
 
-// hotFactorCap sizes the hot-factor table: a short ring scanned under a
-// mutex, sized for the working set of a warm serving mix.
-const hotFactorCap = 8
-
+// The hot-factor table is a short ring scanned under a mutex, sized by
+// Config.HotFactorCap (default 8) for the working set of a warm serving
+// mix.
 type hotFactor struct {
 	fp    uint64
 	lower bool
@@ -407,7 +406,7 @@ func (s *Server) hotLookup(fp uint64, lower bool) *sparse.CSR {
 // hotInsert records a resolved factor, overwriting the oldest slot. A
 // fingerprint collision (fp 0 from registerFactor) is never cached.
 func (s *Server) hotInsert(fp uint64, lower bool, l *sparse.CSR) {
-	if fp == 0 {
+	if fp == 0 || len(s.hot) == 0 {
 		return
 	}
 	s.hotMu.Lock()
@@ -419,5 +418,5 @@ func (s *Server) hotInsert(fp uint64, lower bool, l *sparse.CSR) {
 		}
 	}
 	s.hot[s.hotNext] = hotFactor{fp: fp, lower: lower, l: l}
-	s.hotNext = (s.hotNext + 1) % hotFactorCap
+	s.hotNext = (s.hotNext + 1) % len(s.hot)
 }

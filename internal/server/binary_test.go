@@ -84,7 +84,7 @@ func checkSameSolutions(t *testing.T, shape string, jx, bx [][]float64) {
 // the decode, factor resolution or response encode — this test is what
 // makes the binary path's zero-copy shortcuts safe to trust.
 func TestBinaryDifferential(t *testing.T) {
-	_, ts := newTestServer(t, Config{Procs: 2, CoalesceWindow: 0})
+	_, ts := newTestServer(t, Config{Procs: 2, Coalesce: CoalesceConfig{Window: 0}})
 	l := testFactor(12)
 	lower := true
 	n := l.N
@@ -147,7 +147,7 @@ func TestBinaryDifferential(t *testing.T) {
 // TestBinaryErrorEquivalence drives the error paths through both
 // encodings: same request defect, same HTTP status.
 func TestBinaryErrorEquivalence(t *testing.T) {
-	_, ts := newTestServer(t, Config{Procs: 2, CoalesceWindow: 0, MaxBatch: 4})
+	_, ts := newTestServer(t, Config{Procs: 2, MaxBatch: 4, Coalesce: CoalesceConfig{Window: 0}})
 	l := testFactor(8)
 	lower := true
 	n := l.N
@@ -203,7 +203,7 @@ func TestBinaryErrorEquivalence(t *testing.T) {
 func TestBinaryAdmission429(t *testing.T) {
 	// TenantQueue: -1 restores the pre-tenant immediate-shed behavior this
 	// test pins (with queueing on, the second request would park instead).
-	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
+	s, ts := newTestServer(t, Config{Procs: 1, Admission: AdmissionConfig{MaxInFlight: 1, Queue: -1}})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 	_, finish := stallRequest(t, ts.URL, body)
@@ -232,7 +232,7 @@ func TestBinaryAdmission429(t *testing.T) {
 // binary workload completes and the server drains, every request arena
 // has returned to the pool.
 func TestBinaryArenaLeak(t *testing.T) {
-	s, err := New(Config{Procs: 2, CoalesceWindow: 2 * time.Millisecond, CoalesceWidth: 8})
+	s, err := New(Config{Procs: 2, Coalesce: CoalesceConfig{Window: 2 * time.Millisecond, Width: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestSolveFrameZeroAlloc(t *testing.T) {
 // solver's memoized timed body must not cost the warm path its 0
 // allocs/op.
 func TestSolveFrameZeroAllocSampled(t *testing.T) {
-	s, frame := warmBinaryServerCfg(t, 16, Config{Procs: 2, CoalesceWindow: 0, TraceSampleEvery: 1})
+	s, frame := warmBinaryServerCfg(t, 16, Config{Procs: 2, TraceSampleEvery: 1, Coalesce: CoalesceConfig{Window: 0}})
 	ctx := context.Background()
 	allocs := testing.AllocsPerRun(100, func() {
 		st := s.getReqState()
@@ -344,7 +344,7 @@ func TestSolveFrameZeroAllocSampled(t *testing.T) {
 // warmBinaryServer builds a solo-pass server, registers a mesh factor
 // through the binary path and returns a warm fp-resubmission frame.
 func warmBinaryServer(tb testing.TB, mesh int) (*Server, []byte) {
-	return warmBinaryServerCfg(tb, mesh, Config{Procs: 2, CoalesceWindow: 0})
+	return warmBinaryServerCfg(tb, mesh, Config{Procs: 2, Coalesce: CoalesceConfig{Window: 0}})
 }
 
 // TestBinaryTenantWarmZeroAlloc pins the tentpole allocation contract:
@@ -467,7 +467,7 @@ func BenchmarkBinaryRequest(b *testing.B) {
 		// clock and the solver's memoized timed body must keep the warm
 		// path at 0 allocs/op (gated by CI's allocs_budget alongside
 		// fp-warm).
-		s, frame := warmBinaryServerCfg(b, 16, Config{Procs: 2, CoalesceWindow: 0, TraceSampleEvery: 1})
+		s, frame := warmBinaryServerCfg(b, 16, Config{Procs: 2, TraceSampleEvery: 1, Coalesce: CoalesceConfig{Window: 0}})
 		ctx := context.Background()
 		b.ReportAllocs()
 		b.ResetTimer()

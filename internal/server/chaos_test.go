@@ -29,9 +29,8 @@ func TestChaosConcurrentCancellation(t *testing.T) {
 		Procs:          4,
 		Kind:           KindAuto, // the planner decides per structure
 		CacheCap:       4,        // small enough that eviction happens under the mix
-		CoalesceWindow: 300 * time.Microsecond,
-		CoalesceWidth:  8,
-		MaxInFlight:    32,
+		Coalesce:       CoalesceConfig{Window: 300 * time.Microsecond, Width: 8},
+		Admission:      AdmissionConfig{MaxInFlight: 32},
 		DefaultTimeout: 5 * time.Second,
 	})
 	if err != nil {

@@ -643,6 +643,16 @@ type memoEntry struct {
 // precomputed state is current. A warm hit costs a mutex and a short
 // linear scan — no allocation. bstats, when non-nil, receives the plan
 // build-cost breakdown if the miss path actually builds a plan.
+// Warm pre-builds the plan for l through the same plan-cache options
+// real traffic uses and leaves the cache entry resident and the bound
+// solver memoized. It is the sharded tier's rebalance tool: a gaining
+// replica warms incoming fingerprints before cutover so the first
+// routed request hits a built plan instead of the inspector.
+func (c *Coalescer) Warm(l *sparse.CSR, lower bool) error {
+	_, _, err := c.boundSolver(l, lower, nil)
+	return err
+}
+
 func (c *Coalescer) boundSolver(l *sparse.CSR, lower bool, bstats *trisolve.BuildStats) (*trisolve.BatchSolver, string, error) {
 	c.memoMu.Lock()
 	for i := range c.memo {

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestHotFactorCapSizesRing checks that Config.HotFactorCap controls the
+// hot-factor ring length, with 0 meaning the default of 8.
+func TestHotFactorCapSizesRing(t *testing.T) {
+	for _, tc := range []struct{ cap, want int }{{0, 8}, {2, 2}, {32, 32}} {
+		s, err := New(Config{Procs: 1, HotFactorCap: tc.cap})
+		if err != nil {
+			t.Fatalf("cap %d: %v", tc.cap, err)
+		}
+		if got := len(s.hot); got != tc.want {
+			t.Errorf("HotFactorCap %d: ring length %d, want %d", tc.cap, got, tc.want)
+		}
+		shutdownNow(t, s)
+	}
+	if _, err := New(Config{Procs: 1, HotFactorCap: -1}); err == nil {
+		t.Error("HotFactorCap -1 accepted, want validation error")
+	}
+}
+
+// TestHotFactorEvictionOrder pins the ring's replacement policy: the
+// oldest inserted fingerprint is overwritten first, a re-insert of a
+// cached fingerprint updates in place without consuming a slot, and the
+// lower/upper flag keys distinct entries.
+func TestHotFactorEvictionOrder(t *testing.T) {
+	s, err := New(Config{Procs: 1, HotFactorCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownNow(t, s)
+
+	a, b, c, d := testFactor(3), testFactor(4), testFactor(5), testFactor(6)
+
+	s.hotInsert(1, true, a)
+	s.hotInsert(2, true, b)
+	if s.hotLookup(1, true) != a || s.hotLookup(2, true) != b {
+		t.Fatal("both fingerprints should be hot after two inserts into cap 2")
+	}
+	if s.hotLookup(1, false) != nil {
+		t.Error("lookup with the opposite direction flag must miss")
+	}
+
+	// Third insert overwrites the oldest slot (fp 1).
+	s.hotInsert(3, true, c)
+	if s.hotLookup(1, true) != nil {
+		t.Error("fp 1 (oldest) should have been evicted by fp 3")
+	}
+	if s.hotLookup(2, true) != b || s.hotLookup(3, true) != c {
+		t.Error("fps 2 and 3 should survive the eviction")
+	}
+
+	// Re-inserting a cached fp updates in place and must not advance the
+	// ring cursor — the next eviction still takes the oldest slot.
+	b2 := testFactor(4)
+	s.hotInsert(2, true, b2)
+	if s.hotLookup(2, true) != b2 {
+		t.Error("re-insert should update the cached factor in place")
+	}
+	s.hotInsert(4, true, d)
+	if s.hotLookup(2, true) != nil {
+		t.Error("fp 2 occupied the oldest slot and should be evicted by fp 4")
+	}
+	if s.hotLookup(3, true) != c || s.hotLookup(4, true) != d {
+		t.Error("fps 3 and 4 should be hot after the final insert")
+	}
+
+	// Fingerprint 0 is the collision sentinel and is never cached.
+	s.hotInsert(0, true, a)
+	if s.hotLookup(0, true) != nil {
+		t.Error("fp 0 must never enter the hot ring")
+	}
+}
+
+func shutdownNow(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -104,7 +104,7 @@ func TestNegativeTimeoutRejectedBothWires(t *testing.T) {
 func TestShedResponseBothWires(t *testing.T) {
 	// TenantQueue: -1 disables queueing so the second request sheds
 	// immediately instead of parking.
-	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
+	s, ts := newTestServer(t, Config{Procs: 1, Admission: AdmissionConfig{MaxInFlight: 1, Queue: -1}})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 	_, finish := stallRequest(t, ts.URL, body)
@@ -447,12 +447,10 @@ func TestCoalesceDissolutionRace(t *testing.T) {
 // than wall-clock numbers, so it is meaningful under -race.
 func TestChaosTenantFairness(t *testing.T) {
 	s, ts := newTestServer(t, Config{
-		Procs:          1,
-		MaxInFlight:    2,
-		TenantQueue:    4,
-		TenantQuota:    2,
-		CoalesceWindow: 500 * time.Microsecond,
-		TenantWeights:  map[string]int{"lat-0": 4},
+		Procs:     1,
+		Admission: AdmissionConfig{MaxInFlight: 2, Queue: 4},
+		Coalesce:  CoalesceConfig{Window: 500 * time.Microsecond},
+		Tenant:    TenantConfig{Quota: 2, Weights: map[string]int{"lat-0": 4}},
 	})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})

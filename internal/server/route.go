@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"doconsider/internal/fphash"
+	"doconsider/internal/sparse"
+)
+
+// RouteKey extracts the shard-routing fingerprint from a /v1/trisolve
+// request body without executing it, so a stateless front door
+// (internal/router) can consistent-hash requests across replicas. It
+// lives in this package because it shares the wire formats' innards:
+// the DCWF section table on the binary side, SolveRequest on the JSON
+// side.
+//
+// The key is always a content fingerprint in the server's own hash:
+//
+//   - an fp resubmission routes by that fingerprint (RouteFp);
+//   - a base_fp+edits drift request routes by the base fingerprint
+//     (RouteDrift), which is what keeps a drift chain on the replica
+//     holding its ancestor's plan;
+//   - an inline factor routes by the content fingerprint the replica
+//     itself will compute and return (RouteInline), so later by-fp
+//     resubmissions of the same factor land on the same shard.
+//
+// For binary frames the inline fingerprint is computed straight off the
+// little-endian section payloads — no decode, no allocation beyond the
+// pooled section table.
+
+// RouteKind classifies how a request named its factor.
+type RouteKind uint8
+
+const (
+	RouteFp     RouteKind = iota // by-fingerprint resubmission
+	RouteDrift                   // base_fp (+ edits) drift request
+	RouteInline                  // full inline factor
+)
+
+func (k RouteKind) String() string {
+	switch k {
+	case RouteFp:
+		return "fp"
+	case RouteDrift:
+		return "drift"
+	case RouteInline:
+		return "inline"
+	}
+	return fmt.Sprintf("RouteKind(%d)", uint8(k))
+}
+
+var errNoRouteKey = errors.New("request names no factor (inline matrix, fp or base_fp)")
+
+// routeScratch pools the binary path's section-table scratch so RouteKey
+// stays allocation-free on warm frames.
+var routeScratch = sync.Pool{
+	New: func() any {
+		s := make([]frameSection, 0, maxFrameSections)
+		return &s
+	},
+}
+
+// RouteKey returns the routing fingerprint for a solve request body.
+// binaryWire selects the DCWF frame decoder (Content-Type
+// FrameContentType); otherwise the body is JSON. Malformed bodies
+// return an error — the front door rejects them without burning a
+// backend round trip.
+func RouteKey(body []byte, binaryWire bool) (uint64, RouteKind, error) {
+	if binaryWire {
+		return routeKeyFrame(body)
+	}
+	return routeKeyJSON(body)
+}
+
+func routeKeyFrame(body []byte) (uint64, RouteKind, error) {
+	if len(body) > MaxFrameBytes {
+		return 0, 0, fmt.Errorf("frame has %d bytes, limit %d", len(body), MaxFrameBytes)
+	}
+	scratch := routeScratch.Get().(*[]frameSection)
+	defer routeScratch.Put(scratch)
+	_, sects, err := parseSections(body, *scratch)
+	if err != nil {
+		return 0, 0, err
+	}
+	var dimN uint64
+	var rowPtr, colIdx, val []byte
+	for _, s := range sects {
+		payload := body[s.off : uint64(s.off)+uint64(s.length)]
+		switch s.typ {
+		case secFp, secBaseFp:
+			if len(payload) != 8 {
+				return 0, 0, fmt.Errorf("fingerprint section has %d bytes, want 8", len(payload))
+			}
+			fp := binary.LittleEndian.Uint64(payload)
+			if s.typ == secFp {
+				return fp, RouteFp, nil
+			}
+			return fp, RouteDrift, nil
+		case secDim:
+			dimN = uint64(s.count)
+		case secRowPtr:
+			rowPtr = payload
+		case secColIdx:
+			colIdx = payload
+		case secVal:
+			val = payload
+		}
+	}
+	if dimN == 0 || rowPtr == nil {
+		return 0, 0, errNoRouteKey
+	}
+	return contentFpFromPayloads(dimN, rowPtr, colIdx, val), RouteInline, nil
+}
+
+// contentFpFromPayloads replicates sparse.CSR.ContentFingerprint over
+// raw little-endian section payloads: fphash.Words packs int32 pairs
+// into one 64-bit mix, which for a little-endian byte payload is
+// exactly one 8-byte read, so no []int32 or []float64 is materialized.
+func contentFpFromPayloads(n uint64, rowPtr, colIdx, val []byte) uint64 {
+	h := uint64(fphash.Offset)
+	h = fphash.Mix(h, n)
+	h = fphash.Mix(h, n) // M == N: the wire carries square factors
+	h = mixWordBytes(h, rowPtr)
+	h = mixWordBytes(h, colIdx)
+	sfp := fphash.Final(h)
+	if sfp == 0 {
+		sfp = 1 // StructureFingerprint's not-yet-computed sentinel
+	}
+	h = sfp
+	h = fphash.Mix(h, uint64(len(val)/8))
+	for i := 0; i+8 <= len(val); i += 8 {
+		h = fphash.Mix(h, binary.LittleEndian.Uint64(val[i:]))
+	}
+	return fphash.Final(h)
+}
+
+// mixWordBytes is fphash.Words over a packed little-endian int32
+// payload: length prefix, int32 pairs as single 64-bit words, and a
+// zero-extended odd tail.
+func mixWordBytes(h uint64, payload []byte) uint64 {
+	n := len(payload) / 4
+	h = fphash.Mix(h, uint64(n))
+	i := 0
+	for ; i+1 < n; i += 2 {
+		h = fphash.Mix(h, binary.LittleEndian.Uint64(payload[4*i:]))
+	}
+	if i < n {
+		h = fphash.Mix(h, uint64(binary.LittleEndian.Uint32(payload[4*i:])))
+	}
+	return h
+}
+
+// ResponseFp extracts the content fingerprint a 200 solve response
+// carries, so the front door can pin drift-repaired fingerprints to the
+// shard that built them (the new fingerprint would otherwise hash to an
+// arbitrary ring position, scattering the drift chain). Returns false
+// for responses without a fingerprint or that do not parse.
+func ResponseFp(body []byte, binaryWire bool) (uint64, bool) {
+	if binaryWire {
+		if len(body) > MaxFrameBytes {
+			return 0, false
+		}
+		scratch := routeScratch.Get().(*[]frameSection)
+		defer routeScratch.Put(scratch)
+		_, sects, err := parseSections(body, *scratch)
+		if err != nil {
+			return 0, false
+		}
+		for _, s := range sects {
+			if s.typ == secRespFp && s.length == 8 {
+				return binary.LittleEndian.Uint64(body[s.off:]), true
+			}
+		}
+		return 0, false
+	}
+	var r struct {
+		Fp string `json:"fp"`
+	}
+	if json.Unmarshal(body, &r) != nil || r.Fp == "" {
+		return 0, false
+	}
+	fp, err := parseHexFp(r.Fp)
+	if err != nil {
+		return 0, false
+	}
+	return fp, true
+}
+
+func routeKeyJSON(body []byte) (uint64, RouteKind, error) {
+	var req SolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return 0, 0, fmt.Errorf("bad request body: %w", err)
+	}
+	switch {
+	case req.Fp != "":
+		fp, err := parseHexFp(req.Fp)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fp, RouteFp, nil
+	case req.BaseFp != "":
+		fp, err := parseHexFp(req.BaseFp)
+		if err != nil {
+			return 0, 0, err
+		}
+		return fp, RouteDrift, nil
+	case req.N > 0 && req.RowPtr != nil:
+		l := sparse.View(req.N, req.RowPtr, req.ColIdx, req.Val)
+		return l.ContentFingerprint(), RouteInline, nil
+	}
+	return 0, 0, errNoRouteKey
+}

@@ -50,37 +50,60 @@ import (
 // instead of being fixed for the whole server.
 const KindAuto = "auto"
 
+// AdmissionConfig bounds how much work the server accepts at once.
+type AdmissionConfig struct {
+	// MaxInFlight bounds concurrent solves (default 64). Requests beyond
+	// it queue per tenant (see Queue) and shed with 429 when queues fill.
+	MaxInFlight int
+	// Queue bounds each tenant's per-class admission queue (default 16).
+	// Negative disables queueing: saturation sheds immediately, the
+	// pre-tenant behavior.
+	Queue int
+}
+
+// CoalesceConfig shapes request batching: requests against the same
+// factor arriving within a window are fused into one executor pass.
+type CoalesceConfig struct {
+	// Window is the batching window; 0 disables coalescing.
+	Window time.Duration
+	// LatencyWindow is the batching window for latency-class requests
+	// (default Window/8; negative disables latency-class coalescing).
+	// Both windows are upper bounds: the coalescer shrinks them per
+	// class when the observed arrival rate cannot fill a pass.
+	LatencyWindow time.Duration
+	// Width is the max RHS per fused pass (default 64).
+	Width int
+}
+
+// TenantConfig shapes per-tenant fairness and accounting.
+type TenantConfig struct {
+	// Weights sets per-tenant admission weights (deficit-round-robin
+	// grants per rotation; default 1). Unlisted tenants weigh 1.
+	Weights map[string]int
+	// Quotas caps a tenant's concurrent admitted solves; unlisted
+	// tenants get Quota. 0 means bounded only by MaxInFlight.
+	Quotas map[string]int
+	Quota  int
+	// Max caps how many distinct tenants get their own accounting and
+	// metric series (default 32); the rest share the "other" tenant.
+	Max int
+}
+
 // Config shapes a Server. The zero value is usable: defaults are applied
-// by New.
+// by New. Validate reports the first out-of-range field by name; New
+// calls it, so constructing a server from bad values fails loudly rather
+// than clamping.
 type Config struct {
-	Procs          int           // processors per plan (default 4)
-	Kind           string        // executor kind registry name, or "auto" (default) for adaptive planning
-	CacheCap       int           // plan-cache capacity in skeletons (default 16)
-	FactorCacheCap int           // factors resubmittable by fingerprint (default 32)
-	CoalesceWindow time.Duration // batching window; 0 disables coalescing
-	// CoalesceLatencyWindow is the batching window for latency-class
-	// requests (default CoalesceWindow/8; negative disables latency-class
-	// coalescing). Both windows are upper bounds: the coalescer shrinks
-	// them per class when the observed arrival rate cannot fill a pass.
-	CoalesceLatencyWindow time.Duration
-	CoalesceWidth         int           // max RHS per fused pass (default 64)
-	MaxInFlight           int           // admission bound on concurrent solves (default 64)
-	MaxBatch              int           // max RHS per request (default 64)
-	DefaultTimeout        time.Duration // per-request deadline when none given (default 30s)
-	// TenantWeights sets per-tenant admission weights (deficit-round-
-	// robin grants per rotation; default 1). Unlisted tenants weigh 1.
-	TenantWeights map[string]int
-	// TenantQuotas caps a tenant's concurrent admitted solves; unlisted
-	// tenants get TenantQuota. 0 means bounded only by MaxInFlight.
-	TenantQuotas map[string]int
-	TenantQuota  int
-	// TenantQueue bounds each tenant's per-class admission queue
-	// (default 16). Negative disables queueing: saturation sheds
-	// immediately, the pre-tenant behavior.
-	TenantQueue int
-	// TenantMax caps how many distinct tenants get their own accounting
-	// and metric series (default 32); the rest share the "other" tenant.
-	TenantMax int
+	Procs          int    // processors per plan (default 4)
+	Kind           string // executor kind registry name, or "auto" (default) for adaptive planning
+	CacheCap       int    // plan-cache capacity in skeletons (default 16)
+	FactorCacheCap int    // factors resubmittable by fingerprint (default 32)
+	// HotFactorCap sizes the lock-striped hot-factor ring that serves
+	// warm binary-wire fp lookups without touching the allocating
+	// factor-cache handle path (default 8).
+	HotFactorCap   int
+	MaxBatch       int           // max RHS per request (default 64)
+	DefaultTimeout time.Duration // per-request deadline when none given (default 30s)
 	// TraceRing sizes the completed-trace ring served by /v1/trace
 	// (default max(256, 4*MaxInFlight), rounded up to a power of two).
 	TraceRing int
@@ -89,6 +112,54 @@ type Config struct {
 	// sampling). Stage stamps and the trace ring are always on — sampling
 	// gates only the per-level clock inside the executor hot loop.
 	TraceSampleEvery int
+
+	Admission AdmissionConfig
+	Coalesce  CoalesceConfig
+	Tenant    TenantConfig
+}
+
+// Validate checks every field against its documented range and returns
+// an error naming the first offending field. Zero values are always
+// valid (they take defaults); Validate rejects values that are neither a
+// default request nor a legal setting.
+func (c Config) Validate() error {
+	switch {
+	case c.Procs < 0:
+		return fmt.Errorf("server: Config.Procs must be >= 0, got %d", c.Procs)
+	case c.CacheCap < 0:
+		return fmt.Errorf("server: Config.CacheCap must be >= 0, got %d", c.CacheCap)
+	case c.FactorCacheCap < 0:
+		return fmt.Errorf("server: Config.FactorCacheCap must be >= 0, got %d", c.FactorCacheCap)
+	case c.HotFactorCap < 0:
+		return fmt.Errorf("server: Config.HotFactorCap must be >= 0, got %d", c.HotFactorCap)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("server: Config.MaxBatch must be >= 0, got %d", c.MaxBatch)
+	case c.DefaultTimeout < 0:
+		return fmt.Errorf("server: Config.DefaultTimeout must be >= 0, got %s", c.DefaultTimeout)
+	case c.TraceRing < 0:
+		return fmt.Errorf("server: Config.TraceRing must be >= 0, got %d", c.TraceRing)
+	case c.Admission.MaxInFlight < 0:
+		return fmt.Errorf("server: Config.Admission.MaxInFlight must be >= 0, got %d", c.Admission.MaxInFlight)
+	case c.Coalesce.Window < 0:
+		return fmt.Errorf("server: Config.Coalesce.Window must be >= 0, got %s", c.Coalesce.Window)
+	case c.Coalesce.Width < 0:
+		return fmt.Errorf("server: Config.Coalesce.Width must be >= 0, got %d", c.Coalesce.Width)
+	case c.Tenant.Quota < 0:
+		return fmt.Errorf("server: Config.Tenant.Quota must be >= 0, got %d", c.Tenant.Quota)
+	case c.Tenant.Max < 0:
+		return fmt.Errorf("server: Config.Tenant.Max must be >= 0, got %d", c.Tenant.Max)
+	}
+	for name, w := range c.Tenant.Weights {
+		if w < 0 {
+			return fmt.Errorf("server: Config.Tenant.Weights[%q] must be >= 0, got %d", name, w)
+		}
+	}
+	if c.Kind != "" && c.Kind != KindAuto {
+		if _, err := executor.KindByName(c.Kind); err != nil {
+			return fmt.Errorf("server: Config.Kind: %w", err)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -104,23 +175,26 @@ func (c Config) withDefaults() Config {
 	if c.FactorCacheCap == 0 {
 		c.FactorCacheCap = 32
 	}
-	if c.CoalesceWidth <= 0 {
-		c.CoalesceWidth = 64
+	if c.HotFactorCap == 0 {
+		c.HotFactorCap = 8
 	}
-	if c.CoalesceLatencyWindow == 0 {
-		c.CoalesceLatencyWindow = c.CoalesceWindow / 8
+	if c.Coalesce.Width <= 0 {
+		c.Coalesce.Width = 64
 	}
-	if c.CoalesceLatencyWindow < 0 {
-		c.CoalesceLatencyWindow = 0
+	if c.Coalesce.LatencyWindow == 0 {
+		c.Coalesce.LatencyWindow = c.Coalesce.Window / 8
 	}
-	if c.TenantQueue == 0 {
-		c.TenantQueue = 16
+	if c.Coalesce.LatencyWindow < 0 {
+		c.Coalesce.LatencyWindow = 0
 	}
-	if c.TenantMax <= 0 {
-		c.TenantMax = 32
+	if c.Admission.Queue == 0 {
+		c.Admission.Queue = 16
 	}
-	if c.MaxInFlight <= 0 {
-		c.MaxInFlight = 64
+	if c.Tenant.Max <= 0 {
+		c.Tenant.Max = 32
+	}
+	if c.Admission.MaxInFlight <= 0 {
+		c.Admission.MaxInFlight = 64
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
@@ -289,11 +363,12 @@ type Server struct {
 
 	// Binary wire path state: the request-arena pool, the pooled decode
 	// scratch, and the hot-factor ring serving warm fp lookups without
-	// touching the allocating factor-cache handle path.
+	// touching the allocating factor-cache handle path. The ring holds
+	// Config.HotFactorCap entries and overwrites oldest-first.
 	arenas  *arena.Pool
 	reqPool sync.Pool
 	hotMu   sync.Mutex
-	hot     [hotFactorCap]hotFactor
+	hot     []hotFactor
 	hotNext int
 
 	tracer *tracer
@@ -311,18 +386,18 @@ type Server struct {
 	healthEP    *endpointMetrics
 	metricEP    *endpointMetrics
 	traceEP     *endpointMetrics
+	shardEP     *endpointMetrics
 }
 
 // New builds a server from cfg (zero fields take defaults). It fails
-// only on an unresolvable executor kind name ("auto" delegates the
-// choice to the planner per structure).
+// only when Config.Validate does: an out-of-range field or an
+// unresolvable executor kind name ("auto" delegates the choice to the
+// planner per structure).
 func New(cfg Config) (*Server, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Kind != KindAuto {
-		if _, err := executor.KindByName(cfg.Kind); err != nil {
-			return nil, err
-		}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	baseCtx, cancel := context.WithCancel(context.Background())
 	reg := NewRegistry()
 	cache := trisolve.NewPlanCache(cfg.CacheCap)
@@ -336,6 +411,7 @@ func New(cfg Config) (*Server, error) {
 		cancel:  cancel,
 		start:   time.Now(),
 		arenas:  arena.NewPool(arena.Config{}),
+		hot:     make([]hotFactor, cfg.HotFactorCap),
 	}
 	s.reqPool.New = func() any {
 		return &reqState{sects: make([]frameSection, 0, maxFrameSections)}
@@ -346,8 +422,8 @@ func New(cfg Config) (*Server, error) {
 	// every admitted request is parked in one — see Coalescer. Admission
 	// waiters are not in flight: a parked request must not hold a window
 	// open.
-	s.co = NewCoalescer(baseCtx, cache, reg, cfg.CoalesceWindow, cfg.CoalesceLatencyWindow,
-		cfg.CoalesceWidth, cfg.Procs, cfg.Kind, s.adm.inFlight)
+	s.co = NewCoalescer(baseCtx, cache, reg, cfg.Coalesce.Window, cfg.Coalesce.LatencyWindow,
+		cfg.Coalesce.Width, cfg.Procs, cfg.Kind, s.adm.inFlight)
 	s.accepted = reg.Counter("loops_admission_accepted_total", "solve requests admitted", nil)
 	s.shed = reg.Counter("loops_admission_shed_total", "solve requests shed with 429", nil)
 	for _, cs := range []struct {
@@ -441,6 +517,7 @@ func New(cfg Config) (*Server, error) {
 	s.healthEP = newEndpointMetrics(reg, "healthz")
 	s.metricEP = newEndpointMetrics(reg, "metrics")
 	s.traceEP = newEndpointMetrics(reg, "trace")
+	s.shardEP = newEndpointMetrics(reg, "shard")
 
 	s.mux.HandleFunc("/v1/trisolve", s.wrapSolve(s.handleTrisolve))
 	s.mux.HandleFunc("/v1/stats", s.statsEP.wrap(s.handleStats))
@@ -448,6 +525,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.metricEP.wrap(s.handleMetrics))
 	s.mux.HandleFunc("/v1/trace", s.traceEP.wrap(s.handleTrace))
 	s.mux.HandleFunc("/v1/trace/slowest", s.traceEP.wrap(s.handleTraceSlowest))
+	s.mux.HandleFunc("/v1/shard/plans", s.shardEP.wrap(s.handleShardPlans))
+	s.mux.HandleFunc("/v1/shard/factor", s.shardEP.wrap(s.handleShardFactor))
+	s.mux.HandleFunc("/v1/shard/warm", s.shardEP.wrap(s.handleShardWarm))
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s, nil
 }

@@ -247,7 +247,7 @@ func stallRequest(t *testing.T, url string, body []byte) (done <-chan int, finis
 func TestServerAdmissionControl(t *testing.T) {
 	// TenantQueue: -1 restores the pre-tenant immediate-shed behavior this
 	// test pins (with queueing on, the second request would park instead).
-	s, ts := newTestServer(t, Config{Procs: 1, MaxInFlight: 1, TenantQueue: -1})
+	s, ts := newTestServer(t, Config{Procs: 1, Admission: AdmissionConfig{MaxInFlight: 1, Queue: -1}})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 
@@ -318,7 +318,7 @@ func TestServerAdmissionControl(t *testing.T) {
 // early (quiescence needs every in-flight request parked): the deadline,
 // not the window, must decide when the request comes back.
 func TestServerRequestDeadline(t *testing.T) {
-	_, ts := newTestServer(t, Config{Procs: 1, CoalesceWindow: 10 * time.Second, CoalesceWidth: 64})
+	_, ts := newTestServer(t, Config{Procs: 1, Coalesce: CoalesceConfig{Window: 10 * time.Second, Width: 64}})
 	l := testFactor(8)
 	body := solveBody(t, l, true, [][]float64{randVec(l.N, 1)})
 	_, finish := stallRequest(t, ts.URL, body)
@@ -340,7 +340,7 @@ func TestServerRequestDeadline(t *testing.T) {
 // idle server must not wait out a long coalescing window — the coalescer
 // seals as soon as every admitted request is parked.
 func TestServerQuiescentSealNoWindowStall(t *testing.T) {
-	_, ts := newTestServer(t, Config{Procs: 1, CoalesceWindow: 10 * time.Second, CoalesceWidth: 64})
+	_, ts := newTestServer(t, Config{Procs: 1, Coalesce: CoalesceConfig{Window: 10 * time.Second, Width: 64}})
 	l := testFactor(8)
 	start := time.Now()
 	resp, sr := postSolve(t, ts.URL, solveBody(t, l, true, [][]float64{randVec(l.N, 1)}))

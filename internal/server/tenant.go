@@ -17,7 +17,7 @@ import (
 // server behavior exactly.
 //
 // Tenants are created on first use. The registry caps how many distinct
-// tenants get their own accounting (Config.TenantMax); traffic beyond
+// tenants get their own accounting (Config.Tenant.Max); traffic beyond
 // the cap is lumped into the shared "other" tenant so a client fanning
 // out random tenant names cannot grow /metrics without bound.
 
@@ -33,7 +33,7 @@ const TenantHeader = "X-Doconsider-Tenant"
 // DefaultTenant is the tenant of requests that name none.
 const DefaultTenant = "default"
 
-// OverflowTenant absorbs tenants beyond the TenantMax cardinality cap.
+// OverflowTenant absorbs tenants beyond the Tenant.Max cardinality cap.
 const OverflowTenant = "other"
 
 // Class is a request priority class. Latency-class requests are never
@@ -180,10 +180,10 @@ type tenantRegistry struct {
 func newTenantRegistry(reg *Registry, cfg Config) *tenantRegistry {
 	r := &tenantRegistry{
 		reg:     reg,
-		max:     cfg.TenantMax,
-		weights: cfg.TenantWeights,
-		quotas:  cfg.TenantQuotas,
-		quota:   cfg.TenantQuota,
+		max:     cfg.Tenant.Max,
+		weights: cfg.Tenant.Weights,
+		quotas:  cfg.Tenant.Quotas,
+		quota:   cfg.Tenant.Quota,
 		byName:  make(map[string]*tenantState),
 	}
 	r.def = r.createLocked(DefaultTenant)

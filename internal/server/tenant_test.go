@@ -57,7 +57,7 @@ func TestValidateTenantNameBytes(t *testing.T) {
 // pooled into the shared overflow tenant instead of growing the metric
 // space, and that resolve is stable per name.
 func TestTenantRegistryCardinalityCap(t *testing.T) {
-	reg := newTenantRegistry(NewRegistry(), Config{TenantMax: 2})
+	reg := newTenantRegistry(NewRegistry(), Config{Tenant: TenantConfig{Max: 2}})
 	// The default tenant occupies one of the two slots.
 	a := reg.resolve("a")
 	if a.name != "a" {
@@ -90,10 +90,12 @@ func TestTenantRegistryCardinalityCap(t *testing.T) {
 // default quota applies to unlisted tenants.
 func TestTenantWeightsAndQuotas(t *testing.T) {
 	reg := newTenantRegistry(NewRegistry(), Config{
-		TenantMax:     8,
-		TenantWeights: map[string]int{"gold": 5, "zero": 0},
-		TenantQuotas:  map[string]int{"gold": 7, "neg": -3},
-		TenantQuota:   2,
+		Tenant: TenantConfig{
+			Max:     8,
+			Weights: map[string]int{"gold": 5, "zero": 0},
+			Quotas:  map[string]int{"gold": 7, "neg": -3},
+			Quota:   2,
+		},
 	})
 	if got := reg.resolve("gold"); got.weight != 5 || got.quota != 7 {
 		t.Fatalf("gold = weight %d quota %d, want 5/7", got.weight, got.quota)

@@ -35,7 +35,7 @@ type tracer struct {
 func newTracer(reg *Registry, cfg Config) *tracer {
 	size := cfg.TraceRing
 	if size <= 0 {
-		size = 4 * cfg.MaxInFlight
+		size = 4 * cfg.Admission.MaxInFlight
 		if size < 256 {
 			size = 256
 		}
